@@ -1,0 +1,36 @@
+//! A miniature replicated archival store: the end-to-end substrate.
+//!
+//! The paper's conclusions — audit aggressively, automate repair, keep
+//! replicas independent — are statements about *systems*, not just formulas.
+//! This crate provides a small but genuinely operational archival store in
+//! the LOCKSS spirit: content-addressed objects, several replica nodes,
+//! periodic checksum scrubbing, automated repair from intact peers, and
+//! fault-injection hooks (bit rot, deletion, node outage) so the whole loop
+//! can be exercised under a virtual clock.
+//!
+//! It is used by experiment E14 and the example binaries to show that the
+//! strategy ranking predicted by the analytic model actually holds in an
+//! operating system-of-record.
+//!
+//! ```
+//! use ltds_archive::{Archive, ArchiveConfig};
+//!
+//! let mut archive = Archive::new(ArchiveConfig::default_three_node());
+//! archive.ingest("report.pdf", b"very important bytes".to_vec()).unwrap();
+//! assert_eq!(archive.read_verified("report.pdf").unwrap(), b"very important bytes".to_vec());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod injection;
+pub mod node;
+pub mod run;
+pub mod store;
+
+pub use archive::{Archive, ArchiveConfig, ArchiveError, ArchiveStats, RepairMode};
+pub use injection::ArchiveFaultInjector;
+pub use node::ArchiveNode;
+pub use run::{run_campaign, CampaignConfig, CampaignReport};
+pub use store::ReplicaStore;

@@ -1,0 +1,153 @@
+//! The per-node object store, with corruption hooks.
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// An in-memory object store standing in for one node's disk.
+///
+/// All mutation goes through explicit methods so fault injection (bit flips,
+/// deletions) is auditable in tests and experiments.
+#[derive(Debug, Default)]
+pub struct ReplicaStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl ReplicaStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (or overwrites) an object.
+    pub fn put(&self, id: impl Into<String>, data: impl Into<Bytes>) {
+        self.objects.write().insert(id.into(), data.into());
+    }
+
+    /// Reads an object, if present.
+    pub fn get(&self, id: &str) -> Option<Bytes> {
+        self.objects.read().get(id).cloned()
+    }
+
+    /// Removes an object, returning whether it was present.
+    pub fn delete(&self, id: &str) -> bool {
+        self.objects.write().remove(id).is_some()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.objects.read().values().map(|b| b.len()).sum()
+    }
+
+    /// All object ids, sorted.
+    pub fn object_ids(&self) -> Vec<String> {
+        self.objects.read().keys().cloned().collect()
+    }
+
+    /// Flips one bit of the stored object (silent corruption / bit rot).
+    ///
+    /// Returns `false` if the object does not exist or is empty.
+    pub fn flip_bit(&self, id: &str, byte_index: usize, bit: u8) -> bool {
+        let mut guard = self.objects.write();
+        let Some(data) = guard.get(id) else {
+            return false;
+        };
+        if data.is_empty() {
+            return false;
+        }
+        let mut copy = data.to_vec();
+        let idx = byte_index % copy.len();
+        copy[idx] ^= 1 << (bit % 8);
+        guard.insert(id.to_string(), Bytes::from(copy));
+        true
+    }
+
+    /// Drops every object (catastrophic media loss on this node).
+    pub fn wipe(&self) {
+        self.objects.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let s = ReplicaStore::new();
+        assert!(s.is_empty());
+        s.put("a", b"hello".to_vec());
+        assert_eq!(s.get("a").unwrap().as_ref(), b"hello");
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.total_bytes(), 5);
+        assert!(s.delete("a"));
+        assert!(!s.delete("a"));
+        assert!(s.get("a").is_none());
+    }
+
+    #[test]
+    fn object_ids_sorted() {
+        let s = ReplicaStore::new();
+        s.put("b", b"2".to_vec());
+        s.put("a", b"1".to_vec());
+        assert_eq!(s.object_ids(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn flip_bit_corrupts_in_place() {
+        let s = ReplicaStore::new();
+        s.put("a", vec![0u8; 16]);
+        assert!(s.flip_bit("a", 3, 2));
+        let data = s.get("a").unwrap();
+        assert_eq!(data[3], 0b100);
+        assert_eq!(data.len(), 16);
+        // Flipping the same bit again restores the byte.
+        assert!(s.flip_bit("a", 3, 2));
+        assert_eq!(s.get("a").unwrap()[3], 0);
+    }
+
+    #[test]
+    fn flip_bit_handles_missing_and_empty() {
+        let s = ReplicaStore::new();
+        assert!(!s.flip_bit("missing", 0, 0));
+        s.put("empty", Vec::<u8>::new());
+        assert!(!s.flip_bit("empty", 0, 0));
+    }
+
+    #[test]
+    fn flip_bit_wraps_out_of_range_index() {
+        let s = ReplicaStore::new();
+        s.put("a", vec![0u8; 4]);
+        assert!(s.flip_bit("a", 6, 9));
+        // Index 6 wraps to 2; bit 9 wraps to 1.
+        assert_eq!(s.get("a").unwrap()[2], 0b10);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let s = ReplicaStore::new();
+        s.put("a", b"1".to_vec());
+        s.put("b", b"2".to_vec());
+        s.wipe();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let s = ReplicaStore::new();
+        s.put("a", b"v1".to_vec());
+        s.put("a", b"v2".to_vec());
+        assert_eq!(s.get("a").unwrap().as_ref(), b"v2");
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion bench: archive substrate throughput (ingest, scrub, repair).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ltds_archive::archive::{Archive, ArchiveConfig};
+use ltds_archive::injection::ArchiveFaultInjector;
+use ltds_core::units::Hours;
+use ltds_stochastic::SimRng;
+
+fn seeded_archive(objects: usize) -> Archive {
+    let mut archive = Archive::new(ArchiveConfig::default_three_node());
+    for i in 0..objects {
+        archive
+            .ingest(&format!("object-{i:05}"), vec![(i % 251) as u8; 2048])
+            .expect("ingest cannot fail");
+    }
+    archive
+}
+
+fn bench_archive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("archive");
+    group.bench_function("ingest_200_objects", |b| {
+        b.iter(|| seeded_archive(black_box(200)));
+    });
+    group.bench_function("scrub_all_clean_200_objects", |b| {
+        let mut archive = seeded_archive(200);
+        b.iter(|| archive.scrub_all());
+    });
+    group.bench_function("verified_read", |b| {
+        let mut archive = seeded_archive(200);
+        b.iter(|| archive.read_verified("object-00100").expect("object exists"));
+    });
+    group.bench_function("inject_and_scrub_year", |b| {
+        let injector = ArchiveFaultInjector::moderate();
+        let mut seed = 0u64;
+        b.iter(|| {
+            let mut archive = seeded_archive(100);
+            seed += 1;
+            let mut rng = SimRng::seed_from(seed);
+            injector.inject(&mut archive, Hours::from_years(1.0), &mut rng);
+            archive.scrub_all()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_archive);
+criterion_main!(benches);

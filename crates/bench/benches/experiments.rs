@@ -1,0 +1,47 @@
+//! Criterion bench: cost of regenerating each reproduced experiment.
+//!
+//! The heavyweight experiments (E9 simulation validation, E14 archive
+//! campaign) are benchmarked separately with reduced sample counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ltds_bench::experiments;
+
+fn bench_fast_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_analytic");
+    group.bench_function("e01_drive_comparison", |b| b.iter(experiments::e01_drive_comparison::run));
+    group.bench_function("e02_no_scrub", |b| b.iter(experiments::e02_no_scrub::run));
+    group.bench_function("e03_scrubbed", |b| b.iter(experiments::e03_scrubbed::run));
+    group.bench_function("e04_correlated", |b| b.iter(experiments::e04_correlated::run));
+    group.bench_function("e05_negligent_latent", |b| b.iter(experiments::e05_negligent_latent::run));
+    group.bench_function("e06_alpha_bounds", |b| b.iter(experiments::e06_alpha_bounds::run));
+    group.bench_function("e07_replication_vs_alpha", |b| {
+        b.iter(experiments::e07_replication_vs_alpha::run)
+    });
+    group.bench_function("e08_double_fault_matrix", |b| {
+        b.iter(experiments::e08_double_fault_matrix::run)
+    });
+    group.bench_function("e10_disk_vs_tape", |b| b.iter(experiments::e10_disk_vs_tape::run));
+    group.bench_function("e11_scrub_frequency_sweep", |b| {
+        b.iter(experiments::e11_scrub_frequency_sweep::run)
+    });
+    group.bench_function("e12_mv_ml_tradeoff", |b| b.iter(experiments::e12_mv_ml_tradeoff::run));
+    group.bench_function("e13_independence_vs_replication", |b| {
+        b.iter(experiments::e13_independence_vs_replication::run)
+    });
+    group.finish();
+}
+
+fn bench_heavy_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments_simulation");
+    group.sample_size(10);
+    group.bench_function("e09_simulation_validation", |b| {
+        b.iter(experiments::e09_simulation_validation::run)
+    });
+    group.bench_function("e14_archive_end_to_end", |b| {
+        b.iter(experiments::e14_archive_end_to_end::run)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_experiments, bench_heavy_experiments);
+criterion_main!(benches);

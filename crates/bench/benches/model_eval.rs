@@ -1,0 +1,38 @@
+//! Criterion bench: evaluation cost of the closed-form model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ltds_core::{mission, mttdl, presets, regimes, replication, units::Hours};
+
+fn bench_model_eval(c: &mut Criterion) {
+    let params = presets::cheetah_mirror_scrubbed_correlated();
+    let mut group = c.benchmark_group("model_eval");
+    group.bench_function("mttdl_exact", |b| {
+        b.iter(|| mttdl::mttdl_exact(black_box(&params)));
+    });
+    group.bench_function("mttdl_closed_form", |b| {
+        b.iter(|| mttdl::mttdl_closed_form(black_box(&params)));
+    });
+    group.bench_function("regime_auto", |b| {
+        b.iter(|| regimes::mttdl_auto(black_box(&params)));
+    });
+    group.bench_function("equation12_r5", |b| {
+        b.iter(|| {
+            replication::mttdl_replicated(
+                black_box(Hours::new(1.4e6)),
+                black_box(Hours::from_minutes(20.0)),
+                black_box(5),
+                black_box(0.1),
+            )
+        });
+    });
+    group.bench_function("mission_probability", |b| {
+        b.iter(|| mission::probability_of_loss_years(black_box(5.0e7), black_box(50.0)));
+    });
+    group.bench_function("sensitivity_analysis", |b| {
+        b.iter(|| ltds_core::strategies::sensitivity_analysis(black_box(&params), 2.0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_eval);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: Monte-Carlo trial throughput vs replica count and policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltds_sim::config::{DetectionModel, SimConfig};
+use ltds_sim::trial::TrialRunner;
+use ltds_stochastic::SimRng;
+
+fn bench_trials(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_trials");
+    for replicas in [2usize, 3, 5] {
+        let config = SimConfig::new(
+            replicas,
+            1,
+            1000.0,
+            5000.0,
+            10.0,
+            10.0,
+            DetectionModel::PeriodicScrub { period_hours: 100.0 },
+            1.0,
+        )
+        .expect("valid config");
+        let runner = TrialRunner::new(config);
+        group.bench_with_input(BenchmarkId::new("replicas", replicas), &runner, |b, runner| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                runner.run(&mut SimRng::seed_from(seed))
+            });
+        });
+    }
+    let correlated =
+        SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 0.01).expect("valid");
+    let runner = TrialRunner::new(correlated);
+    group.bench_function("mirrored_correlated", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            runner.run(&mut SimRng::seed_from(seed))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trials);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench: cost of regenerating the paper's figure-style series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ltds_core::presets;
+use ltds_core::replication::replication_grid;
+use ltds_core::units::Hours;
+use ltds_scrub::strategy::frequency_sweep;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweeps");
+    let base = presets::cheetah_mirror_no_scrub();
+    group.bench_function("scrub_frequency_sweep_20_points", |b| {
+        let rates: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        b.iter(|| frequency_sweep(black_box(&base), 146.0e9, 96.0e6, black_box(&rates)));
+    });
+    group.bench_function("replication_grid_6x5", |b| {
+        b.iter(|| {
+            replication_grid(
+                black_box(Hours::new(1.4e6)),
+                black_box(Hours::from_minutes(20.0)),
+                &[1, 2, 3, 4, 5, 6],
+                &[1.0, 0.3, 0.1, 0.01, 1.0e-3],
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

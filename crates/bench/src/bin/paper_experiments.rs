@@ -1,0 +1,53 @@
+//! Runs every reproduced experiment and prints a paper-vs-measured report.
+//!
+//! ```text
+//! cargo run --release -p ltds-bench --bin paper_experiments
+//! ```
+//!
+//! Pass `--markdown` to emit the EXPERIMENTS.md body instead of the console
+//! table.
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let results = ltds_bench::run_all();
+    let mut failures = 0usize;
+
+    if markdown {
+        for r in &results {
+            print!("{}", r.to_markdown());
+        }
+    } else {
+        for r in &results {
+            println!("{} — {} ({})", r.id, r.title, r.paper_location);
+            println!("{:-<100}", "");
+            for row in &r.rows {
+                let paper = row
+                    .paper
+                    .map(|p| format!("{p:>14.4}"))
+                    .unwrap_or_else(|| format!("{:>14}", "—"));
+                let status = if row.within_tolerance() { "ok" } else { "FAIL" };
+                if !row.within_tolerance() {
+                    failures += 1;
+                }
+                println!(
+                    "  {:<62} paper {} | measured {:>14.4} {:<12} [{}]",
+                    row.label, paper, row.measured, row.unit, status
+                );
+            }
+            if !r.notes.is_empty() {
+                println!("  note: {}", r.notes);
+            }
+            println!();
+        }
+        let total_rows: usize = results.iter().map(|r| r.rows.len()).sum();
+        println!(
+            "{} experiments, {} rows, {} out of tolerance",
+            results.len(),
+            total_rows,
+            failures
+        );
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,34 @@
+//! E2 — §5.4 scenario 1: mirrored Cheetahs with no scrubbing.
+//!
+//! Paper: MTTDL = 32.0 years, 79.0 % probability of data loss in 50 years.
+
+use crate::report::{ExperimentResult, Row};
+use ltds_core::{mission, mttdl, presets, units};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let params = presets::cheetah_mirror_no_scrub();
+    let mttdl_hours = mttdl::mttdl_exact(&params);
+    let years = units::hours_to_years(mttdl_hours);
+    let loss_50 = mission::probability_of_loss_years(mttdl_hours, 50.0) * 100.0;
+    ExperimentResult {
+        id: "E02".into(),
+        title: "Mirrored Cheetahs, no scrubbing".into(),
+        paper_location: "§5.4 scenario 1".into(),
+        rows: vec![
+            Row::checked("MTTDL", 32.0, years, 0.005, "years"),
+            Row::checked("P(data loss in 50 years)", 79.0, loss_50, 0.005, "%"),
+        ],
+        notes: "Evaluated with Equation 7 under the paper's saturation argument \
+                P(V2 ∨ L2 | L1) ≈ 1, exactly as §5.4 does."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes_tolerances() {
+        assert!(super::run().passed());
+    }
+}

@@ -1,0 +1,44 @@
+//! E5 — §5.4 scenario 4: rare latent faults handled negligently.
+//!
+//! Paper: ML = 1.4×10⁷ hours, α = 0.1, Equation 11 gives MTTDL = 159.8 years
+//! and a 26.8 % chance of loss in 50 years.
+
+use crate::report::{ExperimentResult, Row};
+use ltds_core::{mission, mttdl, presets, regimes, units};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let params = presets::cheetah_mirror_negligent_latent();
+    let eq11_hours = regimes::mttdl_long_latent_window(&params);
+    let years = units::hours_to_years(eq11_hours);
+    let loss_50 = mission::probability_of_loss_years(eq11_hours, 50.0) * 100.0;
+    let exact_years = units::hours_to_years(mttdl::mttdl_exact(&params));
+    ExperimentResult {
+        id: "E05".into(),
+        title: "Rare latent faults, never detected (Equation 11 regime)".into(),
+        paper_location: "§5.4 scenario 4".into(),
+        rows: vec![
+            Row::checked("MTTDL via Equation 11", 159.8, years, 0.005, "years"),
+            Row::checked("P(data loss in 50 years)", 26.8, loss_50, 0.01, "%"),
+            Row::checked(
+                "MTTDL via saturated Equation 7 (paper convention)",
+                159.8,
+                exact_years,
+                0.01,
+                "years",
+            ),
+        ],
+        notes: "Even when latent faults are ten times rarer than visible ones, refusing to \
+                detect them leaves every latent fault overwhelmingly likely to become a \
+                double-fault loss."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes_tolerances() {
+        assert!(super::run().passed());
+    }
+}

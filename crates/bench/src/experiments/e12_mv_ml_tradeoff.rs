@@ -1,0 +1,69 @@
+//! E12 — §5.4 implication 1: MTTDL varies quadratically with min(MV, ML), so
+//! sacrificing one fault class for the other backfires.
+//!
+//! The paper states this qualitatively ("we must be careful not to sacrifice
+//! one for the other"); this experiment sweeps MV·ML = constant and verifies
+//! the quadratic dependence and the existence of an interior optimum.
+
+use crate::report::{ExperimentResult, Row};
+use ltds_core::units::Hours;
+use ltds_core::{mttdl, presets, regimes, units};
+
+/// Runs the experiment.
+pub fn run() -> ExperimentResult {
+    let base = presets::cheetah_mirror_scrubbed();
+    // Quadratic dependence on ML in the latent-dominated regime.
+    let doubled_ml = base.with_mttf_latent(Hours::new(5.6e5)).expect("valid");
+    let quad_ratio =
+        regimes::mttdl_latent_dominated(&doubled_ml) / regimes::mttdl_latent_dominated(&base);
+
+    // Sweep: hold MV * ML constant (the "budget" a drive/format choice trades
+    // within) and move the balance; the balanced point should beat both
+    // lopsided extremes.
+    let product: f64 = 1.4e6 * 2.8e5;
+    let skews = [1.0e-4, 1.0e-3, 0.01, 0.1, 1.0, 10.0];
+    let mut series = Vec::new();
+    for &skew in &skews {
+        // MV = sqrt(product * skew), ML = sqrt(product / skew).
+        let mv = (product * skew).sqrt();
+        let ml = (product / skew).sqrt();
+        let p = base
+            .with_mttf_visible(Hours::new(mv))
+            .and_then(|p| p.with_mttf_latent(Hours::new(ml)))
+            .expect("valid");
+        series.push((skew, units::hours_to_years(mttdl::mttdl_exact(&p))));
+    }
+    let best = series.iter().cloned().fold((0.0, 0.0), |acc, x| if x.1 > acc.1 { x } else { acc });
+
+    let mut rows = vec![
+        Row::checked("MTTDL gain from doubling ML (quadratic)", 4.0, quad_ratio, 1e-9, "x"),
+        Row::checked(
+            "Best MV/ML skew in the constant-product sweep is interior",
+            1.0,
+            if best.0 > skews[0] && best.0 < skews[skews.len() - 1] { 1.0 } else { 0.0 },
+            1e-9,
+            "boolean",
+        ),
+    ];
+    for (skew, years) in &series {
+        rows.push(Row::info(format!("MTTDL at MV/ML skew {skew}"), *years, "years"));
+    }
+    ExperimentResult {
+        id: "E12".into(),
+        title: "MV vs ML trade-off at constant product".into(),
+        paper_location: "§5.4 implication 1".into(),
+        rows,
+        notes: "Because the double-fault rate is driven by the more frequent fault class, \
+                spending a fixed reliability budget entirely on visible-fault MTTF (or \
+                entirely on latent-fault MTTF) is strictly worse than balancing the two."
+            .into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes_tolerances() {
+        assert!(super::run().passed());
+    }
+}

@@ -1,0 +1,16 @@
+//! One module per reproduced experiment. See DESIGN.md §2 for the index.
+
+pub mod e01_drive_comparison;
+pub mod e02_no_scrub;
+pub mod e03_scrubbed;
+pub mod e04_correlated;
+pub mod e05_negligent_latent;
+pub mod e06_alpha_bounds;
+pub mod e07_replication_vs_alpha;
+pub mod e08_double_fault_matrix;
+pub mod e09_simulation_validation;
+pub mod e10_disk_vs_tape;
+pub mod e11_scrub_frequency_sweep;
+pub mod e12_mv_ml_tradeoff;
+pub mod e13_independence_vs_replication;
+pub mod e14_archive_end_to_end;

@@ -1,0 +1,155 @@
+//! The memoryless (exponential) fault-occurrence model of §5.2.
+//!
+//! Equation 1 of the paper: the probability that a fault occurs within time
+//! `t` is `P(t) = 1 - e^{-t/MTTF}`, and Equation 2 is the small-`t`
+//! linearisation `P(t) ≈ t / MTTF` used to derive the closed forms.
+
+use crate::error::ModelError;
+
+/// Probability that a memoryless fault with the given mean time occurs within
+/// `t` (Equation 1).
+///
+/// # Examples
+///
+/// ```
+/// let p = ltds_core::memoryless::probability_within(1000.0, 1000.0);
+/// assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+pub fn probability_within(t: f64, mttf: f64) -> f64 {
+    assert!(mttf > 0.0, "MTTF must be positive");
+    if t <= 0.0 {
+        return 0.0;
+    }
+    1.0 - (-t / mttf).exp()
+}
+
+/// The linearised probability `t / MTTF` of Equation 2, clamped to `[0, 1]`.
+///
+/// The clamp mirrors the paper's own treatment: when the window of
+/// vulnerability is not small relative to the MTTF, "the combined
+/// `P(V2 ∨ L2 | L1)` approaches 1" (§5.3).
+pub fn probability_within_linearised(t: f64, mttf: f64) -> f64 {
+    assert!(mttf > 0.0, "MTTF must be positive");
+    if t <= 0.0 {
+        return 0.0;
+    }
+    (t / mttf).min(1.0)
+}
+
+/// Relative error of the linearisation at window `t` for the given MTTF.
+pub fn linearisation_error(t: f64, mttf: f64) -> f64 {
+    let exact = probability_within(t, mttf);
+    if exact == 0.0 {
+        return 0.0;
+    }
+    (probability_within_linearised(t, mttf) - exact).abs() / exact
+}
+
+/// Checks the paper's "≪" precondition: `small * margin <= large`.
+///
+/// Returns a [`ModelError::RegimeViolation`] describing the failed assumption
+/// when it does not hold.
+pub fn require_much_less(
+    small: f64,
+    large: f64,
+    margin: f64,
+    description: &str,
+) -> Result<(), ModelError> {
+    if small.is_finite() && small * margin <= large {
+        Ok(())
+    } else {
+        Err(ModelError::RegimeViolation {
+            assumption: format!("{description}: required {small} * {margin} <= {large}"),
+        })
+    }
+}
+
+/// Converts a mean time to failure into an equivalent annualised failure rate
+/// (expected faults per year), the reciprocal view used when comparing with
+/// drive datasheets.
+pub fn mttf_hours_to_faults_per_year(mttf_hours: f64) -> f64 {
+    assert!(mttf_hours > 0.0, "MTTF must be positive");
+    crate::units::HOURS_PER_YEAR / mttf_hours
+}
+
+/// Converts a probability of failure over a service life into the equivalent
+/// exponential MTTF (hours). This is how the §6.1 "7% over 5 years" datasheet
+/// figures map onto `MV`.
+pub fn service_life_probability_to_mttf(
+    probability: f64,
+    service_life_hours: f64,
+) -> Result<f64, ModelError> {
+    if !(0.0..1.0).contains(&probability) || probability <= 0.0 {
+        return Err(ModelError::InvalidProbability { parameter: "service-life fault probability", value: probability });
+    }
+    if service_life_hours <= 0.0 {
+        return Err(ModelError::InvalidMeanTime {
+            parameter: "service life",
+            value: service_life_hours,
+        });
+    }
+    // P = 1 - exp(-T / MTTF)  =>  MTTF = -T / ln(1 - P).
+    Ok(-service_life_hours / (1.0 - probability).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::years_to_hours;
+
+    #[test]
+    fn equation_one_basics() {
+        assert_eq!(probability_within(0.0, 100.0), 0.0);
+        assert_eq!(probability_within(-5.0, 100.0), 0.0);
+        assert!((probability_within(f64::INFINITY, 100.0) - 1.0).abs() < 1e-12);
+        // Monotone increasing in t.
+        assert!(probability_within(10.0, 100.0) < probability_within(20.0, 100.0));
+    }
+
+    #[test]
+    fn linearisation_accurate_for_small_windows() {
+        // MRV = 20 minutes against MV = 1.4e6 hours: the linearisation is
+        // essentially exact.
+        let err = linearisation_error(1.0 / 3.0, 1.4e6);
+        assert!(err < 1e-6);
+    }
+
+    #[test]
+    fn linearisation_clamps_to_one() {
+        assert_eq!(probability_within_linearised(1.0e9, 1.0), 1.0);
+        assert!(probability_within(1.0e9, 1.0) <= 1.0);
+    }
+
+    #[test]
+    fn require_much_less_behaviour() {
+        assert!(require_much_less(1.0, 1000.0, 100.0, "MRV << MV").is_ok());
+        let err = require_much_less(100.0, 1000.0, 100.0, "MRV << MV").unwrap_err();
+        assert!(matches!(err, ModelError::RegimeViolation { .. }));
+        assert!(require_much_less(f64::INFINITY, 1000.0, 2.0, "MDL << MV").is_err());
+    }
+
+    #[test]
+    fn faults_per_year_conversion() {
+        // MV = 8760 hours is exactly one fault per year.
+        assert!((mttf_hours_to_faults_per_year(8760.0) - 1.0).abs() < 1e-12);
+        assert!((mttf_hours_to_faults_per_year(1.4e6) - 0.006_257).abs() < 1e-4);
+    }
+
+    #[test]
+    fn service_life_probability_roundtrip() {
+        // 7% over 5 years (the Barracuda datasheet figure).
+        let mttf = service_life_probability_to_mttf(0.07, years_to_hours(5.0)).unwrap();
+        let p_back = probability_within(years_to_hours(5.0), mttf);
+        assert!((p_back - 0.07).abs() < 1e-12);
+        // The MTTF implied by 7%/5yr is roughly 6.9e5 hours.
+        assert!((mttf - 6.03e5).abs() / 6.03e5 < 0.02, "mttf {mttf}");
+    }
+
+    #[test]
+    fn service_life_probability_rejects_bad_input() {
+        assert!(service_life_probability_to_mttf(0.0, 100.0).is_err());
+        assert!(service_life_probability_to_mttf(1.0, 100.0).is_err());
+        assert!(service_life_probability_to_mttf(1.5, 100.0).is_err());
+        assert!(service_life_probability_to_mttf(0.5, 0.0).is_err());
+    }
+}

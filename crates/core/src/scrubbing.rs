@@ -1,0 +1,160 @@
+//! Model-level view of scrubbing: how the audit schedule determines `MDL`.
+//!
+//! §6.2 of the paper: assuming the detection process is perfect and latent
+//! faults occur at random times, the mean time to detect a latent fault is
+//! **half the interval between audits**. Auditing more frequently reduces
+//! `MDL` linearly, at the cost of extra read bandwidth.
+//!
+//! Operational scrub strategies (periodic, opportunistic, on-access, voting)
+//! live in the `ltds-scrub` crate; this module holds only the analytic
+//! relationships the core model needs.
+
+use crate::units::{Hours, HOURS_PER_YEAR};
+
+/// Mean detection latency for a perfect periodic audit with the given period.
+///
+/// `MDL = period / 2` (§6.2). An infinite period (never audited) yields an
+/// infinite `MDL`.
+pub fn mdl_for_scrub_period(period: Hours) -> Hours {
+    if !period.is_finite() {
+        return Hours::infinite();
+    }
+    period / 2.0
+}
+
+/// Mean detection latency for a scrub rate expressed in passes per year.
+///
+/// A rate of zero means "never scrub" and yields an infinite `MDL`. The
+/// paper's example of three scrubs per year gives `MDL = 1460` hours.
+pub fn mdl_for_scrub_rate(scrubs_per_year: f64) -> Hours {
+    assert!(
+        scrubs_per_year.is_finite() && scrubs_per_year >= 0.0,
+        "scrub rate must be a finite non-negative number, got {scrubs_per_year}"
+    );
+    if scrubs_per_year == 0.0 {
+        return Hours::infinite();
+    }
+    mdl_for_scrub_period(Hours::new(HOURS_PER_YEAR / scrubs_per_year))
+}
+
+/// The scrub rate (passes per year) required to achieve a target `MDL`.
+pub fn scrub_rate_for_mdl(target_mdl: Hours) -> f64 {
+    assert!(target_mdl.is_valid(), "target MDL must be a valid duration");
+    if !target_mdl.is_finite() {
+        return 0.0;
+    }
+    assert!(target_mdl.get() > 0.0, "target MDL must be positive to derive a scrub rate");
+    HOURS_PER_YEAR / (2.0 * target_mdl.get())
+}
+
+/// Mean detection latency when detection happens only on user access, modelled
+/// as a memoryless access process with the given mean inter-access time.
+///
+/// This captures the paper's observation that "the average data item is
+/// accessed infrequently" (§4.1): if an object is read once every few years,
+/// relying on reads for detection gives an `MDL` of that order.
+pub fn mdl_for_on_access_detection(mean_time_between_accesses: Hours) -> Hours {
+    mean_time_between_accesses
+}
+
+/// Fraction of a replica's read bandwidth consumed by scrubbing, given the
+/// replica capacity (bytes), sustained read bandwidth (bytes/hour) and the
+/// scrub rate.
+///
+/// This is the §6.2/§6.6 cost of reducing `MDL`: "one can reduce MDL by
+/// devoting more disk read bandwidth to auditing and less to reading the
+/// data".
+pub fn scrub_bandwidth_fraction(
+    capacity_bytes: f64,
+    read_bandwidth_bytes_per_hour: f64,
+    scrubs_per_year: f64,
+) -> f64 {
+    assert!(capacity_bytes > 0.0, "capacity must be positive");
+    assert!(read_bandwidth_bytes_per_hour > 0.0, "bandwidth must be positive");
+    assert!(scrubs_per_year >= 0.0, "scrub rate must be non-negative");
+    let hours_per_scrub = capacity_bytes / read_bandwidth_bytes_per_hour;
+    (hours_per_scrub * scrubs_per_year / HOURS_PER_YEAR).min(1.0)
+}
+
+/// The maximum achievable scrub rate (passes per year) if a given fraction of
+/// the read bandwidth is devoted to auditing.
+pub fn max_scrub_rate(
+    capacity_bytes: f64,
+    read_bandwidth_bytes_per_hour: f64,
+    bandwidth_fraction: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&bandwidth_fraction), "fraction must be in [0, 1]");
+    assert!(capacity_bytes > 0.0, "capacity must be positive");
+    assert!(read_bandwidth_bytes_per_hour > 0.0, "bandwidth must be positive");
+    let hours_per_scrub = capacity_bytes / read_bandwidth_bytes_per_hour;
+    bandwidth_fraction * HOURS_PER_YEAR / hours_per_scrub
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_three_scrubs_per_year() {
+        // 3 scrubs/year => period 2920 h => MDL 1460 h (§5.4).
+        let mdl = mdl_for_scrub_rate(3.0);
+        assert!((mdl.get() - 1460.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_means_never_detected() {
+        assert!(!mdl_for_scrub_rate(0.0).is_finite());
+        assert!(!mdl_for_scrub_period(Hours::infinite()).is_finite());
+        assert_eq!(scrub_rate_for_mdl(Hours::infinite()), 0.0);
+    }
+
+    #[test]
+    fn rate_and_mdl_are_inverse() {
+        for rate in [0.5, 1.0, 3.0, 12.0, 52.0] {
+            let mdl = mdl_for_scrub_rate(rate);
+            let back = scrub_rate_for_mdl(mdl);
+            assert!((back - rate).abs() < 1e-9, "rate {rate} -> {back}");
+        }
+    }
+
+    #[test]
+    fn more_scrubbing_means_lower_mdl() {
+        let slow = mdl_for_scrub_rate(1.0);
+        let fast = mdl_for_scrub_rate(12.0);
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn on_access_detection_is_the_access_interval() {
+        let mdl = mdl_for_on_access_detection(Hours::from_years(10.0));
+        assert!((mdl.as_years() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_fraction_scales_linearly_then_clamps() {
+        // 146 GB at 300 MB/s: one pass takes ~0.135 hours.
+        let capacity = 146.0e9;
+        let bw = 300.0e6 * 3600.0;
+        let one = scrub_bandwidth_fraction(capacity, bw, 3.0);
+        let ten = scrub_bandwidth_fraction(capacity, bw, 30.0);
+        assert!((ten / one - 10.0).abs() < 1e-9);
+        assert!(one < 1e-3, "scrubbing a disk 3x/year is cheap, got {one}");
+        // Absurd scrub rates clamp at consuming the whole bandwidth.
+        assert_eq!(scrub_bandwidth_fraction(capacity, bw, 1.0e12), 1.0);
+    }
+
+    #[test]
+    fn max_scrub_rate_inverts_bandwidth_fraction() {
+        let capacity = 146.0e9;
+        let bw = 300.0e6 * 3600.0;
+        let rate = max_scrub_rate(capacity, bw, 0.01);
+        let frac = scrub_bandwidth_fraction(capacity, bw, rate);
+        assert!((frac - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = mdl_for_scrub_rate(-1.0);
+    }
+}

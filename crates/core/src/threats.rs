@@ -1,0 +1,275 @@
+//! The end-to-end threat taxonomy of §3, and how each threat manifests in the
+//! model (§4.1 latent faults, §4.2 correlated faults).
+//!
+//! The paper's central argument is that long-term storage must take an
+//! end-to-end view: faults come not only from media but from the environment,
+//! processes, people and organizations around the storage system. Each threat
+//! category below records whether it tends to produce visible or latent
+//! faults and whether it is a source of correlation across replicas.
+
+use crate::fault::FaultClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The eleven threat categories enumerated in §3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ThreatCategory {
+    /// Floods, fires, earthquakes, acts of war (§3 "Large-scale disaster").
+    LargeScaleDisaster,
+    /// Accidental deletion/overwrite, operator mistakes (§3 "Human error").
+    HumanError,
+    /// Hardware, software, network and third-party service failures
+    /// (§3 "Component faults").
+    ComponentFault,
+    /// Bit rot, unreadable sectors, misplaced writes, disk crashes
+    /// (§3 "Media faults").
+    MediaFault,
+    /// Media readers or hardware that can no longer be obtained
+    /// (§3 "Media/hardware obsolescence").
+    MediaHardwareObsolescence,
+    /// Formats that can no longer be interpreted
+    /// (§3 "Software/format obsolescence").
+    SoftwareFormatObsolescence,
+    /// Lost metadata, lost encryption keys, lost provenance
+    /// (§3 "Loss of context").
+    LossOfContext,
+    /// Censorship, corruption, destruction, theft, insider abuse (§3 "Attack").
+    Attack,
+    /// Organizations dying, changing mission, or losing interest
+    /// (§3 "Organizational faults").
+    OrganizationalFault,
+    /// Interruptions in funding for an activity with permanent ongoing costs
+    /// (§3 "Economic faults").
+    EconomicFault,
+    /// The initial ingestion of large collections, itself error-prone
+    /// (§3 "Component faults", ingestion discussion).
+    IngestionError,
+}
+
+impl ThreatCategory {
+    /// All categories, in the order the paper presents them.
+    pub const ALL: [ThreatCategory; 11] = [
+        ThreatCategory::LargeScaleDisaster,
+        ThreatCategory::HumanError,
+        ThreatCategory::ComponentFault,
+        ThreatCategory::MediaFault,
+        ThreatCategory::MediaHardwareObsolescence,
+        ThreatCategory::SoftwareFormatObsolescence,
+        ThreatCategory::LossOfContext,
+        ThreatCategory::Attack,
+        ThreatCategory::OrganizationalFault,
+        ThreatCategory::EconomicFault,
+        ThreatCategory::IngestionError,
+    ];
+
+    /// Short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ThreatCategory::LargeScaleDisaster => "large-scale disaster",
+            ThreatCategory::HumanError => "human error",
+            ThreatCategory::ComponentFault => "component fault",
+            ThreatCategory::MediaFault => "media fault",
+            ThreatCategory::MediaHardwareObsolescence => "media/hardware obsolescence",
+            ThreatCategory::SoftwareFormatObsolescence => "software/format obsolescence",
+            ThreatCategory::LossOfContext => "loss of context",
+            ThreatCategory::Attack => "attack",
+            ThreatCategory::OrganizationalFault => "organizational fault",
+            ThreatCategory::EconomicFault => "economic fault",
+            ThreatCategory::IngestionError => "ingestion error",
+        }
+    }
+
+    /// One-sentence description drawn from §3.
+    pub fn description(self) -> &'static str {
+        match self {
+            ThreatCategory::LargeScaleDisaster => {
+                "Floods, fires, earthquakes and acts of war that destroy whole sites, usually \
+                 manifesting as simultaneous media, hardware and organizational faults."
+            }
+            ThreatCategory::HumanError => {
+                "Users or operators accidentally deleting or overwriting content, mishandling \
+                 media, or breaking the infrastructure the preservation application runs on."
+            }
+            ThreatCategory::ComponentFault => {
+                "Failures of hardware, software (including disk firmware), networks and \
+                 third-party services such as license servers or URL resolvers."
+            }
+            ThreatCategory::MediaFault => {
+                "Degradation of the storage medium: bit rot, unreadable sectors, misplaced \
+                 writes, and sudden bulk loss such as disk crashes."
+            }
+            ThreatCategory::MediaHardwareObsolescence => {
+                "Media or hardware that can no longer communicate with the rest of the system \
+                 or be replaced after a fault (9-track tape, laser discs, floppy drives)."
+            }
+            ThreatCategory::SoftwareFormatObsolescence => {
+                "Bits that remain readable but can no longer be correctly interpreted, \
+                 typically proprietary or undocumented formats."
+            }
+            ThreatCategory::LossOfContext => {
+                "Loss of the metadata needed to find, interpret or decrypt stored data, \
+                 including loss of encryption keys."
+            }
+            ThreatCategory::Attack => {
+                "Destruction, censorship, modification or theft of repository contents, by \
+                 insiders or outsiders, over short or long timescales."
+            }
+            ThreatCategory::OrganizationalFault => {
+                "The organization hosting the data dies, changes mission, or loses the asset; \
+                 no data exit strategy exists."
+            }
+            ThreatCategory::EconomicFault => {
+                "Interruption of the money supply for an activity with ongoing costs for \
+                 power, cooling, bandwidth, administration and renewal."
+            }
+            ThreatCategory::IngestionError => {
+                "Errors introduced while ingesting large collections: truncated or corrupted \
+                 transfers that are rarely verified end-to-end."
+            }
+        }
+    }
+
+    /// The fault classes this threat typically produces, per §4.1.
+    pub fn manifests_as(self) -> &'static [FaultClass] {
+        match self {
+            ThreatCategory::LargeScaleDisaster => &[FaultClass::Visible],
+            ThreatCategory::HumanError => &[FaultClass::Visible, FaultClass::Latent],
+            ThreatCategory::ComponentFault => &[FaultClass::Visible, FaultClass::Latent],
+            ThreatCategory::MediaFault => &[FaultClass::Visible, FaultClass::Latent],
+            ThreatCategory::MediaHardwareObsolescence => &[FaultClass::Latent],
+            ThreatCategory::SoftwareFormatObsolescence => &[FaultClass::Latent],
+            ThreatCategory::LossOfContext => &[FaultClass::Latent],
+            ThreatCategory::Attack => &[FaultClass::Visible, FaultClass::Latent],
+            ThreatCategory::OrganizationalFault => &[FaultClass::Visible, FaultClass::Latent],
+            ThreatCategory::EconomicFault => &[FaultClass::Visible],
+            ThreatCategory::IngestionError => &[FaultClass::Latent],
+        }
+    }
+
+    /// Whether §4.1 lists this threat as a source of *latent* faults.
+    pub fn is_latent_source(self) -> bool {
+        self.manifests_as().contains(&FaultClass::Latent)
+    }
+
+    /// Whether §4.2 lists this threat as a source of *correlated* faults
+    /// across replicas.
+    pub fn is_correlation_source(self) -> bool {
+        matches!(
+            self,
+            ThreatCategory::LargeScaleDisaster
+                | ThreatCategory::HumanError
+                | ThreatCategory::ComponentFault
+                | ThreatCategory::LossOfContext
+                | ThreatCategory::Attack
+                | ThreatCategory::OrganizationalFault
+        )
+    }
+
+    /// The independence dimensions (§6.5) that mitigate this threat's
+    /// correlation, if any.
+    pub fn mitigating_diversity(self) -> &'static [&'static str] {
+        match self {
+            ThreatCategory::LargeScaleDisaster => &["geographic location"],
+            ThreatCategory::HumanError => &["administration"],
+            ThreatCategory::ComponentFault => &["hardware", "software", "components"],
+            ThreatCategory::MediaFault => &["hardware", "media type"],
+            ThreatCategory::MediaHardwareObsolescence => &["hardware", "rolling procurement"],
+            ThreatCategory::SoftwareFormatObsolescence => &["software", "format migration"],
+            ThreatCategory::LossOfContext => &["administration", "key management"],
+            ThreatCategory::Attack => &["software", "administration", "organization"],
+            ThreatCategory::OrganizationalFault => &["organization"],
+            ThreatCategory::EconomicFault => &["organization", "funding sources"],
+            ThreatCategory::IngestionError => &["ingest verification"],
+        }
+    }
+}
+
+impl fmt::Display for ThreatCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Summary counts over the taxonomy, used in reports and as a sanity check
+/// that the end-to-end view is substantially broader than "media faults".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonomySummary {
+    /// Total number of threat categories.
+    pub total: usize,
+    /// Number that can produce latent faults.
+    pub latent_sources: usize,
+    /// Number that correlate faults across replicas.
+    pub correlation_sources: usize,
+}
+
+/// Computes summary counts over the full taxonomy.
+pub fn taxonomy_summary() -> TaxonomySummary {
+    let total = ThreatCategory::ALL.len();
+    let latent_sources = ThreatCategory::ALL.iter().filter(|t| t.is_latent_source()).count();
+    let correlation_sources =
+        ThreatCategory::ALL.iter().filter(|t| t.is_correlation_source()).count();
+    TaxonomySummary { total, latent_sources, correlation_sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_is_complete_and_distinct() {
+        let mut names: Vec<&str> = ThreatCategory::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ThreatCategory::ALL.len());
+        for t in ThreatCategory::ALL {
+            assert!(!t.description().is_empty());
+            assert!(!t.manifests_as().is_empty());
+            assert!(!t.mitigating_diversity().is_empty());
+            assert!(!format!("{t}").is_empty());
+        }
+    }
+
+    #[test]
+    fn most_threats_are_latent_sources() {
+        // §4.1's key point: latent faults come from far more than media errors.
+        let summary = taxonomy_summary();
+        assert_eq!(summary.total, 11);
+        assert!(summary.latent_sources >= 8, "{summary:?}");
+    }
+
+    #[test]
+    fn correlation_sources_match_section_4_2() {
+        // §4.2 lists disaster, human error, component faults, loss of
+        // context, attack and organizational faults as correlation sources.
+        assert!(ThreatCategory::LargeScaleDisaster.is_correlation_source());
+        assert!(ThreatCategory::HumanError.is_correlation_source());
+        assert!(ThreatCategory::ComponentFault.is_correlation_source());
+        assert!(ThreatCategory::LossOfContext.is_correlation_source());
+        assert!(ThreatCategory::Attack.is_correlation_source());
+        assert!(ThreatCategory::OrganizationalFault.is_correlation_source());
+        assert!(!ThreatCategory::MediaFault.is_correlation_source());
+        assert_eq!(taxonomy_summary().correlation_sources, 6);
+    }
+
+    #[test]
+    fn obsolescence_and_context_loss_are_purely_latent() {
+        for t in [
+            ThreatCategory::MediaHardwareObsolescence,
+            ThreatCategory::SoftwareFormatObsolescence,
+            ThreatCategory::LossOfContext,
+            ThreatCategory::IngestionError,
+        ] {
+            assert_eq!(t.manifests_as(), &[FaultClass::Latent], "{t}");
+        }
+    }
+
+    #[test]
+    fn disaster_mitigated_by_geography() {
+        assert!(ThreatCategory::LargeScaleDisaster
+            .mitigating_diversity()
+            .contains(&"geographic location"));
+        assert!(ThreatCategory::OrganizationalFault
+            .mitigating_diversity()
+            .contains(&"organization"));
+    }
+}

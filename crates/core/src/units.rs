@@ -1,0 +1,237 @@
+//! Time units and conversions.
+//!
+//! The model is expressed in hours (as in the original paper, which quotes
+//! drive MTTFs in hours) and reports results in years. The paper's own
+//! conversions use a 8760-hour year (365 days), e.g. `2.8e5 h = 32.0 years`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// Hours per year used throughout the paper (365 days × 24 h).
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Hours per day.
+pub const HOURS_PER_DAY: f64 = 24.0;
+
+/// Converts hours to years using the paper's 8760-hour year.
+pub fn hours_to_years(hours: f64) -> f64 {
+    hours / HOURS_PER_YEAR
+}
+
+/// Converts years to hours using the paper's 8760-hour year.
+pub fn years_to_hours(years: f64) -> f64 {
+    years * HOURS_PER_YEAR
+}
+
+/// Converts minutes to hours.
+pub fn minutes_to_hours(minutes: f64) -> f64 {
+    minutes / 60.0
+}
+
+/// Converts seconds to hours.
+pub fn seconds_to_hours(seconds: f64) -> f64 {
+    seconds / 3600.0
+}
+
+/// A duration in hours.
+///
+/// A thin, explicitly-convertible wrapper so that public APIs are
+/// unambiguous about their time unit. Arithmetic with plain `f64` scalars is
+/// provided for convenience; mixing `Hours` values uses ordinary addition and
+/// subtraction.
+///
+/// # Examples
+///
+/// ```
+/// use ltds_core::Hours;
+///
+/// let mttf = Hours::from_years(5.0);
+/// assert_eq!(mttf.get(), 43_800.0);
+/// assert!((mttf.as_years() - 5.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Hours(f64);
+
+impl Hours {
+    /// Zero hours.
+    pub const ZERO: Hours = Hours(0.0);
+
+    /// Creates a duration from a raw number of hours.
+    pub fn new(hours: f64) -> Self {
+        Hours(hours)
+    }
+
+    /// Creates a duration from years (8760-hour years).
+    pub fn from_years(years: f64) -> Self {
+        Hours(years_to_hours(years))
+    }
+
+    /// Creates a duration from days.
+    pub fn from_days(days: f64) -> Self {
+        Hours(days * HOURS_PER_DAY)
+    }
+
+    /// Creates a duration from minutes.
+    pub fn from_minutes(minutes: f64) -> Self {
+        Hours(minutes_to_hours(minutes))
+    }
+
+    /// Creates a duration from seconds.
+    pub fn from_seconds(seconds: f64) -> Self {
+        Hours(seconds_to_hours(seconds))
+    }
+
+    /// An unbounded duration, used for "never detected / never repaired".
+    pub fn infinite() -> Self {
+        Hours(f64::INFINITY)
+    }
+
+    /// The raw number of hours.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// This duration expressed in years.
+    pub fn as_years(self) -> f64 {
+        hours_to_years(self.0)
+    }
+
+    /// This duration expressed in days.
+    pub fn as_days(self) -> f64 {
+        self.0 / HOURS_PER_DAY
+    }
+
+    /// This duration expressed in minutes.
+    pub fn as_minutes(self) -> f64 {
+        self.0 * 60.0
+    }
+
+    /// Whether the duration is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Whether the duration is a valid non-negative time span.
+    pub fn is_valid(self) -> bool {
+        !self.0.is_nan() && self.0 >= 0.0
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Hours) -> Hours {
+        Hours(self.0.min(other.0))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Hours) -> Hours {
+        Hours(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Hours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.0.is_finite() {
+            return write!(f, "∞");
+        }
+        if self.0 >= HOURS_PER_YEAR {
+            write!(f, "{:.1} years", self.as_years())
+        } else if self.0 >= HOURS_PER_DAY {
+            write!(f, "{:.1} days", self.as_days())
+        } else if self.0 >= 1.0 {
+            write!(f, "{:.2} hours", self.0)
+        } else {
+            write!(f, "{:.1} minutes", self.as_minutes())
+        }
+    }
+}
+
+impl Add for Hours {
+    type Output = Hours;
+    fn add(self, rhs: Hours) -> Hours {
+        Hours(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Hours {
+    type Output = Hours;
+    fn sub(self, rhs: Hours) -> Hours {
+        Hours(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Hours {
+    type Output = Hours;
+    fn mul(self, rhs: f64) -> Hours {
+        Hours(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Hours {
+    type Output = Hours;
+    fn div(self, rhs: f64) -> Hours {
+        Hours(self.0 / rhs)
+    }
+}
+
+impl Div<Hours> for Hours {
+    type Output = f64;
+    fn div(self, rhs: Hours) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_year_conversion() {
+        // The paper's own example: 2.8e5 hours ≈ 32.0 years.
+        assert!((hours_to_years(2.8e5) - 31.96).abs() < 0.01);
+        assert!((years_to_hours(1.0) - 8760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roundtrips() {
+        for v in [0.1, 1.0, 42.0, 1.0e7] {
+            assert!((hours_to_years(years_to_hours(v)) - v).abs() < 1e-9);
+            assert!((Hours::from_years(v).as_years() - v).abs() < 1e-9);
+            assert!((Hours::from_days(v).as_days() - v).abs() < 1e-9);
+            assert!((Hours::from_minutes(v).as_minutes() - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Hours::from_minutes(20.0).get(), 20.0 / 60.0);
+        assert_eq!(Hours::from_seconds(3600.0).get(), 1.0);
+        assert_eq!(Hours::from_days(2.0).get(), 48.0);
+        assert!(Hours::infinite().get().is_infinite());
+        assert!(!Hours::infinite().is_finite());
+        assert!(Hours::infinite().is_valid());
+        assert!(!Hours::new(f64::NAN).is_valid());
+        assert!(!Hours::new(-1.0).is_valid());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Hours::new(10.0);
+        let b = Hours::new(4.0);
+        assert_eq!((a + b).get(), 14.0);
+        assert_eq!((a - b).get(), 6.0);
+        assert_eq!((a * 2.0).get(), 20.0);
+        assert_eq!((a / 2.0).get(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn display_picks_sensible_unit() {
+        assert!(format!("{}", Hours::from_years(32.0)).contains("years"));
+        assert!(format!("{}", Hours::from_days(3.0)).contains("days"));
+        assert!(format!("{}", Hours::new(5.0)).contains("hours"));
+        assert!(format!("{}", Hours::from_minutes(20.0)).contains("minutes"));
+        assert_eq!(format!("{}", Hours::infinite()), "∞");
+    }
+}

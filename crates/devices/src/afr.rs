@@ -1,0 +1,94 @@
+//! Conversions between MTTF, annualised failure rate (AFR) and service-life
+//! fault probability.
+//!
+//! Drive datasheets quote reliability in several inconsistent ways; the
+//! model wants a single `MV`. These helpers convert between the common
+//! representations under the memoryless assumption of §5.2.
+
+use ltds_core::memoryless;
+use ltds_core::units::{Hours, HOURS_PER_YEAR};
+
+/// Annualised failure rate implied by an MTTF, as a probability of failing
+/// within one year (the figure vendors quote as "AFR").
+pub fn mttf_to_afr(mttf: Hours) -> f64 {
+    memoryless::probability_within(HOURS_PER_YEAR, mttf.get())
+}
+
+/// MTTF implied by an annualised failure rate.
+pub fn afr_to_mttf(afr: f64) -> Hours {
+    assert!(afr > 0.0 && afr < 1.0, "AFR must be in (0, 1), got {afr}");
+    Hours::new(-HOURS_PER_YEAR / (1.0 - afr).ln())
+}
+
+/// Probability of at least one failure over a service life of `years`, given
+/// an MTTF.
+pub fn mttf_to_service_life_probability(mttf: Hours, years: f64) -> f64 {
+    assert!(years >= 0.0, "service life must be non-negative");
+    memoryless::probability_within(years * HOURS_PER_YEAR, mttf.get())
+}
+
+/// MTTF implied by a fault probability over a service life of `years`.
+pub fn service_life_probability_to_mttf(probability: f64, years: f64) -> Hours {
+    Hours::new(
+        memoryless::service_life_probability_to_mttf(probability, years * HOURS_PER_YEAR)
+            .expect("probability must be in (0, 1) and years positive"),
+    )
+}
+
+/// Expected number of failures per year in a population of `drives` drives
+/// each with the given MTTF — the fleet-level view an operator actually sees.
+pub fn expected_fleet_failures_per_year(mttf: Hours, drives: usize) -> f64 {
+    assert!(mttf.get() > 0.0, "MTTF must be positive");
+    drives as f64 * HOURS_PER_YEAR / mttf.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn afr_roundtrip() {
+        for afr in [0.005, 0.02, 0.08, 0.3] {
+            let mttf = afr_to_mttf(afr);
+            let back = mttf_to_afr(mttf);
+            assert!((back - afr).abs() < 1e-12, "afr {afr} -> {back}");
+        }
+    }
+
+    #[test]
+    fn cheetah_afr_is_well_under_one_percent() {
+        // 1.4e6-hour MTTF is an AFR of about 0.62%.
+        let afr = mttf_to_afr(Hours::new(1.4e6));
+        assert!((afr - 0.00624).abs() < 1e-4, "afr {afr}");
+    }
+
+    #[test]
+    fn service_life_roundtrip() {
+        let mttf = service_life_probability_to_mttf(0.07, 5.0);
+        let p = mttf_to_service_life_probability(mttf, 5.0);
+        assert!((p - 0.07).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_5yr_probabilities_vs_mttf() {
+        // The Cheetah's quoted 1.4e6-hour MTTF corresponds to ~3.1% over 5
+        // years, matching the datasheet's 3% figure.
+        let p = mttf_to_service_life_probability(Hours::new(1.4e6), 5.0);
+        assert!((p - 0.0308).abs() < 0.002, "p {p}");
+    }
+
+    #[test]
+    fn fleet_failures_scale_with_population() {
+        // The Talagala study's 368-drive farm with a 5e5-hour MTTF would see
+        // about 6.4 drive failures a year.
+        let per_year = expected_fleet_failures_per_year(Hours::new(5.0e5), 368);
+        assert!((per_year - 6.45).abs() < 0.05, "{per_year}");
+        assert_eq!(expected_fleet_failures_per_year(Hours::new(5.0e5), 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "AFR")]
+    fn invalid_afr_panics() {
+        let _ = afr_to_mttf(1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Concrete fault events consumed by the simulator and the archive.
+
+use ltds_core::fault::FaultClass;
+use ltds_core::threats::ThreatCategory;
+use serde::{Deserialize, Serialize};
+
+/// A single fault occurrence affecting one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Simulation time of occurrence, in hours.
+    pub time_hours: f64,
+    /// Index of the affected replica.
+    pub replica: usize,
+    /// Whether the fault is visible immediately or latent.
+    pub class: FaultClass,
+    /// Which end-to-end threat produced it.
+    pub threat: ThreatCategory,
+}
+
+impl FaultEvent {
+    /// Creates a fault event, validating the timestamp.
+    pub fn new(time_hours: f64, replica: usize, class: FaultClass, threat: ThreatCategory) -> Self {
+        assert!(
+            time_hours.is_finite() && time_hours >= 0.0,
+            "fault time must be finite and non-negative, got {time_hours}"
+        );
+        Self { time_hours, replica, class, threat }
+    }
+
+    /// Whether this fault would be noticed the moment it happens.
+    pub fn is_visible(&self) -> bool {
+        self.class == FaultClass::Visible
+    }
+}
+
+/// Sorts a batch of events by time (stable for equal times), the order the
+/// simulator consumes them in.
+pub fn sort_events(events: &mut [FaultEvent]) {
+    events.sort_by(|a, b| a.time_hours.partial_cmp(&b.time_hours).expect("times are not NaN"));
+}
+
+/// Splits events per replica, preserving time order within each replica.
+pub fn events_by_replica(events: &[FaultEvent], replicas: usize) -> Vec<Vec<FaultEvent>> {
+    let mut out = vec![Vec::new(); replicas];
+    for e in events {
+        assert!(e.replica < replicas, "event references replica {} of {replicas}", e.replica);
+        out[e.replica].push(*e);
+    }
+    for per in &mut out {
+        sort_events(per);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_visibility() {
+        let e = FaultEvent::new(10.0, 1, FaultClass::Visible, ThreatCategory::MediaFault);
+        assert!(e.is_visible());
+        let l = FaultEvent::new(10.0, 1, FaultClass::Latent, ThreatCategory::MediaFault);
+        assert!(!l.is_visible());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = FaultEvent::new(-1.0, 0, FaultClass::Visible, ThreatCategory::MediaFault);
+    }
+
+    #[test]
+    fn sorting_orders_by_time() {
+        let mut events = vec![
+            FaultEvent::new(5.0, 0, FaultClass::Latent, ThreatCategory::MediaFault),
+            FaultEvent::new(1.0, 1, FaultClass::Visible, ThreatCategory::HumanError),
+            FaultEvent::new(3.0, 0, FaultClass::Visible, ThreatCategory::Attack),
+        ];
+        sort_events(&mut events);
+        let times: Vec<f64> = events.iter().map(|e| e.time_hours).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn split_by_replica() {
+        let events = vec![
+            FaultEvent::new(5.0, 0, FaultClass::Latent, ThreatCategory::MediaFault),
+            FaultEvent::new(1.0, 1, FaultClass::Visible, ThreatCategory::HumanError),
+            FaultEvent::new(3.0, 0, FaultClass::Visible, ThreatCategory::Attack),
+        ];
+        let per = events_by_replica(&events, 3);
+        assert_eq!(per[0].len(), 2);
+        assert_eq!(per[1].len(), 1);
+        assert!(per[2].is_empty());
+        assert!(per[0][0].time_hours < per[0][1].time_hours);
+    }
+
+    #[test]
+    #[should_panic(expected = "references replica")]
+    fn split_rejects_out_of_range_replica() {
+        let events = vec![FaultEvent::new(1.0, 5, FaultClass::Visible, ThreatCategory::MediaFault)];
+        let _ = events_by_replica(&events, 2);
+    }
+}

@@ -1,0 +1,21 @@
+//! End-to-end fault substrate: threat rate profiles, fault events, injectors
+//! and correlation structure.
+//!
+//! The core model (`ltds-core`) works with aggregate rates (`MV`, `ML`); this
+//! crate provides the machinery to *produce* those rates from an end-to-end
+//! threat profile (§3), to generate concrete fault event streams for the
+//! simulator and the archive substrate, and to express correlation as shared
+//! components and site-level disasters rather than a single abstract `α`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod event;
+pub mod injector;
+pub mod profile;
+
+pub use correlation::{CorrelationStructure, SharedComponent};
+pub use event::FaultEvent;
+pub use injector::{FaultInjector, RandomInjector, ScheduledInjector};
+pub use profile::ThreatProfile;

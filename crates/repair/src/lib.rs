@@ -1,0 +1,17 @@
+//! Repair strategies and their effect on `MRV`/`MRL` (§6.3, §6.6).
+//!
+//! The paper's advice is to make repair "as fast, cheap, and as reliable as
+//! possible", ideally automated: operator-driven repair adds human latency
+//! and human error; off-line repair adds retrieval and handling delays; and
+//! buggy automation can itself *introduce* latent faults (§6.6). This crate
+//! models those options so they can be plugged into the core model and the
+//! simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod risk;
+pub mod strategy;
+
+pub use risk::RepairRisk;
+pub use strategy::{RepairCostSummary, RepairStrategy};

@@ -1,0 +1,129 @@
+//! Repair-induced risk (§6.6): automation that is buggy or compromised can
+//! turn visible faults into latent ones.
+//!
+//! "While automated recovery can reduce costs and speed up recovery times, if
+//! buggy or compromised by an attacker, it can itself introduce latent
+//! faults." This module models that trade-off: a repair pipeline has a
+//! probability of silently producing a bad copy, which feeds back into the
+//! effective latent fault rate.
+
+use ltds_core::units::Hours;
+use serde::{Deserialize, Serialize};
+
+/// Risk profile of a repair pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairRisk {
+    /// Probability that a completed repair silently produced a corrupt copy
+    /// (a new latent fault).
+    pub silent_corruption_probability: f64,
+    /// Probability that a repair fails outright and must be redone
+    /// (lengthening the effective repair time).
+    pub failure_probability: f64,
+}
+
+impl RepairRisk {
+    /// A carefully engineered pipeline that verifies what it writes.
+    pub fn verified_pipeline() -> Self {
+        Self { silent_corruption_probability: 1.0e-6, failure_probability: 0.01 }
+    }
+
+    /// A hasty pipeline that does not verify its output.
+    pub fn unverified_pipeline() -> Self {
+        Self { silent_corruption_probability: 1.0e-3, failure_probability: 0.05 }
+    }
+
+    /// Validates the probabilities.
+    pub fn is_valid(&self) -> bool {
+        (0.0..=1.0).contains(&self.silent_corruption_probability)
+            && (0.0..1.0).contains(&self.failure_probability)
+    }
+
+    /// Expected number of repair attempts per successful repair
+    /// (geometric in the failure probability).
+    pub fn expected_attempts(&self) -> f64 {
+        assert!(self.is_valid(), "invalid risk profile");
+        1.0 / (1.0 - self.failure_probability)
+    }
+
+    /// Effective mean repair time once retries are accounted for.
+    pub fn effective_repair_time(&self, nominal: Hours) -> Hours {
+        nominal * self.expected_attempts()
+    }
+
+    /// The additional latent-fault rate (faults per hour) introduced by the
+    /// repair pipeline itself, given the rate of repairs it performs.
+    pub fn induced_latent_rate(&self, repairs_per_hour: f64) -> f64 {
+        assert!(repairs_per_hour >= 0.0, "repair rate must be non-negative");
+        repairs_per_hour * self.silent_corruption_probability
+    }
+
+    /// Adjusts a latent MTTF to account for repair-induced corruption: the
+    /// new latent rate is the old rate plus the induced rate.
+    pub fn adjusted_mttf_latent(&self, mttf_latent: Hours, repairs_per_hour: f64) -> Hours {
+        assert!(mttf_latent.get() > 0.0, "latent MTTF must be positive");
+        let base_rate = 1.0 / mttf_latent.get();
+        let total = base_rate + self.induced_latent_rate(repairs_per_hour);
+        Hours::new(1.0 / total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_and_ordered() {
+        let good = RepairRisk::verified_pipeline();
+        let bad = RepairRisk::unverified_pipeline();
+        assert!(good.is_valid() && bad.is_valid());
+        assert!(good.silent_corruption_probability < bad.silent_corruption_probability);
+        assert!(good.failure_probability < bad.failure_probability);
+    }
+
+    #[test]
+    fn expected_attempts_is_geometric() {
+        let r = RepairRisk { silent_corruption_probability: 0.0, failure_probability: 0.5 };
+        assert!((r.expected_attempts() - 2.0).abs() < 1e-12);
+        let zero = RepairRisk { silent_corruption_probability: 0.0, failure_probability: 0.0 };
+        assert_eq!(zero.expected_attempts(), 1.0);
+    }
+
+    #[test]
+    fn effective_repair_time_grows_with_failure_probability() {
+        let nominal = Hours::new(2.0);
+        let good = RepairRisk::verified_pipeline().effective_repair_time(nominal);
+        let bad = RepairRisk::unverified_pipeline().effective_repair_time(nominal);
+        assert!(bad > good);
+        assert!(good >= nominal);
+    }
+
+    #[test]
+    fn induced_latent_rate_scales_with_repairs() {
+        let r = RepairRisk::unverified_pipeline();
+        assert_eq!(r.induced_latent_rate(0.0), 0.0);
+        let rate = r.induced_latent_rate(0.01);
+        assert!((rate - 1.0e-5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjusted_latent_mttf_only_matters_for_sloppy_pipelines() {
+        // Cheetah latent MTTF 2.8e5 h; repairs once a week.
+        let base = Hours::new(2.8e5);
+        let repairs_per_hour = 1.0 / 168.0;
+        let verified = RepairRisk::verified_pipeline().adjusted_mttf_latent(base, repairs_per_hour);
+        let unverified =
+            RepairRisk::unverified_pipeline().adjusted_mttf_latent(base, repairs_per_hour);
+        // A verified pipeline barely moves the needle...
+        assert!((verified.get() - base.get()).abs() / base.get() < 0.01);
+        // ...an unverified one measurably degrades the latent MTTF.
+        assert!(unverified.get() < base.get() * 0.75, "got {}", unverified.get());
+        assert!(unverified < verified);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid risk profile")]
+    fn invalid_profile_panics_on_use() {
+        let r = RepairRisk { silent_corruption_probability: 2.0, failure_probability: 0.0 };
+        let _ = r.expected_attempts();
+    }
+}

@@ -1,0 +1,211 @@
+//! Concrete repair strategies and the repair times they achieve.
+
+use ltds_core::units::Hours;
+use ltds_devices::media::MediaAccessModel;
+use serde::{Deserialize, Serialize};
+
+/// How faults get repaired once detected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepairStrategy {
+    /// An operator must notice the alert, obtain a replacement and start the
+    /// rebuild by hand.
+    OperatorReplace {
+        /// Mean time for the operator to respond and swap hardware.
+        response_time: Hours,
+        /// Rebuild/copy time once the replacement is in place.
+        rebuild_time: Hours,
+    },
+    /// A hot spare is already spinning: the rebuild starts immediately.
+    HotSpare {
+        /// Rebuild/copy time onto the spare.
+        rebuild_time: Hours,
+    },
+    /// The system automatically re-replicates the lost data onto existing
+    /// capacity elsewhere (no hardware swap at all).
+    AutomatedReReplication {
+        /// Copy time over the network/storage fabric.
+        copy_time: Hours,
+    },
+    /// Restore from an off-line copy: retrieval, mounting and reading.
+    OfflineRestore {
+        /// Access model of the off-line medium (vault latency, handling risk).
+        media: MediaAccessModel,
+        /// Bytes to restore.
+        bytes: f64,
+        /// Read rate of the off-line medium, bytes per second.
+        read_bytes_per_sec: f64,
+    },
+}
+
+impl RepairStrategy {
+    /// Mean repair time delivered by this strategy.
+    pub fn mean_repair_time(&self) -> Hours {
+        match *self {
+            RepairStrategy::OperatorReplace { response_time, rebuild_time } => {
+                response_time + rebuild_time
+            }
+            RepairStrategy::HotSpare { rebuild_time } => rebuild_time,
+            RepairStrategy::AutomatedReReplication { copy_time } => copy_time,
+            RepairStrategy::OfflineRestore { media, bytes, read_bytes_per_sec } => {
+                media.repair_time(bytes, read_bytes_per_sec)
+            }
+        }
+    }
+
+    /// Whether the repair proceeds without a human in the loop.
+    pub fn is_automated(&self) -> bool {
+        matches!(
+            self,
+            RepairStrategy::HotSpare { .. } | RepairStrategy::AutomatedReReplication { .. }
+        )
+    }
+
+    /// Marginal monetary cost of one repair (operator time, couriers, media
+    /// handling); hardware cost is accounted separately in `ltds-devices::cost`.
+    pub fn cost_per_repair_usd(&self) -> f64 {
+        match *self {
+            // An hour or two of operator time plus logistics.
+            RepairStrategy::OperatorReplace { .. } => 150.0,
+            RepairStrategy::HotSpare { .. } => 5.0,
+            RepairStrategy::AutomatedReReplication { .. } => 1.0,
+            RepairStrategy::OfflineRestore { media, .. } => media.access_cost_usd + 100.0,
+        }
+    }
+
+    /// Applies this strategy's repair time to the core model, replacing both
+    /// `MRV` and `MRL` (the paper uses a single repair mechanism for both).
+    pub fn apply_to(
+        &self,
+        params: &ltds_core::ReliabilityParams,
+    ) -> Result<ltds_core::ReliabilityParams, ltds_core::ModelError> {
+        let t = self.mean_repair_time();
+        params.with_repair_times(t, t)
+    }
+}
+
+/// Cost/latency summary of a repair regime over a year of operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RepairCostSummary {
+    /// Expected repairs per year (visible plus detected latent faults).
+    pub repairs_per_year: f64,
+    /// Mean repair latency.
+    pub mean_repair_time: Hours,
+    /// Expected annual repair spend in USD.
+    pub annual_cost_usd: f64,
+}
+
+/// Summarises a year of repairs for a strategy given the fault rates it must
+/// absorb.
+pub fn annual_summary(
+    strategy: &RepairStrategy,
+    visible_faults_per_year: f64,
+    detected_latent_faults_per_year: f64,
+) -> RepairCostSummary {
+    assert!(
+        visible_faults_per_year >= 0.0 && detected_latent_faults_per_year >= 0.0,
+        "fault rates must be non-negative"
+    );
+    let repairs = visible_faults_per_year + detected_latent_faults_per_year;
+    RepairCostSummary {
+        repairs_per_year: repairs,
+        mean_repair_time: strategy.mean_repair_time(),
+        annual_cost_usd: repairs * strategy.cost_per_repair_usd(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltds_core::presets;
+
+    fn rebuild() -> Hours {
+        // 146 GB at 300 MB/s, the paper's repair transfer.
+        Hours::from_seconds(146.0e9 / 300.0e6)
+    }
+
+    #[test]
+    fn hot_spare_beats_operator() {
+        let operator = RepairStrategy::OperatorReplace {
+            response_time: Hours::new(8.0),
+            rebuild_time: rebuild(),
+        };
+        let spare = RepairStrategy::HotSpare { rebuild_time: rebuild() };
+        assert!(spare.mean_repair_time() < operator.mean_repair_time());
+        assert!(spare.is_automated());
+        assert!(!operator.is_automated());
+        assert!((operator.mean_repair_time().get() - 8.0 - rebuild().get()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offline_restore_is_slowest() {
+        let offline = RepairStrategy::OfflineRestore {
+            media: MediaAccessModel::offsite_tape_vault(),
+            bytes: 146.0e9,
+            read_bytes_per_sec: 80.0e6,
+        };
+        let spare = RepairStrategy::HotSpare { rebuild_time: rebuild() };
+        assert!(offline.mean_repair_time().get() > 48.0);
+        assert!(offline.mean_repair_time() > spare.mean_repair_time() * 50.0);
+        assert!(!offline.is_automated());
+    }
+
+    #[test]
+    fn automated_rereplication_is_fast_and_cheap() {
+        let auto = RepairStrategy::AutomatedReReplication { copy_time: Hours::from_minutes(30.0) };
+        assert!(auto.is_automated());
+        assert!(auto.cost_per_repair_usd() < 5.0);
+        assert_eq!(auto.mean_repair_time(), Hours::from_minutes(30.0));
+    }
+
+    #[test]
+    fn apply_to_updates_both_repair_times() {
+        let base = presets::cheetah_mirror_scrubbed();
+        let operator = RepairStrategy::OperatorReplace {
+            response_time: Hours::new(24.0),
+            rebuild_time: rebuild(),
+        };
+        let slow = operator.apply_to(&base).unwrap();
+        assert!(slow.repair_visible() > base.repair_visible());
+        assert_eq!(slow.repair_visible(), slow.repair_latent());
+        // Slower repair means lower MTTDL.
+        assert!(ltds_core::mttdl::mttdl_exact(&slow) < ltds_core::mttdl::mttdl_exact(&base));
+    }
+
+    #[test]
+    fn automation_improves_mttdl_over_operator_repair() {
+        // §6.3/§8: automating repair is one of the headline strategies.
+        let base = presets::cheetah_mirror_scrubbed();
+        let operator = RepairStrategy::OperatorReplace {
+            response_time: Hours::new(24.0),
+            rebuild_time: rebuild(),
+        }
+        .apply_to(&base)
+        .unwrap();
+        let auto =
+            RepairStrategy::AutomatedReReplication { copy_time: rebuild() }.apply_to(&base).unwrap();
+        assert!(
+            ltds_core::mttdl::mttdl_exact(&auto) > ltds_core::mttdl::mttdl_exact(&operator)
+        );
+    }
+
+    #[test]
+    fn annual_summary_scales_with_fault_rate() {
+        let spare = RepairStrategy::HotSpare { rebuild_time: rebuild() };
+        let light = annual_summary(&spare, 0.5, 1.0);
+        let heavy = annual_summary(&spare, 5.0, 10.0);
+        assert_eq!(light.repairs_per_year, 1.5);
+        assert_eq!(heavy.repairs_per_year, 15.0);
+        assert!((heavy.annual_cost_usd / light.annual_cost_usd - 10.0).abs() < 1e-9);
+        assert_eq!(light.mean_repair_time, spare.mean_repair_time());
+    }
+
+    #[test]
+    fn offline_repair_cost_includes_media_access() {
+        let offline = RepairStrategy::OfflineRestore {
+            media: MediaAccessModel::offsite_tape_vault(),
+            bytes: 146.0e9,
+            read_bytes_per_sec: 80.0e6,
+        };
+        assert!(offline.cost_per_repair_usd() > 100.0);
+    }
+}

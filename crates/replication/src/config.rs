@@ -1,0 +1,298 @@
+//! Replication configurations and their overheads (§6.4).
+
+use ltds_core::error::ModelError;
+use ltds_core::replication::mttdl_replicated;
+use ltds_core::units::Hours;
+use serde::{Deserialize, Serialize};
+
+/// How the data is made redundant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReplicationConfig {
+    /// A single copy — no redundancy.
+    Single,
+    /// `r` full, independent copies (the paper's main configuration).
+    NWay {
+        /// Number of full replicas, at least 2.
+        replicas: usize,
+    },
+    /// A RAID-5-style parity group: `data + 1` drives, survives one failure.
+    Raid5 {
+        /// Number of data drives (excluding the parity drive).
+        data_drives: usize,
+    },
+    /// A RAID-6 / row-diagonal-parity group: `data + 2` drives, survives two
+    /// failures (the Network Appliance configuration cited in §7).
+    Raid6 {
+        /// Number of data drives (excluding the two parity drives).
+        data_drives: usize,
+    },
+    /// An m-of-n erasure code: `n` fragments, any `m` reconstruct the data
+    /// (the OceanStore/Weatherspoon configuration cited in §7).
+    Erasure {
+        /// Fragments required to reconstruct.
+        required: usize,
+        /// Total fragments stored.
+        total: usize,
+    },
+}
+
+impl ReplicationConfig {
+    /// Validates the configuration's internal consistency.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            ReplicationConfig::Single => Ok(()),
+            ReplicationConfig::NWay { replicas } => {
+                if replicas >= 2 {
+                    Ok(())
+                } else {
+                    Err(ModelError::InvalidReplication { replicas })
+                }
+            }
+            ReplicationConfig::Raid5 { data_drives } | ReplicationConfig::Raid6 { data_drives } => {
+                if data_drives >= 1 {
+                    Ok(())
+                } else {
+                    Err(ModelError::InvalidReplication { replicas: data_drives })
+                }
+            }
+            ReplicationConfig::Erasure { required, total } => {
+                if required >= 1 && total > required {
+                    Ok(())
+                } else {
+                    Err(ModelError::InvalidReplication { replicas: total })
+                }
+            }
+        }
+    }
+
+    /// Total devices (or fragments) used per unit of logical data.
+    pub fn total_units(&self) -> usize {
+        match *self {
+            ReplicationConfig::Single => 1,
+            ReplicationConfig::NWay { replicas } => replicas,
+            ReplicationConfig::Raid5 { data_drives } => data_drives + 1,
+            ReplicationConfig::Raid6 { data_drives } => data_drives + 2,
+            ReplicationConfig::Erasure { total, .. } => total,
+        }
+    }
+
+    /// Number of simultaneous unit losses the configuration survives.
+    pub fn fault_tolerance(&self) -> usize {
+        match *self {
+            ReplicationConfig::Single => 0,
+            ReplicationConfig::NWay { replicas } => replicas - 1,
+            ReplicationConfig::Raid5 { .. } => 1,
+            ReplicationConfig::Raid6 { .. } => 2,
+            ReplicationConfig::Erasure { required, total } => total - required,
+        }
+    }
+
+    /// Storage overhead: bytes stored per byte of logical data.
+    pub fn storage_overhead(&self) -> f64 {
+        match *self {
+            ReplicationConfig::Single => 1.0,
+            ReplicationConfig::NWay { replicas } => replicas as f64,
+            ReplicationConfig::Raid5 { data_drives } => (data_drives + 1) as f64 / data_drives as f64,
+            ReplicationConfig::Raid6 { data_drives } => (data_drives + 2) as f64 / data_drives as f64,
+            ReplicationConfig::Erasure { required, total } => total as f64 / required as f64,
+        }
+    }
+
+    /// Units that must be read to repair one lost unit (the repair-bandwidth
+    /// cost that distinguishes whole-copy replication from parity/erasure
+    /// schemes in the Weatherspoon comparison).
+    pub fn repair_fan_in(&self) -> usize {
+        match *self {
+            ReplicationConfig::Single => 0,
+            ReplicationConfig::NWay { .. } => 1,
+            ReplicationConfig::Raid5 { data_drives } => data_drives,
+            ReplicationConfig::Raid6 { data_drives } => data_drives,
+            ReplicationConfig::Erasure { required, .. } => required,
+        }
+    }
+
+    /// Whether replicas can be placed with geographic/administrative
+    /// independence. Tightly-coupled parity groups live in one array and
+    /// "do not provide geographical or administrative independence" (§6.4).
+    pub fn supports_site_independence(&self) -> bool {
+        matches!(
+            self,
+            ReplicationConfig::NWay { .. } | ReplicationConfig::Erasure { .. }
+        )
+    }
+
+    /// Approximate MTTDL (hours) of the configuration using the Equation 12
+    /// style analysis: the mean time to lose `fault_tolerance + 1` units
+    /// within overlapping repair windows.
+    ///
+    /// For `NWay` this is exactly Equation 12. For parity/erasure groups the
+    /// same expression is used with the group's unit count standing in for
+    /// the replica count, which reproduces the classic RAID-5/6 results; the
+    /// first-fault rate is scaled by the number of units that can fail first.
+    pub fn mttdl_hours(
+        &self,
+        unit_mttf: Hours,
+        unit_repair: Hours,
+        alpha: f64,
+    ) -> Result<f64, ModelError> {
+        self.validate()?;
+        match *self {
+            ReplicationConfig::Single => Ok(unit_mttf.get()),
+            ReplicationConfig::NWay { replicas } => {
+                mttdl_replicated(unit_mttf, unit_repair, replicas, alpha)
+            }
+            _ => {
+                let survivable = self.fault_tolerance();
+                let units = self.total_units();
+                // Mean time to the first fault anywhere in the group.
+                let first = unit_mttf.get() / units as f64;
+                // Each subsequent fault must land within the repair window of
+                // the previous one, among the remaining units.
+                let mut mttdl = first;
+                for k in 0..survivable {
+                    let remaining = (units - 1 - k) as f64;
+                    let p_next =
+                        (unit_repair.get() / (alpha * unit_mttf.get() / remaining)).min(1.0);
+                    mttdl /= p_next;
+                }
+                Ok(mttdl)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ReplicationConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ReplicationConfig::Single => write!(f, "single copy"),
+            ReplicationConfig::NWay { replicas } => write!(f, "{replicas}-way replication"),
+            ReplicationConfig::Raid5 { data_drives } => write!(f, "RAID-5 ({data_drives}+1)"),
+            ReplicationConfig::Raid6 { data_drives } => write!(f, "RAID-6 ({data_drives}+2)"),
+            ReplicationConfig::Erasure { required, total } => {
+                write!(f, "erasure {required}-of-{total}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mv() -> Hours {
+        Hours::new(1.4e6)
+    }
+
+    fn mrv() -> Hours {
+        Hours::from_minutes(20.0)
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ReplicationConfig::Single.validate().is_ok());
+        assert!(ReplicationConfig::NWay { replicas: 2 }.validate().is_ok());
+        assert!(ReplicationConfig::NWay { replicas: 1 }.validate().is_err());
+        assert!(ReplicationConfig::Raid5 { data_drives: 0 }.validate().is_err());
+        assert!(ReplicationConfig::Erasure { required: 4, total: 4 }.validate().is_err());
+        assert!(ReplicationConfig::Erasure { required: 4, total: 8 }.validate().is_ok());
+    }
+
+    #[test]
+    fn storage_overheads() {
+        assert_eq!(ReplicationConfig::Single.storage_overhead(), 1.0);
+        assert_eq!(ReplicationConfig::NWay { replicas: 3 }.storage_overhead(), 3.0);
+        assert!((ReplicationConfig::Raid5 { data_drives: 4 }.storage_overhead() - 1.25).abs() < 1e-12);
+        assert!((ReplicationConfig::Raid6 { data_drives: 8 }.storage_overhead() - 1.25).abs() < 1e-12);
+        assert_eq!(ReplicationConfig::Erasure { required: 4, total: 8 }.storage_overhead(), 2.0);
+    }
+
+    #[test]
+    fn erasure_beats_full_replication_on_storage_for_same_tolerance() {
+        // The Weatherspoon observation: 4-of-8 erasure tolerates 4 losses at
+        // 2x storage; 5-way replication tolerates 4 losses at 5x storage.
+        let erasure = ReplicationConfig::Erasure { required: 4, total: 8 };
+        let nway = ReplicationConfig::NWay { replicas: 5 };
+        assert_eq!(erasure.fault_tolerance(), nway.fault_tolerance());
+        assert!(erasure.storage_overhead() < nway.storage_overhead());
+        // But repair fan-in is worse: a lost fragment needs 4 reads, a lost
+        // replica needs 1.
+        assert!(erasure.repair_fan_in() > nway.repair_fan_in());
+    }
+
+    #[test]
+    fn fault_tolerance_counts() {
+        assert_eq!(ReplicationConfig::Single.fault_tolerance(), 0);
+        assert_eq!(ReplicationConfig::NWay { replicas: 4 }.fault_tolerance(), 3);
+        assert_eq!(ReplicationConfig::Raid5 { data_drives: 7 }.fault_tolerance(), 1);
+        assert_eq!(ReplicationConfig::Raid6 { data_drives: 7 }.fault_tolerance(), 2);
+        assert_eq!(ReplicationConfig::Erasure { required: 3, total: 7 }.fault_tolerance(), 4);
+    }
+
+    #[test]
+    fn site_independence_support() {
+        assert!(ReplicationConfig::NWay { replicas: 3 }.supports_site_independence());
+        assert!(ReplicationConfig::Erasure { required: 3, total: 7 }.supports_site_independence());
+        assert!(!ReplicationConfig::Raid5 { data_drives: 4 }.supports_site_independence());
+        assert!(!ReplicationConfig::Single.supports_site_independence());
+    }
+
+    #[test]
+    fn nway_mttdl_matches_equation_12() {
+        let cfg = ReplicationConfig::NWay { replicas: 3 };
+        let direct = mttdl_replicated(mv(), mrv(), 3, 0.1).unwrap();
+        let via = cfg.mttdl_hours(mv(), mrv(), 0.1).unwrap();
+        assert!((direct - via).abs() / direct < 1e-12);
+    }
+
+    #[test]
+    fn single_copy_mttdl_is_unit_mttf() {
+        let cfg = ReplicationConfig::Single;
+        assert_eq!(cfg.mttdl_hours(mv(), mrv(), 1.0).unwrap(), 1.4e6);
+    }
+
+    #[test]
+    fn raid6_outlasts_raid5() {
+        let raid5 = ReplicationConfig::Raid5 { data_drives: 7 };
+        let raid6 = ReplicationConfig::Raid6 { data_drives: 7 };
+        let m5 = raid5.mttdl_hours(mv(), mrv(), 1.0).unwrap();
+        let m6 = raid6.mttdl_hours(mv(), mrv(), 1.0).unwrap();
+        assert!(m6 > m5 * 1000.0, "RAID-6 should be orders of magnitude better: {m6} vs {m5}");
+    }
+
+    #[test]
+    fn correlation_erodes_every_configuration() {
+        for cfg in [
+            ReplicationConfig::NWay { replicas: 3 },
+            ReplicationConfig::Raid6 { data_drives: 7 },
+            ReplicationConfig::Erasure { required: 4, total: 8 },
+        ] {
+            let independent = cfg.mttdl_hours(mv(), mrv(), 1.0).unwrap();
+            let correlated = cfg.mttdl_hours(mv(), mrv(), 1e-4).unwrap();
+            assert!(correlated < independent, "{cfg}");
+        }
+    }
+
+    #[test]
+    fn wider_raid_groups_are_less_reliable() {
+        let narrow = ReplicationConfig::Raid5 { data_drives: 4 };
+        let wide = ReplicationConfig::Raid5 { data_drives: 14 };
+        let mn = narrow.mttdl_hours(mv(), mrv(), 1.0).unwrap();
+        let mw = wide.mttdl_hours(mv(), mrv(), 1.0).unwrap();
+        assert!(mn > mw);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(ReplicationConfig::NWay { replicas: 3 }.to_string(), "3-way replication");
+        assert_eq!(ReplicationConfig::Raid5 { data_drives: 4 }.to_string(), "RAID-5 (4+1)");
+        assert_eq!(
+            ReplicationConfig::Erasure { required: 4, total: 8 }.to_string(),
+            "erasure 4-of-8"
+        );
+    }
+
+    #[test]
+    fn invalid_configuration_errors_from_mttdl() {
+        assert!(ReplicationConfig::NWay { replicas: 0 }.mttdl_hours(mv(), mrv(), 1.0).is_err());
+    }
+}

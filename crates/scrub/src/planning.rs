@@ -1,0 +1,234 @@
+//! Audit planning across replicas: internal vs cross-replica auditing (§6.7).
+//!
+//! The paper's data-gathering section poses a concrete design question:
+//! "Assume that for disaster tolerance we have two geographically independent
+//! replica systems. Would it be better for each system to audit its storage
+//! internally? Or would it be better to audit between the two replicas?"
+//! This module compares the two plans on the axes the paper lists: detection
+//! latency, what each plan can detect, the bandwidth it moves, and the
+//! wide-area traffic it requires.
+
+use crate::strategy::{ScrubPolicy, ScrubStrategy};
+use ltds_core::units::Hours;
+use serde::{Deserialize, Serialize};
+
+/// Where the comparison data for an audit comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditScope {
+    /// Each replica reads its own data and checks stored digests.
+    Internal,
+    /// Replicas read each other's data (or exchange digests) and compare.
+    CrossReplica,
+}
+
+/// An audit plan for a two-site deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditPlan {
+    /// Scope of the audit.
+    pub scope: AuditScope,
+    /// Complete audit passes per year.
+    pub passes_per_year: f64,
+    /// Collection size per replica, bytes.
+    pub replica_bytes: f64,
+    /// Local read bandwidth available for auditing, bytes per second.
+    pub local_read_bytes_per_sec: f64,
+    /// Wide-area bandwidth between the sites, bytes per second.
+    pub wan_bytes_per_sec: f64,
+    /// Whether digests (rather than full content) cross the wide-area link.
+    pub exchange_digests_only: bool,
+}
+
+/// Summary of what a plan delivers and costs per year.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditPlanSummary {
+    /// Mean detection latency for latent faults.
+    pub detection_latency: Hours,
+    /// Local bytes read per replica per year.
+    pub local_bytes_per_year: f64,
+    /// Bytes crossing the wide-area link per year.
+    pub wan_bytes_per_year: f64,
+    /// Wall-clock duration of one audit pass (bounded by the slower of the
+    /// local read and the WAN transfer it requires).
+    pub pass_duration: Hours,
+    /// Whether the plan can detect corruption of the digest store itself
+    /// (an internal audit trusts its own digests; a cross-replica comparison
+    /// does not need them).
+    pub detects_digest_store_corruption: bool,
+    /// Whether the plan detects divergence between replicas caused by
+    /// faults above the media layer (e.g. a replica that silently missed an
+    /// update), which internal checksums cannot see.
+    pub detects_replica_divergence: bool,
+}
+
+impl AuditPlan {
+    /// A conventional internal checksum audit.
+    pub fn internal(passes_per_year: f64, replica_bytes: f64, local_read_bytes_per_sec: f64) -> Self {
+        Self {
+            scope: AuditScope::Internal,
+            passes_per_year,
+            replica_bytes,
+            local_read_bytes_per_sec,
+            wan_bytes_per_sec: f64::INFINITY,
+            exchange_digests_only: true,
+        }
+    }
+
+    /// A cross-replica comparison audit over a wide-area link.
+    pub fn cross_replica(
+        passes_per_year: f64,
+        replica_bytes: f64,
+        local_read_bytes_per_sec: f64,
+        wan_bytes_per_sec: f64,
+        exchange_digests_only: bool,
+    ) -> Self {
+        Self {
+            scope: AuditScope::CrossReplica,
+            passes_per_year,
+            replica_bytes,
+            local_read_bytes_per_sec,
+            wan_bytes_per_sec,
+            exchange_digests_only,
+        }
+    }
+
+    /// Fraction of the replica's bytes that must cross the WAN per pass.
+    fn wan_bytes_per_pass(&self) -> f64 {
+        match self.scope {
+            AuditScope::Internal => 0.0,
+            AuditScope::CrossReplica => {
+                if self.exchange_digests_only {
+                    // One digest (say 32 bytes) per 64 KiB object on average.
+                    self.replica_bytes * (32.0 / 65_536.0)
+                } else {
+                    self.replica_bytes
+                }
+            }
+        }
+    }
+
+    /// Evaluates the plan.
+    pub fn summarise(&self) -> AuditPlanSummary {
+        assert!(self.passes_per_year >= 0.0, "audit rate must be non-negative");
+        assert!(self.replica_bytes > 0.0, "replica size must be positive");
+        assert!(self.local_read_bytes_per_sec > 0.0, "local bandwidth must be positive");
+        let strategy = ScrubStrategy::new(
+            ScrubPolicy::Periodic { passes_per_year: self.passes_per_year },
+            self.replica_bytes,
+            self.local_read_bytes_per_sec,
+        );
+        let wan_per_pass = self.wan_bytes_per_pass();
+        let local_seconds = self.replica_bytes / self.local_read_bytes_per_sec;
+        let wan_seconds = if wan_per_pass == 0.0 { 0.0 } else { wan_per_pass / self.wan_bytes_per_sec };
+        AuditPlanSummary {
+            detection_latency: strategy.mean_detection_latency(),
+            local_bytes_per_year: self.passes_per_year * self.replica_bytes,
+            wan_bytes_per_year: self.passes_per_year * wan_per_pass,
+            pass_duration: Hours::from_seconds(local_seconds.max(wan_seconds)),
+            detects_digest_store_corruption: self.scope == AuditScope::CrossReplica,
+            detects_replica_divergence: self.scope == AuditScope::CrossReplica,
+        }
+    }
+}
+
+/// Picks the plan with the better detection latency subject to a WAN budget
+/// (bytes per year); ties prefer the cross-replica plan for its broader
+/// detection coverage. Returns `None` when neither plan fits the budget.
+pub fn choose_plan(
+    internal: &AuditPlan,
+    cross: &AuditPlan,
+    wan_budget_bytes_per_year: f64,
+) -> Option<AuditScope> {
+    assert!(wan_budget_bytes_per_year >= 0.0, "budget must be non-negative");
+    let si = internal.summarise();
+    let sc = cross.summarise();
+    let internal_fits = si.wan_bytes_per_year <= wan_budget_bytes_per_year;
+    let cross_fits = sc.wan_bytes_per_year <= wan_budget_bytes_per_year;
+    match (internal_fits, cross_fits) {
+        (false, false) => None,
+        (true, false) => Some(AuditScope::Internal),
+        (false, true) => Some(AuditScope::CrossReplica),
+        (true, true) => {
+            if sc.detection_latency <= si.detection_latency {
+                Some(AuditScope::CrossReplica)
+            } else {
+                Some(AuditScope::Internal)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPLICA: f64 = 10.0e12; // 10 TB per site
+    const LOCAL_BW: f64 = 200.0e6;
+    const WAN_BW: f64 = 10.0e6;
+
+    #[test]
+    fn internal_audit_moves_no_wan_bytes() {
+        let plan = AuditPlan::internal(12.0, REPLICA, LOCAL_BW);
+        let s = plan.summarise();
+        assert_eq!(s.wan_bytes_per_year, 0.0);
+        assert!((s.local_bytes_per_year - 12.0 * REPLICA).abs() < 1.0);
+        assert!(!s.detects_digest_store_corruption);
+        assert!(!s.detects_replica_divergence);
+        assert!((s.detection_latency.get() - 365.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_replica_digest_exchange_is_wan_cheap() {
+        let digests = AuditPlan::cross_replica(12.0, REPLICA, LOCAL_BW, WAN_BW, true);
+        let full = AuditPlan::cross_replica(12.0, REPLICA, LOCAL_BW, WAN_BW, false);
+        let sd = digests.summarise();
+        let sf = full.summarise();
+        assert!(sd.wan_bytes_per_year < REPLICA * 0.01);
+        assert!((sf.wan_bytes_per_year - 12.0 * REPLICA).abs() < 1.0);
+        assert!(sd.detects_digest_store_corruption);
+        assert!(sd.detects_replica_divergence);
+        // Full-content comparison over a thin WAN makes each pass far slower.
+        assert!(sf.pass_duration > sd.pass_duration * 10.0);
+    }
+
+    #[test]
+    fn same_rate_means_same_detection_latency() {
+        let internal = AuditPlan::internal(4.0, REPLICA, LOCAL_BW).summarise();
+        let cross = AuditPlan::cross_replica(4.0, REPLICA, LOCAL_BW, WAN_BW, true).summarise();
+        assert_eq!(internal.detection_latency, cross.detection_latency);
+    }
+
+    #[test]
+    fn choose_plan_respects_the_wan_budget() {
+        let internal = AuditPlan::internal(12.0, REPLICA, LOCAL_BW);
+        let cross_full = AuditPlan::cross_replica(12.0, REPLICA, LOCAL_BW, WAN_BW, false);
+        // A small WAN budget forces the internal plan.
+        assert_eq!(choose_plan(&internal, &cross_full, 1.0e12), Some(AuditScope::Internal));
+        // A generous budget prefers the cross-replica plan (same latency,
+        // broader coverage).
+        assert_eq!(
+            choose_plan(&internal, &cross_full, 1.0e15),
+            Some(AuditScope::CrossReplica)
+        );
+    }
+
+    #[test]
+    fn faster_cross_replica_auditing_wins_when_affordable() {
+        // Cross-replica auditing at a higher rate beats a slower internal
+        // audit when the budget allows it.
+        let internal = AuditPlan::internal(2.0, REPLICA, LOCAL_BW);
+        let cross = AuditPlan::cross_replica(12.0, REPLICA, LOCAL_BW, WAN_BW, true);
+        assert_eq!(choose_plan(&internal, &cross, 1.0e12), Some(AuditScope::CrossReplica));
+        // With no WAN budget at all, only the internal plan is feasible.
+        assert_eq!(choose_plan(&internal, &cross, 0.0), Some(AuditScope::Internal));
+    }
+
+    #[test]
+    fn impossible_budgets_yield_none() {
+        // Even the internal plan "fits" a zero budget (it needs no WAN), so
+        // None only arises when both plans genuinely need more than allowed —
+        // e.g. two cross-replica plans.
+        let a = AuditPlan::cross_replica(12.0, REPLICA, LOCAL_BW, WAN_BW, false);
+        let b = AuditPlan::cross_replica(4.0, REPLICA, LOCAL_BW, WAN_BW, false);
+        assert_eq!(choose_plan(&a, &b, 1.0), None);
+    }
+}

@@ -1,0 +1,287 @@
+//! Simulation configuration.
+
+use ltds_core::error::ModelError;
+use ltds_core::params::ReliabilityParams;
+use ltds_core::units::Hours;
+use serde::{Deserialize, Serialize};
+
+/// How latent faults get detected in the simulated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DetectionModel {
+    /// Latent faults are never detected proactively (the §5.4 "no scrubbing"
+    /// scenario); they remain open until the data is lost or the simulation
+    /// ends.
+    Never,
+    /// Periodic scrubbing: a latent fault occurring at time `t` is detected
+    /// at the next multiple of the period after `t`.
+    PeriodicScrub {
+        /// Scrub period in hours.
+        period_hours: f64,
+    },
+    /// Memoryless detection with the given mean (models on-access detection
+    /// or opportunistic scrubbing).
+    Exponential {
+        /// Mean detection delay in hours.
+        mean_hours: f64,
+    },
+}
+
+/// Full description of the simulated replicated system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of replicas.
+    pub replicas: usize,
+    /// Minimum number of intact replicas required to avoid data loss.
+    /// For whole-copy replication this is 1; for an m-of-n erasure code it is
+    /// `m`.
+    pub min_intact: usize,
+    /// Mean time to a visible fault per replica, hours.
+    pub mttf_visible_hours: f64,
+    /// Mean time to a latent fault per replica, hours.
+    pub mttf_latent_hours: f64,
+    /// Mean repair time for visible faults, hours.
+    pub repair_visible_hours: f64,
+    /// Mean repair time for latent faults (after detection), hours.
+    pub repair_latent_hours: f64,
+    /// Detection model for latent faults.
+    pub detection: DetectionModel,
+    /// Correlation factor: while any replica is faulty, the fault rates of
+    /// the remaining replicas are multiplied by `1/alpha`.
+    pub alpha: f64,
+    /// Safety cap on simulated time per trial, hours. Trials that reach the
+    /// cap without data loss are reported as censored.
+    pub max_hours: f64,
+}
+
+impl SimConfig {
+    /// Default per-trial time cap: one million years.
+    pub const DEFAULT_MAX_HOURS: f64 = 8.76e9;
+
+    /// Builds a mirrored-disk configuration from raw parameters.
+    ///
+    /// `scrub_period_hours = None` means latent faults are never detected.
+    pub fn mirrored_disks(
+        mttf_visible_hours: f64,
+        mttf_latent_hours: f64,
+        repair_visible_hours: f64,
+        repair_latent_hours: f64,
+        scrub_period_hours: Option<f64>,
+        alpha: f64,
+    ) -> Result<Self, ModelError> {
+        let detection = match scrub_period_hours {
+            Some(p) => DetectionModel::PeriodicScrub { period_hours: p },
+            None => DetectionModel::Never,
+        };
+        Self::new(
+            2,
+            1,
+            mttf_visible_hours,
+            mttf_latent_hours,
+            repair_visible_hours,
+            repair_latent_hours,
+            detection,
+            alpha,
+        )
+    }
+
+    /// Builds a configuration from core-model parameters plus a replica count.
+    ///
+    /// The core model's `MDL` maps onto a periodic scrub with period
+    /// `2 × MDL` (the inverse of the §6.2 relationship); an infinite `MDL`
+    /// maps to [`DetectionModel::Never`].
+    pub fn from_params(params: &ReliabilityParams, replicas: usize) -> Result<Self, ModelError> {
+        let mdl = params.detect_latent();
+        let detection = if !mdl.is_finite() {
+            DetectionModel::Never
+        } else if mdl == Hours::ZERO {
+            DetectionModel::PeriodicScrub { period_hours: f64::MIN_POSITIVE }
+        } else {
+            DetectionModel::PeriodicScrub { period_hours: 2.0 * mdl.get() }
+        };
+        Self::new(
+            replicas,
+            1,
+            params.mttf_visible().get(),
+            params.mttf_latent().get(),
+            params.repair_visible().get(),
+            params.repair_latent().get(),
+            detection,
+            params.alpha(),
+        )
+    }
+
+    /// Fully general constructor with validation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        replicas: usize,
+        min_intact: usize,
+        mttf_visible_hours: f64,
+        mttf_latent_hours: f64,
+        repair_visible_hours: f64,
+        repair_latent_hours: f64,
+        detection: DetectionModel,
+        alpha: f64,
+    ) -> Result<Self, ModelError> {
+        if replicas == 0 {
+            return Err(ModelError::InvalidReplication { replicas });
+        }
+        if min_intact == 0 || min_intact > replicas {
+            return Err(ModelError::InvalidReplication { replicas: min_intact });
+        }
+        for (name, v) in [
+            ("MV", mttf_visible_hours),
+            ("ML", mttf_latent_hours),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ModelError::InvalidMeanTime { parameter: name, value: v });
+            }
+        }
+        for (name, v) in [("MRV", repair_visible_hours), ("MRL", repair_latent_hours)] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(ModelError::InvalidMeanTime { parameter: name, value: v });
+            }
+        }
+        match detection {
+            DetectionModel::PeriodicScrub { period_hours } if !(period_hours > 0.0) => {
+                return Err(ModelError::InvalidMeanTime {
+                    parameter: "scrub period",
+                    value: period_hours,
+                });
+            }
+            DetectionModel::Exponential { mean_hours } if !(mean_hours > 0.0) => {
+                return Err(ModelError::InvalidMeanTime {
+                    parameter: "detection mean",
+                    value: mean_hours,
+                });
+            }
+            _ => {}
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(ModelError::InvalidCorrelation { alpha });
+        }
+        Ok(Self {
+            replicas,
+            min_intact,
+            mttf_visible_hours,
+            mttf_latent_hours,
+            repair_visible_hours,
+            repair_latent_hours,
+            detection,
+            alpha,
+            max_hours: Self::DEFAULT_MAX_HOURS,
+        })
+    }
+
+    /// Overrides the per-trial time cap.
+    pub fn with_max_hours(mut self, max_hours: f64) -> Self {
+        assert!(max_hours > 0.0, "time cap must be positive");
+        self.max_hours = max_hours;
+        self
+    }
+
+    /// Number of simultaneously faulty replicas that constitutes data loss.
+    pub fn loss_threshold(&self) -> usize {
+        self.replicas - self.min_intact + 1
+    }
+
+    /// Equivalent core-model parameters (for validation reports).
+    pub fn to_params(&self) -> Result<ReliabilityParams, ModelError> {
+        let mdl = match self.detection {
+            DetectionModel::Never => Hours::infinite(),
+            DetectionModel::PeriodicScrub { period_hours } => Hours::new(period_hours / 2.0),
+            DetectionModel::Exponential { mean_hours } => Hours::new(mean_hours),
+        };
+        ReliabilityParams::builder()
+            .mttf_visible(Hours::new(self.mttf_visible_hours))
+            .mttf_latent(Hours::new(self.mttf_latent_hours))
+            .repair_visible(Hours::new(self.repair_visible_hours))
+            .repair_latent(Hours::new(self.repair_latent_hours))
+            .detect_latent(mdl)
+            .alpha(self.alpha)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltds_core::presets;
+
+    #[test]
+    fn mirrored_constructor() {
+        let c = SimConfig::mirrored_disks(1.4e6, 2.8e5, 0.33, 0.33, Some(2920.0), 1.0).unwrap();
+        assert_eq!(c.replicas, 2);
+        assert_eq!(c.min_intact, 1);
+        assert_eq!(c.loss_threshold(), 2);
+        assert!(matches!(c.detection, DetectionModel::PeriodicScrub { .. }));
+        let no_scrub = SimConfig::mirrored_disks(1.4e6, 2.8e5, 0.33, 0.33, None, 1.0).unwrap();
+        assert_eq!(no_scrub.detection, DetectionModel::Never);
+    }
+
+    #[test]
+    fn from_params_roundtrips_mdl() {
+        let p = presets::cheetah_mirror_scrubbed();
+        let c = SimConfig::from_params(&p, 2).unwrap();
+        match c.detection {
+            DetectionModel::PeriodicScrub { period_hours } => {
+                assert!((period_hours - 2920.0).abs() < 1.0);
+            }
+            other => panic!("expected periodic scrub, got {other:?}"),
+        }
+        let back = c.to_params().unwrap();
+        assert!((back.detect_latent().get() - p.detect_latent().get()).abs() < 1.0);
+        assert_eq!(back.alpha(), p.alpha());
+
+        let never = SimConfig::from_params(&presets::cheetah_mirror_no_scrub(), 2).unwrap();
+        assert_eq!(never.detection, DetectionModel::Never);
+        assert!(!never.to_params().unwrap().detect_latent().is_finite());
+    }
+
+    #[test]
+    fn erasure_style_threshold() {
+        // 7 fragments, any 4 reconstruct: loss when 4 are simultaneously faulty.
+        let c = SimConfig::new(7, 4, 1.0e5, 1.0e5, 1.0, 1.0, DetectionModel::Never, 1.0).unwrap();
+        assert_eq!(c.loss_threshold(), 4);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        assert!(SimConfig::new(0, 1, 1.0, 1.0, 1.0, 1.0, DetectionModel::Never, 1.0).is_err());
+        assert!(SimConfig::new(2, 0, 1.0, 1.0, 1.0, 1.0, DetectionModel::Never, 1.0).is_err());
+        assert!(SimConfig::new(2, 3, 1.0, 1.0, 1.0, 1.0, DetectionModel::Never, 1.0).is_err());
+        assert!(SimConfig::new(2, 1, 0.0, 1.0, 1.0, 1.0, DetectionModel::Never, 1.0).is_err());
+        assert!(SimConfig::new(2, 1, 1.0, -1.0, 1.0, 1.0, DetectionModel::Never, 1.0).is_err());
+        assert!(SimConfig::new(2, 1, 1.0, 1.0, 1.0, 1.0, DetectionModel::Never, 0.0).is_err());
+        assert!(SimConfig::new(2, 1, 1.0, 1.0, 1.0, 1.0, DetectionModel::Never, 1.5).is_err());
+        assert!(SimConfig::new(
+            2,
+            1,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            DetectionModel::PeriodicScrub { period_hours: 0.0 },
+            1.0
+        )
+        .is_err());
+        assert!(SimConfig::new(
+            2,
+            1,
+            1.0,
+            1.0,
+            1.0,
+            1.0,
+            DetectionModel::Exponential { mean_hours: 0.0 },
+            1.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn max_hours_override() {
+        let c = SimConfig::mirrored_disks(1.0e3, 1.0e3, 1.0, 1.0, None, 1.0)
+            .unwrap()
+            .with_max_hours(500.0);
+        assert_eq!(c.max_hours, 500.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Discrete-event Monte-Carlo simulator for replicated long-term storage.
+//!
+//! The analytic model of `ltds-core` rests on several approximations
+//! (linearised window probabilities, exactly-overlapping vulnerability
+//! windows, a single multiplicative correlation factor). This crate provides
+//! an independent check: it simulates the underlying stochastic processes —
+//! per-replica visible and latent fault arrivals, scrub-driven detection,
+//! repair, and correlation modelled as rate acceleration while any fault is
+//! outstanding — and estimates the mean time to data loss and mission loss
+//! probabilities directly, with confidence intervals.
+//!
+//! # Structure
+//!
+//! * [`config::SimConfig`] — the system being simulated (replica count, fault
+//!   and repair parameters, scrub schedule, correlation, loss threshold);
+//! * [`trial`] — one trial: run the system forward until data loss;
+//! * [`monte_carlo`] — many trials across threads, with estimators;
+//! * [`sweep`] — parameter sweeps producing the series used by experiments;
+//! * [`validate`] — side-by-side comparison with the closed-form model.
+//!
+//! # Example
+//!
+//! ```
+//! use ltds_sim::config::SimConfig;
+//! use ltds_sim::monte_carlo::MonteCarlo;
+//!
+//! // A deliberately fragile mirrored pair so the example runs fast.
+//! let config = SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(200.0), 1.0).unwrap();
+//! let estimate = MonteCarlo::new(config).trials(2000).seed(7).run();
+//! assert!(estimate.mttdl_hours.estimate > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod monte_carlo;
+pub mod replica;
+pub mod sweep;
+pub mod trial;
+pub mod validate;
+
+pub use config::SimConfig;
+pub use monte_carlo::{MonteCarlo, MttdlEstimate};
+pub use trial::{TrialOutcome, TrialRunner};
+pub use validate::{validate_against_model, ValidationReport};

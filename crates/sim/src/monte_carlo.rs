@@ -1,0 +1,231 @@
+//! Monte-Carlo estimation of MTTDL and mission loss probabilities.
+//!
+//! Trials are distributed over worker threads with `crossbeam::scope`; every
+//! trial gets its own deterministic RNG sub-stream, so the estimate for a
+//! given `(seed, trials)` pair is identical regardless of thread count.
+
+use crate::config::SimConfig;
+use crate::trial::TrialRunner;
+use ltds_stochastic::{ConfidenceInterval, ProportionEstimate, SimRng, StreamingStats};
+use serde::{Deserialize, Serialize};
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MttdlEstimate {
+    /// Number of trials that ended in data loss.
+    pub completed_trials: u64,
+    /// Number of trials censored at the time cap.
+    pub censored_trials: u64,
+    /// Mean time to data loss with a 95 % confidence interval (hours).
+    /// Censored trials are excluded from the mean, making it slightly
+    /// optimistic if censoring is common; [`MttdlEstimate::censoring_fraction`]
+    /// reports how much that matters.
+    pub mttdl_hours: ConfidenceInterval,
+    /// Mean number of faults processed per trial.
+    pub mean_faults_per_trial: f64,
+    /// Mean number of repairs completed per trial.
+    pub mean_repairs_per_trial: f64,
+    /// Loss times of every completed trial, in hours (used for empirical
+    /// mission-probability estimates). Sorted ascending.
+    loss_times: Vec<f64>,
+}
+
+impl MttdlEstimate {
+    /// Fraction of trials that were censored at the time cap.
+    pub fn censoring_fraction(&self) -> f64 {
+        let total = self.completed_trials + self.censored_trials;
+        if total == 0 {
+            0.0
+        } else {
+            self.censored_trials as f64 / total as f64
+        }
+    }
+
+    /// MTTDL point estimate in years.
+    pub fn mttdl_years(&self) -> f64 {
+        ltds_core::units::hours_to_years(self.mttdl_hours.estimate)
+    }
+
+    /// Empirical probability (with Wilson 95 % interval) that data is lost
+    /// within `mission_hours`. Censored trials count as surviving, which is
+    /// correct as long as the cap exceeds the mission length.
+    pub fn loss_probability_by(&self, mission_hours: f64) -> ConfidenceInterval {
+        let mut p = ProportionEstimate::new();
+        let lost =
+            self.loss_times.partition_point(|&t| t <= mission_hours) as u64;
+        let total = self.completed_trials + self.censored_trials;
+        p.record(lost, total);
+        p.confidence_interval(0.95)
+    }
+}
+
+/// Builder/driver for a Monte-Carlo run.
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    config: SimConfig,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+}
+
+impl MonteCarlo {
+    /// Creates a driver with defaults: 10 000 trials, seed 0, threads = CPUs.
+    pub fn new(config: SimConfig) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { config, trials: 10_000, seed: 0, threads }
+    }
+
+    /// Sets the number of trials.
+    pub fn trials(mut self, trials: u64) -> Self {
+        assert!(trials > 0, "at least one trial is required");
+        self.trials = trials;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the trials and collects the estimate.
+    pub fn run(&self) -> MttdlEstimate {
+        let runner = TrialRunner::new(self.config);
+        let master = SimRng::seed_from(self.seed);
+        let threads = self.threads.min(self.trials as usize).max(1);
+
+        // Partition trial indices across threads; results are merged
+        // deterministically because each trial's RNG depends only on its index.
+        let chunk = self.trials / threads as u64;
+        let remainder = self.trials % threads as u64;
+
+        let mut per_thread: Vec<(StreamingStats, Vec<f64>, u64, u64, u64)> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0u64;
+            for t in 0..threads as u64 {
+                let count = chunk + if t < remainder { 1 } else { 0 };
+                let range = start..start + count;
+                start += count;
+                let master = master.clone();
+                let runner = runner;
+                handles.push(scope.spawn(move |_| {
+                    let mut stats = StreamingStats::new();
+                    let mut losses = Vec::new();
+                    let mut censored = 0u64;
+                    let mut faults = 0u64;
+                    let mut repairs = 0u64;
+                    for index in range {
+                        let mut rng = master.fork(index);
+                        let outcome = runner.run(&mut rng);
+                        faults += outcome.faults;
+                        repairs += outcome.repairs;
+                        match outcome.loss_time_hours {
+                            Some(t) => {
+                                stats.push(t);
+                                losses.push(t);
+                            }
+                            None => censored += 1,
+                        }
+                    }
+                    (stats, losses, censored, faults, repairs)
+                }));
+            }
+            for h in handles {
+                per_thread.push(h.join().expect("simulation worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut stats = StreamingStats::new();
+        let mut loss_times = Vec::new();
+        let mut censored = 0u64;
+        let mut faults = 0u64;
+        let mut repairs = 0u64;
+        for (s, losses, c, f, r) in per_thread {
+            stats.merge(&s);
+            loss_times.extend(losses);
+            censored += c;
+            faults += f;
+            repairs += r;
+        }
+        loss_times.sort_by(|a, b| a.partial_cmp(b).expect("loss times are finite"));
+        let total = self.trials as f64;
+        MttdlEstimate {
+            completed_trials: stats.count(),
+            censored_trials: censored,
+            mttdl_hours: stats.confidence_interval(0.95),
+            mean_faults_per_trial: faults as f64 / total,
+            mean_repairs_per_trial: repairs as f64 / total,
+            loss_times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> SimConfig {
+        SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap()
+    }
+
+    #[test]
+    fn estimate_has_reasonable_shape() {
+        let est = MonteCarlo::new(fast_config()).trials(2000).seed(1).run();
+        assert_eq!(est.completed_trials + est.censored_trials, 2000);
+        assert_eq!(est.censored_trials, 0);
+        assert!(est.mttdl_hours.estimate > 0.0);
+        assert!(est.mttdl_hours.lower < est.mttdl_hours.upper);
+        assert!(est.mean_faults_per_trial >= 2.0);
+        assert!(est.mean_repairs_per_trial >= 0.0);
+        assert!(est.mttdl_years() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed_regardless_of_threads() {
+        let a = MonteCarlo::new(fast_config()).trials(500).seed(9).threads(1).run();
+        let b = MonteCarlo::new(fast_config()).trials(500).seed(9).threads(4).run();
+        assert_eq!(a.completed_trials, b.completed_trials);
+        assert!((a.mttdl_hours.estimate - b.mttdl_hours.estimate).abs() < 1e-9);
+        let c = MonteCarlo::new(fast_config()).trials(500).seed(10).threads(4).run();
+        assert_ne!(a.mttdl_hours.estimate, c.mttdl_hours.estimate);
+    }
+
+    #[test]
+    fn confidence_narrows_with_more_trials() {
+        let small = MonteCarlo::new(fast_config()).trials(300).seed(2).run();
+        let large = MonteCarlo::new(fast_config()).trials(4000).seed(2).run();
+        assert!(large.mttdl_hours.relative_half_width() < small.mttdl_hours.relative_half_width());
+    }
+
+    #[test]
+    fn loss_probability_is_monotone_in_mission_length() {
+        let est = MonteCarlo::new(fast_config()).trials(2000).seed(3).run();
+        let p_short = est.loss_probability_by(est.mttdl_hours.estimate * 0.1).estimate;
+        let p_long = est.loss_probability_by(est.mttdl_hours.estimate * 3.0).estimate;
+        assert!(p_short < p_long);
+        assert!(p_long > 0.9);
+        // Mission of length MTTDL should lose data with probability ~1 - 1/e.
+        let p_mttdl = est.loss_probability_by(est.mttdl_hours.estimate).estimate;
+        assert!((p_mttdl - 0.632).abs() < 0.06, "p at MTTDL {p_mttdl}");
+    }
+
+    #[test]
+    fn censoring_reported() {
+        let config = SimConfig::mirrored_disks(1.0e9, 1.0e9, 0.01, 0.01, Some(10.0), 1.0)
+            .unwrap()
+            .with_max_hours(100.0);
+        let est = MonteCarlo::new(config).trials(50).seed(4).run();
+        assert_eq!(est.censored_trials, 50);
+        assert_eq!(est.censoring_fraction(), 1.0);
+        assert_eq!(est.loss_probability_by(50.0).estimate, 0.0);
+    }
+}

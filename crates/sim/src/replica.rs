@@ -1,0 +1,99 @@
+//! Per-replica state machine.
+
+use ltds_core::fault::FaultClass;
+use serde::{Deserialize, Serialize};
+
+/// The state of one replica at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReplicaState {
+    /// Holding a correct copy of the data.
+    Intact,
+    /// Damaged (visibly or latently) and not yet repaired.
+    Faulty {
+        /// When the fault occurred.
+        since_hours: f64,
+        /// Class of the fault that broke the replica.
+        class: FaultClass,
+        /// When the fault will have been detected *and* repaired, restoring
+        /// the replica to `Intact` (provided an intact source still exists).
+        repaired_at_hours: f64,
+    },
+}
+
+impl ReplicaState {
+    /// Whether the replica currently holds a correct copy.
+    pub fn is_intact(&self) -> bool {
+        matches!(self, ReplicaState::Intact)
+    }
+
+    /// The scheduled repair-completion time, if faulty.
+    pub fn repaired_at(&self) -> Option<f64> {
+        match self {
+            ReplicaState::Intact => None,
+            ReplicaState::Faulty { repaired_at_hours, .. } => Some(*repaired_at_hours),
+        }
+    }
+
+    /// The class of the outstanding fault, if any.
+    pub fn fault_class(&self) -> Option<FaultClass> {
+        match self {
+            ReplicaState::Intact => None,
+            ReplicaState::Faulty { class, .. } => Some(*class),
+        }
+    }
+
+    /// Duration the replica has been faulty at time `now`, if faulty.
+    pub fn faulty_for(&self, now: f64) -> Option<f64> {
+        match self {
+            ReplicaState::Intact => None,
+            ReplicaState::Faulty { since_hours, .. } => Some(now - since_hours),
+        }
+    }
+}
+
+/// Counts the number of intact replicas in a slice of states.
+pub fn intact_count(states: &[ReplicaState]) -> usize {
+    states.iter().filter(|s| s.is_intact()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intact_queries() {
+        let s = ReplicaState::Intact;
+        assert!(s.is_intact());
+        assert_eq!(s.repaired_at(), None);
+        assert_eq!(s.fault_class(), None);
+        assert_eq!(s.faulty_for(10.0), None);
+    }
+
+    #[test]
+    fn faulty_queries() {
+        let s = ReplicaState::Faulty {
+            since_hours: 5.0,
+            class: FaultClass::Latent,
+            repaired_at_hours: 25.0,
+        };
+        assert!(!s.is_intact());
+        assert_eq!(s.repaired_at(), Some(25.0));
+        assert_eq!(s.fault_class(), Some(FaultClass::Latent));
+        assert_eq!(s.faulty_for(15.0), Some(10.0));
+    }
+
+    #[test]
+    fn counting() {
+        let states = [
+            ReplicaState::Intact,
+            ReplicaState::Faulty {
+                since_hours: 0.0,
+                class: FaultClass::Visible,
+                repaired_at_hours: 1.0,
+            },
+            ReplicaState::Intact,
+        ];
+        assert_eq!(intact_count(&states), 2);
+        assert_eq!(intact_count(&[]), 0);
+    }
+}

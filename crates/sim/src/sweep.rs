@@ -1,0 +1,149 @@
+//! Parameter sweeps: regenerate the figure-style series of the paper by
+//! simulation.
+
+use crate::config::SimConfig;
+use crate::monte_carlo::MonteCarlo;
+use ltds_core::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// One point of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Value of the swept parameter.
+    pub x: f64,
+    /// Simulated MTTDL in hours.
+    pub mttdl_hours: f64,
+    /// Half-width of the 95 % confidence interval in hours.
+    pub ci_half_width: f64,
+}
+
+/// Sweeps the scrub period (hours) for a mirrored pair and reports the
+/// simulated MTTDL at each point. A period of `f64::INFINITY` means "never
+/// scrub".
+pub fn scrub_period_sweep(
+    base: &SimConfig,
+    periods_hours: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    let mut out = Vec::with_capacity(periods_hours.len());
+    for (i, &period) in periods_hours.iter().enumerate() {
+        let scrub = if period.is_finite() { Some(period) } else { None };
+        let config = SimConfig::mirrored_disks(
+            base.mttf_visible_hours,
+            base.mttf_latent_hours,
+            base.repair_visible_hours,
+            base.repair_latent_hours,
+            scrub,
+            base.alpha,
+        )?
+        .with_max_hours(base.max_hours);
+        let est = MonteCarlo::new(config).trials(trials).seed(seed.wrapping_add(i as u64)).run();
+        out.push(SweepPoint {
+            x: period,
+            mttdl_hours: est.mttdl_hours.estimate,
+            ci_half_width: est.mttdl_hours.half_width(),
+        });
+    }
+    Ok(out)
+}
+
+/// Sweeps the replica count at a fixed correlation factor.
+pub fn replication_sweep(
+    base: &SimConfig,
+    replica_counts: &[usize],
+    alpha: f64,
+    trials: u64,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    let mut out = Vec::with_capacity(replica_counts.len());
+    for (i, &r) in replica_counts.iter().enumerate() {
+        let config = SimConfig::new(
+            r,
+            1,
+            base.mttf_visible_hours,
+            base.mttf_latent_hours,
+            base.repair_visible_hours,
+            base.repair_latent_hours,
+            base.detection,
+            alpha,
+        )?
+        .with_max_hours(base.max_hours);
+        let est = MonteCarlo::new(config).trials(trials).seed(seed.wrapping_add(i as u64)).run();
+        out.push(SweepPoint {
+            x: r as f64,
+            mttdl_hours: est.mttdl_hours.estimate,
+            ci_half_width: est.mttdl_hours.half_width(),
+        });
+    }
+    Ok(out)
+}
+
+/// Sweeps the correlation factor for a fixed configuration.
+pub fn alpha_sweep(
+    base: &SimConfig,
+    alphas: &[f64],
+    trials: u64,
+    seed: u64,
+) -> Result<Vec<SweepPoint>, ModelError> {
+    let mut out = Vec::with_capacity(alphas.len());
+    for (i, &alpha) in alphas.iter().enumerate() {
+        let config = SimConfig::new(
+            base.replicas,
+            base.min_intact,
+            base.mttf_visible_hours,
+            base.mttf_latent_hours,
+            base.repair_visible_hours,
+            base.repair_latent_hours,
+            base.detection,
+            alpha,
+        )?
+        .with_max_hours(base.max_hours);
+        let est = MonteCarlo::new(config).trials(trials).seed(seed.wrapping_add(i as u64)).run();
+        out.push(SweepPoint {
+            x: alpha,
+            mttdl_hours: est.mttdl_hours.estimate,
+            ci_half_width: est.mttdl_hours.half_width(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SimConfig {
+        SimConfig::mirrored_disks(2000.0, 2000.0, 5.0, 5.0, Some(100.0), 1.0).unwrap()
+    }
+
+    #[test]
+    fn scrub_sweep_shows_scrubbing_helps() {
+        let points =
+            scrub_period_sweep(&base(), &[20.0, 500.0, f64::INFINITY], 800, 1).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[0].mttdl_hours > points[1].mttdl_hours);
+        assert!(points[1].mttdl_hours > points[2].mttdl_hours);
+        assert!(points.iter().all(|p| p.ci_half_width > 0.0));
+    }
+
+    #[test]
+    fn replication_sweep_is_monotone() {
+        let points = replication_sweep(&base(), &[1, 2, 3], 1.0, 600, 2).unwrap();
+        assert_eq!(points.len(), 3);
+        assert!(points[1].mttdl_hours > points[0].mttdl_hours);
+        assert!(points[2].mttdl_hours > points[1].mttdl_hours);
+    }
+
+    #[test]
+    fn alpha_sweep_shows_correlation_hurting() {
+        let points = alpha_sweep(&base(), &[1.0, 0.05], 800, 3).unwrap();
+        assert!(points[0].mttdl_hours > points[1].mttdl_hours * 2.0);
+    }
+
+    #[test]
+    fn invalid_sweep_input_errors() {
+        assert!(replication_sweep(&base(), &[0], 1.0, 10, 1).is_err());
+        assert!(alpha_sweep(&base(), &[0.0], 10, 1).is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! A single simulation trial: run the replicated system forward until data
+//! loss (or a safety cap).
+//!
+//! The trial exploits the memorylessness of the fault processes: instead of a
+//! global event queue it keeps, per replica, the sampled time of its next
+//! fault and (if faulty) its repair-completion time, and always advances to
+//! the earliest of those. When the system's correlation state changes (a
+//! fault occurs or a repair completes), the pending fault times of intact
+//! replicas are resampled at the new rate, which is statistically exact for
+//! exponential inter-arrival times.
+
+use crate::config::{DetectionModel, SimConfig};
+use crate::replica::{intact_count, ReplicaState};
+use ltds_core::fault::FaultClass;
+use ltds_stochastic::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The result of one trial.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Time of data loss in hours, or `None` if the trial hit the safety cap
+    /// without losing data (censored).
+    pub loss_time_hours: Option<f64>,
+    /// Number of fault events processed.
+    pub faults: u64,
+    /// Number of repairs completed.
+    pub repairs: u64,
+    /// Class of the final fault that caused the loss, if any.
+    pub fatal_fault: Option<FaultClass>,
+}
+
+impl TrialOutcome {
+    /// Whether the trial ended in data loss.
+    pub fn lost_data(&self) -> bool {
+        self.loss_time_hours.is_some()
+    }
+}
+
+/// Runs trials for one configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrialRunner {
+    config: SimConfig,
+}
+
+impl TrialRunner {
+    /// Creates a runner for a configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Effective fault-rate multiplier given how many replicas are currently
+    /// faulty: `1` when none are, `1/alpha` when at least one is.
+    fn rate_multiplier(&self, faulty: usize) -> f64 {
+        if faulty == 0 {
+            1.0
+        } else {
+            1.0 / self.config.alpha
+        }
+    }
+
+    /// Samples the time (from `now`) of a replica's next fault of either
+    /// class, returning `(delay, class)`.
+    fn sample_next_fault(&self, rng: &mut SimRng, multiplier: f64) -> (f64, FaultClass) {
+        let visible = rng.exponential(self.config.mttf_visible_hours / multiplier);
+        let latent = rng.exponential(self.config.mttf_latent_hours / multiplier);
+        if visible <= latent {
+            (visible, FaultClass::Visible)
+        } else {
+            (latent, FaultClass::Latent)
+        }
+    }
+
+    /// Time at which a fault occurring at `t` of the given class will have
+    /// been detected and repaired.
+    fn repair_completion(&self, t: f64, class: FaultClass, rng: &mut SimRng) -> f64 {
+        match class {
+            FaultClass::Visible => t + self.config.repair_visible_hours,
+            FaultClass::Latent => {
+                let detected_at = match self.config.detection {
+                    DetectionModel::Never => f64::INFINITY,
+                    DetectionModel::PeriodicScrub { period_hours } => {
+                        (t / period_hours).floor() * period_hours + period_hours
+                    }
+                    DetectionModel::Exponential { mean_hours } => t + rng.exponential(mean_hours),
+                };
+                detected_at + self.config.repair_latent_hours
+            }
+        }
+    }
+
+    /// Runs a single trial with the given random stream.
+    pub fn run(&self, rng: &mut SimRng) -> TrialOutcome {
+        let n = self.config.replicas;
+        let loss_threshold = self.config.loss_threshold();
+        let mut states = vec![ReplicaState::Intact; n];
+        // Pending next-fault absolute times and classes for intact replicas.
+        let mut next_fault: Vec<(f64, FaultClass)> = Vec::with_capacity(n);
+        let multiplier = self.rate_multiplier(0);
+        for _ in 0..n {
+            let (d, c) = self.sample_next_fault(rng, multiplier);
+            next_fault.push((d, c));
+        }
+        let mut faults = 0u64;
+        let mut repairs = 0u64;
+
+        loop {
+            // Find the earliest pending event: a fault at an intact replica or
+            // a repair completion at a faulty one.
+            let mut best_time = f64::INFINITY;
+            let mut best_replica = usize::MAX;
+            let mut best_is_fault = true;
+            for i in 0..n {
+                match states[i] {
+                    ReplicaState::Intact => {
+                        let (t, _) = next_fault[i];
+                        if t < best_time {
+                            best_time = t;
+                            best_replica = i;
+                            best_is_fault = true;
+                        }
+                    }
+                    ReplicaState::Faulty { repaired_at_hours, .. } => {
+                        if repaired_at_hours < best_time {
+                            best_time = repaired_at_hours;
+                            best_replica = i;
+                            best_is_fault = false;
+                        }
+                    }
+                }
+            }
+
+            if best_time > self.config.max_hours || best_replica == usize::MAX {
+                return TrialOutcome { loss_time_hours: None, faults, repairs, fatal_fault: None };
+            }
+            let now = best_time;
+            let faulty_before = n - intact_count(&states);
+
+            if best_is_fault {
+                let (_, class) = next_fault[best_replica];
+                let repaired_at = self.repair_completion(now, class, rng);
+                states[best_replica] = ReplicaState::Faulty {
+                    since_hours: now,
+                    class,
+                    repaired_at_hours: repaired_at,
+                };
+                faults += 1;
+                let faulty_now = faulty_before + 1;
+                if faulty_now >= loss_threshold {
+                    return TrialOutcome {
+                        loss_time_hours: Some(now),
+                        faults,
+                        repairs,
+                        fatal_fault: Some(class),
+                    };
+                }
+                // Correlation state may have changed: resample pending faults
+                // for the remaining intact replicas at the accelerated rate.
+                if faulty_before == 0 && self.config.alpha < 1.0 {
+                    let m = self.rate_multiplier(faulty_now);
+                    for i in 0..n {
+                        if states[i].is_intact() {
+                            let (d, c) = self.sample_next_fault(rng, m);
+                            next_fault[i] = (now + d, c);
+                        }
+                    }
+                }
+            } else {
+                // Repair completes; replica returns to service with a fresh
+                // copy (an intact source must exist, otherwise the loss
+                // threshold would already have been crossed).
+                states[best_replica] = ReplicaState::Intact;
+                repairs += 1;
+                let faulty_now = faulty_before - 1;
+                let m = self.rate_multiplier(faulty_now);
+                // Sample the repaired replica's next fault, and if the system
+                // just became fault-free, de-accelerate the others.
+                let (d, c) = self.sample_next_fault(rng, m);
+                next_fault[best_replica] = (now + d, c);
+                if faulty_now == 0 && self.config.alpha < 1.0 {
+                    for i in 0..n {
+                        if i != best_replica && states[i].is_intact() {
+                            let (d, c) = self.sample_next_fault(rng, 1.0);
+                            next_fault[i] = (now + d, c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config(scrub: Option<f64>, alpha: f64) -> SimConfig {
+        // Deliberately small numbers so trials finish in microseconds.
+        SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, scrub, alpha).unwrap()
+    }
+
+    #[test]
+    fn trial_eventually_loses_data() {
+        let runner = TrialRunner::new(fast_config(Some(100.0), 1.0));
+        let mut rng = SimRng::seed_from(1);
+        let outcome = runner.run(&mut rng);
+        assert!(outcome.lost_data());
+        assert!(outcome.loss_time_hours.unwrap() > 0.0);
+        assert!(outcome.faults >= 2, "data loss requires at least two faults");
+        assert!(outcome.fatal_fault.is_some());
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let runner = TrialRunner::new(fast_config(Some(100.0), 1.0));
+        let a = runner.run(&mut SimRng::seed_from(42));
+        let b = runner.run(&mut SimRng::seed_from(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn censoring_at_the_time_cap() {
+        // A very reliable pair with a tiny time cap never loses data.
+        let config = SimConfig::mirrored_disks(1.0e9, 1.0e9, 0.01, 0.01, Some(10.0), 1.0)
+            .unwrap()
+            .with_max_hours(1000.0);
+        let runner = TrialRunner::new(config);
+        let outcome = runner.run(&mut SimRng::seed_from(3));
+        assert!(!outcome.lost_data());
+        assert_eq!(outcome.fatal_fault, None);
+    }
+
+    #[test]
+    fn never_detected_latent_faults_accumulate() {
+        // Without detection, the first latent fault stays open forever, so the
+        // trial ends at the next fault on the other replica: repairs can only
+        // have happened for visible faults.
+        let runner = TrialRunner::new(fast_config(None, 1.0));
+        let mut rng = SimRng::seed_from(5);
+        for _ in 0..50 {
+            let outcome = runner.run(&mut rng);
+            assert!(outcome.lost_data());
+        }
+    }
+
+    #[test]
+    fn correlation_accelerates_loss() {
+        let independent = TrialRunner::new(fast_config(Some(100.0), 1.0));
+        let correlated = TrialRunner::new(fast_config(Some(100.0), 0.01));
+        let mut sum_ind = 0.0;
+        let mut sum_cor = 0.0;
+        let trials = 400;
+        for i in 0..trials {
+            sum_ind += independent.run(&mut SimRng::seed_from(1000 + i)).loss_time_hours.unwrap();
+            sum_cor += correlated.run(&mut SimRng::seed_from(5000 + i)).loss_time_hours.unwrap();
+        }
+        assert!(
+            sum_cor < sum_ind / 3.0,
+            "correlated mean {} should be well below independent mean {}",
+            sum_cor / trials as f64,
+            sum_ind / trials as f64
+        );
+    }
+
+    #[test]
+    fn three_replicas_outlast_two() {
+        let two = SimConfig::mirrored_disks(1000.0, 1000.0, 20.0, 20.0, Some(40.0), 1.0).unwrap();
+        let three = SimConfig::new(
+            3,
+            1,
+            1000.0,
+            1000.0,
+            20.0,
+            20.0,
+            DetectionModel::PeriodicScrub { period_hours: 40.0 },
+            1.0,
+        )
+        .unwrap();
+        let mut sum2 = 0.0;
+        let mut sum3 = 0.0;
+        let trials = 300;
+        for i in 0..trials {
+            sum2 += TrialRunner::new(two).run(&mut SimRng::seed_from(i)).loss_time_hours.unwrap();
+            sum3 +=
+                TrialRunner::new(three).run(&mut SimRng::seed_from(10_000 + i)).loss_time_hours.unwrap();
+        }
+        assert!(sum3 > sum2 * 3.0, "r=3 mean {} vs r=2 mean {}", sum3 / 300.0, sum2 / 300.0);
+    }
+
+    #[test]
+    fn erasure_threshold_controls_loss() {
+        // 4 replicas needing 3 intact (tolerates 1 loss) dies much sooner than
+        // 4 replicas needing 1 intact (tolerates 3 losses).
+        let fragile =
+            SimConfig::new(4, 3, 1000.0, 1000.0, 50.0, 50.0, DetectionModel::Never, 1.0).unwrap();
+        let robust =
+            SimConfig::new(4, 1, 1000.0, 1000.0, 50.0, 50.0, DetectionModel::Never, 1.0).unwrap();
+        let mut sum_f = 0.0;
+        let mut sum_r = 0.0;
+        for i in 0..200 {
+            sum_f +=
+                TrialRunner::new(fragile).run(&mut SimRng::seed_from(i)).loss_time_hours.unwrap();
+            sum_r +=
+                TrialRunner::new(robust).run(&mut SimRng::seed_from(700 + i)).loss_time_hours.unwrap();
+        }
+        assert!(sum_r > sum_f);
+    }
+
+    #[test]
+    fn scrubbing_extends_life() {
+        let unscrubbed = TrialRunner::new(fast_config(None, 1.0));
+        let scrubbed = TrialRunner::new(fast_config(Some(50.0), 1.0));
+        let mut sum_u = 0.0;
+        let mut sum_s = 0.0;
+        for i in 0..400 {
+            sum_u += unscrubbed.run(&mut SimRng::seed_from(i)).loss_time_hours.unwrap();
+            sum_s += scrubbed.run(&mut SimRng::seed_from(20_000 + i)).loss_time_hours.unwrap();
+        }
+        assert!(sum_s > sum_u * 2.0, "scrubbed {} vs unscrubbed {}", sum_s / 400.0, sum_u / 400.0);
+    }
+}

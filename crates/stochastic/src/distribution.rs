@@ -1,0 +1,566 @@
+//! Lifetime and repair-time distributions.
+//!
+//! All distributions are over non-negative times (hours in the rest of the
+//! workspace, but the unit is irrelevant here). Each provides sampling, an
+//! analytic mean, a CDF, and a hazard rate where meaningful.
+
+use crate::rng::SimRng;
+
+/// A probability distribution over non-negative reals.
+///
+/// Implementations must be cheap to copy; simulators keep one per fault
+/// process and sample millions of deviates per run.
+pub trait Distribution: std::fmt::Debug + Send + Sync {
+    /// Draws a single sample.
+    fn sample(&self, rng: &mut SimRng) -> f64;
+
+    /// The analytic mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Cumulative distribution function `P(X <= t)`.
+    fn cdf(&self, t: f64) -> f64;
+
+    /// Survival function `P(X > t)`; defaults to `1 - cdf(t)`.
+    fn survival(&self, t: f64) -> f64 {
+        1.0 - self.cdf(t)
+    }
+
+    /// Instantaneous hazard rate at time `t`, if defined.
+    fn hazard(&self, t: f64) -> Option<f64> {
+        let s = self.survival(t);
+        if s <= 0.0 {
+            return None;
+        }
+        // Numerical derivative of the CDF as a generic fallback.
+        let dt = (t.abs().max(1.0)) * 1e-6;
+        let dp = self.cdf(t + dt) - self.cdf(t);
+        Some((dp / dt) / s)
+    }
+}
+
+/// The memoryless exponential distribution used throughout the paper
+/// (Equation 1: `P(t) = 1 - e^{-t/MTTF}`).
+///
+/// # Examples
+///
+/// ```
+/// use ltds_stochastic::{Distribution, Exponential};
+///
+/// let d = Exponential::with_mean(1000.0);
+/// assert!((d.mean() - 1000.0).abs() < 1e-12);
+/// assert!((d.cdf(1000.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given mean (MTTF).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        Self { mean }
+    }
+
+    /// Creates an exponential distribution from a rate `λ = 1 / mean`.
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "exponential rate must be positive and finite, got {rate}"
+        );
+        Self { mean: 1.0 / rate }
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.mean
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.exponential(self.mean)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-t / self.mean).exp()
+        }
+    }
+
+    fn hazard(&self, _t: f64) -> Option<f64> {
+        Some(self.rate())
+    }
+}
+
+/// A point mass: always returns the same value.
+///
+/// Used for deterministic repair times and scheduled events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a point-mass distribution at `value` (must be non-negative).
+    pub fn at(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "deterministic value must be non-negative, got {value}"
+        );
+        Self { value }
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut SimRng) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Uniform distribution on `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, or either bound is negative or non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "uniform bounds must be finite");
+        assert!(lo >= 0.0 && hi >= lo, "uniform requires 0 <= lo <= hi, got [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform_range(self.lo, self.hi)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= self.lo {
+            0.0
+        } else if t >= self.hi {
+            1.0
+        } else {
+            (t - self.lo) / (self.hi - self.lo)
+        }
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `λ`.
+///
+/// `k < 1` models infant mortality (decreasing hazard), `k = 1` is
+/// exponential, and `k > 1` models wear-out (increasing hazard).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution with the given shape and scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is not strictly positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape.is_finite() && shape > 0.0, "Weibull shape must be positive");
+        assert!(scale.is_finite() && scale > 0.0, "Weibull scale must be positive");
+        Self { shape, scale }
+    }
+
+    /// Creates a Weibull with the given shape whose *mean* equals `mean`.
+    pub fn with_mean(shape: f64, mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "Weibull mean must be positive");
+        let scale = mean / gamma(1.0 + 1.0 / shape);
+        Self::new(shape, scale)
+    }
+
+    /// The shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        // Inverse CDF: t = λ (-ln U)^{1/k}.
+        let u = rng.open01();
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(t / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn hazard(&self, t: f64) -> Option<f64> {
+        if t < 0.0 {
+            return Some(0.0);
+        }
+        let t = t.max(1e-300);
+        Some(self.shape / self.scale * (t / self.scale).powf(self.shape - 1.0))
+    }
+}
+
+/// Log-normal distribution parameterised by the underlying normal's `(mu, sigma)`.
+///
+/// Commonly used for repair times with occasional very long outliers
+/// (e.g. waiting for an operator or an off-site tape retrieval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the underlying normal parameters.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "LogNormal mu must be finite");
+        assert!(sigma.is_finite() && sigma > 0.0, "LogNormal sigma must be positive");
+        Self { mu, sigma }
+    }
+
+    /// Creates a log-normal with the given arithmetic mean and coefficient of
+    /// variation (`cv = std-dev / mean`).
+    pub fn with_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "LogNormal mean must be positive");
+        assert!(cv.is_finite() && cv > 0.0, "LogNormal cv must be positive");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - 0.5 * sigma2;
+        Self::new(mu, sigma2.sqrt())
+    }
+}
+
+impl Distribution for LogNormal {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        (self.mu + self.sigma * rng.standard_normal()).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            0.5 * (1.0 + erf((t.ln() - self.mu) / (self.sigma * std::f64::consts::SQRT_2)))
+        }
+    }
+}
+
+/// A "bathtub" lifetime: competing risks of infant mortality (Weibull `k < 1`),
+/// a constant random-failure floor (exponential), and wear-out (Weibull `k > 1`).
+///
+/// The sampled lifetime is the minimum of the three phase lifetimes, which is
+/// how disk-population hazard curves are usually modelled (Gibson 1991).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bathtub {
+    infant: Weibull,
+    random: Exponential,
+    wearout: Weibull,
+}
+
+impl Bathtub {
+    /// Creates a bathtub lifetime from its three competing phases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `infant` does not have shape < 1 or `wearout` shape > 1.
+    pub fn new(infant: Weibull, random: Exponential, wearout: Weibull) -> Self {
+        assert!(infant.shape() < 1.0, "infant-mortality phase must have shape < 1");
+        assert!(wearout.shape() > 1.0, "wear-out phase must have shape > 1");
+        Self { infant, random, wearout }
+    }
+
+    /// A representative consumer-disk bathtub: noticeable infant mortality,
+    /// a constant floor at `mttf_hours`, and wear-out centred on
+    /// `wearout_hours`.
+    pub fn typical_disk(mttf_hours: f64, wearout_hours: f64) -> Self {
+        Self::new(
+            Weibull::new(0.6, mttf_hours * 8.0),
+            Exponential::with_mean(mttf_hours),
+            Weibull::new(3.0, wearout_hours),
+        )
+    }
+}
+
+impl Distribution for Bathtub {
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        let a = self.infant.sample(rng);
+        let b = self.random.sample(rng);
+        let c = self.wearout.sample(rng);
+        a.min(b).min(c)
+    }
+
+    fn mean(&self) -> f64 {
+        // No closed form; integrate the survival function numerically.
+        // S(t) = S_i(t) S_r(t) S_w(t); integrate by adaptive trapezoid on a
+        // log-spaced grid out to where survival is negligible.
+        let mut total = 0.0;
+        let mut t_prev = 0.0;
+        let mut s_prev: f64 = 1.0;
+        let horizon = self.random.mean().max(self.wearout.mean()) * 20.0;
+        let steps = 20_000;
+        for i in 1..=steps {
+            let t = horizon * i as f64 / steps as f64;
+            let s = self.survival(t);
+            total += 0.5 * (s_prev + s) * (t - t_prev);
+            t_prev = t;
+            s_prev = s;
+            if s < 1e-12 {
+                break;
+            }
+        }
+        total
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        1.0 - self.survival(t)
+    }
+
+    fn survival(&self, t: f64) -> f64 {
+        self.infant.survival(t) * self.random.survival(t) * self.wearout.survival(t)
+    }
+
+    fn hazard(&self, t: f64) -> Option<f64> {
+        let hi = self.infant.hazard(t)?;
+        let hr = self.random.hazard(t)?;
+        let hw = self.wearout.hazard(t)?;
+        Some(hi + hr + hw)
+    }
+}
+
+/// Lanczos approximation of the gamma function, sufficient for Weibull means.
+fn gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Numerical Recipes style).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26), max error ~1.5e-7.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mean<D: Distribution>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = SimRng::seed_from(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-9);
+        assert!((gamma(4.0) - 6.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 2e-7, "A&S 7.1.26 max error is ~1.5e-7");
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exponential_cdf_and_mean() {
+        let d = Exponential::with_mean(100.0);
+        assert!((d.mean() - 100.0).abs() < 1e-12);
+        assert!((d.cdf(100.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.hazard(5.0).unwrap() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_sample_mean_close() {
+        let d = Exponential::with_mean(42.0);
+        let m = sample_mean(&d, 40_000, 1);
+        assert!((m - 42.0).abs() / 42.0 < 0.03, "mean {m}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    fn deterministic_behaviour() {
+        let d = Deterministic::at(3.5);
+        let mut rng = SimRng::seed_from(2);
+        assert_eq!(d.sample(&mut rng), 3.5);
+        assert_eq!(d.mean(), 3.5);
+        assert_eq!(d.cdf(3.4), 0.0);
+        assert_eq!(d.cdf(3.5), 1.0);
+    }
+
+    #[test]
+    fn uniform_mean_and_cdf() {
+        let d = Uniform::new(2.0, 6.0);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.cdf(4.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.cdf(1.0), 0.0);
+        assert_eq!(d.cdf(7.0), 1.0);
+        let m = sample_mean(&d, 20_000, 3);
+        assert!((m - 4.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 500.0);
+        let e = Exponential::with_mean(500.0);
+        for t in [1.0, 10.0, 100.0, 1000.0] {
+            assert!((w.cdf(t) - e.cdf(t)).abs() < 1e-12);
+        }
+        assert!((w.mean() - 500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weibull_with_mean_hits_mean() {
+        for shape in [0.7, 1.5, 3.0] {
+            let w = Weibull::with_mean(shape, 1000.0);
+            assert!((w.mean() - 1000.0).abs() < 1e-6, "shape {shape}");
+            let m = sample_mean(&w, 60_000, 4);
+            assert!((m - 1000.0).abs() / 1000.0 < 0.05, "shape {shape} sample mean {m}");
+        }
+    }
+
+    #[test]
+    fn weibull_hazard_monotonicity() {
+        let wearout = Weibull::new(3.0, 100.0);
+        let infant = Weibull::new(0.5, 100.0);
+        assert!(wearout.hazard(10.0).unwrap() < wearout.hazard(50.0).unwrap());
+        assert!(infant.hazard(10.0).unwrap() > infant.hazard(50.0).unwrap());
+    }
+
+    #[test]
+    fn lognormal_mean_matches() {
+        let d = LogNormal::with_mean_cv(10.0, 0.5);
+        assert!((d.mean() - 10.0).abs() < 1e-9);
+        let m = sample_mean(&d, 60_000, 5);
+        assert!((m - 10.0).abs() / 10.0 < 0.05, "sample mean {m}");
+    }
+
+    #[test]
+    fn lognormal_cdf_median() {
+        let d = LogNormal::new(2.0, 0.75);
+        // Median of a log-normal is exp(mu).
+        let median = (2.0f64).exp();
+        assert!((d.cdf(median) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn bathtub_survival_product() {
+        let b = Bathtub::typical_disk(1.0e5, 5.0e4);
+        let t = 1.0e4;
+        let expected = b.infant.survival(t) * b.random.survival(t) * b.wearout.survival(t);
+        assert!((b.survival(t) - expected).abs() < 1e-12);
+        assert!(b.cdf(t) > 0.0 && b.cdf(t) < 1.0);
+    }
+
+    #[test]
+    fn bathtub_mean_is_below_constant_floor() {
+        // Competing risks can only shorten life relative to the exponential floor.
+        let b = Bathtub::typical_disk(1.0e5, 5.0e4);
+        let mean = b.mean();
+        assert!(mean < 1.0e5);
+        assert!(mean > 1.0e3);
+        let m = sample_mean(&b, 20_000, 6);
+        assert!((m - mean).abs() / mean < 0.1, "sample {m} vs analytic {mean}");
+    }
+
+    #[test]
+    fn bathtub_hazard_is_u_shaped() {
+        let b = Bathtub::typical_disk(1.0e5, 5.0e4);
+        let early = b.hazard(10.0).unwrap();
+        let mid = b.hazard(2.0e4).unwrap();
+        let late = b.hazard(6.0e4).unwrap();
+        assert!(early > mid, "infant mortality should dominate early ({early} vs {mid})");
+        assert!(late > mid, "wear-out should dominate late ({late} vs {mid})");
+    }
+}

@@ -1,0 +1,225 @@
+//! Renewal and Poisson event-stream generation.
+//!
+//! A fault process in the simulator is a renewal process: inter-arrival times
+//! are drawn i.i.d. from a [`Distribution`]. With an exponential inter-arrival
+//! distribution this is a Poisson process, matching the paper's memoryless
+//! assumption (§5.2).
+
+use crate::distribution::Distribution;
+use crate::rng::SimRng;
+
+/// A renewal process producing an increasing sequence of event times.
+#[derive(Debug)]
+pub struct RenewalProcess<D: Distribution> {
+    interarrival: D,
+    now: f64,
+}
+
+impl<D: Distribution> RenewalProcess<D> {
+    /// Creates a renewal process starting at time `start`.
+    pub fn new(interarrival: D, start: f64) -> Self {
+        assert!(start.is_finite() && start >= 0.0, "start must be non-negative");
+        Self { interarrival, now: start }
+    }
+
+    /// Current position of the process (time of the last generated event, or
+    /// the start time if none has been generated yet).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The mean inter-arrival time.
+    pub fn mean_interarrival(&self) -> f64 {
+        self.interarrival.mean()
+    }
+
+    /// Generates the next event time and advances the process.
+    pub fn next_event(&mut self, rng: &mut SimRng) -> f64 {
+        self.now += self.interarrival.sample(rng);
+        self.now
+    }
+
+    /// Generates all events strictly before `horizon`, advancing the process.
+    pub fn events_until(&mut self, horizon: f64, rng: &mut SimRng) -> Vec<f64> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.now + self.interarrival.sample(rng);
+            if t >= horizon {
+                // Do not advance past the horizon; the partial interval is
+                // discarded, which is correct for memoryless processes and a
+                // documented approximation otherwise.
+                break;
+            }
+            self.now = t;
+            out.push(t);
+        }
+        out
+    }
+
+    /// Resets the process to a new start time.
+    pub fn reset(&mut self, start: f64) {
+        assert!(start.is_finite() && start >= 0.0, "start must be non-negative");
+        self.now = start;
+    }
+}
+
+/// A finite, pre-materialised stream of event times (always sorted).
+///
+/// Used by fault injectors that need to schedule deterministic events
+/// (e.g. "site disaster at year 12") alongside stochastic ones.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventStream {
+    times: Vec<f64>,
+}
+
+impl EventStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a stream from arbitrary times (sorted internally).
+    pub fn from_times(mut times: Vec<f64>) -> Self {
+        assert!(
+            times.iter().all(|t| t.is_finite() && *t >= 0.0),
+            "event times must be finite and non-negative"
+        );
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after validation"));
+        Self { times }
+    }
+
+    /// Generates a stream by sampling a renewal process up to `horizon`.
+    pub fn from_renewal<D: Distribution>(
+        interarrival: D,
+        horizon: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        let mut p = RenewalProcess::new(interarrival, 0.0);
+        Self { times: p.events_until(horizon, rng) }
+    }
+
+    /// Number of events in the stream.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the stream has no events.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The sorted event times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Adds a single event, keeping the stream sorted.
+    pub fn push(&mut self, t: f64) {
+        assert!(t.is_finite() && t >= 0.0, "event time must be finite and non-negative");
+        let idx = self.times.partition_point(|&x| x <= t);
+        self.times.insert(idx, t);
+    }
+
+    /// Merges two streams into a new sorted stream.
+    pub fn merge(&self, other: &EventStream) -> EventStream {
+        let mut times = Vec::with_capacity(self.len() + other.len());
+        times.extend_from_slice(&self.times);
+        times.extend_from_slice(&other.times);
+        EventStream::from_times(times)
+    }
+
+    /// Number of events in the half-open window `[from, to)`.
+    pub fn count_in(&self, from: f64, to: f64) -> usize {
+        let lo = self.times.partition_point(|&x| x < from);
+        let hi = self.times.partition_point(|&x| x < to);
+        hi - lo
+    }
+
+    /// First event at or after `t`, if any.
+    pub fn next_at_or_after(&self, t: f64) -> Option<f64> {
+        let idx = self.times.partition_point(|&x| x < t);
+        self.times.get(idx).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{Deterministic, Exponential};
+
+    #[test]
+    fn renewal_with_deterministic_interarrival() {
+        let mut p = RenewalProcess::new(Deterministic::at(10.0), 0.0);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(p.next_event(&mut rng), 10.0);
+        assert_eq!(p.next_event(&mut rng), 20.0);
+        let more = p.events_until(65.0, &mut rng);
+        assert_eq!(more, vec![30.0, 40.0, 50.0, 60.0]);
+        assert_eq!(p.now(), 60.0);
+    }
+
+    #[test]
+    fn renewal_poisson_count_close_to_rate() {
+        // A Poisson process with mean inter-arrival 2.0 over horizon 10 000
+        // should produce about 5 000 events.
+        let mut p = RenewalProcess::new(Exponential::with_mean(2.0), 0.0);
+        let mut rng = SimRng::seed_from(2);
+        let events = p.events_until(10_000.0, &mut rng);
+        let n = events.len() as f64;
+        assert!((n - 5_000.0).abs() < 300.0, "event count {n}");
+        // Events must be strictly increasing.
+        assert!(events.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn renewal_reset() {
+        let mut p = RenewalProcess::new(Deterministic::at(5.0), 0.0);
+        let mut rng = SimRng::seed_from(3);
+        let _ = p.next_event(&mut rng);
+        p.reset(100.0);
+        assert_eq!(p.next_event(&mut rng), 105.0);
+    }
+
+    #[test]
+    fn event_stream_sorting_and_queries() {
+        let s = EventStream::from_times(vec![5.0, 1.0, 3.0, 9.0]);
+        assert_eq!(s.times(), &[1.0, 3.0, 5.0, 9.0]);
+        assert_eq!(s.count_in(0.0, 4.0), 2);
+        assert_eq!(s.count_in(3.0, 9.0), 2);
+        assert_eq!(s.next_at_or_after(4.0), Some(5.0));
+        assert_eq!(s.next_at_or_after(9.5), None);
+    }
+
+    #[test]
+    fn event_stream_push_keeps_sorted() {
+        let mut s = EventStream::from_times(vec![1.0, 5.0]);
+        s.push(3.0);
+        s.push(0.5);
+        s.push(6.0);
+        assert_eq!(s.times(), &[0.5, 1.0, 3.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn event_stream_merge() {
+        let a = EventStream::from_times(vec![1.0, 4.0]);
+        let b = EventStream::from_times(vec![2.0, 3.0]);
+        let m = a.merge(&b);
+        assert_eq!(m.times(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.len(), 4);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn from_renewal_respects_horizon() {
+        let mut rng = SimRng::seed_from(4);
+        let s = EventStream::from_renewal(Exponential::with_mean(1.0), 50.0, &mut rng);
+        assert!(s.times().iter().all(|&t| t < 50.0));
+        assert!(s.len() > 20, "expected a few dozen events, got {}", s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_event_time_rejected() {
+        let _ = EventStream::from_times(vec![-1.0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! A simple fixed-bin histogram for summarising Monte-Carlo samples.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram with uniformly sized bins over `[lo, hi)` plus overflow and
+/// underflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use ltds_stochastic::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10);
+/// h.record(0.5);
+/// h.record(9.9);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_count(0), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "histogram requires hi > lo");
+        assert!(bins > 0, "histogram requires at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of samples recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of samples at or above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in bin `i`.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Fraction of in-range samples at or below the upper edge of bin `i`
+    /// (an empirical CDF over the histogram range).
+    pub fn cumulative_fraction(&self, i: usize) -> f64 {
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return 0.0;
+        }
+        let cum: u64 = self.bins[..=i].iter().sum();
+        cum as f64 / in_range as f64
+    }
+
+    /// Approximate quantile `q` (0..1) from the histogram, using the bin
+    /// midpoints. Returns `None` if no in-range samples were recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let in_range: u64 = self.bins.iter().sum();
+        if in_range == 0 {
+            return None;
+        }
+        let target = (q * in_range as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let (lo, hi) = self.bin_edges(i);
+                return Some(0.5 * (lo + hi));
+            }
+        }
+        let (lo, hi) = self.bin_edges(self.bins.len() - 1);
+        Some(0.5 * (lo + hi))
+    }
+
+    /// Renders a compact ASCII bar chart, mainly for example binaries.
+    pub fn ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar_len = (c as f64 / max as f64 * width as f64).round() as usize;
+            out.push_str(&format!(
+                "[{lo:>12.2}, {hi:>12.2}) |{:<width$}| {c}\n",
+                "#".repeat(bar_len),
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_expected_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.record(0.0);
+        h.record(1.9);
+        h.record(2.0);
+        h.record(9.999);
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(4), 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(1.0, 2.0, 4);
+        h.record(0.5);
+        h.record(2.0);
+        h.record(100.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn bin_edges_cover_range() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_edges(0), (0.0, 25.0));
+        assert_eq!(h.bin_edges(3), (75.0, 100.0));
+        assert_eq!(h.num_bins(), 4);
+    }
+
+    #[test]
+    fn cumulative_and_quantile() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..100 {
+            h.record(i as f64 / 10.0);
+        }
+        assert!((h.cumulative_fraction(4) - 0.5).abs() < 1e-9);
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 4.5).abs() <= 0.5 + 1e-9, "median {median}");
+        assert!(h.quantile(0.0).is_some());
+        assert!(h.quantile(1.0).unwrap() > median);
+    }
+
+    #[test]
+    fn quantile_on_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert!(h.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn ascii_renders_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        h.record(0.5);
+        h.record(1.5);
+        h.record(1.6);
+        let art = h.ascii(10);
+        assert_eq!(art.lines().count(), 3);
+        assert!(art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "hi > lo")]
+    fn invalid_range_panics() {
+        let _ = Histogram::new(5.0, 5.0, 3);
+    }
+}

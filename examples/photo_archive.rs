@@ -1,0 +1,69 @@
+//! A consumer photo-sharing archive (the paper's motivating Ofoto/Snapfish
+//! scenario): run a three-site archive for twenty simulated years under
+//! end-to-end fault pressure and compare operating policies.
+//!
+//! ```text
+//! cargo run --example photo_archive
+//! ```
+
+use ltds::archive::archive::RepairMode;
+use ltds::archive::injection::ArchiveFaultInjector;
+use ltds::archive::run::{run_campaign, CampaignConfig};
+use ltds::core::units::Hours;
+
+fn campaign(label: &str, scrub_period: Hours, repair: RepairMode) {
+    let config = CampaignConfig {
+        objects: 300,
+        object_size: 4096,
+        years: 20.0,
+        step_hours: 730.0,
+        seed: 1975,
+        faults: ArchiveFaultInjector::aggressive(),
+        archive: ltds::archive::archive::ArchiveConfig {
+            node_names: vec!["colo-east".into(), "colo-west".into(), "campus-tape-room".into()],
+            scrub_period,
+            repair_mode: repair,
+        },
+    };
+    let report = run_campaign(&config);
+    println!(
+        "  {label:<42} survived {:>5.1}%   lost {:>3} of {:>3} photos   residual damage {:>4}   repairs {:>5}",
+        report.survival_fraction() * 100.0,
+        report.objects_lost,
+        report.objects,
+        report.residual_damage,
+        report.stats.repairs
+    );
+}
+
+fn main() {
+    println!(
+        "Twenty years of a 300-photo collection across three sites, aggressive fault pressure\n\
+         (bit rot, accidental deletions, occasional wipes and outages):\n"
+    );
+    campaign(
+        "quarterly scrub + automated peer repair",
+        Hours::new(2190.0),
+        RepairMode::ChecksumVerifiedPeer,
+    );
+    campaign(
+        "quarterly scrub + majority-vote repair",
+        Hours::new(2190.0),
+        RepairMode::MajorityVote,
+    );
+    campaign(
+        "yearly scrub + automated peer repair",
+        Hours::from_years(1.0),
+        RepairMode::ChecksumVerifiedPeer,
+    );
+    campaign(
+        "scrubbed once a decade + repair",
+        Hours::from_years(10.0),
+        RepairMode::ChecksumVerifiedPeer,
+    );
+    campaign("quarterly scrub, detect only (no repair)", Hours::new(2190.0), RepairMode::DetectOnly);
+    println!(
+        "\nThe ranking matches the model: detection latency and automated repair dominate the\n\
+         outcome; without them damage accumulates until photos are unrecoverable."
+    );
+}

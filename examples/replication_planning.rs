@@ -1,0 +1,84 @@
+//! Replication planning for an institutional repository: how many replicas,
+//! how independent, on which drives, and at what cost?
+//!
+//! Answers the paper's §1 question list with the toolkit: disk vs tape,
+//! consumer vs enterprise drives, replication vs independence.
+//!
+//! ```text
+//! cargo run --example replication_planning
+//! ```
+
+use ltds::core::replication::{mttdl_replicated, replicas_for_target, required_alpha};
+use ltds::core::units::{hours_to_years, Hours};
+use ltds::devices::catalog::{barracuda_st3200822a, cheetah_15k4};
+use ltds::devices::cost::{CostPlan, OperatingCosts};
+use ltds::replication::independence::{DiversityDimension, DiversityProfile};
+
+fn main() {
+    let collection_bytes = 10.0e12; // a 10 TB institutional collection
+    let mission_years = 50.0;
+    let target_mttdl = Hours::from_years(50_000.0); // ~0.1% loss over the mission
+
+    println!("Planning a 10 TB collection for a {mission_years}-year mission.\n");
+
+    // 1. Drive choice: the enterprise premium vs extra consumer replicas.
+    let consumer = barracuda_st3200822a();
+    let enterprise = cheetah_15k4();
+    for (label, drive) in [("consumer (Barracuda)", &consumer), ("enterprise (Cheetah)", &enterprise)] {
+        let plan = CostPlan {
+            collection_bytes,
+            replicas: 3,
+            drive: (*drive).clone(),
+            operating: OperatingCosts::online_disk_defaults(),
+        };
+        println!(
+            "  3 replicas on {label:<24} acquisition ${:>10.0}   10-year TCO ${:>10.0}",
+            plan.acquisition_cost(),
+            plan.total_cost_of_ownership(10.0)
+        );
+    }
+
+    // 2. How many replicas reach the target, at two levels of independence?
+    let mv = enterprise.mttf_visible();
+    let mrv = Hours::from_minutes(20.0);
+    for (label, alpha) in [("fully independent sites (alpha = 1)", 1.0), ("shared machine room (alpha = 1e-5)", 1.0e-5)] {
+        match replicas_for_target(mv, mrv, alpha, target_mttdl).expect("valid parameters") {
+            Some(r) => {
+                let achieved = mttdl_replicated(mv, mrv, r, alpha).expect("valid");
+                println!(
+                    "  {label:<40} -> {r} replicas reach the target (MTTDL {:.0} years)",
+                    hours_to_years(achieved)
+                );
+            }
+            None => println!("  {label:<40} -> NO number of replicas reaches the target"),
+        }
+    }
+
+    // 3. How independent do three replicas have to be?
+    if let Some(alpha_needed) =
+        required_alpha(mv, mrv, 3, target_mttdl).expect("valid parameters")
+    {
+        println!("\n  Three replicas need alpha >= {alpha_needed:.2e} to reach the target.");
+    }
+
+    // 4. What does a concrete deployment deliver, and what is its weakest link?
+    let mut deployment = DiversityProfile::single_machine_room();
+    println!(
+        "\n  Single-machine-room deployment: alpha = {:.2e}, weakest link: {}",
+        deployment.alpha(),
+        deployment.weakest_dimension().name()
+    );
+    deployment.set(DiversityDimension::GeographicLocation, 1.0).expect("valid score");
+    deployment.set(DiversityDimension::Administration, 1.0).expect("valid score");
+    deployment.set(DiversityDimension::Software, 0.8).expect("valid score");
+    println!(
+        "  After separating sites, admins and software stacks: alpha = {:.2e}, weakest link: {}",
+        deployment.alpha(),
+        deployment.weakest_dimension().name()
+    );
+    let final_mttdl = mttdl_replicated(mv, mrv, 3, deployment.alpha()).expect("valid");
+    println!(
+        "  Three replicas at that independence level: MTTDL {:.0} years",
+        hours_to_years(final_mttdl)
+    );
+}

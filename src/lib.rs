@@ -1,0 +1,40 @@
+//! `ltds` — long-term digital storage reliability toolkit.
+//!
+//! This facade crate re-exports the whole workspace behind one dependency,
+//! which is what the examples and integration tests use. The pieces:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `ltds-core` | The paper's analytic reliability model (Equations 1–12), threat taxonomy, strategies |
+//! | [`stochastic`] | `ltds-stochastic` | Distributions, RNG, estimators |
+//! | [`devices`] | `ltds-devices` | Drive catalogue, bit-error/cost/media models |
+//! | [`faults`] | `ltds-faults` | Threat profiles, fault injectors, correlation structure |
+//! | [`scrub`] | `ltds-scrub` | Audit strategies, checksum and voting auditors |
+//! | [`repair`] | `ltds-repair` | Repair strategies and repair-induced risk |
+//! | [`replication`] | `ltds-replication` | Replication configs, diversity → α mapping |
+//! | [`sim`] | `ltds-sim` | Discrete-event Monte-Carlo simulator |
+//! | [`archive`] | `ltds-archive` | Miniature replicated archival store |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ltds::core::{mttdl, presets, units};
+//!
+//! // The paper's scrubbed-mirror scenario: ~6100 years MTTDL.
+//! let params = presets::cheetah_mirror_scrubbed();
+//! let years = units::hours_to_years(mttdl::mttdl_latent_dominated(&params));
+//! assert!(years > 6000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ltds_archive as archive;
+pub use ltds_core as core;
+pub use ltds_devices as devices;
+pub use ltds_faults as faults;
+pub use ltds_repair as repair;
+pub use ltds_replication as replication;
+pub use ltds_scrub as scrub;
+pub use ltds_sim as sim;
+pub use ltds_stochastic as stochastic;

@@ -1,0 +1,97 @@
+//! Integration test: the archival substrate preserves data under fault
+//! pressure when (and only when) it follows the paper's strategy advice.
+
+use ltds::archive::archive::{Archive, ArchiveConfig, RepairMode};
+use ltds::archive::injection::ArchiveFaultInjector;
+use ltds::archive::run::{run_campaign, CampaignConfig};
+use ltds::core::units::Hours;
+use ltds::stochastic::SimRng;
+
+#[test]
+fn well_run_archive_preserves_a_collection_for_a_decade() {
+    let config = CampaignConfig {
+        objects: 150,
+        object_size: 2048,
+        years: 10.0,
+        step_hours: 730.0,
+        seed: 7,
+        faults: ArchiveFaultInjector::moderate(),
+        archive: ArchiveConfig::default_three_node(),
+    };
+    let report = run_campaign(&config);
+    assert_eq!(report.objects_lost, 0, "{report:?}");
+    assert!(report.stats.repairs > 0);
+    assert!(report.injected_bit_flips > 0);
+}
+
+#[test]
+fn strategy_ablation_matches_model_ranking() {
+    let mut base = CampaignConfig {
+        objects: 120,
+        object_size: 1024,
+        years: 10.0,
+        step_hours: 730.0,
+        seed: 99,
+        faults: ArchiveFaultInjector::aggressive(),
+        archive: ArchiveConfig::default_three_node(),
+    };
+    base.archive.scrub_period = Hours::new(2190.0);
+
+    let well_run = run_campaign(&base);
+
+    let mut no_repair = base.clone();
+    no_repair.archive.repair_mode = RepairMode::DetectOnly;
+    let no_repair_report = run_campaign(&no_repair);
+
+    let mut rare_scrub = base.clone();
+    rare_scrub.archive.scrub_period = Hours::from_years(10.0);
+    let rare_scrub_report = run_campaign(&rare_scrub);
+
+    assert!(no_repair_report.residual_damage > well_run.residual_damage);
+    assert!(rare_scrub_report.residual_damage >= well_run.residual_damage);
+    assert!(well_run.survival_fraction() >= rare_scrub_report.survival_fraction());
+    assert!(well_run.survival_fraction() >= no_repair_report.survival_fraction());
+}
+
+#[test]
+fn verified_reads_survive_partial_damage_and_node_outage() {
+    let mut archive = Archive::new(ArchiveConfig::default_three_node());
+    for i in 0..30 {
+        archive.ingest(&format!("doc-{i}"), format!("payload number {i}").into_bytes()).unwrap();
+    }
+    // Damage one replica of everything and take another node offline.
+    let mut rng = SimRng::seed_from(3);
+    for i in 0..30 {
+        let id = format!("doc-{i}");
+        archive.nodes()[rng.index(2)].store.flip_bit(&id, i, (i % 8) as u8);
+    }
+    archive.nodes_mut()[2].take_offline();
+    for i in 0..30 {
+        let id = format!("doc-{i}");
+        let data = archive.read_verified(&id).unwrap();
+        assert_eq!(data, format!("payload number {i}").into_bytes());
+    }
+    // Bringing the third node back and scrubbing heals everything.
+    archive.nodes_mut()[2].bring_online();
+    archive.scrub_all();
+    assert_eq!(archive.damage_census(), 0);
+    assert_eq!(archive.lost_objects(), 0);
+}
+
+#[test]
+fn majority_vote_mode_survives_without_a_digest_store() {
+    let mut config = ArchiveConfig::default_three_node();
+    config.repair_mode = RepairMode::MajorityVote;
+    let mut archive = Archive::new(config);
+    for i in 0..20 {
+        archive.ingest(&format!("obj-{i}"), vec![i as u8; 256]).unwrap();
+    }
+    // Corrupt a different single replica of every object.
+    for i in 0..20 {
+        archive.nodes()[i % 3].store.flip_bit(&format!("obj-{i}"), i, 1);
+    }
+    assert_eq!(archive.damage_census(), 20);
+    archive.scrub_all();
+    assert_eq!(archive.damage_census(), 0);
+    assert_eq!(archive.stats().unrecoverable, 0);
+}

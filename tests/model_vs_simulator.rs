@@ -1,0 +1,63 @@
+//! Integration test: the discrete-event simulator and the analytic model
+//! agree where the model's assumptions hold.
+
+use ltds::sim::config::{DetectionModel, SimConfig};
+use ltds::sim::monte_carlo::MonteCarlo;
+use ltds::sim::validate::validate_against_model;
+
+#[test]
+fn mirrored_scrubbed_pair_matches_equation_8() {
+    let config =
+        SimConfig::mirrored_disks(20_000.0, 20_000.0, 4.0, 4.0, Some(80.0), 1.0).unwrap();
+    let report = validate_against_model(config, 3_000, 2024);
+    assert!(
+        report.agrees_within(0.10),
+        "ratio {} (simulated {} vs physical {})",
+        report.ratio,
+        report.simulated_mttdl_hours,
+        report.physical_mttdl_hours
+    );
+}
+
+#[test]
+fn correlation_costs_the_predicted_factor() {
+    // Halving alpha should halve the simulated MTTDL in the short-window
+    // regime, independent of everything else.
+    let base = SimConfig::mirrored_disks(10_000.0, 10_000.0, 2.0, 2.0, Some(40.0), 1.0).unwrap();
+    let correlated =
+        SimConfig::mirrored_disks(10_000.0, 10_000.0, 2.0, 2.0, Some(40.0), 0.2).unwrap();
+    let m_base = MonteCarlo::new(base).trials(3_000).seed(5).run().mttdl_hours.estimate;
+    let m_corr = MonteCarlo::new(correlated).trials(3_000).seed(6).run().mttdl_hours.estimate;
+    let ratio = m_corr / m_base;
+    assert!((ratio - 0.2).abs() < 0.06, "ratio {ratio}");
+}
+
+#[test]
+fn scrubbing_buys_the_predicted_orders_of_magnitude() {
+    // Going from "never detected" to a tight scrub schedule should improve
+    // the simulated MTTDL by roughly ML/(2*(MDL+MRL)), the Equation 10 ratio.
+    let unscrubbed = SimConfig::mirrored_disks(50_000.0, 5_000.0, 2.0, 2.0, None, 1.0).unwrap();
+    let scrubbed =
+        SimConfig::mirrored_disks(50_000.0, 5_000.0, 2.0, 2.0, Some(100.0), 1.0).unwrap();
+    let m_un = MonteCarlo::new(unscrubbed).trials(2_000).seed(7).run().mttdl_hours.estimate;
+    let m_sc = MonteCarlo::new(scrubbed).trials(2_000).seed(8).run().mttdl_hours.estimate;
+    assert!(m_sc > m_un * 10.0, "scrubbed {m_sc} vs unscrubbed {m_un}");
+}
+
+#[test]
+fn erasure_coded_system_tracks_its_fault_tolerance() {
+    // With repair in place, reliability is governed by how many simultaneous
+    // losses a configuration survives — but spreading the same tolerance over
+    // more units is a net loss because more units means more faults.
+    let scrub = DetectionModel::PeriodicScrub { period_hours: 20.0 };
+    let mirror = SimConfig::new(2, 1, 2_000.0, 2_000.0, 5.0, 5.0, scrub, 1.0).unwrap();
+    // 3-of-5 erasure code: five units, survives two simultaneous losses.
+    let erasure_3of5 = SimConfig::new(5, 3, 2_000.0, 2_000.0, 5.0, 5.0, scrub, 1.0).unwrap();
+    // 4-of-5 erasure code: five units, survives only one loss (like the mirror).
+    let erasure_4of5 = SimConfig::new(5, 4, 2_000.0, 2_000.0, 5.0, 5.0, scrub, 1.0).unwrap();
+    let m_mirror = MonteCarlo::new(mirror).trials(1_000).seed(9).run().mttdl_hours.estimate;
+    let m_3of5 = MonteCarlo::new(erasure_3of5).trials(1_000).seed(10).run().mttdl_hours.estimate;
+    let m_4of5 = MonteCarlo::new(erasure_4of5).trials(1_000).seed(11).run().mttdl_hours.estimate;
+    assert!(m_3of5 > 2.0 * m_mirror, "3-of-5 {m_3of5} vs mirror {m_mirror}");
+    assert!(m_4of5 < m_mirror, "4-of-5 {m_4of5} vs mirror {m_mirror}");
+}

@@ -1,0 +1,144 @@
+//! Property-based tests over the core model invariants.
+
+use ltds::core::units::Hours;
+use ltds::core::{correlation, memoryless, mission, mttdl, regimes, replication, ReliabilityParams};
+use ltds::scrub::audit::{digest, ChecksumAuditor};
+use proptest::prelude::*;
+
+/// Strategy producing valid, well-separated model parameters (windows much
+/// shorter than MTTFs so the closed forms apply).
+fn arb_params() -> impl Strategy<Value = ReliabilityParams> {
+    (
+        1.0e5..1.0e8f64,   // MV
+        1.0e4..1.0e8f64,   // ML
+        0.01..10.0f64,     // MRV
+        0.01..10.0f64,     // MRL
+        0.0..500.0f64,     // MDL
+        0.001..1.0f64,     // alpha
+    )
+        .prop_map(|(mv, ml, mrv, mrl, mdl, alpha)| {
+            ReliabilityParams::builder()
+                .mttf_visible(Hours::new(mv))
+                .mttf_latent(Hours::new(ml))
+                .repair_visible(Hours::new(mrv))
+                .repair_latent(Hours::new(mrl))
+                .detect_latent(Hours::new(mdl))
+                .alpha(alpha)
+                .build()
+                .expect("generated parameters are valid")
+        })
+}
+
+proptest! {
+    #[test]
+    fn closed_form_matches_exact_when_windows_short(params in arb_params()) {
+        prop_assume!(params.windows_are_short(1000.0));
+        let exact = mttdl::mttdl_exact(&params);
+        let closed = mttdl::mttdl_closed_form(&params);
+        prop_assert!((exact - closed).abs() / closed < 1e-3,
+            "exact {exact} closed {closed}");
+    }
+
+    #[test]
+    fn mttdl_scales_linearly_with_alpha(params in arb_params(), factor in 0.01..1.0f64) {
+        let scaled = params.with_alpha((params.alpha() * factor).max(1e-6)).unwrap();
+        let expected_ratio = scaled.alpha() / params.alpha();
+        let ratio = mttdl::mttdl_exact(&scaled) / mttdl::mttdl_exact(&params);
+        prop_assert!((ratio - expected_ratio).abs() / expected_ratio < 1e-9);
+    }
+
+    #[test]
+    fn mttdl_is_monotone_in_detection_time(params in arb_params(), extra in 1.0..1.0e4f64) {
+        let slower = params.with_detect_latent(params.detect_latent() + Hours::new(extra)).unwrap();
+        prop_assert!(mttdl::mttdl_exact(&slower) <= mttdl::mttdl_exact(&params) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn mttdl_is_monotone_in_repair_time(params in arb_params(), factor in 1.0..100.0f64) {
+        let slower = params
+            .with_repair_times(params.repair_visible() * factor, params.repair_latent() * factor)
+            .unwrap();
+        prop_assert!(mttdl::mttdl_exact(&slower) <= mttdl::mttdl_exact(&params) * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn regime_approximations_never_return_nonsense(params in arb_params()) {
+        let (_, value) = regimes::mttdl_auto(&params);
+        prop_assert!(value.is_finite() && value > 0.0);
+        let errors = regimes::approximation_errors(&params);
+        prop_assert!(errors.visible_dominated >= 0.0);
+        prop_assert!(errors.latent_dominated >= 0.0);
+        prop_assert!(errors.long_latent_window >= 0.0);
+    }
+
+    #[test]
+    fn mission_probability_is_a_probability(mttdl_years in 1.0..1.0e7f64, mission_years in 0.0..1.0e4f64) {
+        let p = mission::probability_of_loss_years(
+            ltds::core::units::years_to_hours(mttdl_years), mission_years);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // Monotone in mission length.
+        let p2 = mission::probability_of_loss_years(
+            ltds::core::units::years_to_hours(mttdl_years), mission_years + 1.0);
+        prop_assert!(p2 >= p);
+    }
+
+    #[test]
+    fn memoryless_linearisation_is_conservative(t in 0.0..1.0e6f64, mttf in 1.0..1.0e9f64) {
+        // The linearised probability always upper-bounds the exact one.
+        let exact = memoryless::probability_within(t, mttf);
+        let linear = memoryless::probability_within_linearised(t, mttf);
+        prop_assert!(linear >= exact - 1e-12);
+        prop_assert!(linear <= 1.0);
+    }
+
+    #[test]
+    fn equation12_monotonicity(replicas in 1usize..8, alpha in 0.001..1.0f64) {
+        let mv = Hours::new(1.4e6);
+        let mrv = Hours::from_minutes(20.0);
+        let m_r = replication::mttdl_replicated(mv, mrv, replicas, alpha).unwrap();
+        let m_r1 = replication::mttdl_replicated(mv, mrv, replicas + 1, alpha).unwrap();
+        // Adding a replica never hurts (gain >= 1 because alpha*MV/MRV >= 1 here).
+        prop_assert!(m_r1 >= m_r * 0.999_999);
+        // And correlation never helps.
+        let worse = replication::mttdl_replicated(mv, mrv, replicas, alpha * 0.5).unwrap();
+        prop_assert!(worse <= m_r * 1.000_001);
+    }
+
+    #[test]
+    fn alpha_combination_stays_in_range(alphas in proptest::collection::vec(0.001..1.0f64, 0..6)) {
+        let combined = correlation::combine_alphas(alphas.iter().copied()).unwrap();
+        prop_assert!(combined > 0.0 && combined <= 1.0);
+        // Combining can only increase correlation (reduce alpha).
+        if let Some(min) = alphas.iter().cloned().reduce(f64::min) {
+            prop_assert!(combined <= min + 1e-12);
+        }
+    }
+
+    #[test]
+    fn scrub_rate_mdl_roundtrip(rate in 0.01..1000.0f64) {
+        let mdl = ltds::core::scrubbing::mdl_for_scrub_rate(rate);
+        let back = ltds::core::scrubbing::scrub_rate_for_mdl(mdl);
+        prop_assert!((back - rate).abs() / rate < 1e-9);
+    }
+
+    #[test]
+    fn digest_detects_any_single_bit_flip(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                          index in any::<usize>(), bit in 0u8..8) {
+        let original = digest(&data);
+        let mut corrupted = data.clone();
+        let i = index % corrupted.len();
+        corrupted[i] ^= 1 << bit;
+        prop_assert_ne!(digest(&corrupted), original);
+    }
+
+    #[test]
+    fn auditor_accepts_exactly_the_registered_content(data in proptest::collection::vec(any::<u8>(), 0..256),
+                                                      other in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut auditor = ChecksumAuditor::new();
+        auditor.register("obj", &data);
+        prop_assert_eq!(auditor.audit("obj", Some(&data)), ltds::scrub::audit::AuditOutcome::Clean);
+        if other != data {
+            prop_assert_eq!(auditor.audit("obj", Some(&other)), ltds::scrub::audit::AuditOutcome::Corrupt);
+        }
+    }
+}
