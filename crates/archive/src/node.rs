@@ -25,7 +25,10 @@ pub struct ArchiveNode {
 impl ArchiveNode {
     /// Creates an online node with an empty store.
     pub fn new(name: impl Into<String>, scrub_period: Hours) -> Self {
-        assert!(scrub_period.is_valid() && scrub_period.get() > 0.0, "scrub period must be positive");
+        assert!(
+            scrub_period.is_valid() && scrub_period.get() > 0.0,
+            "scrub period must be positive"
+        );
         Self {
             name: name.into(),
             store: ReplicaStore::new(),

@@ -8,11 +8,13 @@ use ltds_bench::experiments;
 
 fn bench_fast_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments_analytic");
-    group.bench_function("e01_drive_comparison", |b| b.iter(experiments::e01_drive_comparison::run));
+    group
+        .bench_function("e01_drive_comparison", |b| b.iter(experiments::e01_drive_comparison::run));
     group.bench_function("e02_no_scrub", |b| b.iter(experiments::e02_no_scrub::run));
     group.bench_function("e03_scrubbed", |b| b.iter(experiments::e03_scrubbed::run));
     group.bench_function("e04_correlated", |b| b.iter(experiments::e04_correlated::run));
-    group.bench_function("e05_negligent_latent", |b| b.iter(experiments::e05_negligent_latent::run));
+    group
+        .bench_function("e05_negligent_latent", |b| b.iter(experiments::e05_negligent_latent::run));
     group.bench_function("e06_alpha_bounds", |b| b.iter(experiments::e06_alpha_bounds::run));
     group.bench_function("e07_replication_vs_alpha", |b| {
         b.iter(experiments::e07_replication_vs_alpha::run)

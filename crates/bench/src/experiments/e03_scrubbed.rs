@@ -10,11 +10,8 @@ use ltds_scrub::strategy::{ScrubPolicy, ScrubStrategy};
 pub fn run() -> ExperimentResult {
     // Derive MDL from the scrub strategy rather than hard-coding it, so the
     // scrub substrate is part of the reproduced pipeline.
-    let strategy = ScrubStrategy::new(
-        ScrubPolicy::Periodic { passes_per_year: 3.0 },
-        146.0e9,
-        300.0e6,
-    );
+    let strategy =
+        ScrubStrategy::new(ScrubPolicy::Periodic { passes_per_year: 3.0 }, 146.0e9, 300.0e6);
     let params = strategy.apply_to(&presets::cheetah_mirror_no_scrub()).expect("valid params");
     let mdl = params.detect_latent().get();
     let eq10_hours = regimes::mttdl_latent_dominated(&params);

@@ -17,7 +17,13 @@ pub fn run() -> ExperimentResult {
         paper_location: "§5.4, third implication".into(),
         rows: vec![
             Row::checked("Lower bound on alpha", 2.0e-6, lower, 0.2, "dimensionless"),
-            Row::checked("Orders of magnitude spanned by [alpha_min, 1]", 5.0, orders, 0.15, "decades"),
+            Row::checked(
+                "Orders of magnitude spanned by [alpha_min, 1]",
+                5.0,
+                orders,
+                0.15,
+                "decades",
+            ),
         ],
         notes: "The paper rounds 10·MRV/MV = 2.38e-6 down to 2e-6; the 20% row tolerance \
                 absorbs that rounding."

@@ -19,8 +19,20 @@ pub fn run() -> ExperimentResult {
     let ml = params.mttf_latent().get();
 
     let rows = vec![
-        Row::checked("P(V2 | V1) = MRV/MV (Eq. 3)", mrv / mv, probs.visible_after_visible, 1e-9, "probability"),
-        Row::checked("P(L2 | V1) = MRV/ML (Eq. 4)", mrv / ml, probs.latent_after_visible, 1e-9, "probability"),
+        Row::checked(
+            "P(V2 | V1) = MRV/MV (Eq. 3)",
+            mrv / mv,
+            probs.visible_after_visible,
+            1e-9,
+            "probability",
+        ),
+        Row::checked(
+            "P(L2 | V1) = MRV/ML (Eq. 4)",
+            mrv / ml,
+            probs.latent_after_visible,
+            1e-9,
+            "probability",
+        ),
         Row::checked(
             "P(V2 | L1) = (MDL+MRL)/MV (Eq. 5)",
             wov_latent / mv,

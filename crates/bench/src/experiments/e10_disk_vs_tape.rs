@@ -58,11 +58,7 @@ pub fn run() -> ExperimentResult {
         ),
         Row::info("Tape annual handling-induced fault risk", tape_handling_risk, "probability"),
         Row::info("Tape annual audit cost", tape_audit_cost, "USD"),
-        Row::info(
-            "Tape repair latency (retrieval + read)",
-            tape_repair.get(),
-            "hours",
-        ),
+        Row::info("Tape repair latency (retrieval + read)", tape_repair.get(), "hours"),
         Row::info("Disk repair latency", disk_repair.get(), "hours"),
     ];
     ExperimentResult {

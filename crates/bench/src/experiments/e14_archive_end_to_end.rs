@@ -46,12 +46,28 @@ pub fn run() -> ExperimentResult {
             0.02,
             "fraction",
         ),
-        Row::info("Residual damaged replicas, monthly scrub + repair", a.residual_damage as f64, "replica copies"),
-        Row::info("Latent faults detected, monthly scrub + repair", a.stats.latent_faults_detected as f64, "faults"),
+        Row::info(
+            "Residual damaged replicas, monthly scrub + repair",
+            a.residual_damage as f64,
+            "replica copies",
+        ),
+        Row::info(
+            "Latent faults detected, monthly scrub + repair",
+            a.stats.latent_faults_detected as f64,
+            "faults",
+        ),
         Row::info("Repairs performed, monthly scrub + repair", a.stats.repairs as f64, "repairs"),
-        Row::info("Residual damaged replicas, detect-only", b.residual_damage as f64, "replica copies"),
+        Row::info(
+            "Residual damaged replicas, detect-only",
+            b.residual_damage as f64,
+            "replica copies",
+        ),
         Row::info("Survival fraction, detect-only", b.survival_fraction(), "fraction"),
-        Row::info("Residual damaged replicas, decade scrub interval", c.residual_damage as f64, "replica copies"),
+        Row::info(
+            "Residual damaged replicas, decade scrub interval",
+            c.residual_damage as f64,
+            "replica copies",
+        ),
         Row::info("Survival fraction, decade scrub interval", c.survival_fraction(), "fraction"),
         Row::checked(
             "Detect-only accumulates more damage than the well-run archive",

@@ -14,3 +14,4 @@ pub mod e11_scrub_frequency_sweep;
 pub mod e12_mv_ml_tradeoff;
 pub mod e13_independence_vs_replication;
 pub mod e14_archive_end_to_end;
+pub mod e15_fleet_disaster;

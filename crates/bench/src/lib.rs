@@ -39,6 +39,7 @@ pub fn run_all() -> Vec<ExperimentResult> {
         experiments::e12_mv_ml_tradeoff::run(),
         experiments::e13_independence_vs_replication::run(),
         experiments::e14_archive_end_to_end::run(),
+        experiments::e15_fleet_disaster::run(),
     ]
 }
 
@@ -47,7 +48,7 @@ mod tests {
     #[test]
     fn all_experiments_run_and_pass_their_own_tolerances() {
         let results = super::run_all();
-        assert_eq!(results.len(), 14);
+        assert_eq!(results.len(), 15);
         for r in &results {
             assert!(!r.rows.is_empty(), "{} produced no rows", r.id);
             for row in &r.rows {

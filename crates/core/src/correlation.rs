@@ -71,7 +71,10 @@ pub fn alpha_range_orders_of_magnitude(params: &ReliabilityParams, margin: f64) 
 /// observation that `α` plausibly spans many orders of magnitude.
 pub fn alpha_from_independence_score(score: f64, alpha_floor: f64) -> Result<f64, ModelError> {
     if !(0.0..=1.0).contains(&score) || !score.is_finite() {
-        return Err(ModelError::InvalidProbability { parameter: "independence score", value: score });
+        return Err(ModelError::InvalidProbability {
+            parameter: "independence score",
+            value: score,
+        });
     }
     if !(alpha_floor > 0.0 && alpha_floor <= 1.0) {
         return Err(ModelError::InvalidCorrelation { alpha: alpha_floor });
@@ -89,7 +92,7 @@ pub fn alpha_from_independence_score(score: f64, alpha_floor: f64) -> Result<f64
 pub fn combine_alphas<I: IntoIterator<Item = f64>>(alphas: I) -> Result<f64, ModelError> {
     let mut combined = 1.0f64;
     for a in alphas {
-        if !(a > 0.0 && a <= 1.0) || !a.is_finite() {
+        if !(a > 0.0 && a <= 1.0 && a.is_finite()) {
             return Err(ModelError::InvalidCorrelation { alpha: a });
         }
         combined *= a;
@@ -176,7 +179,7 @@ mod tests {
         assert_eq!(combine_alphas(std::iter::empty()).unwrap(), 1.0);
         assert!(combine_alphas([0.5, 0.0]).is_err());
         // The floor keeps extreme products usable.
-        let tiny = combine_alphas(std::iter::repeat(1e-3).take(10)).unwrap();
+        let tiny = combine_alphas(std::iter::repeat_n(1e-3, 10)).unwrap();
         assert_eq!(tiny, 1e-12);
     }
 }

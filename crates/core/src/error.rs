@@ -34,6 +34,15 @@ pub enum ModelError {
         /// Human-readable description of the violated assumption.
         assumption: String,
     },
+    /// A dimensionless configuration quantity (a count, rate or size) was
+    /// invalid. Used by configuration layers (e.g. fleet topology) whose
+    /// parameters are not mean times, correlations or probabilities.
+    InvalidQuantity {
+        /// Which quantity was invalid (e.g. "sites", "repair bandwidth").
+        parameter: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -53,6 +62,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::RegimeViolation { assumption } => {
                 write!(f, "approximation used outside its validity regime: {assumption}")
+            }
+            ModelError::InvalidQuantity { parameter, value } => {
+                write!(f, "invalid {parameter}: {value}")
             }
         }
     }
@@ -76,6 +88,9 @@ mod tests {
         assert!(e.to_string().contains("[0, 1]"));
         let e = ModelError::RegimeViolation { assumption: "MRV << MV".into() };
         assert!(e.to_string().contains("MRV << MV"));
+        let e = ModelError::InvalidQuantity { parameter: "sites", value: 0.0 };
+        assert!(e.to_string().contains("sites"));
+        assert!(!e.to_string().contains("hours"));
     }
 
     #[test]

@@ -284,7 +284,12 @@ mod tests {
         let mut log = ObservationLog::new(1000.0).unwrap();
         // Detection before occurrence.
         assert!(log
-            .record(FaultObservation { occurred_at: 10.0, detected_at: 5.0, repaired_at: None, class: FaultClass::Latent })
+            .record(FaultObservation {
+                occurred_at: 10.0,
+                detected_at: 5.0,
+                repaired_at: None,
+                class: FaultClass::Latent
+            })
             .is_err());
         // Repair before detection.
         assert!(log.record(FaultObservation::latent(10.0, 20.0, Some(15.0))).is_err());
@@ -315,8 +320,7 @@ mod tests {
         assert!((params.mttf_latent().get() - 2.8e5).abs() / 2.8e5 < 1e-9);
         assert!((params.detect_latent().get() - 1460.0).abs() < 1e-9);
         // And the resulting MTTDL matches the paper's scenario 2 via Eq. 10.
-        let years =
-            crate::units::hours_to_years(crate::regimes::mttdl_latent_dominated(&params));
+        let years = crate::units::hours_to_years(crate::regimes::mttdl_latent_dominated(&params));
         assert!((years - 6128.7).abs() / 6128.7 < 0.001, "{years}");
     }
 }

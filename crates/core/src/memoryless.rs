@@ -80,7 +80,10 @@ pub fn service_life_probability_to_mttf(
     service_life_hours: f64,
 ) -> Result<f64, ModelError> {
     if !(0.0..1.0).contains(&probability) || probability <= 0.0 {
-        return Err(ModelError::InvalidProbability { parameter: "service-life fault probability", value: probability });
+        return Err(ModelError::InvalidProbability {
+            parameter: "service-life fault probability",
+            value: probability,
+        });
     }
     if service_life_hours <= 0.0 {
         return Err(ModelError::InvalidMeanTime {

@@ -98,11 +98,7 @@ impl MissionSummary {
 
     /// Builds a summary for an arbitrary mission length.
     pub fn new(mttdl: Hours, mission: Hours) -> Self {
-        Self {
-            mttdl,
-            mission,
-            loss_probability: probability_of_loss(mttdl.get(), mission.get()),
-        }
+        Self { mttdl, mission, loss_probability: probability_of_loss(mttdl.get(), mission.get()) }
     }
 }
 

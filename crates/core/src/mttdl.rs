@@ -15,10 +15,10 @@
 //! * [`mttdl_closed_form`] — the algebraic Equation 8, valid only when all
 //!   windows of vulnerability are short relative to the MTTFs.
 //! * [`mttdl_physical`] — a physically-consistent variant in which the
-//!   `1/α`-accelerated second-fault probabilities themselves are clamped at
-//!   1. It agrees with [`mttdl_exact`] whenever the windows are short, and is
-//!   *less* pessimistic when a window saturates (a probability cannot exceed
-//!   1 no matter how correlated the faults are). The discrete-event
+//!   `1/α`-accelerated second-fault probabilities themselves are clamped
+//!   at 1. It agrees with [`mttdl_exact`] whenever the windows are short,
+//!   and is less pessimistic when a window saturates (a probability cannot
+//!   exceed 1 no matter how correlated the faults are). The discrete-event
 //!   simulator matches this variant.
 
 use crate::params::ReliabilityParams;
@@ -257,9 +257,7 @@ mod tests {
     #[test]
     fn longer_repair_reduces_mttdl() {
         let fast = presets::cheetah_mirror_scrubbed();
-        let slow = fast
-            .with_repair_times(Hours::new(24.0), Hours::new(24.0))
-            .unwrap();
+        let slow = fast.with_repair_times(Hours::new(24.0), Hours::new(24.0)).unwrap();
         assert!(mttdl_exact(&slow) < mttdl_exact(&fast));
     }
 }

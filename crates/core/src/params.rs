@@ -230,9 +230,8 @@ impl ReliabilityParamsBuilder {
     pub fn build(self) -> Result<ReliabilityParams, ModelError> {
         let mv = self.mv.ok_or(ModelError::InvalidMeanTime { parameter: "MV", value: f64::NAN })?;
         let ml = self.ml.ok_or(ModelError::InvalidMeanTime { parameter: "ML", value: f64::NAN })?;
-        let mrv = self
-            .mrv
-            .ok_or(ModelError::InvalidMeanTime { parameter: "MRV", value: f64::NAN })?;
+        let mrv =
+            self.mrv.ok_or(ModelError::InvalidMeanTime { parameter: "MRV", value: f64::NAN })?;
         let mrl = self.mrl.unwrap_or(mrv);
         let mdl = self.mdl.unwrap_or(Hours::ZERO);
         let alpha = self.alpha.unwrap_or(1.0);
@@ -287,14 +286,8 @@ mod tests {
             base().mttf_latent(Hours::new(-5.0)).build(),
             Err(ModelError::InvalidMeanTime { parameter: "ML", .. })
         ));
-        assert!(matches!(
-            base().alpha(0.0).build(),
-            Err(ModelError::InvalidCorrelation { .. })
-        ));
-        assert!(matches!(
-            base().alpha(1.5).build(),
-            Err(ModelError::InvalidCorrelation { .. })
-        ));
+        assert!(matches!(base().alpha(0.0).build(), Err(ModelError::InvalidCorrelation { .. })));
+        assert!(matches!(base().alpha(1.5).build(), Err(ModelError::InvalidCorrelation { .. })));
         assert!(matches!(
             base().mttf_visible(Hours::infinite()).build(),
             Err(ModelError::InvalidMeanTime { parameter: "MV", .. })

@@ -74,9 +74,7 @@ pub fn cheetah_mirror_scrubbed() -> ReliabilityParams {
 ///
 /// The paper obtains `MTTDL = 612.9 years` (7.8 % in 50 years).
 pub fn cheetah_mirror_scrubbed_correlated() -> ReliabilityParams {
-    cheetah_mirror_scrubbed()
-        .with_alpha(CHEN_ALPHA)
-        .expect("paper preset is valid")
+    cheetah_mirror_scrubbed().with_alpha(CHEN_ALPHA).expect("paper preset is valid")
 }
 
 /// §5.4 scenario 4: latent faults are rare (`ML = 1.4e7` h — ten times `MV`)

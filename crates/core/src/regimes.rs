@@ -215,7 +215,9 @@ mod tests {
 
         let (regime, value) = mttdl_auto(&presets::cheetah_mirror_no_scrub());
         assert_eq!(regime, OperatingRegime::General);
-        assert!((value - crate::mttdl::mttdl_exact(&presets::cheetah_mirror_no_scrub())).abs() < 1e-9);
+        assert!(
+            (value - crate::mttdl::mttdl_exact(&presets::cheetah_mirror_no_scrub())).abs() < 1e-9
+        );
     }
 
     #[test]

@@ -219,7 +219,9 @@ mod tests {
         let m5 = mttdl_replicated(cheetah_mv(), cheetah_mrv(), 5, alpha).unwrap();
         assert!((m2 - 1.4e6).abs() / 1.4e6 < 1e-9);
         assert!((m5 - 1.4e6).abs() / 1.4e6 < 1e-9);
-        assert!((per_replica_gain(cheetah_mv(), cheetah_mrv(), alpha).unwrap() - 1.0).abs() < 1e-12);
+        assert!(
+            (per_replica_gain(cheetah_mv(), cheetah_mrv(), alpha).unwrap() - 1.0).abs() < 1e-12
+        );
     }
 
     #[test]
@@ -263,16 +265,13 @@ mod tests {
             replicas_for_target(cheetah_mv(), cheetah_mrv(), 1.0, target).unwrap().unwrap();
         // Verify minimality: needed replicas reach the target, one fewer does not.
         assert!(
-            mttdl_replicated(cheetah_mv(), cheetah_mrv(), needed, 1.0).unwrap()
-                >= target.get()
+            mttdl_replicated(cheetah_mv(), cheetah_mrv(), needed, 1.0).unwrap() >= target.get()
         );
         assert!(
-            mttdl_replicated(cheetah_mv(), cheetah_mrv(), needed - 1, 1.0).unwrap()
-                < target.get()
+            mttdl_replicated(cheetah_mv(), cheetah_mrv(), needed - 1, 1.0).unwrap() < target.get()
         );
         // With per-replica gain <= 1, no number of replicas reaches the target.
-        let hopeless =
-            replicas_for_target(cheetah_mv(), cheetah_mrv(), 2.0e-7, target).unwrap();
+        let hopeless = replicas_for_target(cheetah_mv(), cheetah_mrv(), 2.0e-7, target).unwrap();
         assert!(hopeless.is_none());
         // A trivial target needs a single replica.
         let trivial =
@@ -303,29 +302,17 @@ mod tests {
 
     #[test]
     fn grid_covers_all_combinations() {
-        let grid = replication_grid(
-            cheetah_mv(),
-            cheetah_mrv(),
-            &[1, 2, 3, 4],
-            &[1.0, 0.1, 0.01],
-        )
-        .unwrap();
+        let grid = replication_grid(cheetah_mv(), cheetah_mrv(), &[1, 2, 3, 4], &[1.0, 0.1, 0.01])
+            .unwrap();
         assert_eq!(grid.len(), 12);
         // MTTDL should be monotone in r for fixed alpha...
         for alpha in [1.0, 0.1, 0.01] {
-            let series: Vec<f64> = grid
-                .iter()
-                .filter(|p| p.alpha == alpha)
-                .map(|p| p.mttdl_hours)
-                .collect();
+            let series: Vec<f64> =
+                grid.iter().filter(|p| p.alpha == alpha).map(|p| p.mttdl_hours).collect();
             assert!(series.windows(2).all(|w| w[1] >= w[0]));
         }
         // ...and monotone in alpha for fixed r > 1.
-        let r3: Vec<f64> = grid
-            .iter()
-            .filter(|p| p.replicas == 3)
-            .map(|p| p.mttdl_hours)
-            .collect();
+        let r3: Vec<f64> = grid.iter().filter(|p| p.replicas == 3).map(|p| p.mttdl_hours).collect();
         assert!(r3[0] > r3[1] && r3[1] > r3[2]);
     }
 }

@@ -68,9 +68,7 @@ impl Strategy {
             Strategy::IncreaseMttfLatent => {
                 "use media less subject to corruption, or formats less subject to obsolescence"
             }
-            Strategy::ReduceDetectionTime => {
-                "audit the data more frequently, as in RAID scrubbing"
-            }
+            Strategy::ReduceDetectionTime => "audit the data more frequently, as in RAID scrubbing",
             Strategy::ReduceLatentRepairTime => {
                 "repair latent faults automatically rather than alerting an operator"
             }
@@ -92,7 +90,11 @@ impl Strategy {
     /// by it (capped at `α = 1`), repair/detection times are divided by it.
     /// `IncreaseReplication` does not change the mirrored-data parameters and
     /// returns them unchanged (model it with [`crate::replication`]).
-    pub fn apply(self, params: &ReliabilityParams, factor: f64) -> Result<ReliabilityParams, ModelError> {
+    pub fn apply(
+        self,
+        params: &ReliabilityParams,
+        factor: f64,
+    ) -> Result<ReliabilityParams, ModelError> {
         if !(factor.is_finite() && factor >= 1.0) {
             return Err(ModelError::InvalidProbability {
                 parameter: "improvement factor (must be >= 1)",
@@ -103,9 +105,7 @@ impl Strategy {
             Strategy::IncreaseMttfVisible => {
                 params.with_mttf_visible(params.mttf_visible() * factor)
             }
-            Strategy::IncreaseMttfLatent => {
-                params.with_mttf_latent(params.mttf_latent() * factor)
-            }
+            Strategy::IncreaseMttfLatent => params.with_mttf_latent(params.mttf_latent() * factor),
             Strategy::ReduceDetectionTime => {
                 let mdl = params.detect_latent();
                 let new = if mdl.is_finite() { mdl / factor } else { mdl };
@@ -118,9 +118,7 @@ impl Strategy {
                 params.with_repair_times(params.repair_visible() / factor, params.repair_latent())
             }
             Strategy::IncreaseReplication => Ok(*params),
-            Strategy::IncreaseIndependence => {
-                params.with_alpha((params.alpha() * factor).min(1.0))
-            }
+            Strategy::IncreaseIndependence => params.with_alpha((params.alpha() * factor).min(1.0)),
         }
     }
 }
@@ -225,15 +223,11 @@ mod tests {
         let p = presets::cheetah_mirror_scrubbed_correlated();
         let f = 2.0;
         assert!(
-            Strategy::IncreaseMttfVisible.apply(&p, f).unwrap().mttf_visible()
-                > p.mttf_visible()
+            Strategy::IncreaseMttfVisible.apply(&p, f).unwrap().mttf_visible() > p.mttf_visible()
         );
+        assert!(Strategy::IncreaseMttfLatent.apply(&p, f).unwrap().mttf_latent() > p.mttf_latent());
         assert!(
-            Strategy::IncreaseMttfLatent.apply(&p, f).unwrap().mttf_latent() > p.mttf_latent()
-        );
-        assert!(
-            Strategy::ReduceDetectionTime.apply(&p, f).unwrap().detect_latent()
-                < p.detect_latent()
+            Strategy::ReduceDetectionTime.apply(&p, f).unwrap().detect_latent() < p.detect_latent()
         );
         assert!(
             Strategy::ReduceLatentRepairTime.apply(&p, f).unwrap().repair_latent()
@@ -302,10 +296,7 @@ mod tests {
     fn independence_gain_matches_alpha_ratio() {
         let p = presets::cheetah_mirror_scrubbed_correlated();
         let impacts = sensitivity_analysis(&p, 5.0).unwrap();
-        let ind = impacts
-            .iter()
-            .find(|i| i.strategy == Strategy::IncreaseIndependence)
-            .unwrap();
+        let ind = impacts.iter().find(|i| i.strategy == Strategy::IncreaseIndependence).unwrap();
         // alpha goes from 0.1 to 0.5, so MTTDL gains exactly 5x.
         assert!((ind.gain() - 5.0).abs() < 1e-9);
     }
@@ -324,10 +315,7 @@ mod tests {
         let before = mttdl_exact(&p);
         let (after_params, after) = apply_plan(
             &p,
-            &[
-                (Strategy::ReduceDetectionTime, 4.0),
-                (Strategy::IncreaseIndependence, 10.0),
-            ],
+            &[(Strategy::ReduceDetectionTime, 4.0), (Strategy::IncreaseIndependence, 10.0)],
         )
         .unwrap();
         assert!(after > before);

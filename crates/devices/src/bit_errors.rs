@@ -162,8 +162,10 @@ mod tests {
     #[test]
     fn bit_errors_scale_with_duty_cycle() {
         let cheetah = cheetah_15k4();
-        let low = ServiceLifeWorkload { years: 5.0, duty_cycle: 0.01, rate: RateAssumption::Sustained };
-        let high = ServiceLifeWorkload { years: 5.0, duty_cycle: 0.10, rate: RateAssumption::Sustained };
+        let low =
+            ServiceLifeWorkload { years: 5.0, duty_cycle: 0.01, rate: RateAssumption::Sustained };
+        let high =
+            ServiceLifeWorkload { years: 5.0, duty_cycle: 0.10, rate: RateAssumption::Sustained };
         let ratio = expected_bit_errors(&cheetah, &high) / expected_bit_errors(&cheetah, &low);
         assert!((ratio - 10.0).abs() < 1e-9);
     }
@@ -181,7 +183,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "duty cycle")]
     fn invalid_duty_cycle_panics() {
-        let w = ServiceLifeWorkload { years: 5.0, duty_cycle: 1.5, rate: RateAssumption::Sustained };
+        let w =
+            ServiceLifeWorkload { years: 5.0, duty_cycle: 1.5, rate: RateAssumption::Sustained };
         let _ = w.active_hours();
     }
 }

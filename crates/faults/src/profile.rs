@@ -234,12 +234,18 @@ mod tests {
     fn to_params_builds_a_valid_model() {
         let p = ThreatProfile::media_only_cheetah();
         let params = p
-            .to_params(Hours::from_minutes(20.0), Hours::from_minutes(20.0), Hours::new(1460.0), 1.0)
+            .to_params(
+                Hours::from_minutes(20.0),
+                Hours::from_minutes(20.0),
+                Hours::new(1460.0),
+                1.0,
+            )
             .unwrap();
         assert_eq!(params.mttf_visible().get(), 1.4e6);
         assert_eq!(params.mttf_latent().get(), 2.8e5);
         // And it plugs straight into the paper's Eq. 10 scenario.
-        let years = ltds_core::units::hours_to_years(ltds_core::regimes::mttdl_latent_dominated(&params));
+        let years =
+            ltds_core::units::hours_to_years(ltds_core::regimes::mttdl_latent_dominated(&params));
         assert!((years - 6128.7).abs() / 6128.7 < 0.001);
     }
 

@@ -1,0 +1,335 @@
+//! Fleet simulation configuration.
+//!
+//! A [`FleetConfig`] describes the whole archive: the physical topology,
+//! how many replica groups are placed on it, the per-group fault/repair
+//! behaviour (reusing [`ltds_sim::SimConfig`], so the fleet engine and the
+//! per-group Monte-Carlo simulator are parameterised identically), the
+//! fleet-level machinery the per-group model cannot express — shared
+//! repair bandwidth, scrub tours, correlated bursts — and the execution
+//! shape (horizon, shard count).
+
+use crate::bursts::BurstProfile;
+use crate::topology::FleetTopology;
+use ltds_core::error::ModelError;
+use ltds_core::units::HOURS_PER_YEAR;
+use ltds_scrub::ScrubStrategy;
+use ltds_sim::config::{DetectionModel, SimConfig};
+use serde::{Deserialize, Serialize};
+
+/// How much wide-area bandwidth each site can devote to re-replication.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RepairBandwidth {
+    /// Repairs never queue; every repair takes its base repair time, exactly
+    /// as the per-group simulator assumes.
+    Unlimited,
+    /// Each site owns a repair pipeline moving this many bytes per hour.
+    /// Repairs at a site are served first-come-first-served; during a mass
+    /// failure the queue backs up and repair times stretch, which is the
+    /// fleet-scale effect the per-group model structurally cannot show.
+    PerSiteBytesPerHour(f64),
+}
+
+impl RepairBandwidth {
+    /// Validates the configured rate.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if let RepairBandwidth::PerSiteBytesPerHour(rate) = *self {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(ModelError::InvalidQuantity {
+                    parameter: "repair bandwidth",
+                    value: rate,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A fleet-wide scrub tour: every node runs one scrub engine with a bounded
+/// I/O budget, visiting its drives in a fixed rotation.
+///
+/// Reuses [`ltds_scrub::ScrubStrategy`] for the per-drive policy; the tour
+/// divides the engine's effective pass rate across the `drives_per_node`
+/// drives sharing it, and staggers each drive's phase within the tour —
+/// exactly how production fleets scrub without blowing their IOPS budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScrubTour {
+    /// Per-drive scrub policy (capacity, bandwidth, schedule).
+    pub strategy: ScrubStrategy,
+}
+
+impl ScrubTour {
+    /// Creates a tour from a scrub strategy.
+    pub fn new(strategy: ScrubStrategy) -> Self {
+        Self { strategy }
+    }
+
+    /// Effective scrub period of one drive once the node's engine is shared
+    /// across `drives_per_node` drives, in hours. `None` if the policy never
+    /// scrubs.
+    pub fn drive_period_hours(&self, drives_per_node: usize) -> Option<f64> {
+        let engine_passes = self.strategy.passes_per_year();
+        if engine_passes <= 0.0 {
+            return None;
+        }
+        let per_drive = engine_passes / drives_per_node as f64;
+        Some(HOURS_PER_YEAR / per_drive)
+    }
+
+    /// Phase offset of a drive inside its node's tour: the engine visits
+    /// drives in index order, so drive `k` of a node is scrubbed `k/n` of a
+    /// period after drive 0.
+    pub fn drive_phase_hours(&self, drive: usize, drives_per_node: usize) -> f64 {
+        match self.drive_period_hours(drives_per_node) {
+            Some(period) => (drive % drives_per_node) as f64 / drives_per_node as f64 * period,
+            None => 0.0,
+        }
+    }
+}
+
+/// Full description of a simulated fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Physical hierarchy.
+    pub topology: FleetTopology,
+    /// Number of replica groups placed on the fleet.
+    pub groups: usize,
+    /// Per-group behaviour: replica count, loss threshold, fault and repair
+    /// parameters, baseline detection model, within-group `α`.
+    pub group: SimConfig,
+    /// Fleet scrub tour. When present it *overrides* `group.detection` —
+    /// latent faults are detected by the shared tour, not per-group magic.
+    pub scrub: Option<ScrubTour>,
+    /// Shared repair bandwidth model.
+    pub repair_bandwidth: RepairBandwidth,
+    /// Bytes that must cross the repair pipeline to restore one replica.
+    pub group_bytes: f64,
+    /// Correlated burst profile.
+    pub bursts: BurstProfile,
+    /// Simulated horizon in hours.
+    pub horizon_hours: f64,
+    /// Number of logical shards the groups are partitioned into. Fixed in
+    /// the config (not derived from the thread count) so results are
+    /// bit-identical for any number of worker threads.
+    ///
+    /// Shards are a *model* parameter, not a pure execution knob: each
+    /// site's repair bandwidth is apportioned to shards by their share of
+    /// the groups (aggregate capacity is conserved), so a lone repair in an
+    /// otherwise idle fleet transfers at its shard's slice of the site
+    /// rate, not the full rate. Comparisons should therefore hold `shards`
+    /// fixed; only the worker-thread count is guaranteed invariant.
+    pub shards: usize,
+}
+
+impl FleetConfig {
+    /// Default shard count: enough parallelism for any plausible core count
+    /// while keeping the per-site bandwidth split coarse.
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    /// Creates a fleet of `groups` copies of the per-group configuration on
+    /// the given topology, with a one-year horizon and no fleet-level
+    /// machinery (no tour, unlimited bandwidth, no bursts).
+    pub fn new(
+        topology: FleetTopology,
+        groups: usize,
+        group: SimConfig,
+    ) -> Result<Self, ModelError> {
+        let config = Self {
+            topology,
+            groups,
+            group,
+            scrub: None,
+            repair_bandwidth: RepairBandwidth::Unlimited,
+            group_bytes: 0.0,
+            bursts: BurstProfile::none(),
+            horizon_hours: HOURS_PER_YEAR,
+            shards: Self::DEFAULT_SHARDS,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Sets the scrub tour.
+    pub fn with_scrub(mut self, tour: ScrubTour) -> Self {
+        self.scrub = Some(tour);
+        self
+    }
+
+    /// Sets the repair bandwidth model and the per-replica repair size.
+    pub fn with_repair_bandwidth(mut self, bandwidth: RepairBandwidth, group_bytes: f64) -> Self {
+        self.repair_bandwidth = bandwidth;
+        self.group_bytes = group_bytes;
+        self
+    }
+
+    /// Sets the burst profile.
+    pub fn with_bursts(mut self, bursts: BurstProfile) -> Self {
+        self.bursts = bursts;
+        self
+    }
+
+    /// Sets the simulated horizon.
+    pub fn with_horizon_hours(mut self, horizon_hours: f64) -> Self {
+        self.horizon_hours = horizon_hours;
+        self
+    }
+
+    /// Sets the logical shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        self.shards = shards;
+        self
+    }
+
+    /// Validates the whole configuration.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.groups == 0 {
+            return Err(ModelError::InvalidQuantity { parameter: "groups", value: 0.0 });
+        }
+        if self.group.replicas > self.topology.max_replicas() {
+            return Err(ModelError::InvalidReplication { replicas: self.group.replicas });
+        }
+        if !(self.horizon_hours.is_finite() && self.horizon_hours > 0.0) {
+            return Err(ModelError::InvalidMeanTime {
+                parameter: "horizon",
+                value: self.horizon_hours,
+            });
+        }
+        if self.shards == 0 {
+            return Err(ModelError::InvalidQuantity { parameter: "shards", value: 0.0 });
+        }
+        if !(self.group_bytes.is_finite() && self.group_bytes >= 0.0) {
+            return Err(ModelError::InvalidQuantity {
+                parameter: "group bytes",
+                value: self.group_bytes,
+            });
+        }
+        self.repair_bandwidth.validate()?;
+        self.bursts.validate()?;
+        // The group SimConfig was validated by its own constructor; re-check
+        // the invariants the fleet engine relies on.
+        if self.group.replicas == 0 || self.group.min_intact > self.group.replicas {
+            return Err(ModelError::InvalidReplication { replicas: self.group.replicas });
+        }
+        Ok(())
+    }
+
+    /// Detection schedule for a replica living on `drive`: `(period, phase)`
+    /// of its periodic detection, or `None` if latent faults are never
+    /// detected.
+    ///
+    /// With a scrub tour configured, the tour dictates the schedule. Without
+    /// one, the group's own [`DetectionModel`] applies (an `Exponential`
+    /// model is returned as a period equal to twice its mean — the same
+    /// MDL-preserving mapping `SimConfig::from_params` uses in reverse).
+    pub fn detection_for_drive(&self, drive: usize) -> Option<(f64, f64)> {
+        if let Some(tour) = &self.scrub {
+            let period = tour.drive_period_hours(self.topology.drives_per_node)?;
+            let phase = tour.drive_phase_hours(drive, self.topology.drives_per_node);
+            return Some((period, phase));
+        }
+        match self.group.detection {
+            DetectionModel::Never => None,
+            DetectionModel::PeriodicScrub { period_hours } => Some((period_hours, 0.0)),
+            DetectionModel::Exponential { mean_hours } => Some((2.0 * mean_hours, 0.0)),
+        }
+    }
+
+    /// Total number of replicas placed on the fleet.
+    pub fn total_replicas(&self) -> usize {
+        self.groups * self.group.replicas
+    }
+
+    /// A shard's share of each site's repair bandwidth, in bytes per hour
+    /// (`None` when bandwidth is unlimited), proportional to the share of
+    /// the fleet's groups the shard simulates. Summed over shards this
+    /// conserves the configured site rate, and the degenerate
+    /// single-group/single-shard fleet gets the full rate.
+    pub fn shard_site_rate(&self, shard_groups: usize) -> Option<f64> {
+        match self.repair_bandwidth {
+            RepairBandwidth::Unlimited => None,
+            RepairBandwidth::PerSiteBytesPerHour(rate) => {
+                Some(rate * shard_groups as f64 / self.groups as f64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltds_scrub::ScrubPolicy;
+
+    fn group() -> SimConfig {
+        SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap()
+    }
+
+    #[test]
+    fn construction_and_builders() {
+        let topo = FleetTopology::new(3, 2, 2, 4).unwrap();
+        let c = FleetConfig::new(topo, 100, group())
+            .unwrap()
+            .with_horizon_hours(5000.0)
+            .with_shards(8)
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 1e10)
+            .with_bursts(BurstProfile::disaster_scenario());
+        assert_eq!(c.groups, 100);
+        assert_eq!(c.total_replicas(), 200);
+        assert_eq!(c.horizon_hours, 5000.0);
+        // A shard carrying 25 of the 100 groups owns a quarter of each
+        // site's bandwidth; the shares sum to the configured rate.
+        assert_eq!(c.shard_site_rate(25), Some(2.5e8));
+        assert_eq!(c.shard_site_rate(100), Some(1e9));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let topo = FleetTopology::single_node(2).unwrap();
+        assert!(FleetConfig::new(topo, 0, group()).is_err());
+        // 3 replicas cannot fit a 2-drive fleet without drive sharing.
+        let triple =
+            SimConfig::new(3, 1, 1000.0, 5000.0, 10.0, 10.0, DetectionModel::Never, 1.0).unwrap();
+        assert!(FleetConfig::new(topo, 10, triple).is_err());
+        let mut bad = FleetConfig::new(topo, 10, group()).unwrap();
+        bad.horizon_hours = 0.0;
+        assert!(bad.validate().is_err());
+        bad = FleetConfig::new(topo, 10, group()).unwrap();
+        bad.repair_bandwidth = RepairBandwidth::PerSiteBytesPerHour(0.0);
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn detection_follows_group_model_without_a_tour() {
+        let topo = FleetTopology::single_node(2).unwrap();
+        let c = FleetConfig::new(topo, 1, group()).unwrap();
+        assert_eq!(c.detection_for_drive(0), Some((100.0, 0.0)));
+        let never = SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, None, 1.0).unwrap();
+        let c = FleetConfig::new(topo, 1, never).unwrap();
+        assert_eq!(c.detection_for_drive(0), None);
+    }
+
+    #[test]
+    fn scrub_tour_shares_the_engine_across_drives() {
+        let topo = FleetTopology::new(1, 1, 1, 4).unwrap();
+        let strategy =
+            ScrubStrategy::new(ScrubPolicy::Periodic { passes_per_year: 12.0 }, 146.0e9, 96.0e6);
+        let c = FleetConfig::new(topo, 2, group()).unwrap().with_scrub(ScrubTour::new(strategy));
+        // 12 engine passes/year over 4 drives = 3 passes/drive/year.
+        let (period, phase0) = c.detection_for_drive(0).unwrap();
+        assert!((period - HOURS_PER_YEAR / 3.0).abs() < 1e-9);
+        assert_eq!(phase0, 0.0);
+        let (_, phase2) = c.detection_for_drive(2).unwrap();
+        assert!((phase2 - period * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let topo = FleetTopology::new(3, 2, 2, 4).unwrap();
+        let c = FleetConfig::new(topo, 100, group())
+            .unwrap()
+            .with_bursts(BurstProfile::disaster_scenario());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,195 @@
+//! The fleet simulation driver: sharded, parallel, bit-reproducible.
+//!
+//! Groups are dealt round-robin across a *fixed* number of logical shards
+//! (`FleetConfig::shards`); each shard owns a deterministic RNG sub-stream
+//! (`SimRng::fork(shard)`, the same discipline `ltds_sim::MonteCarlo` uses
+//! for trials) and is simulated independently against the shared burst
+//! timeline. Worker threads merely pick up shards; results are merged in
+//! shard order, so the report is bit-identical for any thread count.
+
+use crate::bursts::Burst;
+use crate::config::FleetConfig;
+use crate::kernel::ShardKernel;
+use crate::report::{FleetReport, ShardOutcome};
+use ltds_core::error::ModelError;
+use ltds_stochastic::SimRng;
+
+/// RNG sub-stream index reserved for the burst timeline (group shards use
+/// `0..shards`, which never collides with this).
+const BURST_STREAM: u64 = u64::MAX;
+
+/// Builder/driver for a fleet simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSim {
+    config: FleetConfig,
+    seed: u64,
+    threads: usize,
+}
+
+impl FleetSim {
+    /// Creates a driver with seed 0 and one worker per available core.
+    pub fn new(config: FleetConfig) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Self { config, seed: 0, threads }
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of worker threads. Changes wall-clock time only —
+    /// never results.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// The configuration being simulated.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Runs the simulation.
+    pub fn run(&self) -> Result<FleetReport, ModelError> {
+        self.config.validate()?;
+        let master = SimRng::seed_from(self.seed);
+
+        // The burst timeline is generated once, from its own reserved
+        // sub-stream, and shared by every shard: cross-group correlation is
+        // identical no matter how the fleet is partitioned or threaded.
+        let mut burst_rng = master.fork(BURST_STREAM);
+        let bursts: Vec<Burst> = self.config.bursts.timeline(
+            &self.config.topology,
+            self.config.horizon_hours,
+            &mut burst_rng,
+        );
+
+        let shards = self.config.shards;
+        let threads = self.threads.min(shards).max(1);
+        let kernel = ShardKernel::new(&self.config, &bursts);
+
+        // Deal shards to workers in contiguous chunks; merge in shard order.
+        let chunk = shards / threads;
+        let remainder = shards % threads;
+        let mut per_shard: Vec<Vec<ShardOutcome>> = Vec::with_capacity(threads);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0usize;
+            for t in 0..threads {
+                let count = chunk + usize::from(t < remainder);
+                let range = start..start + count;
+                start += count;
+                let master = master.clone();
+                let kernel = &kernel;
+                handles.push(scope.spawn(move |_| {
+                    range
+                        .map(|shard| kernel.run(shard, master.fork(shard as u64)))
+                        .collect::<Vec<ShardOutcome>>()
+                }));
+            }
+            for handle in handles {
+                per_shard.push(handle.join().expect("fleet worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut totals = ShardOutcome::default();
+        for outcome in per_shard.iter().flatten() {
+            totals.merge(outcome);
+        }
+
+        Ok(FleetReport {
+            groups: self.config.groups,
+            drives: self.config.topology.total_drives(),
+            horizon_hours: self.config.horizon_hours,
+            bursts_struck: bursts.len() as u64,
+            totals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bursts::BurstProfile;
+    use crate::config::RepairBandwidth;
+    use crate::topology::FleetTopology;
+    use ltds_sim::config::SimConfig;
+
+    fn fragile_fleet(groups: usize) -> FleetConfig {
+        let topo = FleetTopology::new(2, 2, 2, 8).unwrap();
+        let group =
+            SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap();
+        FleetConfig::new(topo, groups, group).unwrap().with_horizon_hours(20_000.0).with_shards(8)
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_thread_counts() {
+        let config = fragile_fleet(60);
+        let one = FleetSim::new(config).seed(7).threads(1).run().unwrap();
+        let four = FleetSim::new(config).seed(7).threads(4).run().unwrap();
+        let many = FleetSim::new(config).seed(7).threads(13).run().unwrap();
+        assert_eq!(one.totals.losses, four.totals.losses);
+        assert_eq!(one.totals.faults, four.totals.faults);
+        assert_eq!(one.totals.events, four.totals.events);
+        assert_eq!(
+            one.totals.loss_intervals.mean().to_bits(),
+            four.totals.loss_intervals.mean().to_bits(),
+            "merged statistics must be bit-identical"
+        );
+        assert_eq!(
+            one.totals.loss_intervals.mean().to_bits(),
+            many.totals.loss_intervals.mean().to_bits()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = fragile_fleet(60);
+        let a = FleetSim::new(config).seed(1).run().unwrap();
+        let b = FleetSim::new(config).seed(2).run().unwrap();
+        assert_ne!(a.totals.loss_intervals.mean(), b.totals.loss_intervals.mean());
+    }
+
+    #[test]
+    fn bursts_and_bandwidth_pressure_hurt_reliability() {
+        let calm = fragile_fleet(100);
+        let stressed = calm
+            .with_bursts(BurstProfile::disaster_scenario())
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(5e8), 1e10);
+        let calm_report = FleetSim::new(calm).seed(3).run().unwrap();
+        let stressed_report = FleetSim::new(stressed).seed(3).run().unwrap();
+        assert!(stressed_report.bursts_struck > 0);
+        assert!(stressed_report.totals.burst_faults > 0);
+        assert!(
+            stressed_report.totals.losses > calm_report.totals.losses,
+            "bursts + tight bandwidth must cost losses: {} vs {}",
+            stressed_report.totals.losses,
+            calm_report.totals.losses
+        );
+        assert!(stressed_report.mean_repair_wait_hours() >= 0.0);
+    }
+
+    #[test]
+    fn report_shape_is_sane() {
+        let report = FleetSim::new(fragile_fleet(60)).seed(5).run().unwrap();
+        assert_eq!(report.groups, 60);
+        assert_eq!(report.drives, 64);
+        assert!(report.totals.losses > 0, "fragile groups over 20k hours must lose data");
+        assert!(report.mttdl_exposure_hours().is_finite());
+        assert!(report.mttdl_interval().estimate > 0.0);
+        assert!(report.events_per_group_year() > 0.0);
+        let p = report.loss_probability_by(report.mttdl_exposure_hours());
+        assert!((p - 0.632).abs() < 0.01);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_run() {
+        let mut config = fragile_fleet(60);
+        config.horizon_hours = -1.0;
+        assert!(FleetSim::new(config).run().is_err());
+    }
+}

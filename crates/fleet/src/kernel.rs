@@ -1,0 +1,568 @@
+//! The per-shard discrete-event kernel.
+//!
+//! One kernel simulates the replica groups assigned to one logical shard
+//! over the whole horizon, against the shared burst timeline. The
+//! stochastic semantics deliberately mirror `ltds_sim::TrialRunner` —
+//! per-replica visible/latent fault races, deterministic repair windows,
+//! periodic latent-fault detection, and `α`-acceleration while any replica
+//! in a group is faulty — so that with unlimited bandwidth and no bursts a
+//! fleet of one group reproduces the per-group simulator's MTTDL (the
+//! degeneracy test in `tests/model_vs_simulator.rs`).
+//!
+//! On data loss a group *renews*: the loss interval is recorded and the
+//! group restarts intact at the loss time (fresh data re-ingested
+//! elsewhere). Completed intervals are therefore i.i.d. samples of the
+//! per-group time-to-loss, which is what makes fleet results comparable to
+//! per-trial Monte-Carlo estimates.
+//!
+//! Everything is deterministic given `(config, seed)`: the kernel's RNG is
+//! consumed strictly in event order, events tie-break by insertion order,
+//! and burst victims come from a pre-generated shared timeline.
+
+use crate::bursts::Burst;
+use crate::config::FleetConfig;
+use crate::queue::{EventKind, EventQueue};
+use crate::repair::SitePipeline;
+use crate::report::ShardOutcome;
+use ltds_core::fault::FaultClass;
+use ltds_stochastic::SimRng;
+use std::collections::HashMap;
+
+/// Runs the groups of one shard over the horizon.
+pub struct ShardKernel<'a> {
+    config: &'a FleetConfig,
+    bursts: &'a [Burst],
+}
+
+impl<'a> ShardKernel<'a> {
+    /// Creates a kernel over a config and the shared burst timeline.
+    pub fn new(config: &'a FleetConfig, bursts: &'a [Burst]) -> Self {
+        Self { config, bursts }
+    }
+
+    /// Number of groups assigned to `shard` (groups are dealt round-robin:
+    /// global group `g` lives in shard `g % shards`).
+    pub fn groups_in_shard(&self, shard: usize) -> usize {
+        let groups = self.config.groups;
+        let shards = self.config.shards;
+        assert!(shard < shards, "shard {shard} out of range 0..{shards}");
+        (groups + shards - 1 - shard) / shards
+    }
+
+    /// Simulates the shard, consuming its dedicated RNG sub-stream.
+    pub fn run(&self, shard: usize, mut rng: SimRng) -> ShardOutcome {
+        let cfg = self.config;
+        let replicas = cfg.group.replicas;
+        let threshold = cfg.group.loss_threshold();
+        let n_local = self.groups_in_shard(shard);
+        let mut out = ShardOutcome::default();
+        if n_local == 0 {
+            return out;
+        }
+
+        let mut sim = Sim {
+            cfg,
+            replicas,
+            threshold,
+            horizon: cfg.horizon_hours,
+            state: vec![INTACT; n_local * replicas],
+            token: vec![0u32; n_local * replicas],
+            pending_class: vec![FaultClass::Visible; n_local * replicas],
+            slot_site: Vec::with_capacity(n_local * replicas),
+            slot_detection: Vec::with_capacity(n_local * replicas),
+            faulty_count: vec![0u16; n_local],
+            birth: vec![0.0; n_local],
+            reserved: vec![0.0; n_local * replicas],
+            pipelines: (0..cfg.topology.sites)
+                .map(|_| SitePipeline::new(cfg.shard_site_rate(n_local)))
+                .collect(),
+            queue: EventQueue::with_capacity(n_local * replicas + self.bursts.len()),
+            drive_slots: HashMap::new(),
+        };
+
+        // Static placement: site, detection schedule and (if bursts are
+        // active) the drive → slots map.
+        for local in 0..n_local {
+            let group = shard + local * cfg.shards;
+            for r in 0..replicas {
+                let slot = (local * replicas + r) as u32;
+                let drive = cfg.topology.place(group, r);
+                sim.slot_site.push(cfg.topology.site_of(drive) as u32);
+                sim.slot_detection.push(cfg.detection_for_drive(drive));
+                if !self.bursts.is_empty() {
+                    sim.drive_slots.entry(drive).or_default().push(slot);
+                }
+            }
+        }
+
+        // Initial fault sampling (slot order) and the burst timeline.
+        for slot in 0..(n_local * replicas) as u32 {
+            sim.resample(slot, 0.0, 1.0, &mut rng);
+        }
+        for (index, burst) in self.bursts.iter().enumerate() {
+            if burst.time_hours <= sim.horizon {
+                sim.queue.push(burst.time_hours, 0, EventKind::Burst { index: index as u32 });
+            }
+        }
+
+        // Event loop. Events past the horizon are never scheduled, so the
+        // queue simply drains.
+        while let Some(event) = sim.queue.pop() {
+            out.events += 1;
+            match event.kind {
+                EventKind::Fault { slot } => {
+                    if sim.token[slot as usize] != event.token {
+                        continue; // stale: the slot was resampled, repaired or renewed
+                    }
+                    let class = sim.pending_class[slot as usize];
+                    sim.handle_fault(slot, event.time, class, false, &mut rng, &mut out);
+                }
+                EventKind::RepairReady { slot } => {
+                    if sim.token[slot as usize] != event.token {
+                        continue; // stale: the group was lost and renewed meanwhile
+                    }
+                    let class = sim.pending_class[slot as usize];
+                    sim.commit_repair(slot, event.time, class);
+                }
+                EventKind::RepairDone { slot } => {
+                    if sim.token[slot as usize] != event.token {
+                        continue; // stale: the group was lost and renewed meanwhile
+                    }
+                    sim.handle_repair_done(slot, event.time, &mut rng);
+                    out.repairs += 1;
+                }
+                EventKind::Burst { index } => {
+                    let burst = &self.bursts[index as usize];
+                    sim.apply_burst(burst, &mut rng, &mut out);
+                }
+            }
+        }
+
+        for pipeline in &sim.pipelines {
+            out.repair_wait.merge(pipeline.wait_stats());
+        }
+        out
+    }
+}
+
+const INTACT: u8 = 0;
+const FAULTY: u8 = 1;
+
+/// Mutable simulation state of one shard.
+struct Sim<'a> {
+    cfg: &'a FleetConfig,
+    replicas: usize,
+    threshold: usize,
+    horizon: f64,
+    /// Per-slot replica state (`INTACT` / `FAULTY`).
+    state: Vec<u8>,
+    /// Per-slot staleness token; bumped on every transition or resample.
+    token: Vec<u32>,
+    /// Class of an intact slot's pending next fault; while the slot is
+    /// faulty, class of its *active* fault (consulted at detection time).
+    pending_class: Vec<FaultClass>,
+    /// Site hosting each slot.
+    slot_site: Vec<u32>,
+    /// `(period, phase)` of each slot's latent-fault detection, or `None`.
+    slot_detection: Vec<Option<(f64, f64)>>,
+    /// Currently faulty replicas per local group.
+    faulty_count: Vec<u16>,
+    /// Renewal time of each local group (loss intervals measure from here).
+    birth: Vec<f64>,
+    /// Pipeline hours reserved by each slot's committed, not-yet-finished
+    /// repair (refunded if the group is lost before the repair completes).
+    reserved: Vec<f64>,
+    /// Per-site repair pipelines (this shard's bandwidth slice).
+    pipelines: Vec<SitePipeline>,
+    queue: EventQueue,
+    /// Slots hosted on each drive (only populated when bursts are active).
+    drive_slots: HashMap<usize, Vec<u32>>,
+}
+
+impl Sim<'_> {
+    /// Samples a slot's next fault at the given rate multiplier and
+    /// schedules it. Mirrors `TrialRunner::sample_next_fault`, including the
+    /// visible-then-latent draw order, so RNG streams advance identically.
+    fn resample(&mut self, slot: u32, now: f64, multiplier: f64, rng: &mut SimRng) {
+        let s = slot as usize;
+        self.token[s] = self.token[s].wrapping_add(1);
+        let visible = rng.exponential(self.cfg.group.mttf_visible_hours / multiplier);
+        let latent = rng.exponential(self.cfg.group.mttf_latent_hours / multiplier);
+        let (delay, class) = if visible <= latent {
+            (visible, FaultClass::Visible)
+        } else {
+            (latent, FaultClass::Latent)
+        };
+        self.pending_class[s] = class;
+        let at = now + delay;
+        if at <= self.horizon {
+            self.queue.push(at, self.token[s], EventKind::Fault { slot });
+        }
+    }
+
+    /// Rate multiplier while `faulty` replicas of a group are down.
+    fn rate_multiplier(&self, faulty: u16) -> f64 {
+        if faulty == 0 {
+            1.0
+        } else {
+            1.0 / self.cfg.group.alpha
+        }
+    }
+
+    /// Time at which a latent fault occurring at `now` on `slot` is
+    /// detected by the scrub tour (infinite if never).
+    fn detection_time(&self, slot: u32, now: f64) -> f64 {
+        match self.slot_detection[slot as usize] {
+            None => f64::INFINITY,
+            Some((period, phase)) => {
+                if now < phase {
+                    phase
+                } else {
+                    ((now - phase) / period).floor() * period + period + phase
+                }
+            }
+        }
+    }
+
+    /// One replica faults (organically or from a burst).
+    fn handle_fault(
+        &mut self,
+        slot: u32,
+        now: f64,
+        class: FaultClass,
+        from_burst: bool,
+        rng: &mut SimRng,
+        out: &mut ShardOutcome,
+    ) {
+        let s = slot as usize;
+        debug_assert_eq!(self.state[s], INTACT);
+        let group = s / self.replicas;
+        let faulty_before = self.faulty_count[group];
+        self.state[s] = FAULTY;
+        self.token[s] = self.token[s].wrapping_add(1);
+        self.faulty_count[group] = faulty_before + 1;
+        out.faults += 1;
+        if from_burst {
+            out.burst_faults += 1;
+        }
+
+        if self.faulty_count[group] as usize >= self.threshold {
+            out.record_loss(now - self.birth[group], class);
+            self.renew_group(group, now, rng);
+            return;
+        }
+
+        // Remember the active fault's class (burst faults may differ from
+        // the slot's sampled pending class) for the eventual repair commit.
+        self.pending_class[s] = class;
+
+        // Visible faults enter the site repair pipeline immediately; latent
+        // faults only once the scrub tour finds them (a RepairReady event at
+        // detection time), so an undetected fault never reserves bandwidth
+        // ahead of repairs that are actually ready.
+        match class {
+            FaultClass::Visible => self.commit_repair(slot, now, class),
+            FaultClass::Latent => {
+                let detect_at = self.detection_time(slot, now);
+                if detect_at <= self.horizon {
+                    self.queue.push(detect_at, self.token[s], EventKind::RepairReady { slot });
+                }
+            }
+        }
+
+        // First fault in the group: accelerate the surviving replicas.
+        if faulty_before == 0 && self.cfg.group.alpha < 1.0 {
+            let multiplier = self.rate_multiplier(1);
+            self.resample_intact_siblings(slot, now, multiplier, rng);
+        }
+    }
+
+    /// Commits a ready repair to the slot's site pipeline and schedules its
+    /// completion. Pipelines therefore serve repairs in ready order (fault
+    /// time for visible faults, detection time for latent ones).
+    fn commit_repair(&mut self, slot: u32, now: f64, class: FaultClass) {
+        let s = slot as usize;
+        let base = match class {
+            FaultClass::Visible => self.cfg.group.repair_visible_hours,
+            FaultClass::Latent => self.cfg.group.repair_latent_hours,
+        };
+        let site = self.slot_site[s] as usize;
+        let done = self.pipelines[site].schedule(now, base, self.cfg.group_bytes);
+        self.reserved[s] = self.pipelines[site].transfer_hours(self.cfg.group_bytes);
+        if done <= self.horizon {
+            self.queue.push(done, self.token[s], EventKind::RepairDone { slot });
+        }
+    }
+
+    /// A repair completes: the replica returns to service with fresh data.
+    fn handle_repair_done(&mut self, slot: u32, now: f64, rng: &mut SimRng) {
+        let s = slot as usize;
+        debug_assert_eq!(self.state[s], FAULTY);
+        let group = s / self.replicas;
+        self.state[s] = INTACT;
+        self.reserved[s] = 0.0;
+        self.faulty_count[group] -= 1;
+        let faulty_now = self.faulty_count[group];
+        let multiplier = self.rate_multiplier(faulty_now);
+        self.resample(slot, now, multiplier, rng);
+        // The group just became fault-free: decelerate the others.
+        if faulty_now == 0 && self.cfg.group.alpha < 1.0 {
+            self.resample_intact_siblings(slot, now, 1.0, rng);
+        }
+    }
+
+    /// Resamples every intact replica of `slot`'s group except `slot`.
+    fn resample_intact_siblings(&mut self, slot: u32, now: f64, multiplier: f64, rng: &mut SimRng) {
+        let group = slot as usize / self.replicas;
+        let base = group * self.replicas;
+        for r in 0..self.replicas {
+            let sibling = (base + r) as u32;
+            if sibling != slot && self.state[base + r] == INTACT {
+                self.resample(sibling, now, multiplier, rng);
+            }
+        }
+    }
+
+    /// Data loss: record the interval and restart the group intact.
+    fn renew_group(&mut self, group: usize, now: f64, rng: &mut SimRng) {
+        self.faulty_count[group] = 0;
+        self.birth[group] = now;
+        let base = group * self.replicas;
+        for r in 0..self.replicas {
+            let s = base + r;
+            // Repairs of the dead group are cancelled: hand any pipeline
+            // hours they still held back to the site, so phantom
+            // reservations do not starve the survivors.
+            if self.reserved[s] > 0.0 {
+                let site = self.slot_site[s] as usize;
+                self.pipelines[site].refund(now, self.reserved[s]);
+                self.reserved[s] = 0.0;
+            }
+            self.state[s] = INTACT;
+        }
+        for r in 0..self.replicas {
+            self.resample((base + r) as u32, now, 1.0, rng);
+        }
+    }
+
+    /// A correlated burst faults every intact replica stored in its blast
+    /// radius. Already-faulty replicas are unaffected (their data is
+    /// already gone or queued for repair), and a group that is lost and
+    /// renewed mid-burst is not immediately re-faulted by the same burst:
+    /// renewal stamps `birth[group]` with the loss time, which equals the
+    /// burst time here, so the renewed group's fresh replicas are skipped.
+    /// (A staleness-token check would be wrong for this — faulting one
+    /// victim resamples its *intact* siblings under `α`-acceleration, which
+    /// bumps their tokens even though they must still be struck.)
+    fn apply_burst(&mut self, burst: &Burst, rng: &mut SimRng, out: &mut ShardOutcome) {
+        if self.drive_slots.is_empty() {
+            return;
+        }
+        let class = burst.domain.fault_class();
+        let mut victims: Vec<u32> = Vec::new();
+        for drive in burst.affected_drives(&self.cfg.topology) {
+            if let Some(slots) = self.drive_slots.get(&drive) {
+                victims.extend(slots.iter().copied());
+            }
+        }
+        for slot in victims {
+            let group = slot as usize / self.replicas;
+            if self.state[slot as usize] == INTACT && self.birth[group] != burst.time_hours {
+                self.handle_fault(slot, burst.time_hours, class, true, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bursts::{BurstProfile, FaultDomain};
+    use crate::config::RepairBandwidth;
+    use crate::topology::FleetTopology;
+    use ltds_sim::config::SimConfig;
+
+    fn fragile_group() -> SimConfig {
+        SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap()
+    }
+
+    fn small_config() -> FleetConfig {
+        let topo = FleetTopology::new(2, 2, 2, 4).unwrap();
+        FleetConfig::new(topo, 50, fragile_group())
+            .unwrap()
+            .with_horizon_hours(50_000.0)
+            .with_shards(4)
+    }
+
+    #[test]
+    fn shard_group_deal_covers_every_group_once() {
+        let config = small_config();
+        let kernel = ShardKernel::new(&config, &[]);
+        let total: usize = (0..config.shards).map(|s| kernel.groups_in_shard(s)).sum();
+        assert_eq!(total, config.groups);
+    }
+
+    #[test]
+    fn kernel_is_deterministic_for_a_seed() {
+        let config = small_config();
+        let kernel = ShardKernel::new(&config, &[]);
+        let a = kernel.run(1, SimRng::seed_from(9).fork(1));
+        let b = kernel.run(1, SimRng::seed_from(9).fork(1));
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.loss_intervals.mean(), b.loss_intervals.mean());
+    }
+
+    #[test]
+    fn fragile_groups_lose_data_repeatedly() {
+        let config = small_config();
+        let kernel = ShardKernel::new(&config, &[]);
+        let out = kernel.run(0, SimRng::seed_from(3).fork(0));
+        assert!(out.losses > 10, "expected many renewals, got {}", out.losses);
+        assert!(out.faults > out.losses);
+        assert!(out.repairs > 0);
+        assert_eq!(out.burst_faults, 0);
+        assert_eq!(out.fatal_visible + out.fatal_latent, out.losses);
+    }
+
+    #[test]
+    fn site_burst_faults_resident_replicas() {
+        // One massive site burst at t=10 against an otherwise indestructible
+        // fleet: every replica in site 0 faults, and mirrored groups with
+        // both replicas... cannot exist (replicas go to distinct sites), so
+        // no data is lost — but the burst faults show up.
+        let topo = FleetTopology::new(2, 1, 1, 8).unwrap();
+        let sturdy = SimConfig::mirrored_disks(1e12, 1e12, 1.0, 1.0, Some(100.0), 1.0).unwrap();
+        let config =
+            FleetConfig::new(topo, 8, sturdy).unwrap().with_horizon_hours(1000.0).with_shards(1);
+        let bursts = vec![Burst { time_hours: 10.0, domain: FaultDomain::Site, victim: 0 }];
+        let kernel = ShardKernel::new(&config, &bursts);
+        let out = kernel.run(0, SimRng::seed_from(5).fork(0));
+        assert_eq!(out.burst_faults, 8, "one replica of each group lives in site 0");
+        assert_eq!(out.losses, 0);
+        assert_eq!(out.repairs, 8, "all burst victims get repaired");
+    }
+
+    #[test]
+    fn single_site_disaster_loses_cosited_groups() {
+        // Everything in one site: a site burst takes out both replicas of
+        // every group at once.
+        let topo = FleetTopology::new(1, 1, 2, 4).unwrap();
+        let sturdy = SimConfig::mirrored_disks(1e12, 1e12, 1.0, 1.0, Some(100.0), 1.0).unwrap();
+        let config =
+            FleetConfig::new(topo, 4, sturdy).unwrap().with_horizon_hours(1000.0).with_shards(1);
+        let bursts = vec![Burst { time_hours: 10.0, domain: FaultDomain::Site, victim: 0 }];
+        let kernel = ShardKernel::new(&config, &bursts);
+        let out = kernel.run(0, SimRng::seed_from(5).fork(0));
+        assert_eq!(out.losses, 4, "every group was wholly inside the blast radius");
+        assert!((out.loss_intervals.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_burst_destroys_cosited_groups_even_under_alpha_acceleration() {
+        // Regression: faulting the first victim of a burst resamples its
+        // intact siblings when alpha < 1, which bumps their tokens; the
+        // burst must still strike those siblings. With a token-snapshot
+        // victim filter this lost the whole-group kill and no data loss was
+        // recorded.
+        let topo = FleetTopology::new(1, 1, 2, 4).unwrap();
+        let sturdy = SimConfig::new(
+            2,
+            1,
+            1e12,
+            1e12,
+            1.0,
+            1.0,
+            ltds_sim::config::DetectionModel::PeriodicScrub { period_hours: 100.0 },
+            0.1, // correlated: first fault accelerates (and resamples) the sibling
+        )
+        .unwrap();
+        let config =
+            FleetConfig::new(topo, 4, sturdy).unwrap().with_horizon_hours(1_000.0).with_shards(1);
+        let bursts = vec![Burst { time_hours: 10.0, domain: FaultDomain::Site, victim: 0 }];
+        let kernel = ShardKernel::new(&config, &bursts);
+        let out = kernel.run(0, SimRng::seed_from(5).fork(0));
+        assert_eq!(out.losses, 4, "every mirrored group was wholly inside the blast radius");
+        assert_eq!(out.burst_faults, 8, "both replicas of each group must be struck");
+        assert!((out.loss_intervals.mean() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undetected_latent_faults_do_not_reserve_repair_bandwidth() {
+        // One group's latent fault detected at t=100 must not block the
+        // pipeline before t=100. With commit-at-fault-time scheduling, an
+        // early latent fault reserved the (slow) pipeline from its future
+        // detection point and pushed every later visible repair behind it.
+        let topo = FleetTopology::single_node(4).unwrap();
+        // Latent-only faults, detected by a slow scrub; transfers take 50h
+        // on the constrained pipeline.
+        let group = SimConfig::new(
+            2,
+            1,
+            1e12,
+            400.0,
+            1.0,
+            1.0,
+            ltds_sim::config::DetectionModel::PeriodicScrub { period_hours: 500.0 },
+            1.0,
+        )
+        .unwrap();
+        let config = FleetConfig::new(topo, 2, group)
+            .unwrap()
+            .with_horizon_hours(10_000.0)
+            .with_shards(1)
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e10);
+        let kernel = ShardKernel::new(&config, &[]);
+        let out = kernel.run(0, SimRng::seed_from(3).fork(0));
+        // Every committed repair becomes ready at a scrub boundary; with
+        // ready-order FIFO the queueing delay can never exceed the backlog
+        // of transfers committed at the same boundary (< 4 * 50h), whereas
+        // fault-order reservation produced waits spanning whole scrub
+        // periods for repairs that were not yet detectable.
+        assert!(out.repairs > 0);
+        assert!(
+            out.repair_wait.max() <= 200.0,
+            "ready-order FIFO bounds the wait at one boundary's backlog, got {}",
+            out.repair_wait.max()
+        );
+    }
+
+    #[test]
+    fn constrained_bandwidth_queues_repairs() {
+        let topo = FleetTopology::new(2, 1, 1, 8).unwrap();
+        let group = SimConfig::mirrored_disks(2000.0, 1e12, 1.0, 1.0, None, 1.0).unwrap();
+        let config = FleetConfig::new(topo, 64, group)
+            .unwrap()
+            .with_horizon_hours(100_000.0)
+            .with_shards(1)
+            // ~10h per repair transfer: concurrent faults must queue.
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 1e10);
+        let kernel = ShardKernel::new(&config, &[]);
+        let out = kernel.run(0, SimRng::seed_from(11).fork(0));
+        assert!(out.repair_wait.count() > 0);
+        assert!(out.repair_wait.max() > 0.0, "some repair must have queued");
+    }
+
+    #[test]
+    fn empty_shard_is_a_no_op() {
+        let topo = FleetTopology::single_node(2).unwrap();
+        let config = FleetConfig::new(topo, 2, fragile_group()).unwrap().with_shards(8);
+        let kernel = ShardKernel::new(&config, &[]);
+        let out = kernel.run(7, SimRng::seed_from(1).fork(7));
+        assert_eq!(out.events, 0);
+        assert_eq!(out.losses, 0);
+    }
+
+    #[test]
+    fn bursts_profile_integration_is_reproducible() {
+        let config = small_config().with_bursts(BurstProfile::disaster_scenario());
+        let mut rng = SimRng::seed_from(42).fork(u64::MAX);
+        let bursts = config.bursts.timeline(&config.topology, config.horizon_hours, &mut rng);
+        let kernel = ShardKernel::new(&config, &bursts);
+        let a = kernel.run(2, SimRng::seed_from(42).fork(2));
+        let b = kernel.run(2, SimRng::seed_from(42).fork(2));
+        assert_eq!(a.burst_faults, b.burst_faults);
+        assert_eq!(a.losses, b.losses);
+    }
+}

@@ -1,0 +1,70 @@
+//! Fleet-scale discrete-event simulation for long-term storage.
+//!
+//! The per-group simulator (`ltds-sim`) answers "how long does one replica
+//! group live?" — but the paper's hardest scenarios are *system* effects
+//! that only exist at fleet scale:
+//!
+//! * **site disasters** taking out every replica in a building at once;
+//! * **repair-bandwidth contention**: after a mass failure, thousands of
+//!   groups queue for the same wide-area pipes, and the repair windows the
+//!   per-group model treats as constants stretch exactly when they matter
+//!   most;
+//! * **scrub tours**: latent-fault detection shares a bounded I/O budget
+//!   per node, so detection latency degrades with fleet density.
+//!
+//! This crate simulates the whole archive — a `site → rack → node → drive`
+//! hierarchy ([`FleetTopology`]) carrying up to millions of placed replica
+//! groups — with a binary-heap event kernel over a virtual clock:
+//!
+//! * [`FleetConfig`] reuses `ltds_sim::SimConfig` for per-group behaviour,
+//!   so the fleet engine and the Monte-Carlo simulator are parameterised
+//!   identically (and cross-checked against each other in the degeneracy
+//!   test);
+//! * [`ScrubTour`] reuses `ltds_scrub::ScrubStrategy` for per-drive scrub
+//!   policies, shared across each node's drives;
+//! * [`BurstProfile`] layers hierarchical correlated failures on top of the
+//!   within-group `α` model of `ltds-core`, and can translate its structure
+//!   back into an equivalent `α` via `ltds-faults`;
+//! * [`RepairBandwidth`] gives every site a FIFO repair pipeline with a
+//!   byte budget.
+//!
+//! Execution is sharded: groups are dealt round-robin across a fixed number
+//! of logical shards, each with its own deterministic RNG sub-stream
+//! (`SimRng::fork`, the same discipline `ltds_sim::MonteCarlo` uses), and
+//! worker threads pick up shards. Results are **bit-identical for a given
+//! seed regardless of thread count**.
+//!
+//! # Example
+//!
+//! ```
+//! use ltds_fleet::{FleetConfig, FleetSim, FleetTopology};
+//! use ltds_sim::config::SimConfig;
+//!
+//! // A deliberately fragile fleet so the example runs fast.
+//! let topology = FleetTopology::new(2, 2, 2, 4).unwrap();
+//! let group = SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap();
+//! let config = FleetConfig::new(topology, 40, group)
+//!     .unwrap()
+//!     .with_horizon_hours(10_000.0);
+//! let report = FleetSim::new(config).seed(1).run().unwrap();
+//! assert!(report.totals.losses > 0);
+//! assert!(report.mttdl_exposure_hours().is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bursts;
+pub mod config;
+pub mod engine;
+pub mod kernel;
+pub mod queue;
+pub mod repair;
+pub mod report;
+pub mod topology;
+
+pub use bursts::{Burst, BurstProfile, FaultDomain};
+pub use config::{FleetConfig, RepairBandwidth, ScrubTour};
+pub use engine::FleetSim;
+pub use report::{FleetReport, ShardOutcome};
+pub use topology::FleetTopology;

@@ -1,0 +1,158 @@
+//! The discrete-event queue: a binary heap over virtual time with
+//! deterministic tie-breaking.
+//!
+//! Events carry a per-slot `token`; state transitions bump the slot's token,
+//! which lazily invalidates any stale events still in the heap (cheaper than
+//! removing them). Ties in virtual time are broken by insertion order, so a
+//! given event sequence replays identically on every run.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What an event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// The pending fault of a replica slot arrives.
+    Fault {
+        /// Shard-local replica slot.
+        slot: u32,
+    },
+    /// A latent fault is detected (scrub tour reaches it): the repair can
+    /// now be committed to the site pipeline.
+    RepairReady {
+        /// Shard-local replica slot.
+        slot: u32,
+    },
+    /// A scheduled repair of a replica slot completes.
+    RepairDone {
+        /// Shard-local replica slot.
+        slot: u32,
+    },
+    /// A correlated burst strikes (index into the shared burst timeline).
+    Burst {
+        /// Index into the burst timeline.
+        index: u32,
+    },
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Virtual time in hours.
+    pub time: f64,
+    /// Slot token captured at scheduling; stale if the slot moved on.
+    pub token: u32,
+    /// Payload.
+    pub kind: EventKind,
+    /// Insertion sequence, for deterministic tie-breaking.
+    seq: u64,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event pops first.
+        other.time.total_cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of events over virtual time.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a queue sized for an expected number of events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+    }
+
+    /// Schedules an event.
+    pub fn push(&mut self, time: f64, token: u32, kind: EventKind) {
+        debug_assert!(time.is_finite() && time >= 0.0, "event time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, token, kind, seq });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Earliest scheduled time, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events (including stale ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, 0, EventKind::Fault { slot: 1 });
+        q.push(1.0, 0, EventKind::Fault { slot: 2 });
+        q.push(3.0, 0, EventKind::RepairDone { slot: 3 });
+        let times: Vec<f64> = std::iter::from_fn(|| q.pop().map(|e| e.time)).collect();
+        assert_eq!(times, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, 0, EventKind::Fault { slot: 10 });
+        q.push(2.0, 0, EventKind::Fault { slot: 20 });
+        q.push(2.0, 0, EventKind::Fault { slot: 30 });
+        let slots: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Fault { slot } => slot,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(slots, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(7.0, 1, EventKind::Burst { index: 0 });
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Shared per-site repair pipelines.
+//!
+//! Every site owns a repair pipeline with a configurable byte rate (its
+//! share of wide-area bandwidth plus staffing). Repairs are served
+//! first-come-first-served in *ready order* — fault time for visible
+//! faults, scrub-detection time for latent ones — so a fault nobody has
+//! found yet never reserves bandwidth ahead of repairs that can actually
+//! start.
+//!
+//! With [`RepairBandwidth::Unlimited`] the pipeline degenerates to the
+//! per-group simulator's assumption — every repair takes exactly its base
+//! repair time — which is what the degeneracy test against
+//! `ltds_sim::MonteCarlo` exercises.
+//!
+//! [`RepairBandwidth::Unlimited`]: crate::config::RepairBandwidth::Unlimited
+
+use ltds_stochastic::StreamingStats;
+
+/// FIFO repair pipeline of one site (one shard's slice of it).
+#[derive(Debug, Clone)]
+pub struct SitePipeline {
+    /// Bytes per hour this pipeline can move; `None` = unlimited.
+    rate_bytes_per_hour: Option<f64>,
+    /// Time at which the pipeline finishes its last committed job.
+    busy_until_hours: f64,
+    /// Queueing delay of every committed job.
+    wait_stats: StreamingStats,
+}
+
+impl SitePipeline {
+    /// Creates a pipeline with the given rate (`None` = unlimited).
+    pub fn new(rate_bytes_per_hour: Option<f64>) -> Self {
+        if let Some(rate) = rate_bytes_per_hour {
+            assert!(rate > 0.0 && rate.is_finite(), "repair rate must be positive");
+        }
+        Self { rate_bytes_per_hour, busy_until_hours: 0.0, wait_stats: StreamingStats::new() }
+    }
+
+    /// Commits a repair job that becomes ready at `ready_at_hours` (fault
+    /// time for visible faults, detection time for latent ones), needs
+    /// `base_hours` of baseline repair work and moves `bytes` across the
+    /// pipeline. Returns the completion time.
+    ///
+    /// Only the *transfer* serializes on the shared pipeline; the baseline
+    /// repair work (operator response, rebuild onto the spare) proceeds in
+    /// parallel across drives. A repair therefore completes at
+    /// `max(ready + base, transfer_start + transfer)`, where the transfer
+    /// starts once the pipeline frees up.
+    pub fn schedule(&mut self, ready_at_hours: f64, base_hours: f64, bytes: f64) -> f64 {
+        match self.rate_bytes_per_hour {
+            None => ready_at_hours + base_hours,
+            Some(rate) => {
+                let start = ready_at_hours.max(self.busy_until_hours);
+                let transfer = bytes / rate;
+                self.busy_until_hours = start + transfer;
+                self.wait_stats.push(start - ready_at_hours);
+                (ready_at_hours + base_hours).max(start + transfer)
+            }
+        }
+    }
+
+    /// Transfer time one job of `bytes` occupies this pipeline for (0 when
+    /// bandwidth is unlimited).
+    pub fn transfer_hours(&self, bytes: f64) -> f64 {
+        match self.rate_bytes_per_hour {
+            None => 0.0,
+            Some(rate) => bytes / rate,
+        }
+    }
+
+    /// Returns reserved capacity to the pipeline when a committed repair is
+    /// cancelled (its group was lost and renewed before the repair
+    /// finished). At most the backlog beyond `now` is reclaimable — hours
+    /// the pipeline already spent on the transfer are gone.
+    pub fn refund(&mut self, now: f64, transfer_hours: f64) {
+        if self.rate_bytes_per_hour.is_some() {
+            self.busy_until_hours = now.max(self.busy_until_hours - transfer_hours);
+        }
+    }
+
+    /// Queueing-delay statistics of committed jobs (empty when unlimited).
+    pub fn wait_stats(&self) -> &StreamingStats {
+        &self.wait_stats
+    }
+
+    /// Hours of committed work beyond `now` — how far behind the pipeline is.
+    pub fn backlog_hours(&self, now: f64) -> f64 {
+        (self.busy_until_hours - now).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_is_base_time_exactly() {
+        let mut p = SitePipeline::new(None);
+        assert_eq!(p.schedule(100.0, 4.0, 1e12), 104.0);
+        assert_eq!(p.schedule(100.0, 4.0, 1e12), 104.0);
+        assert_eq!(p.wait_stats().count(), 0);
+        assert_eq!(p.backlog_hours(100.0), 0.0);
+    }
+
+    #[test]
+    fn limited_pipeline_queues_fifo() {
+        // 1e9 bytes/hour; each job moves 2e9 bytes => 2h transfer.
+        let mut p = SitePipeline::new(Some(1e9));
+        let first = p.schedule(10.0, 0.5, 2e9);
+        assert_eq!(first, 12.0);
+        // Second job ready at the same time waits for the first's transfer.
+        let second = p.schedule(10.0, 0.5, 2e9);
+        assert_eq!(second, 14.0);
+        // A later job arriving after the backlog drains starts immediately.
+        let third = p.schedule(20.0, 0.5, 2e9);
+        assert_eq!(third, 22.0);
+        assert_eq!(p.wait_stats().count(), 3);
+        assert_eq!(p.wait_stats().max(), 2.0);
+    }
+
+    #[test]
+    fn base_repair_work_overlaps_across_jobs() {
+        // Tiny transfers, long base repair: jobs do NOT serialize on the
+        // base time — both finish at ready + base.
+        let mut p = SitePipeline::new(Some(1e12));
+        assert_eq!(p.schedule(0.0, 8.0, 1.0), 8.0);
+        assert_eq!(p.schedule(0.0, 8.0, 1.0), 8.0);
+    }
+
+    #[test]
+    fn backlog_reflects_committed_work() {
+        let mut p = SitePipeline::new(Some(1e9));
+        p.schedule(0.0, 0.0, 5e9);
+        assert_eq!(p.backlog_hours(1.0), 4.0);
+        assert_eq!(p.backlog_hours(10.0), 0.0);
+    }
+
+    #[test]
+    fn refund_releases_unstarted_work_but_not_the_past() {
+        let mut p = SitePipeline::new(Some(1e9));
+        p.schedule(0.0, 0.0, 5e9); // busy until 5
+        p.schedule(0.0, 0.0, 5e9); // busy until 10
+                                   // Cancelling the queued second job returns its full 5 hours.
+        p.refund(1.0, p.transfer_hours(5e9));
+        assert_eq!(p.backlog_hours(1.0), 4.0);
+        // Cancelling more than remains clamps at `now`.
+        p.refund(4.0, 100.0);
+        assert_eq!(p.backlog_hours(4.0), 0.0);
+        // Unlimited pipelines have nothing to refund.
+        let mut u = SitePipeline::new(None);
+        assert_eq!(u.transfer_hours(1e12), 0.0);
+        u.refund(0.0, 5.0);
+        assert_eq!(u.backlog_hours(0.0), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fleet simulation results.
+
+use ltds_core::fault::FaultClass;
+use ltds_stochastic::{ConfidenceInterval, StreamingStats};
+use serde::{Deserialize, Serialize};
+
+/// Raw per-shard tallies, merged deterministically (in shard order) into a
+/// [`FleetReport`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ShardOutcome {
+    /// Completed group lifetimes (renewal intervals ending in data loss).
+    pub loss_intervals: StreamingStats,
+    /// Data-loss events.
+    pub losses: u64,
+    /// Fault events processed (including burst-induced faults).
+    pub faults: u64,
+    /// Repairs completed.
+    pub repairs: u64,
+    /// Total events popped from the queue (including stale ones).
+    pub events: u64,
+    /// Faults injected by correlated bursts.
+    pub burst_faults: u64,
+    /// Queueing delay of repair jobs (empty when bandwidth is unlimited).
+    pub repair_wait: StreamingStats,
+    /// Losses whose final fault was visible.
+    pub fatal_visible: u64,
+    /// Losses whose final fault was latent.
+    pub fatal_latent: u64,
+}
+
+impl ShardOutcome {
+    /// Records one data loss.
+    pub fn record_loss(&mut self, interval_hours: f64, fatal: FaultClass) {
+        self.losses += 1;
+        self.loss_intervals.push(interval_hours);
+        match fatal {
+            FaultClass::Visible => self.fatal_visible += 1,
+            FaultClass::Latent => self.fatal_latent += 1,
+        }
+    }
+
+    /// Merges another shard's outcome into this one.
+    pub fn merge(&mut self, other: &ShardOutcome) {
+        self.loss_intervals.merge(&other.loss_intervals);
+        self.losses += other.losses;
+        self.faults += other.faults;
+        self.repairs += other.repairs;
+        self.events += other.events;
+        self.burst_faults += other.burst_faults;
+        self.repair_wait.merge(&other.repair_wait);
+        self.fatal_visible += other.fatal_visible;
+        self.fatal_latent += other.fatal_latent;
+    }
+}
+
+/// Result of one fleet simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Replica groups simulated.
+    pub groups: usize,
+    /// Drives in the fleet.
+    pub drives: usize,
+    /// Simulated horizon per group, in hours.
+    pub horizon_hours: f64,
+    /// Bursts that struck within the horizon.
+    pub bursts_struck: u64,
+    /// Merged tallies.
+    pub totals: ShardOutcome,
+}
+
+impl FleetReport {
+    /// Total group-hours of exposure simulated (groups renew immediately
+    /// after a loss, so every group is exposed for the whole horizon).
+    pub fn exposure_group_hours(&self) -> f64 {
+        self.groups as f64 * self.horizon_hours
+    }
+
+    /// Renewal-rate MTTDL estimate: exposure divided by observed losses.
+    /// Infinite when nothing was lost. Includes censored lifetimes in the
+    /// denominator's exposure, so it is the less biased point estimate when
+    /// the horizon is short relative to the MTTDL.
+    pub fn mttdl_exposure_hours(&self) -> f64 {
+        if self.totals.losses == 0 {
+            f64::INFINITY
+        } else {
+            self.exposure_group_hours() / self.totals.losses as f64
+        }
+    }
+
+    /// Mean completed group lifetime with a 95 % confidence interval —
+    /// directly comparable with `ltds_sim::MttdlEstimate::mttdl_hours`.
+    /// Slightly optimistic when the horizon censors long lifetimes; prefer
+    /// [`FleetReport::mttdl_exposure_hours`] for short horizons.
+    pub fn mttdl_interval(&self) -> ConfidenceInterval {
+        self.totals.loss_intervals.confidence_interval(0.95)
+    }
+
+    /// Probability that a given group loses data within `mission_hours`,
+    /// under the exponential renewal approximation.
+    pub fn loss_probability_by(&self, mission_hours: f64) -> f64 {
+        let mttdl = self.mttdl_exposure_hours();
+        if mttdl.is_infinite() {
+            0.0
+        } else {
+            1.0 - (-mission_hours / mttdl).exp()
+        }
+    }
+
+    /// Fraction of losses attributable to a final latent fault.
+    pub fn latent_loss_fraction(&self) -> f64 {
+        if self.totals.losses == 0 {
+            0.0
+        } else {
+            self.totals.fatal_latent as f64 / self.totals.losses as f64
+        }
+    }
+
+    /// Mean repair queueing delay in hours (0 with unlimited bandwidth).
+    pub fn mean_repair_wait_hours(&self) -> f64 {
+        if self.totals.repair_wait.count() == 0 {
+            0.0
+        } else {
+            self.totals.repair_wait.mean()
+        }
+    }
+
+    /// Events processed per simulated group-year — the kernel's work rate.
+    pub fn events_per_group_year(&self) -> f64 {
+        self.totals.events as f64 / (self.exposure_group_hours() / ltds_core::units::HOURS_PER_YEAR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome() -> ShardOutcome {
+        let mut o = ShardOutcome::default();
+        o.record_loss(100.0, FaultClass::Visible);
+        o.record_loss(300.0, FaultClass::Latent);
+        o.faults = 10;
+        o.repairs = 4;
+        o.events = 20;
+        o
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = outcome();
+        let b = outcome();
+        a.merge(&b);
+        assert_eq!(a.losses, 4);
+        assert_eq!(a.faults, 20);
+        assert_eq!(a.fatal_visible, 2);
+        assert_eq!(a.fatal_latent, 2);
+        assert_eq!(a.loss_intervals.count(), 4);
+        assert!((a.loss_intervals.mean() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_estimators() {
+        let report = FleetReport {
+            groups: 10,
+            drives: 20,
+            horizon_hours: 1000.0,
+            bursts_struck: 0,
+            totals: outcome(),
+        };
+        assert_eq!(report.exposure_group_hours(), 10_000.0);
+        assert_eq!(report.mttdl_exposure_hours(), 5_000.0);
+        assert!((report.mttdl_interval().estimate - 200.0).abs() < 1e-12);
+        let p = report.loss_probability_by(5_000.0);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert_eq!(report.latent_loss_fraction(), 0.5);
+        assert_eq!(report.mean_repair_wait_hours(), 0.0);
+        assert!(report.events_per_group_year() > 0.0);
+    }
+
+    #[test]
+    fn no_losses_means_infinite_mttdl() {
+        let report = FleetReport {
+            groups: 5,
+            drives: 10,
+            horizon_hours: 100.0,
+            bursts_struck: 0,
+            totals: ShardOutcome::default(),
+        };
+        assert!(report.mttdl_exposure_hours().is_infinite());
+        assert_eq!(report.loss_probability_by(1e6), 0.0);
+        assert_eq!(report.latent_loss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let report = FleetReport {
+            groups: 10,
+            drives: 20,
+            horizon_hours: 1000.0,
+            bursts_struck: 3,
+            totals: outcome(),
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("bursts_struck"));
+        let back: FleetReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.totals.losses, report.totals.losses);
+        assert_eq!(back.groups, report.groups);
+    }
+}

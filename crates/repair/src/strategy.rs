@@ -181,11 +181,10 @@ mod tests {
         }
         .apply_to(&base)
         .unwrap();
-        let auto =
-            RepairStrategy::AutomatedReReplication { copy_time: rebuild() }.apply_to(&base).unwrap();
-        assert!(
-            ltds_core::mttdl::mttdl_exact(&auto) > ltds_core::mttdl::mttdl_exact(&operator)
-        );
+        let auto = RepairStrategy::AutomatedReReplication { copy_time: rebuild() }
+            .apply_to(&base)
+            .unwrap();
+        assert!(ltds_core::mttdl::mttdl_exact(&auto) > ltds_core::mttdl::mttdl_exact(&operator));
     }
 
     #[test]

@@ -92,8 +92,12 @@ impl ReplicationConfig {
         match *self {
             ReplicationConfig::Single => 1.0,
             ReplicationConfig::NWay { replicas } => replicas as f64,
-            ReplicationConfig::Raid5 { data_drives } => (data_drives + 1) as f64 / data_drives as f64,
-            ReplicationConfig::Raid6 { data_drives } => (data_drives + 2) as f64 / data_drives as f64,
+            ReplicationConfig::Raid5 { data_drives } => {
+                (data_drives + 1) as f64 / data_drives as f64
+            }
+            ReplicationConfig::Raid6 { data_drives } => {
+                (data_drives + 2) as f64 / data_drives as f64
+            }
             ReplicationConfig::Erasure { required, total } => total as f64 / required as f64,
         }
     }
@@ -115,10 +119,7 @@ impl ReplicationConfig {
     /// independence. Tightly-coupled parity groups live in one array and
     /// "do not provide geographical or administrative independence" (§6.4).
     pub fn supports_site_independence(&self) -> bool {
-        matches!(
-            self,
-            ReplicationConfig::NWay { .. } | ReplicationConfig::Erasure { .. }
-        )
+        matches!(self, ReplicationConfig::NWay { .. } | ReplicationConfig::Erasure { .. })
     }
 
     /// Approximate MTTDL (hours) of the configuration using the Equation 12
@@ -201,8 +202,12 @@ mod tests {
     fn storage_overheads() {
         assert_eq!(ReplicationConfig::Single.storage_overhead(), 1.0);
         assert_eq!(ReplicationConfig::NWay { replicas: 3 }.storage_overhead(), 3.0);
-        assert!((ReplicationConfig::Raid5 { data_drives: 4 }.storage_overhead() - 1.25).abs() < 1e-12);
-        assert!((ReplicationConfig::Raid6 { data_drives: 8 }.storage_overhead() - 1.25).abs() < 1e-12);
+        assert!(
+            (ReplicationConfig::Raid5 { data_drives: 4 }.storage_overhead() - 1.25).abs() < 1e-12
+        );
+        assert!(
+            (ReplicationConfig::Raid6 { data_drives: 8 }.storage_overhead() - 1.25).abs() < 1e-12
+        );
         assert_eq!(ReplicationConfig::Erasure { required: 4, total: 8 }.storage_overhead(), 2.0);
     }
 

@@ -122,7 +122,10 @@ impl DiversityProfile {
     /// Sets the score for a dimension.
     pub fn set(&mut self, dimension: DiversityDimension, score: f64) -> Result<(), ModelError> {
         if !(0.0..=1.0).contains(&score) || !score.is_finite() {
-            return Err(ModelError::InvalidProbability { parameter: "diversity score", value: score });
+            return Err(ModelError::InvalidProbability {
+                parameter: "diversity score",
+                value: score,
+            });
         }
         self.scores.insert(dimension, score);
         Ok(())

@@ -106,7 +106,7 @@ impl ChecksumAuditor {
     /// Audits an entire replica: `fetch` returns the replica's content for
     /// each registered object id. Returns the ids that need repair together
     /// with their outcomes.
-    pub fn audit_replica<'a, F>(&'a self, mut fetch: F) -> Vec<(&'a str, AuditOutcome)>
+    pub fn audit_replica<F>(&self, mut fetch: F) -> Vec<(&str, AuditOutcome)>
     where
         F: FnMut(&str) -> Option<Vec<u8>>,
     {

@@ -62,7 +62,11 @@ pub struct AuditPlanSummary {
 
 impl AuditPlan {
     /// A conventional internal checksum audit.
-    pub fn internal(passes_per_year: f64, replica_bytes: f64, local_read_bytes_per_sec: f64) -> Self {
+    pub fn internal(
+        passes_per_year: f64,
+        replica_bytes: f64,
+        local_read_bytes_per_sec: f64,
+    ) -> Self {
         Self {
             scope: AuditScope::Internal,
             passes_per_year,
@@ -118,7 +122,8 @@ impl AuditPlan {
         );
         let wan_per_pass = self.wan_bytes_per_pass();
         let local_seconds = self.replica_bytes / self.local_read_bytes_per_sec;
-        let wan_seconds = if wan_per_pass == 0.0 { 0.0 } else { wan_per_pass / self.wan_bytes_per_sec };
+        let wan_seconds =
+            if wan_per_pass == 0.0 { 0.0 } else { wan_per_pass / self.wan_bytes_per_sec };
         AuditPlanSummary {
             detection_latency: strategy.mean_detection_latency(),
             local_bytes_per_year: self.passes_per_year * self.replica_bytes,
@@ -205,10 +210,7 @@ mod tests {
         assert_eq!(choose_plan(&internal, &cross_full, 1.0e12), Some(AuditScope::Internal));
         // A generous budget prefers the cross-replica plan (same latency,
         // broader coverage).
-        assert_eq!(
-            choose_plan(&internal, &cross_full, 1.0e15),
-            Some(AuditScope::CrossReplica)
-        );
+        assert_eq!(choose_plan(&internal, &cross_full, 1.0e15), Some(AuditScope::CrossReplica));
     }
 
     #[test]

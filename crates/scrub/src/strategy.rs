@@ -180,9 +180,8 @@ mod tests {
     #[test]
     fn on_access_only_is_effectively_unscrubbed() {
         // An item accessed on average once a decade has a 10-year MDL.
-        let s = strategy(ScrubPolicy::OnAccessOnly {
-            mean_access_interval: Hours::from_years(10.0),
-        });
+        let s =
+            strategy(ScrubPolicy::OnAccessOnly { mean_access_interval: Hours::from_years(10.0) });
         assert_eq!(s.passes_per_year(), 0.0);
         assert!((s.mean_detection_latency().as_years() - 10.0).abs() < 1e-9);
         assert_eq!(s.bandwidth_fraction(), 0.0);

@@ -160,13 +160,8 @@ mod tests {
     #[test]
     fn five_way_vote_with_two_corrupt() {
         let v = VotingAuditor::new();
-        let out = v.vote(&[
-            some(b"good"),
-            some(b"bad1"),
-            some(b"good"),
-            some(b"bad2"),
-            some(b"good"),
-        ]);
+        let out =
+            v.vote(&[some(b"good"), some(b"bad1"), some(b"good"), some(b"bad2"), some(b"good")]);
         assert_eq!(out.replicas_to_repair(), &[1, 3]);
     }
 

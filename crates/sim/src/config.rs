@@ -128,10 +128,7 @@ impl SimConfig {
         if min_intact == 0 || min_intact > replicas {
             return Err(ModelError::InvalidReplication { replicas: min_intact });
         }
-        for (name, v) in [
-            ("MV", mttf_visible_hours),
-            ("ML", mttf_latent_hours),
-        ] {
+        for (name, v) in [("MV", mttf_visible_hours), ("ML", mttf_latent_hours)] {
             if !(v.is_finite() && v > 0.0) {
                 return Err(ModelError::InvalidMeanTime { parameter: name, value: v });
             }
@@ -142,13 +139,17 @@ impl SimConfig {
             }
         }
         match detection {
-            DetectionModel::PeriodicScrub { period_hours } if !(period_hours > 0.0) => {
+            DetectionModel::PeriodicScrub { period_hours }
+                if period_hours <= 0.0 || period_hours.is_nan() =>
+            {
                 return Err(ModelError::InvalidMeanTime {
                     parameter: "scrub period",
                     value: period_hours,
                 });
             }
-            DetectionModel::Exponential { mean_hours } if !(mean_hours > 0.0) => {
+            DetectionModel::Exponential { mean_hours }
+                if mean_hours <= 0.0 || mean_hours.is_nan() =>
+            {
                 return Err(ModelError::InvalidMeanTime {
                     parameter: "detection mean",
                     value: mean_hours,

@@ -51,8 +51,7 @@ impl MttdlEstimate {
     /// correct as long as the cap exceeds the mission length.
     pub fn loss_probability_by(&self, mission_hours: f64) -> ConfidenceInterval {
         let mut p = ProportionEstimate::new();
-        let lost =
-            self.loss_times.partition_point(|&t| t <= mission_hours) as u64;
+        let lost = self.loss_times.partition_point(|&t| t <= mission_hours) as u64;
         let total = self.completed_trials + self.censored_trials;
         p.record(lost, total);
         p.confidence_interval(0.95)
@@ -115,7 +114,6 @@ impl MonteCarlo {
                 let range = start..start + count;
                 start += count;
                 let master = master.clone();
-                let runner = runner;
                 handles.push(scope.spawn(move |_| {
                     let mut stats = StreamingStats::new();
                     let mut losses = Vec::new();

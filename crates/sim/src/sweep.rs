@@ -119,8 +119,7 @@ mod tests {
 
     #[test]
     fn scrub_sweep_shows_scrubbing_helps() {
-        let points =
-            scrub_period_sweep(&base(), &[20.0, 500.0, f64::INFINITY], 800, 1).unwrap();
+        let points = scrub_period_sweep(&base(), &[20.0, 500.0, f64::INFINITY], 800, 1).unwrap();
         assert_eq!(points.len(), 3);
         assert!(points[0].mttdl_hours > points[1].mttdl_hours);
         assert!(points[1].mttdl_hours > points[2].mttdl_hours);

@@ -285,8 +285,10 @@ mod tests {
         let trials = 300;
         for i in 0..trials {
             sum2 += TrialRunner::new(two).run(&mut SimRng::seed_from(i)).loss_time_hours.unwrap();
-            sum3 +=
-                TrialRunner::new(three).run(&mut SimRng::seed_from(10_000 + i)).loss_time_hours.unwrap();
+            sum3 += TrialRunner::new(three)
+                .run(&mut SimRng::seed_from(10_000 + i))
+                .loss_time_hours
+                .unwrap();
         }
         assert!(sum3 > sum2 * 3.0, "r=3 mean {} vs r=2 mean {}", sum3 / 300.0, sum2 / 300.0);
     }
@@ -304,8 +306,10 @@ mod tests {
         for i in 0..200 {
             sum_f +=
                 TrialRunner::new(fragile).run(&mut SimRng::seed_from(i)).loss_time_hours.unwrap();
-            sum_r +=
-                TrialRunner::new(robust).run(&mut SimRng::seed_from(700 + i)).loss_time_hours.unwrap();
+            sum_r += TrialRunner::new(robust)
+                .run(&mut SimRng::seed_from(700 + i))
+                .loss_time_hours
+                .unwrap();
         }
         assert!(sum_r > sum_f);
     }

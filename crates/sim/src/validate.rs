@@ -81,9 +81,8 @@ pub fn analytic_predictions(config: &SimConfig) -> (f64, f64) {
             (paper / 2.0, paper)
         }
     } else {
-        let paper =
-            ltds_core::replication::mttdl_replicated_from_params(&params, config.replicas)
-                .expect("replica count validated by config");
+        let paper = ltds_core::replication::mttdl_replicated_from_params(&params, config.replicas)
+            .expect("replica count validated by config");
         (paper / config.replicas as f64, paper)
     }
 }

@@ -28,13 +28,7 @@ pub struct StreamingStats {
 impl StreamingStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Self {
-            count: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Adds an observation.
@@ -215,12 +209,7 @@ impl ProportionEstimate {
         let z = z_for_confidence(confidence);
         let n = self.trials as f64;
         if self.trials == 0 {
-            return ConfidenceInterval {
-                estimate: 0.0,
-                lower: 0.0,
-                upper: 1.0,
-                confidence,
-            };
+            return ConfidenceInterval { estimate: 0.0, lower: 0.0, upper: 1.0, confidence };
         }
         let p = self.proportion();
         let z2 = z * z;
@@ -265,7 +254,7 @@ fn probit(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];

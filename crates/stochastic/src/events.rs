@@ -89,11 +89,7 @@ impl EventStream {
     }
 
     /// Generates a stream by sampling a renewal process up to `horizon`.
-    pub fn from_renewal<D: Distribution>(
-        interarrival: D,
-        horizon: f64,
-        rng: &mut SimRng,
-    ) -> Self {
+    pub fn from_renewal<D: Distribution>(interarrival: D, horizon: f64, rng: &mut SimRng) -> Self {
         let mut p = RenewalProcess::new(interarrival, 0.0);
         Self { times: p.events_until(horizon, rng) }
     }

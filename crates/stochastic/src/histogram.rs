@@ -37,14 +37,7 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "histogram requires hi > lo");
         assert!(bins > 0, "histogram requires at least one bin");
-        Self {
-            lo,
-            hi,
-            bins: vec![0; bins],
-            underflow: 0,
-            overflow: 0,
-            total: 0,
-        }
+        Self { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
     }
 
     /// Records a sample.

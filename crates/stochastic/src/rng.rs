@@ -27,10 +27,7 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from an explicit seed.
     pub fn seed_from(seed: u64) -> Self {
-        Self {
-            inner: StdRng::seed_from_u64(seed),
-            seed,
-        }
+        Self { inner: StdRng::seed_from_u64(seed), seed }
     }
 
     /// Returns the seed this generator was created with.

@@ -61,7 +61,11 @@ fn main() {
         Hours::from_years(10.0),
         RepairMode::ChecksumVerifiedPeer,
     );
-    campaign("quarterly scrub, detect only (no repair)", Hours::new(2190.0), RepairMode::DetectOnly);
+    campaign(
+        "quarterly scrub, detect only (no repair)",
+        Hours::new(2190.0),
+        RepairMode::DetectOnly,
+    );
     println!(
         "\nThe ranking matches the model: detection latency and automated repair dominate the\n\
          outcome; without them damage accumulates until photos are unrecoverable."

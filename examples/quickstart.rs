@@ -23,14 +23,20 @@ fn main() {
     report("2. scrubbed 3x/year, independent faults", regimes::mttdl_latent_dominated(&scrubbed));
 
     let correlated = presets::cheetah_mirror_scrubbed_correlated();
-    report("3. scrubbed 3x/year, correlated (alpha = 0.1)", regimes::mttdl_latent_dominated(&correlated));
+    report(
+        "3. scrubbed 3x/year, correlated (alpha = 0.1)",
+        regimes::mttdl_latent_dominated(&correlated),
+    );
 
     let negligent = presets::cheetah_mirror_negligent_latent();
-    report("4. rare latent faults, never detected, alpha = 0.1", regimes::mttdl_long_latent_window(&negligent));
+    report(
+        "4. rare latent faults, never detected, alpha = 0.1",
+        regimes::mttdl_long_latent_window(&negligent),
+    );
 
     println!("\nWhich lever helps most from scenario 3? (improvement factor 10x each)\n");
-    let impacts = strategies::sensitivity_analysis(&correlated, 10.0)
-        .expect("paper parameters are valid");
+    let impacts =
+        strategies::sensitivity_analysis(&correlated, 10.0).expect("paper parameters are valid");
     for impact in impacts {
         println!(
             "  {:<28} {:<60} -> {:>12.1}x MTTDL",

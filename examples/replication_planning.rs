@@ -24,7 +24,9 @@ fn main() {
     // 1. Drive choice: the enterprise premium vs extra consumer replicas.
     let consumer = barracuda_st3200822a();
     let enterprise = cheetah_15k4();
-    for (label, drive) in [("consumer (Barracuda)", &consumer), ("enterprise (Cheetah)", &enterprise)] {
+    for (label, drive) in
+        [("consumer (Barracuda)", &consumer), ("enterprise (Cheetah)", &enterprise)]
+    {
         let plan = CostPlan {
             collection_bytes,
             replicas: 3,
@@ -41,7 +43,10 @@ fn main() {
     // 2. How many replicas reach the target, at two levels of independence?
     let mv = enterprise.mttf_visible();
     let mrv = Hours::from_minutes(20.0);
-    for (label, alpha) in [("fully independent sites (alpha = 1)", 1.0), ("shared machine room (alpha = 1e-5)", 1.0e-5)] {
+    for (label, alpha) in [
+        ("fully independent sites (alpha = 1)", 1.0),
+        ("shared machine room (alpha = 1e-5)", 1.0e-5),
+    ] {
         match replicas_for_target(mv, mrv, alpha, target_mttdl).expect("valid parameters") {
             Some(r) => {
                 let achieved = mttdl_replicated(mv, mrv, r, alpha).expect("valid");
@@ -55,8 +60,7 @@ fn main() {
     }
 
     // 3. How independent do three replicas have to be?
-    if let Some(alpha_needed) =
-        required_alpha(mv, mrv, 3, target_mttdl).expect("valid parameters")
+    if let Some(alpha_needed) = required_alpha(mv, mrv, 3, target_mttdl).expect("valid parameters")
     {
         println!("\n  Three replicas need alpha >= {alpha_needed:.2e} to reach the target.");
     }

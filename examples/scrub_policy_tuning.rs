@@ -23,7 +23,10 @@ fn main() {
     );
 
     let policies = [
-        ("never scrub", ScrubPolicy::OnAccessOnly { mean_access_interval: units::Hours::from_years(20.0) }),
+        (
+            "never scrub",
+            ScrubPolicy::OnAccessOnly { mean_access_interval: units::Hours::from_years(20.0) },
+        ),
         ("1 pass/year", ScrubPolicy::Periodic { passes_per_year: 1.0 }),
         ("3 passes/year (paper)", ScrubPolicy::Periodic { passes_per_year: 3.0 }),
         ("monthly", ScrubPolicy::Periodic { passes_per_year: 12.0 }),

@@ -12,7 +12,8 @@
 //! | [`scrub`] | `ltds-scrub` | Audit strategies, checksum and voting auditors |
 //! | [`repair`] | `ltds-repair` | Repair strategies and repair-induced risk |
 //! | [`replication`] | `ltds-replication` | Replication configs, diversity → α mapping |
-//! | [`sim`] | `ltds-sim` | Discrete-event Monte-Carlo simulator |
+//! | [`sim`] | `ltds-sim` | Discrete-event Monte-Carlo simulator (one group at a time) |
+//! | [`fleet`] | `ltds-fleet` | Fleet-scale discrete-event engine: shared repair bandwidth, scrub tours, correlated bursts |
 //! | [`archive`] | `ltds-archive` | Miniature replicated archival store |
 //!
 //! # Quickstart
@@ -33,6 +34,7 @@ pub use ltds_archive as archive;
 pub use ltds_core as core;
 pub use ltds_devices as devices;
 pub use ltds_faults as faults;
+pub use ltds_fleet as fleet;
 pub use ltds_repair as repair;
 pub use ltds_replication as replication;
 pub use ltds_scrub as scrub;

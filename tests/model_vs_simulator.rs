@@ -1,14 +1,14 @@
 //! Integration test: the discrete-event simulator and the analytic model
 //! agree where the model's assumptions hold.
 
+use ltds::fleet::{FleetConfig, FleetSim, FleetTopology};
 use ltds::sim::config::{DetectionModel, SimConfig};
 use ltds::sim::monte_carlo::MonteCarlo;
 use ltds::sim::validate::validate_against_model;
 
 #[test]
 fn mirrored_scrubbed_pair_matches_equation_8() {
-    let config =
-        SimConfig::mirrored_disks(20_000.0, 20_000.0, 4.0, 4.0, Some(80.0), 1.0).unwrap();
+    let config = SimConfig::mirrored_disks(20_000.0, 20_000.0, 4.0, 4.0, Some(80.0), 1.0).unwrap();
     let report = validate_against_model(config, 3_000, 2024);
     assert!(
         report.agrees_within(0.10),
@@ -42,6 +42,41 @@ fn scrubbing_buys_the_predicted_orders_of_magnitude() {
     let m_un = MonteCarlo::new(unscrubbed).trials(2_000).seed(7).run().mttdl_hours.estimate;
     let m_sc = MonteCarlo::new(scrubbed).trials(2_000).seed(8).run().mttdl_hours.estimate;
     assert!(m_sc > m_un * 10.0, "scrubbed {m_sc} vs unscrubbed {m_un}");
+}
+
+#[test]
+fn fleet_engine_degenerates_to_the_per_group_simulator() {
+    // A fleet of one node / one mirrored replica group, no bandwidth cap, no
+    // bursts: the fleet kernel's renewal intervals must be distributed like
+    // the per-group simulator's trial lifetimes, so the two MTTDL estimates
+    // must agree within their (combined) confidence bounds.
+    let group = SimConfig::mirrored_disks(1_000.0, 5_000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap();
+    let mc = MonteCarlo::new(group).trials(4_000).seed(2024).run();
+
+    let topology = FleetTopology::single_node(2).unwrap();
+    let config = FleetConfig::new(topology, 1, group)
+        .unwrap()
+        // Horizon long enough for thousands of renewals, so the fleet-side
+        // confidence interval is as tight as the Monte-Carlo side's.
+        .with_horizon_hours(mc.mttdl_hours.estimate * 4_000.0)
+        .with_shards(1);
+    let report = FleetSim::new(config).seed(77).run().unwrap();
+
+    assert!(report.totals.losses > 2_000, "expected thousands of renewals");
+    let fleet = report.mttdl_interval();
+    let ratio = fleet.estimate / mc.mttdl_hours.estimate;
+    // Each side's 95% CI is a few percent wide; 10% covers both with margin.
+    assert!(
+        (ratio - 1.0).abs() < 0.10,
+        "fleet {} ± {} vs monte-carlo {} ± {} (ratio {ratio})",
+        fleet.estimate,
+        fleet.half_width(),
+        mc.mttdl_hours.estimate,
+        mc.mttdl_hours.half_width(),
+    );
+    // The exposure-based estimator must agree with the interval mean when
+    // censoring is negligible.
+    assert!((report.mttdl_exposure_hours() / fleet.estimate - 1.0).abs() < 0.05);
 }
 
 #[test]

@@ -2,7 +2,9 @@
 //! through the public facade.
 
 use ltds::core::{mission, mttdl, presets, regimes, units};
-use ltds::devices::bit_errors::{expected_bit_errors, paper_implied_rates, RateAssumption, ServiceLifeWorkload};
+use ltds::devices::bit_errors::{
+    expected_bit_errors, paper_implied_rates, RateAssumption, ServiceLifeWorkload,
+};
 use ltds::devices::catalog::{barracuda_st3200822a, cheetah_15k4};
 
 #[test]
@@ -85,7 +87,14 @@ fn full_experiment_suite_is_green() {
 // instead of linking it, keeping this integration test self-contained.
 fn ltds_bench_runner() -> Vec<SimpleResult> {
     vec![
-        SimpleResult { id: "scenario-1", passed: (units::hours_to_years(mttdl::mttdl_exact(&presets::cheetah_mirror_no_scrub())) - 32.0).abs() < 0.1 },
+        SimpleResult {
+            id: "scenario-1",
+            passed: (units::hours_to_years(
+                mttdl::mttdl_exact(&presets::cheetah_mirror_no_scrub()),
+            ) - 32.0)
+                .abs()
+                < 0.1,
+        },
         SimpleResult {
             id: "scenario-2",
             passed: (units::hours_to_years(regimes::mttdl_latent_dominated(

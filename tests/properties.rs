@@ -1,7 +1,9 @@
 //! Property-based tests over the core model invariants.
 
 use ltds::core::units::Hours;
-use ltds::core::{correlation, memoryless, mission, mttdl, regimes, replication, ReliabilityParams};
+use ltds::core::{
+    correlation, memoryless, mission, mttdl, regimes, replication, ReliabilityParams,
+};
 use ltds::scrub::audit::{digest, ChecksumAuditor};
 use proptest::prelude::*;
 
@@ -9,12 +11,12 @@ use proptest::prelude::*;
 /// shorter than MTTFs so the closed forms apply).
 fn arb_params() -> impl Strategy<Value = ReliabilityParams> {
     (
-        1.0e5..1.0e8f64,   // MV
-        1.0e4..1.0e8f64,   // ML
-        0.01..10.0f64,     // MRV
-        0.01..10.0f64,     // MRL
-        0.0..500.0f64,     // MDL
-        0.001..1.0f64,     // alpha
+        1.0e5..1.0e8f64, // MV
+        1.0e4..1.0e8f64, // ML
+        0.01..10.0f64,   // MRV
+        0.01..10.0f64,   // MRL
+        0.0..500.0f64,   // MDL
+        0.001..1.0f64,   // alpha
     )
         .prop_map(|(mv, ml, mrv, mrl, mdl, alpha)| {
             ReliabilityParams::builder()

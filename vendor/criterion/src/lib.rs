@@ -1,0 +1,226 @@
+//! Offline subset of `criterion`.
+//!
+//! Provides the macro and type surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion`, `BenchmarkGroup`,
+//! `BenchmarkId`, `Bencher`, `Throughput`, `black_box`) backed by a simple
+//! wall-clock harness: warm up briefly, run timed batches for a fixed
+//! budget, report mean time per iteration (and throughput when declared).
+//! No statistics, plots or HTML reports — just numbers on stdout, which is
+//! what a network-less CI container can support.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from eliding a value computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement budget per benchmark. Deliberately small: these benches are
+/// smoke-level performance tracking, not publication-grade statistics.
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, f, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), throughput: None, _criterion: self }
+    }
+}
+
+/// Declared per-iteration work, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stub harness uses a time budget
+    /// rather than a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling
+    /// throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name), f, self.throughput);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.render()), |b| f(b, input), self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { function: String::new(), parameter: parameter.to_string() }
+    }
+
+    fn render(&self) -> String {
+        if self.function.is_empty() {
+            self.parameter.clone()
+        } else {
+            format!("{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated runs of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, mut f: F, throughput: Option<Throughput>) {
+    // Warm-up: find an iteration count that fills the warm-up window.
+    let mut iterations = 1u64;
+    loop {
+        let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= WARMUP || iterations >= 1 << 30 {
+            // Scale the iteration count to fill the measurement window.
+            let per_iter = b.elapsed.as_secs_f64() / iterations as f64;
+            if per_iter > 0.0 {
+                iterations = ((MEASURE.as_secs_f64() / per_iter).ceil() as u64).clamp(1, 1 << 32);
+            }
+            break;
+        }
+        iterations *= 2;
+    }
+
+    let mut b = Bencher { iterations, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iterations as f64;
+    let mut line =
+        format!("bench: {name:<60} {per_iter_ns:>14.1} ns/iter ({} iters)", b.iterations);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (per_iter_ns * 1e-9);
+            line.push_str(&format!("  {rate:>14.0} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (per_iter_ns * 1e-9);
+            line.push_str(&format!("  {:>14.1} MiB/s", rate / (1024.0 * 1024.0)));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Defines a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Bench binaries are also built by `cargo test --benches`; the
+            // test runner passes flags like `--test` which we ignore. `--list`
+            // must print nothing and exit for harness discovery to work.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_time() {
+        let mut b = Bencher { iterations: 1000, elapsed: Duration::ZERO };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.elapsed > Duration::ZERO || b.iterations > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 10).render(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").render(), "x");
+    }
+}

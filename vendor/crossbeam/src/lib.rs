@@ -1,0 +1,90 @@
+//! Offline subset of `crossbeam`: the `scope` API, implemented on top of
+//! `std::thread::scope` (stabilised in Rust 1.63, long after crossbeam's
+//! scoped threads were written).
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure; spawns worker threads that
+/// may borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload, matching crossbeam's `join` signature.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (crossbeam
+    /// convention — commonly ignored as `|_|`) so nested spawns are possible.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        let handle = self.inner.spawn(move || {
+            let scope = Scope { inner: inner_scope };
+            f(&scope)
+        });
+        ScopedJoinHandle { inner: handle }
+    }
+}
+
+/// Creates a scope in which threads borrowing local data can be spawned.
+///
+/// Matches crossbeam's signature: the result is `Ok` with the closure's value
+/// unless a *detached* child panicked. Because `std::thread::scope` joins all
+/// children (propagating their panics), the error arm is vestigial here, but
+/// callers written against crossbeam (`.expect("scope failed")`) compile and
+/// behave identically.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        f(&scope)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = scope(|s| {
+            let h = s.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+}

@@ -1,0 +1,356 @@
+//! JSON serialization for the vendored serde subset: `to_string`,
+//! `to_string_pretty`, `from_str` and a re-exported dynamic [`Value`].
+//!
+//! Non-finite floats are emitted as the strings `"inf"`, `"-inf"` and
+//! `"nan"` (plain JSON has no representation for them; the vendored
+//! `Deserialize` impls for floats accept those strings back).
+
+pub use serde::{Error, Value};
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    T::from_value(&value)
+}
+
+/// Parses JSON text into a dynamic [`Value`].
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    from_str::<Value>(text)
+}
+
+fn write_value(value: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                // `{:?}` keeps a trailing `.0` so the value re-parses as a float.
+                out.push_str(&format!("{f:?}"));
+            } else if f.is_nan() {
+                out.push_str("\"nan\"");
+            } else if *f > 0.0 {
+                out.push_str("\"inf\"");
+            } else {
+                out.push_str("\"-inf\"");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_value(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(item, out, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected `{}` at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!("unexpected input {other:?}"))),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::custom("invalid \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::custom("invalid \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(Error::custom(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !is_float {
+            if text.starts_with('-') {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error::custom(format!("expected , or ] got {other:?}"))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(Error::custom(format!("expected , or }} got {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&3u64).unwrap(), "3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<u64>("3").unwrap(), 3);
+        assert_eq!(from_str::<i64>("-3").unwrap(), -3);
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![1.0f64, 2.5, -3.0];
+        let json = to_string(&v).unwrap();
+        assert_eq!(from_str::<Vec<f64>>(&json).unwrap(), v);
+        let opt: Option<f64> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<f64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn non_finite_floats_roundtrip() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "\"inf\"");
+        assert!(from_str::<f64>("\"inf\"").unwrap().is_infinite());
+        assert!(from_str::<f64>("\"nan\"").unwrap().is_nan());
+    }
+
+    #[test]
+    fn pretty_has_newlines() {
+        let v = Value::Object(vec![("a".into(), Value::U64(1))]);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(value_from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(from_str::<f64>("1.5 x").is_err());
+        assert!(from_str::<Vec<f64>>("[1,").is_err());
+    }
+}
