@@ -1,54 +1,30 @@
 //! Criterion bench: fleet kernel event throughput.
 //!
-//! Measures `ltds-fleet` simulating one year of a 1 000-drive, five-site
-//! fleet at 10k and 100k replica groups (the ISSUE's scale target), plus a
-//! deliberately event-dense configuration that stresses the kernel rather
-//! than the setup path. Throughput is reported as processed events/sec
-//! (event counts are deterministic for a fixed seed, so they are measured
-//! once up front and declared to criterion).
+//! Measures `ltds-fleet` simulating one year of the canonical 1 000-drive,
+//! five-site fleet at 10k and 100k replica groups, plus two deliberately
+//! event-dense configurations that stress the kernel rather than the setup
+//! path: the sharded small fleet (heap-backed shard queues) and the
+//! single-shard large-occupancy fleet (calendar-backed). All
+//! configurations come from `ltds_bench::workloads`, so these numbers are
+//! directly comparable with `perfsmoke` / `BENCH_PR2.json`. Throughput is
+//! reported as processed events/sec (event counts are deterministic for a
+//! fixed seed, so they are measured once up front and declared to
+//! criterion).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use ltds_fleet::{BurstProfile, FleetConfig, FleetSim, FleetTopology, RepairBandwidth};
-use ltds_sim::config::SimConfig;
+use ltds_bench::workloads;
+use ltds_fleet::{FleetConfig, FleetSim};
 
-/// One year of an enterprise-grade 1 000-drive fleet (5 sites × 5 racks ×
-/// 5 nodes × 8 drives) carrying `groups` triplicated groups.
-fn enterprise_fleet(groups: usize) -> FleetConfig {
-    let topology = FleetTopology::new(5, 5, 5, 8).expect("valid topology");
-    let group = SimConfig::new(
-        3,
-        1,
-        1.4e6,
-        2.8e5,
-        12.0,
-        12.0,
-        ltds_sim::config::DetectionModel::PeriodicScrub { period_hours: 2_920.0 },
-        1.0,
-    )
-    .expect("valid group");
-    FleetConfig::new(topology, groups, group)
-        .expect("valid fleet")
-        .with_horizon_hours(ltds_core::units::HOURS_PER_YEAR)
-        .with_bursts(BurstProfile::disaster_scenario())
-        .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e12), 1e12)
-}
-
-/// A small fleet with absurdly fragile drives: almost all time is spent in
-/// the event loop, so this measures raw kernel throughput.
-fn event_dense_fleet() -> FleetConfig {
-    let topology = FleetTopology::new(2, 2, 2, 8).expect("valid topology");
-    let group =
-        SimConfig::mirrored_disks(200.0, 1_000.0, 2.0, 2.0, Some(50.0), 1.0).expect("valid group");
-    FleetConfig::new(topology, 2_000, group).expect("valid fleet").with_horizon_hours(8_766.0)
+fn events_of(config: FleetConfig) -> u64 {
+    FleetSim::new(config).seed(1).run().expect("fleet run succeeds").totals.events
 }
 
 fn bench_fleet(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet_year");
     group.sample_size(10);
     for groups in [10_000usize, 100_000] {
-        let config = enterprise_fleet(groups);
-        let events = FleetSim::new(config).seed(1).run().expect("fleet run succeeds").totals.events;
-        group.throughput(Throughput::Elements(events));
+        let config = workloads::fleet_year(groups);
+        group.throughput(Throughput::Elements(events_of(config)));
         group.bench_with_input(BenchmarkId::new("groups", groups), &config, |b, config| {
             b.iter(|| FleetSim::new(*config).seed(1).run().expect("fleet run succeeds"));
         });
@@ -56,12 +32,15 @@ fn bench_fleet(c: &mut Criterion) {
     group.finish();
 
     let mut kernel = c.benchmark_group("fleet_kernel");
-    let config = event_dense_fleet();
-    let events = FleetSim::new(config).seed(1).run().expect("fleet run succeeds").totals.events;
-    kernel.throughput(Throughput::Elements(events));
-    kernel.bench_function("event_dense_2k_groups", |b| {
-        b.iter(|| FleetSim::new(config).seed(1).run().expect("fleet run succeeds"));
-    });
+    for (name, config) in [
+        ("event_dense_2k_groups", workloads::event_dense_fleet()),
+        ("event_dense_1shard_calendar", workloads::event_dense_single_shard()),
+    ] {
+        kernel.throughput(Throughput::Elements(events_of(config)));
+        kernel.bench_function(name, |b| {
+            b.iter(|| FleetSim::new(config).seed(1).run().expect("fleet run succeeds"));
+        });
+    }
     kernel.finish();
 }
 

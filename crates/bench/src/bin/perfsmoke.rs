@@ -1,0 +1,182 @@
+//! `perfsmoke` — times the canonical workloads and records the results.
+//!
+//! Workloads (see `ltds_bench::workloads`):
+//!
+//! * `fleet_year_100k` / `fleet_year_10k` — one simulated year of the
+//!   1 000-drive enterprise fleet at 100k / 10k replica groups;
+//! * `event_dense_2k` — the event-dense small fleet (raw kernel throughput);
+//! * `mc_10k_trials` — 10 000 Monte-Carlo trials of the canonical group;
+//! * `e15_sweep` — the E15 fleet-disaster experiment end to end.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ltds-bench --bin perfsmoke -- \
+//!     [--out BENCH_PR2.json] [--baseline OLD.json] [--repeat 3] [--check]
+//! ```
+//!
+//! Each workload runs `--repeat` times and the best wall time is kept (the
+//! workloads are deterministic, so the minimum is the cleanest estimate of
+//! the true cost). `--baseline` embeds a previously recorded file under a
+//! `"baseline"` key so a single artifact carries the perf trajectory.
+//! `--check` exits non-zero if the 100k-group fleet-year exceeds a generous
+//! wall-time ceiling — a CI tripwire for order-of-magnitude regressions,
+//! deliberately far above normal variance.
+
+use ltds_bench::workloads;
+use ltds_fleet::FleetSim;
+use ltds_sim::monte_carlo::MonteCarlo;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Ceiling for `--check` on the 100k-group fleet-year, in milliseconds.
+/// Normal runs are two orders of magnitude below this; only a catastrophic
+/// regression (or a pathologically slow machine) trips it.
+const FLEET_YEAR_CEILING_MS: f64 = 30_000.0;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct WorkloadResult {
+    name: String,
+    /// Best wall time over the repeats, in milliseconds.
+    wall_ms: f64,
+    /// Events processed per run (fleet workloads) or trials (MC), if
+    /// meaningful for a throughput figure.
+    work_items: u64,
+    /// `work_items / wall`, in items per second.
+    items_per_sec: f64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct PerfReport {
+    schema: String,
+    repeats: u32,
+    threads: usize,
+    workloads: Vec<WorkloadResult>,
+    /// A previously recorded report (e.g. the PR 1 binary-heap kernel),
+    /// embedded via `--baseline` so one artifact carries the trajectory.
+    baseline: Option<Box<PerfReport>>,
+}
+
+/// Times `run` (which returns a work-item count) `repeats` times, keeping
+/// the best wall time.
+fn time_workload(name: &str, repeats: u32, mut run: impl FnMut() -> u64) -> WorkloadResult {
+    let mut best_ms = f64::INFINITY;
+    let mut work_items = 0u64;
+    for _ in 0..repeats {
+        let start = Instant::now();
+        work_items = run();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+        }
+    }
+    let items_per_sec = work_items as f64 / (best_ms / 1e3);
+    eprintln!("{name:>18}: {best_ms:9.2} ms  ({work_items} items, {items_per_sec:.0}/s)");
+    WorkloadResult { name: name.to_string(), wall_ms: best_ms, work_items, items_per_sec }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_PR2.json");
+    let mut baseline_path: Option<String> = None;
+    let mut repeats = 3u32;
+    let mut check = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(args.get(i).expect("--baseline needs a path").clone());
+            }
+            "--repeat" => {
+                i += 1;
+                repeats = args.get(i).expect("--repeat needs a count").parse().expect("a number");
+            }
+            "--check" => check = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("perfsmoke: {repeats} repeats, {threads} thread(s)");
+
+    let workloads = vec![
+        time_workload("fleet_year_100k", repeats, || {
+            workloads::run_fleet_year(100_000).totals.events
+        }),
+        time_workload("fleet_year_10k", repeats, || {
+            workloads::run_fleet_year(10_000).totals.events
+        }),
+        time_workload("event_dense_2k", repeats, || {
+            FleetSim::new(workloads::event_dense_fleet())
+                .seed(1)
+                .run()
+                .expect("fleet run succeeds")
+                .totals
+                .events
+        }),
+        time_workload("dense_1shard", repeats, || {
+            FleetSim::new(workloads::event_dense_single_shard())
+                .seed(1)
+                .run()
+                .expect("fleet run succeeds")
+                .totals
+                .events
+        }),
+        time_workload("mc_10k_trials", repeats, || {
+            let est = MonteCarlo::new(workloads::mc_group()).trials(10_000).seed(1).run();
+            est.completed_trials + est.censored_trials
+        }),
+        time_workload("e15_sweep", repeats, || {
+            let result = ltds_bench::experiments::e15_fleet_disaster::run();
+            result.rows.len() as u64
+        }),
+    ];
+
+    let baseline = baseline_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let report: PerfReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse baseline {path}: {e}"));
+        Box::new(report)
+    });
+
+    let report = PerfReport {
+        schema: "ltds-perfsmoke/1".to_string(),
+        repeats,
+        threads,
+        workloads,
+        baseline,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write perf report");
+    eprintln!("wrote {out_path}");
+
+    if check {
+        let fleet_year = report
+            .workloads
+            .iter()
+            .find(|w| w.name == "fleet_year_100k")
+            .expect("fleet_year_100k was measured");
+        if fleet_year.wall_ms > FLEET_YEAR_CEILING_MS {
+            eprintln!(
+                "PERF CHECK FAILED: fleet_year_100k took {:.0} ms (ceiling {:.0} ms)",
+                fleet_year.wall_ms, FLEET_YEAR_CEILING_MS
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "perf check ok: fleet_year_100k {:.0} ms <= {:.0} ms",
+            fleet_year.wall_ms, FLEET_YEAR_CEILING_MS
+        );
+    }
+}

@@ -19,6 +19,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod workloads;
 
 pub use report::{ExperimentResult, Row};
 

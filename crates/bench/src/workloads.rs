@@ -1,0 +1,84 @@
+//! Canonical performance workloads, shared by the criterion benches and the
+//! `perfsmoke` binary so that "the fleet-year benchmark" always means the
+//! same configuration everywhere numbers are reported.
+
+use ltds_fleet::{BurstProfile, FleetConfig, FleetSim, FleetTopology, RepairBandwidth};
+use ltds_sim::config::{DetectionModel, SimConfig};
+use ltds_sim::monte_carlo::{MonteCarlo, MttdlEstimate};
+
+/// One year of an enterprise-grade 1 000-drive fleet (5 sites × 5 racks ×
+/// 5 nodes × 8 drives) carrying `groups` triplicated groups under the
+/// disaster burst profile and a wide (non-binding) repair pipeline.
+pub fn fleet_year(groups: usize) -> FleetConfig {
+    let topology = FleetTopology::new(5, 5, 5, 8).expect("valid topology");
+    let group = SimConfig::new(
+        3,
+        1,
+        1.4e6,
+        2.8e5,
+        12.0,
+        12.0,
+        DetectionModel::PeriodicScrub { period_hours: 2_920.0 },
+        1.0,
+    )
+    .expect("valid group");
+    FleetConfig::new(topology, groups, group)
+        .expect("valid fleet")
+        .with_horizon_hours(ltds_core::units::HOURS_PER_YEAR)
+        .with_bursts(BurstProfile::disaster_scenario())
+        .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e12), 1e12)
+}
+
+/// A small fleet with absurdly fragile drives: almost all time is spent in
+/// the event loop, so this measures raw kernel (queue) throughput rather
+/// than the setup path.
+pub fn event_dense_fleet() -> FleetConfig {
+    let topology = FleetTopology::new(2, 2, 2, 8).expect("valid topology");
+    let group =
+        SimConfig::mirrored_disks(200.0, 1_000.0, 2.0, 2.0, Some(50.0), 1.0).expect("valid group");
+    FleetConfig::new(topology, 2_000, group).expect("valid fleet").with_horizon_hours(8_766.0)
+}
+
+/// A single-shard fleet whose event-queue occupancy (~12k concurrent
+/// events) crosses the adaptive scheduler's calendar-migration threshold:
+/// this is the large-occupancy regime where the calendar queue's amortised
+/// O(1) scheduling beats the heap's O(log n) sift paths.
+pub fn event_dense_single_shard() -> FleetConfig {
+    let topology = FleetTopology::new(2, 2, 2, 8).expect("valid topology");
+    let group = SimConfig::mirrored_disks(2_000.0, 8_000.0, 5.0, 5.0, Some(400.0), 1.0)
+        .expect("valid group");
+    FleetConfig::new(topology, 6_000, group)
+        .expect("valid fleet")
+        .with_horizon_hours(8_766.0)
+        .with_shards(1)
+}
+
+/// The canonical per-group Monte-Carlo configuration: a fragile scrubbed
+/// mirror whose trials finish in microseconds, so a 10k-trial run measures
+/// the per-trial hot path rather than any single enormous trial.
+pub fn mc_group() -> SimConfig {
+    SimConfig::mirrored_disks(1_000.0, 5_000.0, 10.0, 10.0, Some(100.0), 1.0).expect("valid config")
+}
+
+/// Runs the canonical fleet-year workload once and returns its report.
+pub fn run_fleet_year(groups: usize) -> ltds_fleet::FleetReport {
+    FleetSim::new(fleet_year(groups)).seed(1).run().expect("fleet run succeeds")
+}
+
+/// Runs the canonical 10k-trial Monte-Carlo workload once.
+pub fn run_mc_10k() -> MttdlEstimate {
+    MonteCarlo::new(mc_group()).trials(10_000).seed(1).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_workloads_are_valid() {
+        assert!(fleet_year(100).validate().is_ok());
+        assert!(event_dense_fleet().validate().is_ok());
+        assert_eq!(fleet_year(100).topology.total_drives(), 1_000);
+        assert_eq!(mc_group().replicas, 2);
+    }
+}

@@ -9,7 +9,8 @@
 
 use crate::bursts::Burst;
 use crate::config::FleetConfig;
-use crate::kernel::ShardKernel;
+use crate::kernel::{KernelScratch, ShardKernel};
+use crate::placement::PlacementIndex;
 use crate::report::{FleetReport, ShardOutcome};
 use ltds_core::error::ModelError;
 use ltds_stochastic::SimRng;
@@ -27,10 +28,10 @@ pub struct FleetSim {
 }
 
 impl FleetSim {
-    /// Creates a driver with seed 0 and one worker per available core.
+    /// Creates a driver with seed 0 and one worker per available core (the
+    /// core count is resolved once per process and cached).
     pub fn new(config: FleetConfig) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { config, seed: 0, threads }
+        Self { config, seed: 0, threads: ltds_stochastic::available_threads() }
     }
 
     /// Sets the master seed.
@@ -67,9 +68,14 @@ impl FleetSim {
             &mut burst_rng,
         );
 
+        // Placement is resolved once and shared read-only by every shard:
+        // slot → drive, per-drive site/detection, and (when bursts are
+        // active) the drive → slots CSR the burst path walks.
+        let index = PlacementIndex::build(&self.config, !bursts.is_empty());
+
         let shards = self.config.shards;
         let threads = self.threads.min(shards).max(1);
-        let kernel = ShardKernel::new(&self.config, &bursts);
+        let kernel = ShardKernel::new(&self.config, &bursts, &index);
 
         // Deal shards to workers in contiguous chunks; merge in shard order.
         let chunk = shards / threads;
@@ -85,8 +91,13 @@ impl FleetSim {
                 let master = master.clone();
                 let kernel = &kernel;
                 handles.push(scope.spawn(move |_| {
+                    // One scratch per worker: per-shard setup reuses the
+                    // same buffers instead of reallocating.
+                    let mut scratch = KernelScratch::new();
                     range
-                        .map(|shard| kernel.run(shard, master.fork(shard as u64)))
+                        .map(|shard| {
+                            kernel.run_with(shard, master.fork(shard as u64), &mut scratch)
+                        })
                         .collect::<Vec<ShardOutcome>>()
                 }));
             }

@@ -18,26 +18,61 @@
 //! Everything is deterministic given `(config, seed)`: the kernel's RNG is
 //! consumed strictly in event order, events tie-break by insertion order,
 //! and burst victims come from a pre-generated shared timeline.
+//!
+//! The hot paths are allocation-free: placement lookups go through the
+//! shared read-only [`PlacementIndex`] (built once per fleet run), fault
+//! delays come from pre-resolved [`FaultRace`]s (normal and `α`-accelerated
+//! means are fixed per config), the initial multi-replica draw is batched,
+//! and burst victim lists reuse one scratch buffer per shard.
 
 use crate::bursts::Burst;
 use crate::config::FleetConfig;
+use crate::placement::PlacementIndex;
 use crate::queue::{EventKind, EventQueue};
 use crate::repair::SitePipeline;
 use crate::report::ShardOutcome;
 use ltds_core::fault::FaultClass;
-use ltds_stochastic::SimRng;
-use std::collections::HashMap;
+use ltds_stochastic::{FaultRace, SimRng};
+
+/// Reusable per-worker kernel buffers: a worker thread allocates one
+/// scratch and runs every shard it owns through it, so per-shard setup is
+/// a handful of memsets instead of fresh allocations.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    state: Vec<u8>,
+    token: Vec<u32>,
+    pending_class: Vec<FaultClass>,
+    faulty_count: Vec<u16>,
+    birth: Vec<f64>,
+    reserved: Vec<f64>,
+    victims: Vec<u32>,
+}
+
+impl KernelScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Sizes a buffer and resets every element.
+fn reset<T: Copy>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.resize(len, value);
+    buf.fill(value);
+}
 
 /// Runs the groups of one shard over the horizon.
 pub struct ShardKernel<'a> {
     config: &'a FleetConfig,
     bursts: &'a [Burst],
+    index: &'a PlacementIndex,
 }
 
 impl<'a> ShardKernel<'a> {
-    /// Creates a kernel over a config and the shared burst timeline.
-    pub fn new(config: &'a FleetConfig, bursts: &'a [Burst]) -> Self {
-        Self { config, bursts }
+    /// Creates a kernel over a config, the shared burst timeline and the
+    /// shared placement index.
+    pub fn new(config: &'a FleetConfig, bursts: &'a [Burst], index: &'a PlacementIndex) -> Self {
+        Self { config, bursts, index }
     }
 
     /// Number of groups assigned to `shard` (groups are dealt round-robin:
@@ -49,8 +84,21 @@ impl<'a> ShardKernel<'a> {
         (groups + shards - 1 - shard) / shards
     }
 
-    /// Simulates the shard, consuming its dedicated RNG sub-stream.
-    pub fn run(&self, shard: usize, mut rng: SimRng) -> ShardOutcome {
+    /// Simulates the shard, consuming its dedicated RNG sub-stream, with
+    /// private scratch buffers. Loops over many shards should allocate one
+    /// [`KernelScratch`] and use [`ShardKernel::run_with`].
+    pub fn run(&self, shard: usize, rng: SimRng) -> ShardOutcome {
+        self.run_with(shard, rng, &mut KernelScratch::new())
+    }
+
+    /// Simulates the shard, consuming its dedicated RNG sub-stream and
+    /// reusing `scratch` for all per-slot state.
+    pub fn run_with(
+        &self,
+        shard: usize,
+        mut rng: SimRng,
+        scratch: &mut KernelScratch,
+    ) -> ShardOutcome {
         let cfg = self.config;
         let replicas = cfg.group.replicas;
         let threshold = cfg.group.loss_threshold();
@@ -59,45 +107,58 @@ impl<'a> ShardKernel<'a> {
         if n_local == 0 {
             return out;
         }
+        let n_slots = n_local * replicas;
 
+        // Fault races with the normal and `α`-accelerated means resolved up
+        // front (the accelerated mean uses the same `mean / (1/α)`
+        // arithmetic the per-call path used, so delays are bit-identical).
+        let inv_alpha = 1.0 / cfg.group.alpha;
+        let race_normal = FaultRace::new(cfg.group.mttf_visible_hours, cfg.group.mttf_latent_hours);
+        let race_accel = FaultRace::new(
+            cfg.group.mttf_visible_hours / inv_alpha,
+            cfg.group.mttf_latent_hours / inv_alpha,
+        );
+
+        reset(&mut scratch.state, n_slots, INTACT);
+        reset(&mut scratch.token, n_slots, 0);
+        // `pending_class` is always written before it is read (the gated
+        // resample sets it for every scheduled fault; burst faults set it in
+        // `handle_fault`), so stale values from a previous shard are fine —
+        // only size it.
+        scratch.pending_class.resize(n_slots, FaultClass::Visible);
+        reset(&mut scratch.faulty_count, n_local, 0);
+        reset(&mut scratch.birth, n_local, 0.0);
+        reset(&mut scratch.reserved, n_slots, 0.0);
+
+        let KernelScratch { state, token, pending_class, faulty_count, birth, reserved, victims } =
+            scratch;
         let mut sim = Sim {
             cfg,
+            index: self.index,
+            shard,
+            shards: cfg.shards,
             replicas,
             threshold,
             horizon: cfg.horizon_hours,
-            state: vec![INTACT; n_local * replicas],
-            token: vec![0u32; n_local * replicas],
-            pending_class: vec![FaultClass::Visible; n_local * replicas],
-            slot_site: Vec::with_capacity(n_local * replicas),
-            slot_detection: Vec::with_capacity(n_local * replicas),
-            faulty_count: vec![0u16; n_local],
-            birth: vec![0.0; n_local],
-            reserved: vec![0.0; n_local * replicas],
+            race_normal,
+            race_accel,
+            state,
+            token,
+            pending_class,
+            faulty_count,
+            birth,
+            reserved,
             pipelines: (0..cfg.topology.sites)
                 .map(|_| SitePipeline::new(cfg.shard_site_rate(n_local)))
                 .collect(),
-            queue: EventQueue::with_capacity(n_local * replicas + self.bursts.len()),
-            drive_slots: HashMap::new(),
+            queue: EventQueue::with_capacity(n_slots + self.bursts.len()),
+            victims,
         };
 
-        // Static placement: site, detection schedule and (if bursts are
-        // active) the drive → slots map.
-        for local in 0..n_local {
-            let group = shard + local * cfg.shards;
-            for r in 0..replicas {
-                let slot = (local * replicas + r) as u32;
-                let drive = cfg.topology.place(group, r);
-                sim.slot_site.push(cfg.topology.site_of(drive) as u32);
-                sim.slot_detection.push(cfg.detection_for_drive(drive));
-                if !self.bursts.is_empty() {
-                    sim.drive_slots.entry(drive).or_default().push(slot);
-                }
-            }
-        }
-
-        // Initial fault sampling (slot order) and the burst timeline.
-        for slot in 0..(n_local * replicas) as u32 {
-            sim.resample(slot, 0.0, 1.0, &mut rng);
+        // Initial fault sampling — the multi-replica draw in slot order —
+        // and the burst timeline.
+        for slot in 0..n_slots as u32 {
+            sim.resample(slot, 0.0, false, &mut rng);
         }
         for (index, burst) in self.bursts.iter().enumerate() {
             if burst.time_hours <= sim.horizon {
@@ -151,68 +212,86 @@ const FAULTY: u8 = 1;
 /// Mutable simulation state of one shard.
 struct Sim<'a> {
     cfg: &'a FleetConfig,
+    /// Shared read-only placement index (slot → drive → site/detection).
+    index: &'a PlacementIndex,
+    shard: usize,
+    shards: usize,
     replicas: usize,
     threshold: usize,
     horizon: f64,
+    /// Pre-resolved visible-vs-latent race at the baseline rates.
+    race_normal: FaultRace,
+    /// Pre-resolved race at the `α`-accelerated rates.
+    race_accel: FaultRace,
     /// Per-slot replica state (`INTACT` / `FAULTY`).
-    state: Vec<u8>,
+    state: &'a mut Vec<u8>,
     /// Per-slot staleness token; bumped on every transition or resample.
-    token: Vec<u32>,
+    token: &'a mut Vec<u32>,
     /// Class of an intact slot's pending next fault; while the slot is
     /// faulty, class of its *active* fault (consulted at detection time).
-    pending_class: Vec<FaultClass>,
-    /// Site hosting each slot.
-    slot_site: Vec<u32>,
-    /// `(period, phase)` of each slot's latent-fault detection, or `None`.
-    slot_detection: Vec<Option<(f64, f64)>>,
+    pending_class: &'a mut Vec<FaultClass>,
     /// Currently faulty replicas per local group.
-    faulty_count: Vec<u16>,
+    faulty_count: &'a mut Vec<u16>,
     /// Renewal time of each local group (loss intervals measure from here).
-    birth: Vec<f64>,
+    birth: &'a mut Vec<f64>,
     /// Pipeline hours reserved by each slot's committed, not-yet-finished
     /// repair (refunded if the group is lost before the repair completes).
-    reserved: Vec<f64>,
+    reserved: &'a mut Vec<f64>,
     /// Per-site repair pipelines (this shard's bandwidth slice).
     pipelines: Vec<SitePipeline>,
     queue: EventQueue,
-    /// Slots hosted on each drive (only populated when bursts are active).
-    drive_slots: HashMap<usize, Vec<u32>>,
+    /// Reusable burst-victim scratch buffer (no per-burst allocation).
+    victims: &'a mut Vec<u32>,
 }
 
 impl Sim<'_> {
-    /// Samples a slot's next fault at the given rate multiplier and
-    /// schedules it. Mirrors `TrialRunner::sample_next_fault`, including the
-    /// visible-then-latent draw order, so RNG streams advance identically.
-    fn resample(&mut self, slot: u32, now: f64, multiplier: f64, rng: &mut SimRng) {
+    /// Global slot index of a shard-local slot: local group `ℓ` is global
+    /// group `shard + ℓ·shards`.
+    #[inline]
+    fn global_slot(&self, slot: u32) -> usize {
+        let s = slot as usize;
+        let local_group = s / self.replicas;
+        let r = s - local_group * self.replicas;
+        (self.shard + local_group * self.shards) * self.replicas + r
+    }
+
+    /// Drive hosting a shard-local slot.
+    #[inline]
+    fn drive_of(&self, slot: u32) -> usize {
+        self.index.drive_of_slot(self.global_slot(slot))
+    }
+
+    /// Samples a slot's next fault at the given acceleration level and
+    /// schedules it. Mirrors `TrialRunner::sample_next_fault` (both draw
+    /// through the shared [`FaultRace`]); the winner's identity is drawn
+    /// only for faults inside the horizon — the class of a fault that never
+    /// fires is never consulted, and minimum and identity are independent,
+    /// so skipping the draw is distribution-exact.
+    #[inline]
+    fn resample(&mut self, slot: u32, now: f64, accel: bool, rng: &mut SimRng) {
         let s = slot as usize;
         self.token[s] = self.token[s].wrapping_add(1);
-        let visible = rng.exponential(self.cfg.group.mttf_visible_hours / multiplier);
-        let latent = rng.exponential(self.cfg.group.mttf_latent_hours / multiplier);
-        let (delay, class) = if visible <= latent {
-            (visible, FaultClass::Visible)
-        } else {
-            (latent, FaultClass::Latent)
-        };
-        self.pending_class[s] = class;
-        let at = now + delay;
+        let race = if accel { &self.race_accel } else { &self.race_normal };
+        let at = now + race.sample_delay(rng);
         if at <= self.horizon {
+            let visible = race.sample_winner(rng);
+            self.pending_class[s] = if visible { FaultClass::Visible } else { FaultClass::Latent };
             self.queue.push(at, self.token[s], EventKind::Fault { slot });
         }
     }
 
-    /// Rate multiplier while `faulty` replicas of a group are down.
-    fn rate_multiplier(&self, faulty: u16) -> f64 {
-        if faulty == 0 {
-            1.0
-        } else {
-            1.0 / self.cfg.group.alpha
-        }
+    /// Whether fault processes run accelerated while `faulty` replicas of a
+    /// group are down (with `α = 1` acceleration is a no-op: both races
+    /// carry identical means).
+    #[inline]
+    fn accelerated(&self, faulty: u16) -> bool {
+        faulty > 0
     }
 
     /// Time at which a latent fault occurring at `now` on `slot` is
     /// detected by the scrub tour (infinite if never).
     fn detection_time(&self, slot: u32, now: f64) -> f64 {
-        match self.slot_detection[slot as usize] {
+        match self.index.detection_of_drive(self.drive_of(slot)) {
             None => f64::INFINITY,
             Some((period, phase)) => {
                 if now < phase {
@@ -272,8 +351,7 @@ impl Sim<'_> {
 
         // First fault in the group: accelerate the surviving replicas.
         if faulty_before == 0 && self.cfg.group.alpha < 1.0 {
-            let multiplier = self.rate_multiplier(1);
-            self.resample_intact_siblings(slot, now, multiplier, rng);
+            self.resample_intact_siblings(slot, now, true, rng);
         }
     }
 
@@ -286,7 +364,7 @@ impl Sim<'_> {
             FaultClass::Visible => self.cfg.group.repair_visible_hours,
             FaultClass::Latent => self.cfg.group.repair_latent_hours,
         };
-        let site = self.slot_site[s] as usize;
+        let site = self.index.site_of_drive(self.drive_of(slot));
         let done = self.pipelines[site].schedule(now, base, self.cfg.group_bytes);
         self.reserved[s] = self.pipelines[site].transfer_hours(self.cfg.group_bytes);
         if done <= self.horizon {
@@ -303,22 +381,21 @@ impl Sim<'_> {
         self.reserved[s] = 0.0;
         self.faulty_count[group] -= 1;
         let faulty_now = self.faulty_count[group];
-        let multiplier = self.rate_multiplier(faulty_now);
-        self.resample(slot, now, multiplier, rng);
+        self.resample(slot, now, self.accelerated(faulty_now), rng);
         // The group just became fault-free: decelerate the others.
         if faulty_now == 0 && self.cfg.group.alpha < 1.0 {
-            self.resample_intact_siblings(slot, now, 1.0, rng);
+            self.resample_intact_siblings(slot, now, false, rng);
         }
     }
 
     /// Resamples every intact replica of `slot`'s group except `slot`.
-    fn resample_intact_siblings(&mut self, slot: u32, now: f64, multiplier: f64, rng: &mut SimRng) {
+    fn resample_intact_siblings(&mut self, slot: u32, now: f64, accel: bool, rng: &mut SimRng) {
         let group = slot as usize / self.replicas;
         let base = group * self.replicas;
         for r in 0..self.replicas {
             let sibling = (base + r) as u32;
             if sibling != slot && self.state[base + r] == INTACT {
-                self.resample(sibling, now, multiplier, rng);
+                self.resample(sibling, now, accel, rng);
             }
         }
     }
@@ -334,14 +411,14 @@ impl Sim<'_> {
             // hours they still held back to the site, so phantom
             // reservations do not starve the survivors.
             if self.reserved[s] > 0.0 {
-                let site = self.slot_site[s] as usize;
+                let site = self.index.site_of_drive(self.drive_of(s as u32));
                 self.pipelines[site].refund(now, self.reserved[s]);
                 self.reserved[s] = 0.0;
             }
             self.state[s] = INTACT;
         }
         for r in 0..self.replicas {
-            self.resample((base + r) as u32, now, 1.0, rng);
+            self.resample((base + r) as u32, now, false, rng);
         }
     }
 
@@ -355,22 +432,25 @@ impl Sim<'_> {
     /// victim resamples its *intact* siblings under `α`-acceleration, which
     /// bumps their tokens even though they must still be struck.)
     fn apply_burst(&mut self, burst: &Burst, rng: &mut SimRng, out: &mut ShardOutcome) {
-        if self.drive_slots.is_empty() {
+        if !self.index.has_burst_index() {
             return;
         }
         let class = burst.domain.fault_class();
-        let mut victims: Vec<u32> = Vec::new();
+        // Victims are snapshotted before any fault is applied (faulting a
+        // victim must not re-order or hide later ones); the buffer is
+        // reused across bursts.
+        let mut victims = std::mem::take(self.victims);
+        victims.clear();
         for drive in burst.affected_drives(&self.cfg.topology) {
-            if let Some(slots) = self.drive_slots.get(&drive) {
-                victims.extend(slots.iter().copied());
-            }
+            victims.extend_from_slice(self.index.drive_slots(drive, self.shard));
         }
-        for slot in victims {
+        for &slot in &victims {
             let group = slot as usize / self.replicas;
             if self.state[slot as usize] == INTACT && self.birth[group] != burst.time_hours {
                 self.handle_fault(slot, burst.time_hours, class, true, rng, out);
             }
         }
+        *self.victims = victims;
     }
 }
 
@@ -381,6 +461,16 @@ mod tests {
     use crate::config::RepairBandwidth;
     use crate::topology::FleetTopology;
     use ltds_sim::config::SimConfig;
+
+    fn kernel_run(
+        config: &FleetConfig,
+        bursts: &[Burst],
+        shard: usize,
+        rng: SimRng,
+    ) -> ShardOutcome {
+        let index = PlacementIndex::build(config, !bursts.is_empty());
+        ShardKernel::new(config, bursts, &index).run(shard, rng)
+    }
 
     fn fragile_group() -> SimConfig {
         SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap()
@@ -397,7 +487,8 @@ mod tests {
     #[test]
     fn shard_group_deal_covers_every_group_once() {
         let config = small_config();
-        let kernel = ShardKernel::new(&config, &[]);
+        let index = PlacementIndex::build(&config, false);
+        let kernel = ShardKernel::new(&config, &[], &index);
         let total: usize = (0..config.shards).map(|s| kernel.groups_in_shard(s)).sum();
         assert_eq!(total, config.groups);
     }
@@ -405,9 +496,8 @@ mod tests {
     #[test]
     fn kernel_is_deterministic_for_a_seed() {
         let config = small_config();
-        let kernel = ShardKernel::new(&config, &[]);
-        let a = kernel.run(1, SimRng::seed_from(9).fork(1));
-        let b = kernel.run(1, SimRng::seed_from(9).fork(1));
+        let a = kernel_run(&config, &[], 1, SimRng::seed_from(9).fork(1));
+        let b = kernel_run(&config, &[], 1, SimRng::seed_from(9).fork(1));
         assert_eq!(a.losses, b.losses);
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.events, b.events);
@@ -417,8 +507,7 @@ mod tests {
     #[test]
     fn fragile_groups_lose_data_repeatedly() {
         let config = small_config();
-        let kernel = ShardKernel::new(&config, &[]);
-        let out = kernel.run(0, SimRng::seed_from(3).fork(0));
+        let out = kernel_run(&config, &[], 0, SimRng::seed_from(3).fork(0));
         assert!(out.losses > 10, "expected many renewals, got {}", out.losses);
         assert!(out.faults > out.losses);
         assert!(out.repairs > 0);
@@ -437,8 +526,7 @@ mod tests {
         let config =
             FleetConfig::new(topo, 8, sturdy).unwrap().with_horizon_hours(1000.0).with_shards(1);
         let bursts = vec![Burst { time_hours: 10.0, domain: FaultDomain::Site, victim: 0 }];
-        let kernel = ShardKernel::new(&config, &bursts);
-        let out = kernel.run(0, SimRng::seed_from(5).fork(0));
+        let out = kernel_run(&config, &bursts, 0, SimRng::seed_from(5).fork(0));
         assert_eq!(out.burst_faults, 8, "one replica of each group lives in site 0");
         assert_eq!(out.losses, 0);
         assert_eq!(out.repairs, 8, "all burst victims get repaired");
@@ -453,8 +541,7 @@ mod tests {
         let config =
             FleetConfig::new(topo, 4, sturdy).unwrap().with_horizon_hours(1000.0).with_shards(1);
         let bursts = vec![Burst { time_hours: 10.0, domain: FaultDomain::Site, victim: 0 }];
-        let kernel = ShardKernel::new(&config, &bursts);
-        let out = kernel.run(0, SimRng::seed_from(5).fork(0));
+        let out = kernel_run(&config, &bursts, 0, SimRng::seed_from(5).fork(0));
         assert_eq!(out.losses, 4, "every group was wholly inside the blast radius");
         assert!((out.loss_intervals.mean() - 10.0).abs() < 1e-9);
     }
@@ -481,8 +568,7 @@ mod tests {
         let config =
             FleetConfig::new(topo, 4, sturdy).unwrap().with_horizon_hours(1_000.0).with_shards(1);
         let bursts = vec![Burst { time_hours: 10.0, domain: FaultDomain::Site, victim: 0 }];
-        let kernel = ShardKernel::new(&config, &bursts);
-        let out = kernel.run(0, SimRng::seed_from(5).fork(0));
+        let out = kernel_run(&config, &bursts, 0, SimRng::seed_from(5).fork(0));
         assert_eq!(out.losses, 4, "every mirrored group was wholly inside the blast radius");
         assert_eq!(out.burst_faults, 8, "both replicas of each group must be struck");
         assert!((out.loss_intervals.mean() - 10.0).abs() < 1e-9);
@@ -513,8 +599,7 @@ mod tests {
             .with_horizon_hours(10_000.0)
             .with_shards(1)
             .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e10);
-        let kernel = ShardKernel::new(&config, &[]);
-        let out = kernel.run(0, SimRng::seed_from(3).fork(0));
+        let out = kernel_run(&config, &[], 0, SimRng::seed_from(3).fork(0));
         // Every committed repair becomes ready at a scrub boundary; with
         // ready-order FIFO the queueing delay can never exceed the backlog
         // of transfers committed at the same boundary (< 4 * 50h), whereas
@@ -538,8 +623,7 @@ mod tests {
             .with_shards(1)
             // ~10h per repair transfer: concurrent faults must queue.
             .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 1e10);
-        let kernel = ShardKernel::new(&config, &[]);
-        let out = kernel.run(0, SimRng::seed_from(11).fork(0));
+        let out = kernel_run(&config, &[], 0, SimRng::seed_from(11).fork(0));
         assert!(out.repair_wait.count() > 0);
         assert!(out.repair_wait.max() > 0.0, "some repair must have queued");
     }
@@ -548,8 +632,7 @@ mod tests {
     fn empty_shard_is_a_no_op() {
         let topo = FleetTopology::single_node(2).unwrap();
         let config = FleetConfig::new(topo, 2, fragile_group()).unwrap().with_shards(8);
-        let kernel = ShardKernel::new(&config, &[]);
-        let out = kernel.run(7, SimRng::seed_from(1).fork(7));
+        let out = kernel_run(&config, &[], 7, SimRng::seed_from(1).fork(7));
         assert_eq!(out.events, 0);
         assert_eq!(out.losses, 0);
     }
@@ -559,9 +642,8 @@ mod tests {
         let config = small_config().with_bursts(BurstProfile::disaster_scenario());
         let mut rng = SimRng::seed_from(42).fork(u64::MAX);
         let bursts = config.bursts.timeline(&config.topology, config.horizon_hours, &mut rng);
-        let kernel = ShardKernel::new(&config, &bursts);
-        let a = kernel.run(2, SimRng::seed_from(42).fork(2));
-        let b = kernel.run(2, SimRng::seed_from(42).fork(2));
+        let a = kernel_run(&config, &bursts, 2, SimRng::seed_from(42).fork(2));
+        let b = kernel_run(&config, &bursts, 2, SimRng::seed_from(42).fork(2));
         assert_eq!(a.burst_faults, b.burst_faults);
         assert_eq!(a.losses, b.losses);
     }

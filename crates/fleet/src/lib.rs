@@ -14,7 +14,9 @@
 //!
 //! This crate simulates the whole archive — a `site → rack → node → drive`
 //! hierarchy ([`FleetTopology`]) carrying up to millions of placed replica
-//! groups — with a binary-heap event kernel over a virtual clock:
+//! groups — with a calendar-queue event kernel over a virtual clock
+//! (amortised O(1) scheduling; the original binary-heap scheduler survives
+//! as a reference implementation for equivalence testing):
 //!
 //! * [`FleetConfig`] reuses `ltds_sim::SimConfig` for per-group behaviour,
 //!   so the fleet engine and the Monte-Carlo simulator are parameterised
@@ -55,9 +57,11 @@
 #![warn(missing_docs)]
 
 pub mod bursts;
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod kernel;
+pub mod placement;
 pub mod queue;
 pub mod repair;
 pub mod report;
@@ -66,5 +70,6 @@ pub mod topology;
 pub use bursts::{Burst, BurstProfile, FaultDomain};
 pub use config::{FleetConfig, RepairBandwidth, ScrubTour};
 pub use engine::FleetSim;
+pub use placement::PlacementIndex;
 pub use report::{FleetReport, ShardOutcome};
 pub use topology::FleetTopology;

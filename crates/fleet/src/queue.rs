@@ -1,11 +1,19 @@
-//! The discrete-event queue: a binary heap over virtual time with
-//! deterministic tie-breaking.
+//! The discrete-event queue: deterministic ordering over virtual time.
 //!
 //! Events carry a per-slot `token`; state transitions bump the slot's token,
-//! which lazily invalidates any stale events still in the heap (cheaper than
+//! which lazily invalidates any stale events still queued (cheaper than
 //! removing them). Ties in virtual time are broken by insertion order, so a
 //! given event sequence replays identically on every run.
+//!
+//! [`EventQueue`] is backed by the calendar queue in [`crate::calendar`]
+//! (amortised O(1) push/pop). The original binary-heap scheduler is
+//! retained as [`BinaryHeapQueue`], a reference implementation with the
+//! same ordering contract: the equivalence proptest in
+//! `tests/fleet_properties.rs` drives random schedules through both and
+//! demands identical pop sequences, which is what guarantees fleet reports
+//! are bit-identical under either scheduler.
 
+use crate::calendar::CalendarQueue;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -45,7 +53,14 @@ pub struct Event {
     /// Payload.
     pub kind: EventKind,
     /// Insertion sequence, for deterministic tie-breaking.
-    seq: u64,
+    pub(crate) seq: u64,
+}
+
+impl Event {
+    /// Insertion sequence number (the tie-breaker within one virtual time).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 impl PartialEq for Event {
@@ -69,11 +84,36 @@ impl Ord for Event {
     }
 }
 
-/// Min-heap of events over virtual time.
-#[derive(Debug, Default)]
+/// Occupancy at which [`EventQueue`] migrates from the binary heap to the
+/// calendar ring. Shard-sized schedules (tens to hundreds of concurrent
+/// events, tie clusters at scrub boundaries, drain phases) sit in the
+/// heap's cache-resident sweet spot; past a few thousand concurrent events
+/// the heap's O(log n) sift paths lose to the calendar's amortised O(1).
+/// The switch depends only on queue content, so replays stay deterministic.
+const CALENDAR_THRESHOLD: usize = 4096;
+
+/// The queue's active backend.
+#[derive(Debug)]
+enum Backend {
+    Heap(BinaryHeap<Event>),
+    Calendar(CalendarQueue),
+}
+
+/// The kernel's event queue, ordered by `(time, seq)`: an adaptive
+/// scheduler that starts on a binary heap and migrates to the calendar
+/// queue when occupancy crosses [`CALENDAR_THRESHOLD`]. Both backends obey
+/// the exact same ordering contract, so the migration point never changes
+/// results — only wall-clock time.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    backend: Backend,
     next_seq: u64,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self { backend: Backend::Heap(BinaryHeap::new()), next_seq: 0 }
+    }
 }
 
 impl EventQueue {
@@ -82,9 +122,97 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Creates a queue sized for an expected number of events.
+    /// Creates a queue expecting roughly `capacity` concurrent events. The
+    /// hint only pre-sizes the heap (capped at the migration threshold —
+    /// actual occupancy, not the hint, decides when to migrate).
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(capacity), next_seq: 0 }
+        let cap = capacity.min(CALENDAR_THRESHOLD);
+        Self { backend: Backend::Heap(BinaryHeap::with_capacity(cap)), next_seq: 0 }
+    }
+
+    /// Creates a queue that starts directly on the calendar backend,
+    /// regardless of occupancy — used by the scheduler-equivalence tests
+    /// and large-occupancy benchmarks to exercise the calendar on schedules
+    /// of any size.
+    pub fn calendar_backed() -> Self {
+        Self { backend: Backend::Calendar(CalendarQueue::new()), next_seq: 0 }
+    }
+
+    /// Schedules an event.
+    #[inline]
+    pub fn push(&mut self, time: f64, token: u32, kind: EventKind) {
+        debug_assert!(time.is_finite() && time >= 0.0, "event time must be finite, got {time}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let event = Event { time, token, kind, seq };
+        match &mut self.backend {
+            Backend::Heap(heap) => {
+                heap.push(event);
+                if heap.len() > CALENDAR_THRESHOLD {
+                    self.migrate();
+                }
+            }
+            Backend::Calendar(calendar) => calendar.push(event),
+        }
+    }
+
+    /// Moves every queued event from the heap to a calendar ring. One-way:
+    /// a queue that has proven large-occupancy stays on the calendar.
+    fn migrate(&mut self) {
+        if let Backend::Heap(heap) = &mut self.backend {
+            let mut calendar = CalendarQueue::new();
+            for event in std::mem::take(heap) {
+                calendar.push(event);
+            }
+            self.backend = Backend::Calendar(calendar);
+        }
+    }
+
+    /// Pops the earliest event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event> {
+        match &mut self.backend {
+            Backend::Heap(heap) => heap.pop(),
+            Backend::Calendar(calendar) => calendar.pop(),
+        }
+    }
+
+    /// Earliest scheduled time, if any. O(n) on the calendar backend —
+    /// diagnostics and tests only.
+    pub fn peek_time(&self) -> Option<f64> {
+        match &self.backend {
+            Backend::Heap(heap) => heap.peek().map(|e| e.time),
+            Backend::Calendar(calendar) => calendar.peek_time(),
+        }
+    }
+
+    /// Number of pending events (including stale ones).
+    pub fn len(&self) -> usize {
+        match &self.backend {
+            Backend::Heap(heap) => heap.len(),
+            Backend::Calendar(calendar) => calendar.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The original binary-heap scheduler, kept as the reference
+/// implementation for equivalence testing against [`EventQueue`]'s
+/// calendar backend. Same API, same `(time, seq)` ordering contract.
+#[derive(Debug, Default)]
+pub struct BinaryHeapQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl BinaryHeapQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
     }
 
     /// Schedules an event.
@@ -154,5 +282,29 @@ mod tests {
         q.push(7.0, 1, EventKind::Burst { index: 0 });
         assert_eq!(q.peek_time(), Some(7.0));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn reference_heap_matches_calendar_on_a_fixed_schedule() {
+        let mut cal = EventQueue::new();
+        let mut heap = BinaryHeapQueue::new();
+        let times = [5.0, 1.0, 3.0, 3.0, 8.0, 1.0, 0.0, 3.0, 2.5];
+        for (i, &t) in times.iter().enumerate() {
+            cal.push(t, i as u32, EventKind::Fault { slot: i as u32 });
+            heap.push(t, i as u32, EventKind::Fault { slot: i as u32 });
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            match (a, b) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(
+                        (a.time, a.seq(), a.token, a.kind),
+                        (b.time, b.seq(), b.token, b.kind)
+                    );
+                }
+                (a, b) => panic!("queues diverged: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! given `(seed, trials)` pair is identical regardless of thread count.
 
 use crate::config::SimConfig;
-use crate::trial::TrialRunner;
+use crate::trial::{TrialRunner, TrialScratch};
 use ltds_stochastic::{ConfidenceInterval, ProportionEstimate, SimRng, StreamingStats};
 use serde::{Deserialize, Serialize};
 
@@ -68,10 +68,11 @@ pub struct MonteCarlo {
 }
 
 impl MonteCarlo {
-    /// Creates a driver with defaults: 10 000 trials, seed 0, threads = CPUs.
+    /// Creates a driver with defaults: 10 000 trials, seed 0, threads = CPUs
+    /// (resolved once per process and cached, so constructing a driver per
+    /// sweep grid point costs no syscalls).
     pub fn new(config: SimConfig) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        Self { config, trials: 10_000, seed: 0, threads }
+        Self { config, trials: 10_000, seed: 0, threads: ltds_stochastic::available_threads() }
     }
 
     /// Sets the number of trials.
@@ -120,9 +121,12 @@ impl MonteCarlo {
                     let mut censored = 0u64;
                     let mut faults = 0u64;
                     let mut repairs = 0u64;
+                    // One scratch per worker: the per-trial loop is
+                    // allocation-free.
+                    let mut scratch = TrialScratch::new();
                     for index in range {
                         let mut rng = master.fork(index);
-                        let outcome = runner.run(&mut rng);
+                        let outcome = runner.run_with(&mut rng, &mut scratch);
                         faults += outcome.faults;
                         repairs += outcome.repairs;
                         match outcome.loss_time_hours {

@@ -1,8 +1,13 @@
 //! Parameter sweeps: regenerate the figure-style series of the paper by
 //! simulation.
+//!
+//! [`SweepDriver`] is the configurable entry point: it fixes the trial
+//! budget, base seed and (optionally) an explicit worker-thread count for
+//! every grid point. The free functions are thin wrappers with the
+//! original signatures.
 
 use crate::config::SimConfig;
-use crate::monte_carlo::MonteCarlo;
+use crate::monte_carlo::{MonteCarlo, MttdlEstimate};
 use ltds_core::error::ModelError;
 use serde::{Deserialize, Serialize};
 
@@ -17,38 +22,132 @@ pub struct SweepPoint {
     pub ci_half_width: f64,
 }
 
-/// Sweeps the scrub period (hours) for a mirrored pair and reports the
-/// simulated MTTDL at each point. A period of `f64::INFINITY` means "never
-/// scrub".
+/// Drives a family of Monte-Carlo runs over a parameter grid.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepDriver<'a> {
+    base: &'a SimConfig,
+    trials: u64,
+    seed: u64,
+    threads: Option<usize>,
+}
+
+impl<'a> SweepDriver<'a> {
+    /// Creates a driver over a base configuration, with the default worker
+    /// count (all available cores, resolved once per process).
+    pub fn new(base: &'a SimConfig, trials: u64, seed: u64) -> Self {
+        Self { base, trials, seed, threads: None }
+    }
+
+    /// Overrides the worker-thread count for every grid point. Runs with
+    /// the *same* thread count are bit-identical; across different thread
+    /// counts the per-worker statistics merge in a different order, so
+    /// estimates agree only up to floating-point merge rounding.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Runs one grid point: point `i` gets the derived seed `seed + i`.
+    fn estimate(&self, config: SimConfig, i: usize) -> MttdlEstimate {
+        let mut mc =
+            MonteCarlo::new(config).trials(self.trials).seed(self.seed.wrapping_add(i as u64));
+        if let Some(threads) = self.threads {
+            mc = mc.threads(threads);
+        }
+        mc.run()
+    }
+
+    fn point(x: f64, est: &MttdlEstimate) -> SweepPoint {
+        SweepPoint {
+            x,
+            mttdl_hours: est.mttdl_hours.estimate,
+            ci_half_width: est.mttdl_hours.half_width(),
+        }
+    }
+
+    /// Sweeps the scrub period (hours) for a mirrored pair and reports the
+    /// simulated MTTDL at each point. A period of `f64::INFINITY` means
+    /// "never scrub".
+    pub fn scrub_period(&self, periods_hours: &[f64]) -> Result<Vec<SweepPoint>, ModelError> {
+        let base = self.base;
+        let mut out = Vec::with_capacity(periods_hours.len());
+        for (i, &period) in periods_hours.iter().enumerate() {
+            let scrub = if period.is_finite() { Some(period) } else { None };
+            let config = SimConfig::mirrored_disks(
+                base.mttf_visible_hours,
+                base.mttf_latent_hours,
+                base.repair_visible_hours,
+                base.repair_latent_hours,
+                scrub,
+                base.alpha,
+            )?
+            .with_max_hours(base.max_hours);
+            out.push(Self::point(period, &self.estimate(config, i)));
+        }
+        Ok(out)
+    }
+
+    /// Sweeps the replica count at a fixed correlation factor.
+    pub fn replication(
+        &self,
+        replica_counts: &[usize],
+        alpha: f64,
+    ) -> Result<Vec<SweepPoint>, ModelError> {
+        let base = self.base;
+        let mut out = Vec::with_capacity(replica_counts.len());
+        for (i, &r) in replica_counts.iter().enumerate() {
+            let config = SimConfig::new(
+                r,
+                1,
+                base.mttf_visible_hours,
+                base.mttf_latent_hours,
+                base.repair_visible_hours,
+                base.repair_latent_hours,
+                base.detection,
+                alpha,
+            )?
+            .with_max_hours(base.max_hours);
+            out.push(Self::point(r as f64, &self.estimate(config, i)));
+        }
+        Ok(out)
+    }
+
+    /// Sweeps the correlation factor for a fixed configuration.
+    pub fn alpha(&self, alphas: &[f64]) -> Result<Vec<SweepPoint>, ModelError> {
+        let base = self.base;
+        let mut out = Vec::with_capacity(alphas.len());
+        for (i, &alpha) in alphas.iter().enumerate() {
+            let config = SimConfig::new(
+                base.replicas,
+                base.min_intact,
+                base.mttf_visible_hours,
+                base.mttf_latent_hours,
+                base.repair_visible_hours,
+                base.repair_latent_hours,
+                base.detection,
+                alpha,
+            )?
+            .with_max_hours(base.max_hours);
+            out.push(Self::point(alpha, &self.estimate(config, i)));
+        }
+        Ok(out)
+    }
+}
+
+/// Sweeps the scrub period (hours) for a mirrored pair. See
+/// [`SweepDriver::scrub_period`].
 pub fn scrub_period_sweep(
     base: &SimConfig,
     periods_hours: &[f64],
     trials: u64,
     seed: u64,
 ) -> Result<Vec<SweepPoint>, ModelError> {
-    let mut out = Vec::with_capacity(periods_hours.len());
-    for (i, &period) in periods_hours.iter().enumerate() {
-        let scrub = if period.is_finite() { Some(period) } else { None };
-        let config = SimConfig::mirrored_disks(
-            base.mttf_visible_hours,
-            base.mttf_latent_hours,
-            base.repair_visible_hours,
-            base.repair_latent_hours,
-            scrub,
-            base.alpha,
-        )?
-        .with_max_hours(base.max_hours);
-        let est = MonteCarlo::new(config).trials(trials).seed(seed.wrapping_add(i as u64)).run();
-        out.push(SweepPoint {
-            x: period,
-            mttdl_hours: est.mttdl_hours.estimate,
-            ci_half_width: est.mttdl_hours.half_width(),
-        });
-    }
-    Ok(out)
+    SweepDriver::new(base, trials, seed).scrub_period(periods_hours)
 }
 
-/// Sweeps the replica count at a fixed correlation factor.
+/// Sweeps the replica count at a fixed correlation factor. See
+/// [`SweepDriver::replication`].
 pub fn replication_sweep(
     base: &SimConfig,
     replica_counts: &[usize],
@@ -56,57 +155,18 @@ pub fn replication_sweep(
     trials: u64,
     seed: u64,
 ) -> Result<Vec<SweepPoint>, ModelError> {
-    let mut out = Vec::with_capacity(replica_counts.len());
-    for (i, &r) in replica_counts.iter().enumerate() {
-        let config = SimConfig::new(
-            r,
-            1,
-            base.mttf_visible_hours,
-            base.mttf_latent_hours,
-            base.repair_visible_hours,
-            base.repair_latent_hours,
-            base.detection,
-            alpha,
-        )?
-        .with_max_hours(base.max_hours);
-        let est = MonteCarlo::new(config).trials(trials).seed(seed.wrapping_add(i as u64)).run();
-        out.push(SweepPoint {
-            x: r as f64,
-            mttdl_hours: est.mttdl_hours.estimate,
-            ci_half_width: est.mttdl_hours.half_width(),
-        });
-    }
-    Ok(out)
+    SweepDriver::new(base, trials, seed).replication(replica_counts, alpha)
 }
 
-/// Sweeps the correlation factor for a fixed configuration.
+/// Sweeps the correlation factor for a fixed configuration. See
+/// [`SweepDriver::alpha`].
 pub fn alpha_sweep(
     base: &SimConfig,
     alphas: &[f64],
     trials: u64,
     seed: u64,
 ) -> Result<Vec<SweepPoint>, ModelError> {
-    let mut out = Vec::with_capacity(alphas.len());
-    for (i, &alpha) in alphas.iter().enumerate() {
-        let config = SimConfig::new(
-            base.replicas,
-            base.min_intact,
-            base.mttf_visible_hours,
-            base.mttf_latent_hours,
-            base.repair_visible_hours,
-            base.repair_latent_hours,
-            base.detection,
-            alpha,
-        )?
-        .with_max_hours(base.max_hours);
-        let est = MonteCarlo::new(config).trials(trials).seed(seed.wrapping_add(i as u64)).run();
-        out.push(SweepPoint {
-            x: alpha,
-            mttdl_hours: est.mttdl_hours.estimate,
-            ci_half_width: est.mttdl_hours.half_width(),
-        });
-    }
-    Ok(out)
+    SweepDriver::new(base, trials, seed).alpha(alphas)
 }
 
 #[cfg(test)]
@@ -138,6 +198,23 @@ mod tests {
     fn alpha_sweep_shows_correlation_hurting() {
         let points = alpha_sweep(&base(), &[1.0, 0.05], 800, 3).unwrap();
         assert!(points[0].mttdl_hours > points[1].mttdl_hours * 2.0);
+    }
+
+    #[test]
+    fn thread_override_does_not_change_results() {
+        let b = base();
+        // Same thread count → bit-identical; different thread counts agree
+        // to merge rounding (the per-thread Welford partitions differ).
+        let forced_a = SweepDriver::new(&b, 400, 7).threads(3).scrub_period(&[50.0, 500.0]);
+        let forced_b = SweepDriver::new(&b, 400, 7).threads(3).scrub_period(&[50.0, 500.0]);
+        for (a, c) in forced_a.unwrap().iter().zip(&forced_b.unwrap()) {
+            assert_eq!(a.mttdl_hours.to_bits(), c.mttdl_hours.to_bits());
+        }
+        let default = SweepDriver::new(&b, 400, 7).scrub_period(&[50.0, 500.0]).unwrap();
+        let forced = SweepDriver::new(&b, 400, 7).threads(3).scrub_period(&[50.0, 500.0]).unwrap();
+        for (d, f) in default.iter().zip(&forced) {
+            assert!((d.mttdl_hours - f.mttdl_hours).abs() < 1e-6 * d.mttdl_hours.abs());
+        }
     }
 
     #[test]

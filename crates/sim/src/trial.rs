@@ -12,7 +12,7 @@
 use crate::config::{DetectionModel, SimConfig};
 use crate::replica::{intact_count, ReplicaState};
 use ltds_core::fault::FaultClass;
-use ltds_stochastic::SimRng;
+use ltds_stochastic::{FaultRace, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// The result of one trial.
@@ -36,16 +36,45 @@ impl TrialOutcome {
     }
 }
 
+/// Reusable per-trial buffers: a Monte-Carlo worker allocates one scratch
+/// and runs every trial through it, making the per-trial hot path
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct TrialScratch {
+    states: Vec<ReplicaState>,
+    next_fault: Vec<(f64, FaultClass)>,
+    races: Vec<(f64, bool)>,
+}
+
+impl TrialScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs trials for one configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct TrialRunner {
     config: SimConfig,
+    /// Visible-vs-latent fault race at the baseline rates, resolved once.
+    race_normal: FaultRace,
+    /// The same race at the `α`-accelerated rates (identical to
+    /// `race_normal` when `α = 1`).
+    race_accel: FaultRace,
 }
 
 impl TrialRunner {
-    /// Creates a runner for a configuration.
+    /// Creates a runner for a configuration, pre-resolving the fault-race
+    /// distribution parameters for both correlation regimes.
     pub fn new(config: SimConfig) -> Self {
-        Self { config }
+        let inv_alpha = 1.0 / config.alpha;
+        let race_normal = FaultRace::new(config.mttf_visible_hours, config.mttf_latent_hours);
+        let race_accel = FaultRace::new(
+            config.mttf_visible_hours / inv_alpha,
+            config.mttf_latent_hours / inv_alpha,
+        );
+        Self { config, race_normal, race_accel }
     }
 
     /// The configuration being simulated.
@@ -53,26 +82,14 @@ impl TrialRunner {
         &self.config
     }
 
-    /// Effective fault-rate multiplier given how many replicas are currently
-    /// faulty: `1` when none are, `1/alpha` when at least one is.
-    fn rate_multiplier(&self, faulty: usize) -> f64 {
-        if faulty == 0 {
-            1.0
-        } else {
-            1.0 / self.config.alpha
-        }
-    }
-
     /// Samples the time (from `now`) of a replica's next fault of either
-    /// class, returning `(delay, class)`.
-    fn sample_next_fault(&self, rng: &mut SimRng, multiplier: f64) -> (f64, FaultClass) {
-        let visible = rng.exponential(self.config.mttf_visible_hours / multiplier);
-        let latent = rng.exponential(self.config.mttf_latent_hours / multiplier);
-        if visible <= latent {
-            (visible, FaultClass::Visible)
-        } else {
-            (latent, FaultClass::Latent)
-        }
+    /// class, returning `(delay, class)`. `accel` selects the
+    /// `α`-accelerated race (active while any replica is faulty).
+    #[inline]
+    fn sample_next_fault(&self, rng: &mut SimRng, accel: bool) -> (f64, FaultClass) {
+        let race = if accel { &self.race_accel } else { &self.race_normal };
+        let (delay, visible) = race.sample(rng);
+        (delay, if visible { FaultClass::Visible } else { FaultClass::Latent })
     }
 
     /// Time at which a fault occurring at `t` of the given class will have
@@ -93,18 +110,31 @@ impl TrialRunner {
         }
     }
 
-    /// Runs a single trial with the given random stream.
+    /// Runs a single trial with the given random stream, allocating private
+    /// scratch buffers. Loops that run many trials should allocate one
+    /// [`TrialScratch`] and use [`TrialRunner::run_with`] instead.
     pub fn run(&self, rng: &mut SimRng) -> TrialOutcome {
+        self.run_with(rng, &mut TrialScratch::new())
+    }
+
+    /// Runs a single trial with the given random stream, reusing `scratch`
+    /// so the per-trial path performs no allocations.
+    pub fn run_with(&self, rng: &mut SimRng, scratch: &mut TrialScratch) -> TrialOutcome {
         let n = self.config.replicas;
         let loss_threshold = self.config.loss_threshold();
-        let mut states = vec![ReplicaState::Intact; n];
-        // Pending next-fault absolute times and classes for intact replicas.
-        let mut next_fault: Vec<(f64, FaultClass)> = Vec::with_capacity(n);
-        let multiplier = self.rate_multiplier(0);
-        for _ in 0..n {
-            let (d, c) = self.sample_next_fault(rng, multiplier);
-            next_fault.push((d, c));
-        }
+        scratch.states.clear();
+        scratch.states.resize(n, ReplicaState::Intact);
+        // Batched multi-replica draw of every replica's first fault; the
+        // stream is identical to n sequential draws.
+        scratch.races.clear();
+        scratch.races.resize(n, (0.0, false));
+        self.race_normal.sample_batch(rng, &mut scratch.races);
+        scratch.next_fault.clear();
+        scratch.next_fault.extend(scratch.races.iter().map(|&(delay, visible)| {
+            (delay, if visible { FaultClass::Visible } else { FaultClass::Latent })
+        }));
+        let states = &mut scratch.states;
+        let next_fault = &mut scratch.next_fault;
         let mut faults = 0u64;
         let mut repairs = 0u64;
 
@@ -138,7 +168,7 @@ impl TrialRunner {
                 return TrialOutcome { loss_time_hours: None, faults, repairs, fatal_fault: None };
             }
             let now = best_time;
-            let faulty_before = n - intact_count(&states);
+            let faulty_before = n - intact_count(states);
 
             if best_is_fault {
                 let (_, class) = next_fault[best_replica];
@@ -161,10 +191,9 @@ impl TrialRunner {
                 // Correlation state may have changed: resample pending faults
                 // for the remaining intact replicas at the accelerated rate.
                 if faulty_before == 0 && self.config.alpha < 1.0 {
-                    let m = self.rate_multiplier(faulty_now);
                     for i in 0..n {
                         if states[i].is_intact() {
-                            let (d, c) = self.sample_next_fault(rng, m);
+                            let (d, c) = self.sample_next_fault(rng, true);
                             next_fault[i] = (now + d, c);
                         }
                     }
@@ -176,15 +205,14 @@ impl TrialRunner {
                 states[best_replica] = ReplicaState::Intact;
                 repairs += 1;
                 let faulty_now = faulty_before - 1;
-                let m = self.rate_multiplier(faulty_now);
                 // Sample the repaired replica's next fault, and if the system
                 // just became fault-free, de-accelerate the others.
-                let (d, c) = self.sample_next_fault(rng, m);
+                let (d, c) = self.sample_next_fault(rng, faulty_now > 0);
                 next_fault[best_replica] = (now + d, c);
                 if faulty_now == 0 && self.config.alpha < 1.0 {
                     for i in 0..n {
                         if i != best_replica && states[i].is_intact() {
-                            let (d, c) = self.sample_next_fault(rng, 1.0);
+                            let (d, c) = self.sample_next_fault(rng, false);
                             next_fault[i] = (now + d, c);
                         }
                     }
@@ -212,6 +240,17 @@ mod tests {
         assert!(outcome.loss_time_hours.unwrap() > 0.0);
         assert!(outcome.faults >= 2, "data loss requires at least two faults");
         assert!(outcome.fatal_fault.is_some());
+    }
+
+    #[test]
+    fn run_with_reuses_scratch_and_matches_run() {
+        let runner = TrialRunner::new(fast_config(Some(100.0), 0.5));
+        let mut scratch = TrialScratch::new();
+        for seed in 0..20 {
+            let a = runner.run(&mut SimRng::seed_from(seed));
+            let b = runner.run_with(&mut SimRng::seed_from(seed), &mut scratch);
+            assert_eq!(a, b, "seed {seed}: scratch reuse changed the outcome");
+        }
     }
 
     #[test]

@@ -84,6 +84,19 @@ impl Exponential {
     }
 }
 
+impl Exponential {
+    /// Fills `out` with independent samples, consuming the RNG exactly as
+    /// `out.len()` sequential [`Distribution::sample`] calls would — the
+    /// batched form exists so hot loops (multi-replica fault draws) can
+    /// amortise call overhead without changing any random stream.
+    #[inline]
+    pub fn sample_batch(&self, rng: &mut SimRng, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = rng.exponential(self.mean);
+        }
+    }
+}
+
 impl Distribution for Exponential {
     fn sample(&self, rng: &mut SimRng) -> f64 {
         rng.exponential(self.mean)
@@ -103,6 +116,102 @@ impl Distribution for Exponential {
 
     fn hazard(&self, _t: f64) -> Option<f64> {
         Some(self.rate())
+    }
+}
+
+/// A pre-resolved race between two competing exponential clocks — the
+/// innermost draw of both simulators ("does the visible or the latent fault
+/// arrive first, and when?").
+///
+/// Instead of sampling each clock and taking the minimum (two `ln` calls),
+/// the race samples the minimum directly: for independent exponentials the
+/// minimum is itself exponential at the combined rate, and the *identity*
+/// of the winner is independent of the minimum, Bernoulli with probability
+/// `rate_first / (rate_first + rate_second)`. One `ln` plus one uniform per
+/// draw, from exactly the same joint distribution.
+///
+/// All derived parameters (combined mean, winner probability) are resolved
+/// at construction, so per-draw work is branch-free.
+///
+/// # Examples
+///
+/// ```
+/// use ltds_stochastic::{FaultRace, SimRng};
+///
+/// let race = FaultRace::new(1000.0, 5000.0);
+/// let mut rng = SimRng::seed_from(7);
+/// let (delay, first_won) = race.sample(&mut rng);
+/// assert!(delay > 0.0);
+/// let _ = first_won;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRace {
+    combined_mean: f64,
+    p_first: f64,
+}
+
+impl FaultRace {
+    /// Creates a race between clocks with the given means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is not strictly positive and finite.
+    pub fn new(mean_first: f64, mean_second: f64) -> Self {
+        assert!(
+            mean_first.is_finite() && mean_first > 0.0,
+            "race mean must be positive and finite, got {mean_first}"
+        );
+        assert!(
+            mean_second.is_finite() && mean_second > 0.0,
+            "race mean must be positive and finite, got {mean_second}"
+        );
+        let rate = 1.0 / mean_first + 1.0 / mean_second;
+        Self { combined_mean: 1.0 / rate, p_first: (1.0 / mean_first) / rate }
+    }
+
+    /// Mean of the winning (minimum) delay.
+    pub fn combined_mean(&self) -> f64 {
+        self.combined_mean
+    }
+
+    /// Probability that the first clock wins the race.
+    pub fn p_first(&self) -> f64 {
+        self.p_first
+    }
+
+    /// Draws `(delay, first_won)`: the time of the earlier fault and
+    /// whether the first clock produced it.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> (f64, bool) {
+        let delay = rng.exponential(self.combined_mean);
+        (delay, rng.uniform01() < self.p_first)
+    }
+
+    /// Draws only the winning delay. Because the minimum and its identity
+    /// are independent, a caller that discards out-of-horizon faults can
+    /// draw the delay first and spend the identity draw
+    /// ([`FaultRace::sample_winner`]) only on faults it will schedule.
+    #[inline]
+    pub fn sample_delay(&self, rng: &mut SimRng) -> f64 {
+        rng.exponential(self.combined_mean)
+    }
+
+    /// Draws the winner's identity (`true` = first clock), independent of
+    /// any delay drawn via [`FaultRace::sample_delay`].
+    #[inline]
+    pub fn sample_winner(&self, rng: &mut SimRng) -> bool {
+        rng.uniform01() < self.p_first
+    }
+
+    /// Fills `out` with independent race draws, consuming the RNG exactly
+    /// as `out.len()` sequential [`FaultRace::sample`] calls would. This is
+    /// the batched multi-replica fault draw: simulators sample every
+    /// replica's first fault in one tight pass at setup.
+    #[inline]
+    pub fn sample_batch(&self, rng: &mut SimRng, out: &mut [(f64, bool)]) {
+        for slot in out.iter_mut() {
+            *slot = self.sample(rng);
+        }
     }
 }
 
@@ -467,6 +576,63 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn exponential_rejects_zero_mean() {
         let _ = Exponential::with_mean(0.0);
+    }
+
+    #[test]
+    fn exponential_batch_matches_sequential_stream() {
+        let d = Exponential::with_mean(17.0);
+        let mut batch_rng = SimRng::seed_from(11);
+        let mut seq_rng = SimRng::seed_from(11);
+        let mut batch = [0.0f64; 64];
+        d.sample_batch(&mut batch_rng, &mut batch);
+        for (i, &b) in batch.iter().enumerate() {
+            assert_eq!(b, d.sample(&mut seq_rng), "sample {i} diverged");
+        }
+        // The generators themselves are left in identical states.
+        assert_eq!(batch_rng.uniform01(), seq_rng.uniform01());
+    }
+
+    #[test]
+    fn fault_race_parameters() {
+        let race = FaultRace::new(1000.0, 5000.0);
+        // Combined rate 1/1000 + 1/5000 = 6/5000.
+        assert!((race.combined_mean() - 5000.0 / 6.0).abs() < 1e-9);
+        assert!((race.p_first() - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_race_matches_explicit_two_clock_race() {
+        // The direct draw must match min-of-two-exponentials in
+        // distribution: compare the mean delay and the winner frequency.
+        let (mv, ml) = (1000.0, 5000.0);
+        let race = FaultRace::new(mv, ml);
+        let n = 60_000;
+        let mut rng = SimRng::seed_from(21);
+        let mut out = vec![(0.0, false); n];
+        race.sample_batch(&mut rng, &mut out);
+        let mean: f64 = out.iter().map(|&(d, _)| d).sum::<f64>() / n as f64;
+        let first_frac = out.iter().filter(|&&(_, f)| f).count() as f64 / n as f64;
+
+        let mut rng = SimRng::seed_from(22);
+        let mut ref_mean = 0.0;
+        let mut ref_first = 0u64;
+        for _ in 0..n {
+            let v = rng.exponential(mv);
+            let l = rng.exponential(ml);
+            ref_mean += v.min(l);
+            ref_first += u64::from(v <= l);
+        }
+        ref_mean /= n as f64;
+        let ref_first_frac = ref_first as f64 / n as f64;
+
+        assert!((mean - ref_mean).abs() / ref_mean < 0.03, "{mean} vs {ref_mean}");
+        assert!((first_frac - ref_first_frac).abs() < 0.01, "{first_frac} vs {ref_first_frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn fault_race_rejects_bad_means() {
+        let _ = FaultRace::new(0.0, 10.0);
     }
 
     #[test]

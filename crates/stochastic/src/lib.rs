@@ -24,12 +24,14 @@ pub mod distribution;
 pub mod estimators;
 pub mod events;
 pub mod histogram;
+pub mod parallelism;
 pub mod rng;
 
 pub use distribution::{
-    Bathtub, Deterministic, Distribution, Exponential, LogNormal, Uniform, Weibull,
+    Bathtub, Deterministic, Distribution, Exponential, FaultRace, LogNormal, Uniform, Weibull,
 };
 pub use estimators::{ConfidenceInterval, ProportionEstimate, StreamingStats};
 pub use events::{EventStream, RenewalProcess};
 pub use histogram::Histogram;
+pub use parallelism::available_threads;
 pub use rng::SimRng;

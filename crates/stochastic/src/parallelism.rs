@@ -1,0 +1,28 @@
+//! Cached runtime-parallelism lookup.
+//!
+//! `std::thread::available_parallelism()` is a syscall on most platforms;
+//! sweep drivers construct a simulator per grid point, so querying it in
+//! every constructor turns a parameter sweep into a syscall loop. The
+//! process-wide answer cannot change in ways we care about mid-run, so it
+//! is resolved once and cached.
+
+use std::sync::OnceLock;
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, queried once per process and cached.
+pub fn available_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_value_is_stable_and_positive() {
+        let first = available_threads();
+        assert!(first >= 1);
+        assert_eq!(first, available_threads());
+    }
+}

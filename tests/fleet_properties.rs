@@ -1,5 +1,7 @@
-//! Property-based tests over the fleet simulation kernel.
+//! Property-based tests over the fleet simulation kernel and its
+//! schedulers.
 
+use ltds::fleet::queue::{BinaryHeapQueue, EventKind, EventQueue};
 use ltds::fleet::{BurstProfile, FleetConfig, FleetSim, FleetTopology, RepairBandwidth};
 use ltds::sim::config::SimConfig;
 use proptest::prelude::*;
@@ -30,7 +32,109 @@ fn arb_fleet() -> impl Strategy<Value = FleetConfig> {
         })
 }
 
+/// One random scheduler operation: `(time_quarters, op, slot)`.
+///
+/// * `op == 0` → pop (compare across schedulers);
+/// * `op == 1` → bump the slot's token (staleness: pending events of the
+///   slot become stale and must be *skipped* identically by both sides);
+/// * otherwise → push a `Fault { slot }` at `time_quarters / 4.0` hours
+///   carrying the slot's current token. The coarse quarter-hour grid
+///   forces plenty of exact time ties, which only the insertion-sequence
+///   tie-break can order.
+type QueueOp = (u32, u8, u8);
+
+const OP_SLOTS: usize = 8;
+
+/// Drives the same op sequence through the calendar-backed [`EventQueue`]
+/// and the reference [`BinaryHeapQueue`], checking that every pop —
+/// including the final drain, and the kernel-style stale-token filter —
+/// yields the identical event sequence.
+fn assert_schedulers_equivalent(ops: &[QueueOp]) -> Result<(), TestCaseError> {
+    let mut calendar = EventQueue::calendar_backed();
+    let mut heap = BinaryHeapQueue::new();
+    let mut tokens = [0u32; OP_SLOTS];
+    let mut fired_calendar: Vec<(u64, u64)> = Vec::new();
+    let mut fired_heap: Vec<(u64, u64)> = Vec::new();
+
+    // The kernel's lazy-invalidation filter: an event fires only if the
+    // slot's token still matches the one captured at scheduling.
+    let fire = |event: &ltds::fleet::queue::Event, tokens: &[u32; OP_SLOTS]| match event.kind {
+        EventKind::Fault { slot } => {
+            if tokens[slot as usize] == event.token {
+                Some((event.time.to_bits(), event.seq()))
+            } else {
+                None
+            }
+        }
+        _ => unreachable!("only Fault events are scheduled"),
+    };
+
+    for &(time_quarters, op, slot) in ops {
+        let slot = slot as usize % OP_SLOTS;
+        match op {
+            0 => {
+                let a = calendar.pop();
+                let b = heap.pop();
+                match (&a, &b) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+                        prop_assert_eq!(a.seq(), b.seq());
+                        prop_assert_eq!(a.token, b.token);
+                        prop_assert_eq!(a.kind, b.kind);
+                    }
+                    _ => prop_assert!(false, "one scheduler drained before the other"),
+                }
+                if let (Some(a), Some(b)) = (a, b) {
+                    fired_calendar.extend(fire(&a, &tokens));
+                    fired_heap.extend(fire(&b, &tokens));
+                }
+            }
+            1 => tokens[slot] = tokens[slot].wrapping_add(1),
+            _ => {
+                let time = f64::from(time_quarters % 400) / 4.0;
+                let kind = EventKind::Fault { slot: slot as u32 };
+                calendar.push(time, tokens[slot], kind);
+                heap.push(time, tokens[slot], kind);
+            }
+        }
+    }
+
+    prop_assert_eq!(calendar.len(), heap.len());
+    loop {
+        match (calendar.pop(), heap.pop()) {
+            (None, None) => break,
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(a.time.to_bits(), b.time.to_bits());
+                prop_assert_eq!(a.seq(), b.seq());
+                fired_calendar.extend(fire(&a, &tokens));
+                fired_heap.extend(fire(&b, &tokens));
+            }
+            _ => prop_assert!(false, "one scheduler drained before the other"),
+        }
+    }
+    prop_assert_eq!(fired_calendar, fired_heap);
+    Ok(())
+}
+
+/// FNV-1a over a byte string, for pinning report digests.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 proptest! {
+    #[test]
+    fn calendar_queue_matches_binary_heap_reference(
+        ops in proptest::collection::vec((0u32..1600, 0u8..6, 0u8..8), 1..600),
+    ) {
+        assert_schedulers_equivalent(&ops)?;
+    }
+
     #[test]
     fn results_are_bit_identical_across_thread_counts(config in arb_fleet(), seed in 0u64..1_000) {
         let one = FleetSim::new(config).seed(seed).threads(1).run().unwrap();
@@ -130,5 +234,52 @@ proptest! {
         );
         prop_assert!(constrained.mean_repair_wait_hours() >= 0.0);
         prop_assert_eq!(unlimited.mean_repair_wait_hours(), 0.0);
+    }
+}
+
+/// Scheduler determinism: the full `FleetReport` for a fixed seed must be
+/// byte-identical across 1/2/8 worker threads *and* match a pinned digest,
+/// so any future change to the scheduler, the RNG discipline, or the merge
+/// order is caught — not just thread-count variance.
+///
+/// The digests are tied to the vendored RNG (xoshiro256++) and the
+/// `FaultRace` draw discipline; re-pin them (with a CHANGES.md note) if
+/// either deliberately changes.
+#[test]
+fn scheduler_determinism_digest_is_pinned() {
+    // A mid-size fleet exercising bursts, bandwidth queueing and multiple
+    // shards; shard queues stay on the heap backend.
+    let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
+    let group = SimConfig::mirrored_disks(1_500.0, 6_000.0, 10.0, 10.0, Some(150.0), 0.5).unwrap();
+    let sharded = FleetConfig::new(topology, 300, group)
+        .unwrap()
+        .with_horizon_hours(10_000.0)
+        .with_shards(6)
+        .with_bursts(BurstProfile::disaster_scenario())
+        .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+    // A single-shard fleet whose queue occupancy (~12k events) crosses the
+    // calendar-migration threshold, pinning the calendar-backed path too.
+    let topology = FleetTopology::new(2, 2, 2, 8).unwrap();
+    let dense = SimConfig::mirrored_disks(2_000.0, 8_000.0, 5.0, 5.0, Some(400.0), 1.0).unwrap();
+    let single = FleetConfig::new(topology, 6_000, dense)
+        .unwrap()
+        .with_horizon_hours(8_766.0)
+        .with_shards(1);
+
+    for (config, pinned) in [(sharded, 0x1fd8_2a72_dd4c_3bbf_u64), (single, 0xbb2a_ea49_6500_6c9a)]
+    {
+        let mut digests = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let report = FleetSim::new(config).seed(42).threads(threads).run().unwrap();
+            let json = serde_json::to_string(&report).expect("report serializes");
+            digests.push(fnv1a(json.as_bytes()));
+        }
+        assert_eq!(digests[0], digests[1], "thread count changed the report");
+        assert_eq!(digests[0], digests[2], "thread count changed the report");
+        assert_eq!(
+            digests[0], pinned,
+            "pinned digest mismatch: got {:#018x} — the scheduler/RNG behaviour changed",
+            digests[0]
+        );
     }
 }
