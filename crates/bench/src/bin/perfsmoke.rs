@@ -3,36 +3,56 @@
 //! Workloads (see `ltds_bench::workloads`):
 //!
 //! * `fleet_year_100k` / `fleet_year_10k` — one simulated year of the
-//!   1 000-drive enterprise fleet at 100k / 10k replica groups;
+//!   1 000-drive enterprise fleet at 100k / 10k replica groups (the 100k
+//!   variant is setup-dominated, so it tracks the thinned initial draw);
 //! * `event_dense_2k` — the event-dense small fleet (raw kernel throughput);
 //! * `mc_10k_trials` — 10 000 Monte-Carlo trials of the canonical group;
-//! * `e15_sweep` — the E15 fleet-disaster experiment end to end.
+//! * `e15_sweep` — the E15 fleet-disaster experiment end to end;
+//! * `sweep_16_cold` — the refined 16-point scrub-period grid, simulated
+//!   from scratch;
+//! * `sweep_refine` — the same 16-point grid re-run against a cache warmed
+//!   by the canonical 12-point grid (the "refine a sweep" workload: only
+//!   the four new points simulate). The warm points are verified
+//!   bit-identical to the cold run before timing.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin perfsmoke -- \
-//!     [--out BENCH_PR2.json] [--baseline OLD.json] [--repeat 3] [--check]
+//!     [--out BENCH_PR3.json] [--baseline OLD.json] [--repeat 3] [--check]
 //! ```
 //!
 //! Each workload runs `--repeat` times and the best wall time is kept (the
 //! workloads are deterministic, so the minimum is the cleanest estimate of
 //! the true cost). `--baseline` embeds a previously recorded file under a
 //! `"baseline"` key so a single artifact carries the perf trajectory.
-//! `--check` exits non-zero if the 100k-group fleet-year exceeds a generous
-//! wall-time ceiling — a CI tripwire for order-of-magnitude regressions,
-//! deliberately far above normal variance.
+//! `--check` exits non-zero on order-of-magnitude regressions: generous
+//! absolute ceilings on the setup-dominated 100k-group fleet-year and the
+//! cold sweep, plus a *relative* tripwire — `sweep_refine` must cost less
+//! than half of `sweep_16_cold`, or the cache has stopped reusing shards.
 
 use ltds_bench::workloads;
 use ltds_fleet::FleetSim;
+use ltds_sim::cache::SweepCache;
 use ltds_sim::monte_carlo::MonteCarlo;
+use ltds_sim::sweep::SweepDriver;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Ceiling for `--check` on the 100k-group fleet-year, in milliseconds.
-/// Normal runs are two orders of magnitude below this; only a catastrophic
-/// regression (or a pathologically slow machine) trips it.
-const FLEET_YEAR_CEILING_MS: f64 = 30_000.0;
+/// Normal runs are three orders of magnitude below this; only a
+/// catastrophic regression (or a pathologically slow machine) trips it.
+const FLEET_YEAR_CEILING_MS: f64 = 10_000.0;
+
+/// Absolute ceiling for `--check` on the cold 16-point sweep, in
+/// milliseconds — the same "catastrophe only" philosophy.
+const SWEEP_COLD_CEILING_MS: f64 = 20_000.0;
+
+/// `--check` requires `sweep_refine` to cost less than this fraction of
+/// `sweep_16_cold`. With 12 of 16 points cached the expected ratio is
+/// ~0.25; 0.5 leaves room for noise while still failing hard if cache
+/// reuse breaks.
+const SWEEP_REFINE_MAX_RATIO: f64 = 0.5;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct WorkloadResult {
@@ -76,7 +96,7 @@ fn time_workload(name: &str, repeats: u32, mut run: impl FnMut() -> u64) -> Work
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR2.json");
+    let mut out_path = String::from("BENCH_PR3.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -109,7 +129,7 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     eprintln!("perfsmoke: {repeats} repeats, {threads} thread(s)");
 
-    let workloads = vec![
+    let mut results = vec![
         time_workload("fleet_year_100k", repeats, || {
             workloads::run_fleet_year(100_000).totals.events
         }),
@@ -142,6 +162,45 @@ fn main() {
         }),
     ];
 
+    // Sweep-refinement pair: the refined 16-point grid cold, then the same
+    // grid against a cache warmed with the canonical 12-point grid. The
+    // driver pins one worker thread so the numbers are comparable across
+    // hosts (and the cache key is thread-shape-stable).
+    let sweep_base = workloads::mc_group();
+    let grid = workloads::sweep_grid();
+    let refined = workloads::sweep_grid_refined();
+    let driver =
+        SweepDriver::new(&sweep_base, workloads::SWEEP_TRIALS, workloads::SWEEP_SEED).threads(1);
+    let cold_points = driver.scrub_period(&refined).expect("cold sweep succeeds");
+    results.push(time_workload("sweep_16_cold", repeats, || {
+        driver.scrub_period(&refined).expect("cold sweep succeeds").len() as u64
+    }));
+    let warm = SweepCache::new();
+    driver.cache(&warm).scrub_period(&grid).expect("warm-up sweep succeeds");
+    // The refine path must reproduce the cold points bit-for-bit (cached
+    // points are returned, new points simulated) before it is worth timing.
+    // Verified against a throwaway snapshot so `warm` itself keeps exactly
+    // the 12 canonical points for the timed runs below.
+    let verify = warm.clone();
+    let refined_points =
+        driver.cache(&verify).scrub_period(&refined).expect("refine sweep succeeds");
+    assert_eq!(cold_points.len(), refined_points.len());
+    for (cold, warm_point) in cold_points.iter().zip(&refined_points) {
+        assert_eq!(
+            cold.mttdl_hours.to_bits(),
+            warm_point.mttdl_hours.to_bits(),
+            "cache-warm sweep diverged from the cold run at x = {}",
+            cold.x
+        );
+    }
+    results.push(time_workload("sweep_refine", repeats, || {
+        // Each repeat refines from a fresh snapshot of the 12-point-warm
+        // cache, so every timed run does the same work: 12 hits + 4 cold
+        // points.
+        let cache = warm.clone();
+        driver.cache(&cache).scrub_period(&refined).expect("refine sweep succeeds").len() as u64
+    }));
+
     let baseline = baseline_path.map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -154,7 +213,7 @@ fn main() {
         schema: "ltds-perfsmoke/1".to_string(),
         repeats,
         threads,
-        workloads,
+        workloads: results,
         baseline,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -162,21 +221,44 @@ fn main() {
     eprintln!("wrote {out_path}");
 
     if check {
-        let fleet_year = report
-            .workloads
-            .iter()
-            .find(|w| w.name == "fleet_year_100k")
-            .expect("fleet_year_100k was measured");
-        if fleet_year.wall_ms > FLEET_YEAR_CEILING_MS {
+        let measured = |name: &str| {
+            report
+                .workloads
+                .iter()
+                .find(|w| w.name == name)
+                .unwrap_or_else(|| panic!("{name} was measured"))
+        };
+        let mut failed = false;
+        let mut ceiling = |name: &str, ceiling_ms: f64| {
+            let wall = measured(name).wall_ms;
+            if wall > ceiling_ms {
+                eprintln!(
+                    "PERF CHECK FAILED: {name} took {wall:.0} ms (ceiling {ceiling_ms:.0} ms)"
+                );
+                failed = true;
+            } else {
+                eprintln!("perf check ok: {name} {wall:.1} ms <= {ceiling_ms:.0} ms");
+            }
+        };
+        ceiling("fleet_year_100k", FLEET_YEAR_CEILING_MS);
+        ceiling("sweep_16_cold", SWEEP_COLD_CEILING_MS);
+        let cold = measured("sweep_16_cold").wall_ms;
+        let refine = measured("sweep_refine").wall_ms;
+        let ratio = refine / cold;
+        if ratio > SWEEP_REFINE_MAX_RATIO {
             eprintln!(
-                "PERF CHECK FAILED: fleet_year_100k took {:.0} ms (ceiling {:.0} ms)",
-                fleet_year.wall_ms, FLEET_YEAR_CEILING_MS
+                "PERF CHECK FAILED: sweep_refine / sweep_16_cold = {ratio:.2} \
+                 (max {SWEEP_REFINE_MAX_RATIO}) — the sweep cache is not reusing points"
             );
+            failed = true;
+        } else {
+            eprintln!(
+                "perf check ok: sweep_refine {refine:.1} ms is {:.0}% of the {cold:.1} ms cold sweep",
+                ratio * 100.0
+            );
+        }
+        if failed {
             std::process::exit(1);
         }
-        eprintln!(
-            "perf check ok: fleet_year_100k {:.0} ms <= {:.0} ms",
-            fleet_year.wall_ms, FLEET_YEAR_CEILING_MS
-        );
     }
 }

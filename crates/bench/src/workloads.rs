@@ -70,6 +70,30 @@ pub fn run_mc_10k() -> MttdlEstimate {
     MonteCarlo::new(mc_group()).trials(10_000).seed(1).run()
 }
 
+/// Trial budget of each point in the canonical scrub-period sweep — small
+/// enough that a grid runs in tens of milliseconds, large enough that the
+/// per-point Monte-Carlo cost dwarfs cache bookkeeping.
+pub const SWEEP_TRIALS: u64 = 600;
+
+/// Master seed of the canonical sweep workloads.
+pub const SWEEP_SEED: u64 = 1;
+
+/// The canonical 12-point scrub-period grid (hours, log-spaced 20 → 2000).
+pub fn sweep_grid() -> Vec<f64> {
+    let lo = 20.0f64;
+    let hi = 2_000.0f64;
+    (0..12).map(|i| lo * (hi / lo).powf(i as f64 / 11.0)).collect()
+}
+
+/// The refined 16-point grid: the canonical grid with its axis extended by
+/// four coarser points (a strict superset, appended so shared points keep
+/// their grid indices — and therefore their derived seeds).
+pub fn sweep_grid_refined() -> Vec<f64> {
+    let mut grid = sweep_grid();
+    grid.extend([3_000.0, 4_500.0, 6_750.0, 10_000.0]);
+    grid
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +104,15 @@ mod tests {
         assert!(event_dense_fleet().validate().is_ok());
         assert_eq!(fleet_year(100).topology.total_drives(), 1_000);
         assert_eq!(mc_group().replicas, 2);
+    }
+
+    #[test]
+    fn refined_sweep_grid_is_a_strict_prefix_superset() {
+        let grid = sweep_grid();
+        let refined = sweep_grid_refined();
+        assert_eq!(grid.len(), 12);
+        assert_eq!(refined.len(), 16);
+        assert_eq!(&refined[..grid.len()], &grid[..], "shared points must keep their indices");
+        assert!(refined.windows(2).all(|w| w[0] < w[1]), "grid must be strictly increasing");
     }
 }

@@ -1,0 +1,35 @@
+//! The workspace's standard cheap stable hash.
+//!
+//! One shared 64-bit FNV-1a keeps every digest in the workspace — scrub
+//! checksums (`ltds_scrub::audit`), sweep-cache config digests
+//! (`ltds_sim::cache`), and the pinned report digests in the test suite —
+//! on the identical construction instead of hand-rolled copies.
+
+/// Computes the 64-bit FNV-1a hash of a byte string.
+///
+/// Not cryptographic: FNV-1a is a content fingerprint for caching and
+/// integrity spot-checks, chosen for speed and a stable, well-known
+/// definition.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -51,6 +51,7 @@ pub mod correlation;
 pub mod error;
 pub mod estimation;
 pub mod fault;
+pub mod hash;
 pub mod memoryless;
 pub mod mission;
 pub mod mttdl;

@@ -6,6 +6,14 @@
 //! for trials) and is simulated independently against the shared burst
 //! timeline. Worker threads merely pick up shards; results are merged in
 //! shard order, so the report is bit-identical for any thread count.
+//!
+//! Because each shard's outcome is a pure function of
+//! `(config, seed, shard)`, [`FleetSim::run_cached`] can memoise shards in
+//! a content-addressed [`ShardCache`]: re-running a configuration (e.g.
+//! while refining a sweep grid that revisits it) simulates only the shards
+//! the cache has not seen, and the merge still walks shard order — so a
+//! cache-warm report is bit-identical to a cold one regardless of which
+//! shards came from where.
 
 use crate::bursts::Burst;
 use crate::config::FleetConfig;
@@ -13,7 +21,12 @@ use crate::kernel::{KernelScratch, ShardKernel};
 use crate::placement::PlacementIndex;
 use crate::report::{FleetReport, ShardOutcome};
 use ltds_core::error::ModelError;
+use ltds_sim::cache::{CacheKey, ConfigDigest, SweepCache};
 use ltds_stochastic::SimRng;
+
+/// A content-addressed cache of per-shard fleet outcomes, keyed by
+/// `(FleetConfig digest, seed, shard)`. See [`FleetSim::run_cached`].
+pub type ShardCache = SweepCache<ShardOutcome>;
 
 /// RNG sub-stream index reserved for the burst timeline (group shards use
 /// `0..shards`, which never collides with this).
@@ -55,12 +68,30 @@ impl FleetSim {
 
     /// Runs the simulation.
     pub fn run(&self) -> Result<FleetReport, ModelError> {
+        self.run_impl(None)
+    }
+
+    /// Runs the simulation through a shard cache: shards whose
+    /// `(config digest, seed, shard)` key is already cached are merged
+    /// from the cache, only the missing shards are simulated (and
+    /// inserted), and the merge walks shard order regardless of
+    /// provenance — so the report is bit-identical to [`FleetSim::run`].
+    ///
+    /// When every shard hits, the run also skips building the placement
+    /// index, leaving only the (cheap) burst-timeline draw and the merge.
+    pub fn run_cached(&self, cache: &ShardCache) -> Result<FleetReport, ModelError> {
+        self.run_impl(Some(cache))
+    }
+
+    fn run_impl(&self, cache: Option<&ShardCache>) -> Result<FleetReport, ModelError> {
         self.config.validate()?;
         let master = SimRng::seed_from(self.seed);
 
         // The burst timeline is generated once, from its own reserved
         // sub-stream, and shared by every shard: cross-group correlation is
         // identical no matter how the fleet is partitioned or threaded.
+        // (Always regenerated, even on a fully cached run — it is a handful
+        // of draws and `bursts_struck` must stay bit-identical.)
         let mut burst_rng = master.fork(BURST_STREAM);
         let bursts: Vec<Burst> = self.config.bursts.timeline(
             &self.config.topology,
@@ -68,48 +99,77 @@ impl FleetSim {
             &mut burst_rng,
         );
 
-        // Placement is resolved once and shared read-only by every shard:
-        // slot → drive, per-drive site/detection, and (when bursts are
-        // active) the drive → slots CSR the burst path walks.
-        let index = PlacementIndex::build(&self.config, !bursts.is_empty());
-
         let shards = self.config.shards;
-        let threads = self.threads.min(shards).max(1);
-        let kernel = ShardKernel::new(&self.config, &bursts, &index);
-
-        // Deal shards to workers in contiguous chunks; merge in shard order.
-        let chunk = shards / threads;
-        let remainder = shards % threads;
-        let mut per_shard: Vec<Vec<ShardOutcome>> = Vec::with_capacity(threads);
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut start = 0usize;
-            for t in 0..threads {
-                let count = chunk + usize::from(t < remainder);
-                let range = start..start + count;
-                start += count;
-                let master = master.clone();
-                let kernel = &kernel;
-                handles.push(scope.spawn(move |_| {
-                    // One scratch per worker: per-shard setup reuses the
-                    // same buffers instead of reallocating.
-                    let mut scratch = KernelScratch::new();
-                    range
-                        .map(|shard| {
-                            kernel.run_with(shard, master.fork(shard as u64), &mut scratch)
-                        })
-                        .collect::<Vec<ShardOutcome>>()
-                }));
+        let cached = cache.map(|cache| (cache, self.config.config_digest()));
+        let mut outcomes: Vec<Option<ShardOutcome>> = vec![None; shards];
+        let mut missing: Vec<usize> = Vec::new();
+        match cached {
+            Some((cache, digest)) => {
+                for (shard, slot) in outcomes.iter_mut().enumerate() {
+                    let key = CacheKey { digest, seed: self.seed, shard: shard as u32 };
+                    match cache.get(&key) {
+                        Some(outcome) => *slot = Some(outcome),
+                        None => missing.push(shard),
+                    }
+                }
             }
-            for handle in handles {
-                per_shard.push(handle.join().expect("fleet worker panicked"));
-            }
-        })
-        .expect("crossbeam scope failed");
+            None => missing.extend(0..shards),
+        }
 
+        if !missing.is_empty() {
+            // Placement is resolved once and shared read-only by every
+            // shard: slot → drive, per-drive site/detection, and (when
+            // bursts are active) the drive → slots CSR the burst path
+            // walks.
+            let index = PlacementIndex::build(&self.config, !bursts.is_empty());
+            let kernel = ShardKernel::new(&self.config, &bursts, &index);
+            let threads = self.threads.min(missing.len()).max(1);
+
+            // Deal missing shards to workers in contiguous chunks.
+            let chunk = missing.len() / threads;
+            let remainder = missing.len() % threads;
+            let mut per_worker: Vec<Vec<(usize, ShardOutcome)>> = Vec::with_capacity(threads);
+            crossbeam::scope(|scope| {
+                let mut handles = Vec::new();
+                let mut start = 0usize;
+                for t in 0..threads {
+                    let count = chunk + usize::from(t < remainder);
+                    let worker_shards = &missing[start..start + count];
+                    start += count;
+                    let master = master.clone();
+                    let kernel = &kernel;
+                    handles.push(scope.spawn(move |_| {
+                        // One scratch per worker: per-shard setup reuses
+                        // the same buffers instead of reallocating.
+                        let mut scratch = KernelScratch::new();
+                        worker_shards
+                            .iter()
+                            .map(|&shard| {
+                                let rng = master.fork(shard as u64);
+                                (shard, kernel.run_with(shard, rng, &mut scratch))
+                            })
+                            .collect::<Vec<(usize, ShardOutcome)>>()
+                    }));
+                }
+                for handle in handles {
+                    per_worker.push(handle.join().expect("fleet worker panicked"));
+                }
+            })
+            .expect("crossbeam scope failed");
+
+            for (shard, outcome) in per_worker.into_iter().flatten() {
+                if let Some((cache, digest)) = cached {
+                    let key = CacheKey { digest, seed: self.seed, shard: shard as u32 };
+                    cache.insert(key, outcome.clone());
+                }
+                outcomes[shard] = Some(outcome);
+            }
+        }
+
+        // Merge strictly in shard order, wherever each outcome came from.
         let mut totals = ShardOutcome::default();
-        for outcome in per_shard.iter().flatten() {
-            totals.merge(outcome);
+        for outcome in &outcomes {
+            totals.merge(outcome.as_ref().expect("every shard was simulated or cached"));
         }
 
         Ok(FleetReport {
@@ -202,5 +262,89 @@ mod tests {
         let mut config = fragile_fleet(60);
         config.horizon_hours = -1.0;
         assert!(FleetSim::new(config).run().is_err());
+        assert!(FleetSim::new(config).run_cached(&ShardCache::new()).is_err());
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_cold_and_reuses_every_shard() {
+        let config = fragile_fleet(60)
+            .with_bursts(BurstProfile::disaster_scenario())
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+        let cold = FleetSim::new(config).seed(7).run().unwrap();
+
+        let cache = ShardCache::new();
+        let warm_miss = FleetSim::new(config).seed(7).run_cached(&cache).unwrap();
+        assert_eq!(cache.len(), config.shards);
+        assert_eq!(cache.misses(), config.shards as u64);
+        assert_eq!(cache.hits(), 0);
+
+        let warm_hit = FleetSim::new(config).seed(7).run_cached(&cache).unwrap();
+        assert_eq!(cache.hits(), config.shards as u64, "second run must reuse every shard");
+
+        for report in [&warm_miss, &warm_hit] {
+            assert_eq!(
+                serde_json::to_string(report).unwrap(),
+                serde_json::to_string(&cold).unwrap(),
+                "cache-warm report must be bit-identical to the cold run"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_does_not_leak_across_configs_or_seeds() {
+        let a = fragile_fleet(60);
+        let b = fragile_fleet(61);
+        let cache = ShardCache::new();
+        let report_a = FleetSim::new(a).seed(7).run_cached(&cache).unwrap();
+        assert_eq!(cache.len(), a.shards);
+
+        // A different config (or seed) shares nothing, so the reports
+        // match their cold equivalents exactly.
+        let report_b = FleetSim::new(b).seed(7).run_cached(&cache).unwrap();
+        assert_eq!(cache.len(), a.shards + b.shards);
+        let report_a2 = FleetSim::new(a).seed(8).run_cached(&cache).unwrap();
+        assert_eq!(cache.len(), a.shards * 2 + b.shards);
+
+        let cold_b = FleetSim::new(b).seed(7).run().unwrap();
+        let cold_a2 = FleetSim::new(a).seed(8).run().unwrap();
+        assert_eq!(
+            serde_json::to_string(&report_b).unwrap(),
+            serde_json::to_string(&cold_b).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&report_a2).unwrap(),
+            serde_json::to_string(&cold_a2).unwrap()
+        );
+        assert_ne!(
+            serde_json::to_string(&report_a).unwrap(),
+            serde_json::to_string(&report_b).unwrap()
+        );
+    }
+
+    #[test]
+    fn partially_warm_cache_simulates_only_the_missing_shards() {
+        let config = fragile_fleet(60);
+        let full = ShardCache::new();
+        let cold = FleetSim::new(config).seed(3).run_cached(&full).unwrap();
+
+        // Seed a fresh cache with only half the shards, then run: the
+        // merge must still be bit-identical, with exactly the seeded
+        // shards hitting.
+        let half = ShardCache::new();
+        let digest = config.config_digest();
+        for shard in 0..config.shards / 2 {
+            let key = CacheKey { digest, seed: 3, shard: shard as u32 };
+            let outcome = full.get(&key).expect("full cache holds every shard");
+            half.insert(key, outcome);
+        }
+        half.reset_counters();
+        let mixed = FleetSim::new(config).seed(3).run_cached(&half).unwrap();
+        assert_eq!(half.hits(), (config.shards / 2) as u64);
+        assert_eq!(half.misses(), (config.shards - config.shards / 2) as u64);
+        assert_eq!(
+            serde_json::to_string(&mixed).unwrap(),
+            serde_json::to_string(&cold).unwrap(),
+            "mixed-provenance merge must be bit-identical"
+        );
     }
 }

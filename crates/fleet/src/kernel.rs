@@ -22,8 +22,12 @@
 //! The hot paths are allocation-free: placement lookups go through the
 //! shared read-only [`PlacementIndex`] (built once per fleet run), fault
 //! delays come from pre-resolved [`FaultRace`]s (normal and `α`-accelerated
-//! means are fixed per config), the initial multi-replica draw is batched,
-//! and burst victim lists reuse one scratch buffer per shard.
+//! means are fixed per config), and burst victim lists reuse one scratch
+//! buffer per shard. Setup is *thinned* to O(expected events): the number
+//! of slots whose first fault lands inside the horizon is drawn binomially
+//! and only those slots are sampled (truncated-exponential delays), so a
+//! fleet where almost every initial fault falls past the horizon pays
+//! almost nothing for the slots that stay quiet.
 
 use crate::bursts::Burst;
 use crate::config::FleetConfig;
@@ -32,7 +36,7 @@ use crate::queue::{EventKind, EventQueue};
 use crate::repair::SitePipeline;
 use crate::report::ShardOutcome;
 use ltds_core::fault::FaultClass;
-use ltds_stochastic::{FaultRace, SimRng};
+use ltds_stochastic::{Binomial, Exponential, FaultRace, SimRng};
 
 /// Reusable per-worker kernel buffers: a worker thread allocates one
 /// scratch and runs every shard it owns through it, so per-shard setup is
@@ -155,11 +159,9 @@ impl<'a> ShardKernel<'a> {
             victims,
         };
 
-        // Initial fault sampling — the multi-replica draw in slot order —
-        // and the burst timeline.
-        for slot in 0..n_slots as u32 {
-            sim.resample(slot, 0.0, false, &mut rng);
-        }
+        // Initial fault sampling — thinned to the within-horizon slots, in
+        // slot order — and the burst timeline.
+        sim.sample_initial_faults(&mut rng);
         for (index, burst) in self.bursts.iter().enumerate() {
             if burst.time_hours <= sim.horizon {
                 sim.queue.push(burst.time_hours, 0, EventKind::Burst { index: index as u32 });
@@ -245,6 +247,39 @@ struct Sim<'a> {
 }
 
 impl Sim<'_> {
+    /// Samples every slot's first fault in one thinned pass.
+    ///
+    /// Each slot's first fault is within the horizon independently with
+    /// `p = 1 − e^{−horizon/combined_mean}` under the baseline
+    /// [`FaultRace`]. Instead of drawing a delay for all `n` slots and
+    /// discarding the out-of-horizon ones (the dense pass this replaces),
+    /// the within-horizon slots are visited directly via
+    /// [`Binomial::positions`] — marginally a `Binomial(n, p)` count with
+    /// the hit slots a uniform subset, i.e. the same joint distribution —
+    /// and each hit draws its delay from the exponential *conditioned* on
+    /// landing inside the horizon plus its independent winner identity.
+    /// Expected RNG cost is O(expected initial events), not O(slots).
+    ///
+    /// NOTE: this consumes the RNG differently from the dense pass, so the
+    /// pinned FleetReport digests in `tests/fleet_properties.rs` were
+    /// re-pinned when it landed; the distribution of scheduled events is
+    /// unchanged (degeneracy vs `MonteCarlo` holds statistically).
+    fn sample_initial_faults(&mut self, rng: &mut SimRng) {
+        let n_slots = self.state.len() as u64;
+        let p_within = -(-self.horizon / self.race_normal.combined_mean()).exp_m1();
+        let delay =
+            Exponential::with_mean(self.race_normal.combined_mean()).truncated(self.horizon);
+        let mut hits = Binomial::new(n_slots, p_within).positions();
+        while let Some(slot) = hits.next(rng) {
+            let s = slot as usize;
+            let at = delay.sample(rng);
+            let visible = self.race_normal.sample_winner(rng);
+            self.token[s] = self.token[s].wrapping_add(1);
+            self.pending_class[s] = if visible { FaultClass::Visible } else { FaultClass::Latent };
+            self.queue.push(at, self.token[s], EventKind::Fault { slot: slot as u32 });
+        }
+    }
+
     /// Global slot index of a shard-local slot: local group `ℓ` is global
     /// group `shard + ℓ·shards`.
     #[inline]

@@ -34,7 +34,10 @@
 //! of logical shards, each with its own deterministic RNG sub-stream
 //! (`SimRng::fork`, the same discipline `ltds_sim::MonteCarlo` uses), and
 //! worker threads pick up shards. Results are **bit-identical for a given
-//! seed regardless of thread count**.
+//! seed regardless of thread count** — and because each shard is a pure
+//! function of `(config, seed, shard)`, [`FleetSim::run_cached`] can
+//! memoise shard outcomes in a content-addressed [`ShardCache`] and merge
+//! cached and fresh shards into the same bit-identical report.
 //!
 //! # Example
 //!
@@ -69,7 +72,8 @@ pub mod topology;
 
 pub use bursts::{Burst, BurstProfile, FaultDomain};
 pub use config::{FleetConfig, RepairBandwidth, ScrubTour};
-pub use engine::FleetSim;
+pub use engine::{FleetSim, ShardCache};
+pub use ltds_sim::cache::{CacheKey, ConfigDigest, SweepCache};
 pub use placement::PlacementIndex;
 pub use report::{FleetReport, ShardOutcome};
 pub use topology::FleetTopology;

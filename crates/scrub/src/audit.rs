@@ -14,16 +14,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Digest(pub u64);
 
-/// Computes the FNV-1a digest of a byte slice.
+/// Computes the FNV-1a digest of a byte slice (the workspace-standard
+/// [`ltds_core::hash::fnv1a`]).
 pub fn digest(data: &[u8]) -> Digest {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(PRIME);
-    }
-    Digest(h)
+    Digest(ltds_core::hash::fnv1a(data))
 }
 
 /// Result of auditing one object replica.

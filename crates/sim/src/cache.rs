@@ -1,0 +1,205 @@
+//! Content-addressed caching for parameter sweeps.
+//!
+//! A sweep grid point — and, at fleet scale, each logical *shard* of a
+//! fleet run — is a pure function of `(configuration, seed)`: the engines
+//! are deterministic by construction. That purity makes re-simulation
+//! wasted work whenever a grid is refined, an axis extended, or the same
+//! configuration revisited from another sweep. [`SweepCache`] memoises
+//! those results behind a content-addressed key:
+//!
+//! * [`ConfigDigest::config_digest`] — a stable FNV-1a digest of the
+//!   configuration's canonical JSON (every field that can change results is
+//!   serialised, so two configs collide only if they describe the same
+//!   run);
+//! * [`CacheKey`] — `(config digest, seed, shard)`; per-group sweep points
+//!   use shard `0`, the fleet engine keys each logical shard separately so
+//!   a partially-overlapping rerun reuses exactly the shards it shares.
+//!
+//! Hits return a clone of the stored value, so a cache-warm run is
+//! bit-identical to the cold run that populated the entry. Hit/miss
+//! counters make reuse observable (and testable).
+//!
+//! The digest is stable for a given crate version: it hashes serialised
+//! *content*, so renaming or reordering config fields changes it — which
+//! is the safe failure mode for a cache (a stale entry can never be
+//! returned for a config it does not describe).
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+pub use ltds_core::hash::fnv1a;
+
+/// A stable content digest for run configurations.
+///
+/// Blanket-implemented for every serialisable type: the digest is FNV-1a
+/// over the value's canonical JSON, so it covers every field serde sees —
+/// adding a result-relevant config field automatically changes the digest
+/// (no hand-maintained field list to forget).
+pub trait ConfigDigest {
+    /// The stable digest of this configuration's content.
+    fn config_digest(&self) -> u64;
+}
+
+impl<T: Serialize> ConfigDigest for T {
+    fn config_digest(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("config serializes for digesting");
+        fnv1a(json.as_bytes())
+    }
+}
+
+/// Key of one cached outcome: which configuration, which master seed, and
+/// which shard of the run (0 for unsharded per-group sweep points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`ConfigDigest::config_digest`] of the run configuration (callers
+    /// fold run-shape parameters such as trial counts in by digesting a
+    /// small wrapper struct).
+    pub digest: u64,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Logical shard index within the run.
+    pub shard: u32,
+}
+
+/// A thread-safe content-addressed cache of simulation outcomes.
+///
+/// Values are stored per [`CacheKey`] and returned by clone, so warm reads
+/// are bit-identical to the run that inserted them. The map is guarded by a
+/// single mutex — lookups are a few dozen nanoseconds against simulations
+/// that take microseconds to milliseconds, so finer-grained locking would
+/// buy nothing measurable.
+#[derive(Debug, Default)]
+pub struct SweepCache<V> {
+    map: Mutex<HashMap<CacheKey, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> SweepCache<V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self { map: Mutex::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+    }
+
+    /// Looks up a key, counting the access as a hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let found = self.map.lock().expect("cache lock poisoned").get(key).cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a value (replacing any previous entry for the key).
+    pub fn insert(&self, key: CacheKey, value: V) {
+        self.map.lock().expect("cache lock poisoned").insert(key, value);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache since construction (or the last
+    /// [`SweepCache::reset_counters`]).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the hit/miss counters (entries are kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock poisoned").clear();
+        self.reset_counters();
+    }
+}
+
+impl<V: Clone> Clone for SweepCache<V> {
+    /// Clones the *entries* with fresh (zeroed) counters: a snapshot for
+    /// measuring how a warmed cache behaves under a new workload.
+    fn clone(&self) -> Self {
+        Self {
+            map: Mutex::new(self.map.lock().expect("cache lock poisoned").clone()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn config() -> SimConfig {
+        SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap()
+    }
+
+    #[test]
+    fn digest_is_stable_and_content_sensitive() {
+        let a = config();
+        assert_eq!(a.config_digest(), a.config_digest(), "digest must be deterministic");
+        assert_eq!(a.config_digest(), config().config_digest(), "equal content, equal digest");
+        let b = config().with_max_hours(123.0);
+        assert_ne!(a.config_digest(), b.config_digest(), "changed field must change the digest");
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let cache: SweepCache<u64> = SweepCache::new();
+        let key = CacheKey { digest: 1, seed: 2, shard: 3 };
+        assert_eq!(cache.get(&key), None);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.insert(key, 99);
+        assert_eq!(cache.get(&key), Some(99));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn clone_snapshots_entries_with_fresh_counters() {
+        let cache: SweepCache<u64> = SweepCache::new();
+        let key = CacheKey { digest: 1, seed: 1, shard: 0 };
+        cache.insert(key, 7);
+        let _ = cache.get(&key);
+        let snap = cache.clone();
+        assert_eq!((snap.hits(), snap.misses()), (0, 0));
+        assert_eq!(snap.get(&key), Some(7));
+        // The snapshot is independent of the original.
+        snap.insert(CacheKey { digest: 2, seed: 1, shard: 0 }, 8);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(snap.len(), 2);
+    }
+
+    #[test]
+    fn keys_distinguish_digest_seed_and_shard() {
+        let cache: SweepCache<u64> = SweepCache::new();
+        cache.insert(CacheKey { digest: 1, seed: 1, shard: 0 }, 10);
+        assert_eq!(cache.get(&CacheKey { digest: 2, seed: 1, shard: 0 }), None);
+        assert_eq!(cache.get(&CacheKey { digest: 1, seed: 2, shard: 0 }), None);
+        assert_eq!(cache.get(&CacheKey { digest: 1, seed: 1, shard: 1 }), None);
+        assert_eq!(cache.get(&CacheKey { digest: 1, seed: 1, shard: 0 }), Some(10));
+    }
+}

@@ -16,6 +16,9 @@
 //! * [`trial`] — one trial: run the system forward until data loss;
 //! * [`monte_carlo`] — many trials across threads, with estimators;
 //! * [`sweep`] — parameter sweeps producing the series used by experiments;
+//! * [`cache`] — content-addressed memoisation of sweep points (and, via
+//!   `ltds-fleet`, per-shard fleet outcomes) so refining a grid reuses
+//!   every point already simulated;
 //! * [`validate`] — side-by-side comparison with the closed-form model.
 //!
 //! # Example
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod config;
 pub mod monte_carlo;
 pub mod replica;
@@ -40,6 +44,7 @@ pub mod sweep;
 pub mod trial;
 pub mod validate;
 
+pub use cache::{CacheKey, ConfigDigest, SweepCache};
 pub use config::SimConfig;
 pub use monte_carlo::{MonteCarlo, MttdlEstimate};
 pub use trial::{TrialOutcome, TrialRunner};

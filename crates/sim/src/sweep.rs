@@ -3,9 +3,12 @@
 //!
 //! [`SweepDriver`] is the configurable entry point: it fixes the trial
 //! budget, base seed and (optionally) an explicit worker-thread count for
-//! every grid point. The free functions are thin wrappers with the
-//! original signatures.
+//! every grid point, and can memoise grid points through a
+//! [`SweepCache`] so that refining a grid — or re-running a sweep with one
+//! axis extended — simulates only the points it has not seen. The free
+//! functions are thin wrappers with the original signatures.
 
+use crate::cache::{CacheKey, ConfigDigest, SweepCache};
 use crate::config::SimConfig;
 use crate::monte_carlo::{MonteCarlo, MttdlEstimate};
 use ltds_core::error::ModelError;
@@ -29,13 +32,26 @@ pub struct SweepDriver<'a> {
     trials: u64,
     seed: u64,
     threads: Option<usize>,
+    cache: Option<&'a SweepCache<MttdlEstimate>>,
+}
+
+/// Everything that determines a grid point's estimate, digested together
+/// into the point's cache identity. The thread override is included
+/// because different thread counts merge per-worker statistics in a
+/// different order (bit-level divergence), so a cache entry only ever
+/// answers for the execution shape that produced it.
+#[derive(Serialize)]
+struct PointRequest {
+    config: SimConfig,
+    trials: u64,
+    threads: Option<usize>,
 }
 
 impl<'a> SweepDriver<'a> {
     /// Creates a driver over a base configuration, with the default worker
     /// count (all available cores, resolved once per process).
     pub fn new(base: &'a SimConfig, trials: u64, seed: u64) -> Self {
-        Self { base, trials, seed, threads: None }
+        Self { base, trials, seed, threads: None, cache: None }
     }
 
     /// Overrides the worker-thread count for every grid point. Runs with
@@ -48,14 +64,38 @@ impl<'a> SweepDriver<'a> {
         self
     }
 
+    /// Memoises grid points through `cache`: a point whose
+    /// `(config, trials, threads)` digest and derived seed are already
+    /// cached is returned bit-identically instead of re-simulated, so a
+    /// superset grid costs only its new points. Sweeps sharing a cache may
+    /// run concurrently (the cache is thread-safe).
+    pub fn cache(mut self, cache: &'a SweepCache<MttdlEstimate>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
     /// Runs one grid point: point `i` gets the derived seed `seed + i`.
     fn estimate(&self, config: SimConfig, i: usize) -> MttdlEstimate {
-        let mut mc =
-            MonteCarlo::new(config).trials(self.trials).seed(self.seed.wrapping_add(i as u64));
+        let seed = self.seed.wrapping_add(i as u64);
+        let key = self.cache.map(|cache| {
+            let request = PointRequest { config, trials: self.trials, threads: self.threads };
+            let key = CacheKey { digest: request.config_digest(), seed, shard: 0 };
+            (cache, key)
+        });
+        if let Some((cache, key)) = key {
+            if let Some(estimate) = cache.get(&key) {
+                return estimate;
+            }
+        }
+        let mut mc = MonteCarlo::new(config).trials(self.trials).seed(seed);
         if let Some(threads) = self.threads {
             mc = mc.threads(threads);
         }
-        mc.run()
+        let estimate = mc.run();
+        if let Some((cache, key)) = key {
+            cache.insert(key, estimate.clone());
+        }
+        estimate
     }
 
     fn point(x: f64, est: &MttdlEstimate) -> SweepPoint {
@@ -221,5 +261,54 @@ mod tests {
     fn invalid_sweep_input_errors() {
         assert!(replication_sweep(&base(), &[0], 1.0, 10, 1).is_err());
         assert!(alpha_sweep(&base(), &[0.0], 10, 1).is_err());
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_and_superset_reuses_points() {
+        let b = base();
+        let grid = [30.0, 100.0, 400.0];
+        let superset = [30.0, 100.0, 400.0, 1_000.0];
+        let cold = SweepDriver::new(&b, 300, 11).threads(2).scrub_period(&superset).unwrap();
+
+        let cache = crate::cache::SweepCache::new();
+        let driver = SweepDriver::new(&b, 300, 11).threads(2).cache(&cache);
+        let first = driver.scrub_period(&grid).unwrap();
+        assert_eq!(cache.len(), grid.len());
+        assert_eq!(cache.misses(), grid.len() as u64);
+        let warm = driver.scrub_period(&superset).unwrap();
+        // Every original point was answered from the cache; only the new
+        // axis extension was simulated.
+        assert_eq!(cache.hits(), grid.len() as u64);
+        assert_eq!(cache.len(), superset.len());
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.mttdl_hours.to_bits(), w.mttdl_hours.to_bits());
+            assert_eq!(c.ci_half_width.to_bits(), w.ci_half_width.to_bits());
+        }
+        for (f, w) in first.iter().zip(&warm) {
+            assert_eq!(f.mttdl_hours.to_bits(), w.mttdl_hours.to_bits());
+        }
+    }
+
+    #[test]
+    fn cache_distinguishes_trials_threads_and_seed() {
+        let b = base();
+        let cache = crate::cache::SweepCache::new();
+        let grid = [50.0];
+        SweepDriver::new(&b, 200, 1).threads(1).cache(&cache).scrub_period(&grid).unwrap();
+        SweepDriver::new(&b, 300, 1).threads(1).cache(&cache).scrub_period(&grid).unwrap();
+        SweepDriver::new(&b, 200, 1).threads(2).cache(&cache).scrub_period(&grid).unwrap();
+        SweepDriver::new(&b, 200, 9).threads(1).cache(&cache).scrub_period(&grid).unwrap();
+        assert_eq!(cache.len(), 4, "trials, threads and seed must all key separately");
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn sweep_point_roundtrips_through_json() {
+        let point = SweepPoint { x: 730.0, mttdl_hours: 1.25e7, ci_half_width: 3.5e5 };
+        let json = serde_json::to_string(&point).unwrap();
+        let back: SweepPoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.x.to_bits(), point.x.to_bits());
+        assert_eq!(back.mttdl_hours.to_bits(), point.mttdl_hours.to_bits());
+        assert_eq!(back.ci_half_width.to_bits(), point.ci_half_width.to_bits());
     }
 }

@@ -95,6 +95,57 @@ impl Exponential {
             *slot = rng.exponential(self.mean);
         }
     }
+
+    /// Conditions the distribution on `X <= bound`, resolving the bound's
+    /// CDF mass once so repeated draws (e.g. a setup loop with a fixed
+    /// horizon) pay one uniform and one `ln` each — the same
+    /// resolve-at-construction philosophy as [`FaultRace`].
+    pub fn truncated(&self, bound: f64) -> TruncatedExponential {
+        assert!(bound > 0.0, "truncation bound must be positive");
+        // P(X <= bound), computed as -expm1 for accuracy at small bounds.
+        let p_bound = -(-bound / self.mean).exp_m1();
+        TruncatedExponential { mean: self.mean, bound, p_bound }
+    }
+
+    /// Draws a sample conditioned on `X <= bound`; a convenience for
+    /// one-off draws — loops with a fixed bound should resolve
+    /// [`Exponential::truncated`] once instead.
+    #[inline]
+    pub fn sample_truncated(&self, rng: &mut SimRng, bound: f64) -> f64 {
+        self.truncated(bound).sample(rng)
+    }
+
+    /// Mean of the distribution conditioned on `X <= bound`:
+    /// `m - bound·e^{-bound/m} / (1 - e^{-bound/m})`.
+    pub fn truncated_mean(&self, bound: f64) -> f64 {
+        let t = self.truncated(bound);
+        self.mean - bound * (-bound / self.mean).exp() / t.p_bound
+    }
+}
+
+/// An exponential conditioned on `X <= bound`, produced by
+/// [`Exponential::truncated`]; inverse-CDF sampling
+/// `x = -m·ln(1 - U·(1 - e^{-bound/m}))` with the bound mass pre-resolved.
+///
+/// Used by setup paths that already know (via a thinned count draw) that
+/// an event falls inside a horizon, so the out-of-horizon mass is never
+/// sampled at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TruncatedExponential {
+    mean: f64,
+    bound: f64,
+    p_bound: f64,
+}
+
+impl TruncatedExponential {
+    /// Draws a sample in `(0, bound]`. The result is clamped to the bound
+    /// against floating-point round-off, so callers may schedule it
+    /// unconditionally.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        let x = -self.mean * (-rng.open01() * self.p_bound).ln_1p();
+        x.min(self.bound)
+    }
 }
 
 impl Distribution for Exponential {
@@ -212,6 +263,131 @@ impl FaultRace {
         for slot in out.iter_mut() {
             *slot = self.sample(rng);
         }
+    }
+}
+
+/// The number of successes in `n` independent Bernoulli(`p`) trials.
+///
+/// Sampling is *exact* (no normal or Poisson approximation) via geometric
+/// waiting times between successes: the gap to the next success is
+/// `floor(ln U / ln(1-p))`, so a draw costs `O(n·min(p, 1-p))` expected
+/// RNG consumption instead of `O(n)` — the key to thinning fleet-scale
+/// setup, where `n` is the slot count and `p` the small per-slot
+/// within-horizon probability ([Devroye 1986, ch. X.4]).
+///
+/// [`Binomial::positions`] exposes the same process as a cursor over the
+/// *sorted success indices* in `0..n`: marginally the count of yielded
+/// positions is `Binomial(n, p)` and, given the count, the positions are a
+/// uniform random subset — the "draw the count binomially, then place the
+/// events uniformly" factorisation, fused into one sorted pass.
+///
+/// # Examples
+///
+/// ```
+/// use ltds_stochastic::{Binomial, SimRng};
+///
+/// let b = Binomial::new(100, 0.25);
+/// let mut rng = SimRng::seed_from(1);
+/// let k = b.sample(&mut rng);
+/// assert!(k <= 100);
+/// assert!((b.mean() - 25.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution over `n` trials at success
+    /// probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "binomial p must lie in [0, 1], got {p}");
+        Self { n, p }
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.n
+    }
+
+    /// Per-trial success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Analytic mean `n·p`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Analytic variance `n·p·(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.n as f64 * self.p * (1.0 - self.p)
+    }
+
+    /// Draws the number of successes. Exact for every `(n, p)`; expected
+    /// RNG consumption is `O(n·min(p, 1-p) + 1)` (the rarer outcome is
+    /// counted, successes or failures, whichever is cheaper).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        if self.p > 0.5 {
+            // Count failures instead: Binomial(n, 1-p) mirrored.
+            return self.n - Self::count_successes(self.n, 1.0 - self.p, rng);
+        }
+        Self::count_successes(self.n, self.p, rng)
+    }
+
+    /// Starts a cursor over the sorted success positions in `0..n`.
+    pub fn positions(&self) -> BinomialPositions {
+        // ln(1-p) via ln_1p so probabilities down to f64 granularity skip
+        // correctly instead of collapsing to ln(1.0) == 0.
+        BinomialPositions { ln_q: (-self.p).ln_1p(), n: self.n, next: 0, p: self.p }
+    }
+
+    /// Counts successes in `n` trials at probability `p <= 0.5`.
+    fn count_successes(n: u64, p: f64, rng: &mut SimRng) -> u64 {
+        let mut cursor = Binomial { n, p }.positions();
+        let mut count = 0u64;
+        while cursor.next(rng).is_some() {
+            count += 1;
+        }
+        count
+    }
+}
+
+/// Cursor over the sorted success positions of a [`Binomial`] process; see
+/// [`Binomial::positions`].
+#[derive(Debug, Clone)]
+pub struct BinomialPositions {
+    ln_q: f64,
+    n: u64,
+    next: u64,
+    p: f64,
+}
+
+impl BinomialPositions {
+    /// Yields the next success position (strictly increasing), or `None`
+    /// once the remaining trials hold no further success. Takes the RNG
+    /// explicitly so callers can interleave other draws per position.
+    pub fn next(&mut self, rng: &mut SimRng) -> Option<u64> {
+        if self.next >= self.n || self.p <= 0.0 {
+            return None;
+        }
+        // Geometric gap: number of failures before the next success.
+        let gap = if self.p >= 1.0 { 0.0 } else { (rng.open01().ln() / self.ln_q).floor() };
+        // Compare in f64 before casting: a huge gap must saturate past n,
+        // not wrap.
+        if gap >= (self.n - self.next) as f64 {
+            self.next = self.n;
+            return None;
+        }
+        let position = self.next + gap as u64;
+        self.next = position + 1;
+        Some(position)
     }
 }
 
@@ -590,6 +766,122 @@ mod tests {
         }
         // The generators themselves are left in identical states.
         assert_eq!(batch_rng.uniform01(), seq_rng.uniform01());
+    }
+
+    #[test]
+    fn truncated_exponential_stays_inside_the_bound() {
+        let d = Exponential::with_mean(100.0);
+        let mut rng = SimRng::seed_from(31);
+        for _ in 0..20_000 {
+            let x = d.sample_truncated(&mut rng, 40.0);
+            assert!(x > 0.0 && x <= 40.0, "truncated sample {x} escaped (0, 40]");
+        }
+    }
+
+    #[test]
+    fn truncated_exponential_matches_conditional_mean() {
+        // Moment check against the closed form
+        // E[X | X <= b] = m - b·e^{-b/m} / (1 - e^{-b/m}).
+        let d = Exponential::with_mean(100.0);
+        let n = 60_000;
+        for bound in [10.0, 100.0, 400.0] {
+            let mut rng = SimRng::seed_from(32);
+            let m: f64 =
+                (0..n).map(|_| d.sample_truncated(&mut rng, bound)).sum::<f64>() / n as f64;
+            let expected = d.truncated_mean(bound);
+            assert!(
+                (m - expected).abs() / expected < 0.03,
+                "bound {bound}: sample mean {m} vs analytic {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_exponential_with_loose_bound_matches_the_untruncated_mean() {
+        // With bound >> mean the conditioning is negligible; the sampler
+        // must degrade gracefully into the plain exponential.
+        let d = Exponential::with_mean(5.0);
+        let mut rng = SimRng::seed_from(33);
+        let n = 40_000;
+        let m: f64 = (0..n).map(|_| d.sample_truncated(&mut rng, 5_000.0)).sum::<f64>() / n as f64;
+        assert!((m - 5.0).abs() / 5.0 < 0.03, "mean {m}");
+        assert!((d.truncated_mean(5_000.0) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binomial_moments_match_closed_forms() {
+        // Moment checks against n·p and n·p·(1-p), spanning the direct
+        // (p <= 0.5) and mirrored (p > 0.5) sampling regimes.
+        for (n, p, seed) in [(500u64, 0.03, 41u64), (200, 0.4, 42), (300, 0.85, 43)] {
+            let b = Binomial::new(n, p);
+            let mut rng = SimRng::seed_from(seed);
+            let trials = 20_000;
+            let samples: Vec<f64> = (0..trials).map(|_| b.sample(&mut rng) as f64).collect();
+            let mean = samples.iter().sum::<f64>() / trials as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+            assert!(
+                (mean - b.mean()).abs() / b.mean() < 0.02,
+                "n={n} p={p}: mean {mean} vs {}",
+                b.mean()
+            );
+            assert!(
+                (var - b.variance()).abs() / b.variance() < 0.05,
+                "n={n} p={p}: variance {var} vs {}",
+                b.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate_probabilities() {
+        let mut rng = SimRng::seed_from(44);
+        assert_eq!(Binomial::new(100, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 1.0).sample(&mut rng), 100);
+        assert_eq!(Binomial::new(0, 0.5).sample(&mut rng), 0);
+        let mut cursor = Binomial::new(100, 0.0).positions();
+        assert_eq!(cursor.next(&mut rng), None);
+    }
+
+    #[test]
+    fn binomial_positions_are_sorted_uniform_hits() {
+        // The cursor yields strictly increasing positions in range; the
+        // count matches Binomial moments and every index is hit equally
+        // often (uniformity of the implied subset).
+        let n = 64u64;
+        let p = 0.2;
+        let b = Binomial::new(n, p);
+        let mut rng = SimRng::seed_from(45);
+        let rounds = 30_000;
+        let mut counts = vec![0u64; n as usize];
+        let mut total = 0u64;
+        for _ in 0..rounds {
+            let mut cursor = b.positions();
+            let mut last: Option<u64> = None;
+            while let Some(pos) = cursor.next(&mut rng) {
+                assert!(pos < n);
+                if let Some(prev) = last {
+                    assert!(pos > prev, "positions must be strictly increasing");
+                }
+                last = Some(pos);
+                counts[pos as usize] += 1;
+                total += 1;
+            }
+        }
+        let mean_count = total as f64 / rounds as f64;
+        assert!((mean_count - b.mean()).abs() / b.mean() < 0.02, "mean hits {mean_count}");
+        let per_slot = total as f64 / n as f64;
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - per_slot).abs() / per_slot < 0.08,
+                "slot {slot} hit {c} times, expected ~{per_slot}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "binomial p")]
+    fn binomial_rejects_bad_probability() {
+        let _ = Binomial::new(10, 1.5);
     }
 
     #[test]

@@ -28,7 +28,8 @@ pub mod parallelism;
 pub mod rng;
 
 pub use distribution::{
-    Bathtub, Deterministic, Distribution, Exponential, FaultRace, LogNormal, Uniform, Weibull,
+    Bathtub, Binomial, BinomialPositions, Deterministic, Distribution, Exponential, FaultRace,
+    LogNormal, TruncatedExponential, Uniform, Weibull,
 };
 pub use estimators::{ConfidenceInterval, ProportionEstimate, StreamingStats};
 pub use events::{EventStream, RenewalProcess};

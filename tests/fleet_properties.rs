@@ -117,15 +117,8 @@ fn assert_schedulers_equivalent(ops: &[QueueOp]) -> Result<(), TestCaseError> {
     Ok(())
 }
 
-/// FNV-1a over a byte string, for pinning report digests.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+/// The workspace-standard FNV-1a, for pinning report digests.
+use ltds::core::hash::fnv1a;
 
 proptest! {
     #[test]
@@ -266,7 +259,12 @@ fn scheduler_determinism_digest_is_pinned() {
         .with_horizon_hours(8_766.0)
         .with_shards(1);
 
-    for (config, pinned) in [(sharded, 0x1fd8_2a72_dd4c_3bbf_u64), (single, 0xbb2a_ea49_6500_6c9a)]
+    // Digests re-pinned for PR 3's initial-draw thinning: setup now draws a
+    // binomial within-horizon count + truncated delays instead of one delay
+    // per slot, which consumes the RNG differently (same event
+    // distribution; the degeneracy test in model_vs_simulator.rs still
+    // cross-checks the statistics).
+    for (config, pinned) in [(sharded, 0x76bf_e96c_7935_c597_u64), (single, 0x3d84_89ee_6da5_fb8f)]
     {
         let mut digests = Vec::new();
         for threads in [1usize, 2, 8] {

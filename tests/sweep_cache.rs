@@ -1,0 +1,121 @@
+//! Property-based tests for the content-addressed sweep cache: cache-warm
+//! runs must be bit-identical to cold runs at every thread count, and
+//! extending a grid axis must reuse (and count) everything already
+//! simulated.
+
+use ltds::fleet::{FleetConfig, FleetSim, FleetTopology, ShardCache};
+use ltds::sim::cache::{ConfigDigest, SweepCache};
+use ltds::sim::config::SimConfig;
+use ltds::sim::sweep::SweepDriver;
+use proptest::prelude::*;
+
+fn mirrored(mv: f64, ml: f64, scrub: f64, alpha: f64) -> SimConfig {
+    SimConfig::mirrored_disks(mv, ml, 10.0, 10.0, Some(scrub), alpha)
+        .expect("generated group is valid")
+}
+
+/// Small fragile fleets, as in `fleet_properties.rs`, so losses happen fast.
+fn arb_fleet() -> impl Strategy<Value = FleetConfig> {
+    (
+        2usize..4,           // sites
+        1usize..3,           // racks per site
+        2usize..5,           // drives per node
+        10usize..60,         // groups
+        1usize..9,           // shards
+        500.0..2_000.0f64,   // MV
+        2_000.0..8_000.0f64, // ML
+    )
+        .prop_map(|(sites, racks, drives, groups, shards, mv, ml)| {
+            let topology =
+                FleetTopology::new(sites, racks, 1, drives).expect("generated topology is valid");
+            FleetConfig::new(topology, groups, mirrored(mv, ml, 100.0, 1.0))
+                .expect("generated fleet is valid")
+                .with_horizon_hours(12_000.0)
+                .with_shards(shards)
+        })
+}
+
+proptest! {
+    /// A sweep run against a warmed cache returns bit-identical points to
+    /// the cold sweep at the same thread count, for 1, 2 and 8 threads;
+    /// and running the superset grid after the base grid hits every
+    /// previously simulated point.
+    #[test]
+    fn warm_sweep_is_bit_identical_to_cold_across_thread_counts(
+        seed in 0u64..1_000,
+        base_len in 2usize..5,
+        extra in 1usize..4,
+    ) {
+        let base_config = mirrored(2_000.0, 2_000.0, 100.0, 1.0);
+        let superset: Vec<f64> =
+            (0..base_len + extra).map(|i| 50.0 + 75.0 * i as f64).collect();
+        let grid = &superset[..base_len];
+
+        for threads in [1usize, 2, 8] {
+            let cold = SweepDriver::new(&base_config, 120, seed)
+                .threads(threads)
+                .scrub_period(&superset)
+                .unwrap();
+
+            let cache = SweepCache::new();
+            let driver = SweepDriver::new(&base_config, 120, seed).threads(threads).cache(&cache);
+            driver.scrub_period(grid).unwrap();
+            prop_assert_eq!(cache.misses(), grid.len() as u64);
+            let warm = driver.scrub_period(&superset).unwrap();
+            // Every base-grid point was answered from the cache.
+            prop_assert_eq!(cache.hits(), grid.len() as u64);
+            prop_assert_eq!(cache.len(), superset.len());
+
+            for (c, w) in cold.iter().zip(&warm) {
+                prop_assert_eq!(c.x.to_bits(), w.x.to_bits());
+                prop_assert_eq!(c.mttdl_hours.to_bits(), w.mttdl_hours.to_bits());
+                prop_assert_eq!(c.ci_half_width.to_bits(), w.ci_half_width.to_bits());
+            }
+        }
+    }
+
+    /// A fleet run through a warmed shard cache is bit-identical to the
+    /// cold run at every thread count, and reuses (cache-hit-counts) every
+    /// shard already simulated.
+    #[test]
+    fn warm_fleet_run_is_bit_identical_across_thread_counts(
+        config in arb_fleet(),
+        seed in 0u64..1_000,
+    ) {
+        let cold = FleetSim::new(config).seed(seed).threads(1).run().unwrap();
+        let cold_json = serde_json::to_string(&cold).unwrap();
+
+        let cache = ShardCache::new();
+        for threads in [1usize, 2, 8] {
+            let warm =
+                FleetSim::new(config).seed(seed).threads(threads).run_cached(&cache).unwrap();
+            prop_assert_eq!(
+                serde_json::to_string(&warm).unwrap(),
+                cold_json.clone(),
+                "thread count {} diverged from the cold report",
+                threads
+            );
+        }
+        // First pass filled the cache; the two warm reruns hit every shard.
+        prop_assert_eq!(cache.len(), config.shards);
+        prop_assert_eq!(cache.hits(), 2 * config.shards as u64);
+        prop_assert_eq!(cache.misses(), config.shards as u64);
+    }
+
+    /// Growing the fleet (a config change) shares nothing; re-running any
+    /// config already seen reuses all of its shards, keyed by content.
+    #[test]
+    fn distinct_configs_key_disjoint_shard_sets(config in arb_fleet(), seed in 0u64..1_000) {
+        let grown = config.with_horizon_hours(config.horizon_hours + 1_000.0);
+        prop_assert_ne!(config.config_digest(), grown.config_digest());
+
+        let cache = ShardCache::new();
+        FleetSim::new(config).seed(seed).run_cached(&cache).unwrap();
+        FleetSim::new(grown).seed(seed).run_cached(&cache).unwrap();
+        prop_assert_eq!(cache.len(), 2 * config.shards, "no cross-config sharing");
+        prop_assert_eq!(cache.hits(), 0);
+
+        FleetSim::new(config).seed(seed).run_cached(&cache).unwrap();
+        prop_assert_eq!(cache.hits(), config.shards as u64);
+    }
+}
