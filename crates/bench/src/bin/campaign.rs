@@ -1,0 +1,185 @@
+//! `campaign` — runs a campaign spec against a persistent cache directory,
+//! streaming the report as JSON lines.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p ltds-bench --bin campaign -- \
+//!     [--spec FILE.json]    # FleetCampaign spec; default: the built-in demo
+//!     [--cache-dir DIR]     # persistent cache (loaded, then written through)
+//!     [--out FILE.jsonl]    # streamed report (default campaign.jsonl)
+//!     [--threads N]         # worker threads (default: all cores)
+//!     [--max-units K]       # stop after K work units ("kill" the campaign)
+//!     [--expect-hits N]     # exit 1 unless the caches answered >= N units
+//!     [--expect-misses N]   # exit 1 if more than N units were simulated
+//! ```
+//!
+//! The cache directory holds two segment stores —
+//! `<dir>/points/seg-<digest>.jsonl` for sweep grid points and
+//! `<dir>/shards/seg-<digest>.jsonl` for fleet shards — each a
+//! checksum-framed JSON-lines file per config digest. Runs *load* whatever
+//! is there, *write through* every fresh result, and skip (with a warning)
+//! any record a kill or a bad disk damaged. Because work units are pure
+//! functions of their content-addressed keys and the stream is released in
+//! unit order, a re-run against a warm directory emits a byte-identical
+//! report; resuming a killed campaign is just running it again.
+//!
+//! On success the final line on stdout is the run summary as JSON
+//! (`units_total` / `units_run` / `cache_hits` / `cache_misses`), which is
+//! what CI asserts against.
+
+use ltds_bench::workloads;
+use ltds_fleet::{FleetCampaign, ShardCache};
+use ltds_sim::cache::SweepCache;
+use ltds_sim::campaign::{CampaignDriver, JsonlSink};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("campaign: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spec_path: Option<String> = None;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut out_path = String::from("campaign.jsonl");
+    let mut threads: Option<usize> = None;
+    let mut max_units: Option<usize> = None;
+    let mut expect_hits: Option<u64> = None;
+    let mut expect_misses: Option<u64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |args: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        args.get(*i).unwrap_or_else(|| fail(format!("{flag} needs a value"))).clone()
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--spec" => spec_path = Some(value(&args, &mut i, "--spec")),
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value(&args, &mut i, "--cache-dir"))),
+            "--out" => out_path = value(&args, &mut i, "--out"),
+            "--threads" => {
+                threads = Some(
+                    value(&args, &mut i, "--threads")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| fail("--threads needs a number >= 1")),
+                )
+            }
+            "--max-units" => {
+                max_units = Some(
+                    value(&args, &mut i, "--max-units")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-units needs a number")),
+                )
+            }
+            "--expect-hits" => {
+                expect_hits = Some(
+                    value(&args, &mut i, "--expect-hits")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--expect-hits needs a number")),
+                )
+            }
+            "--expect-misses" => {
+                expect_misses = Some(
+                    value(&args, &mut i, "--expect-misses")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--expect-misses needs a number")),
+                )
+            }
+            other => fail(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let campaign: FleetCampaign = match &spec_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read spec {path}: {e}")));
+            serde_json::from_str(&text)
+                .unwrap_or_else(|e| fail(format!("cannot parse spec {path}: {e}")))
+        }
+        None => workloads::demo_campaign(),
+    };
+    eprintln!(
+        "campaign `{}`: {} sweep(s), {} scenario(s)",
+        campaign.name,
+        campaign.sweeps.len(),
+        campaign.scenarios.len()
+    );
+
+    // Persistent caches: load whatever a previous run left, then write
+    // every fresh result through so a kill loses at most one record.
+    let points: SweepCache<ltds_sim::MttdlEstimate> = SweepCache::new();
+    let shards = ShardCache::new();
+    if let Some(dir) = &cache_dir {
+        for (name, stats) in [
+            ("points", points.load_dir(dir.join("points"))),
+            ("shards", shards.load_dir(dir.join("shards"))),
+        ] {
+            let stats = stats.unwrap_or_else(|e| fail(format!("cannot load {name} cache: {e}")));
+            eprintln!(
+                "cache {name}: {} record(s) from {} segment(s), {} skipped",
+                stats.loaded, stats.segments, stats.skipped
+            );
+        }
+        points
+            .write_through(dir.join("points"))
+            .unwrap_or_else(|e| fail(format!("cannot arm points write-through: {e}")));
+        shards
+            .write_through(dir.join("shards"))
+            .unwrap_or_else(|e| fail(format!("cannot arm shards write-through: {e}")));
+    }
+
+    let file = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| fail(format!("cannot create {out_path}: {e}")));
+    let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+
+    let mut driver = CampaignDriver::new(&campaign).point_cache(&points).shard_cache(&shards);
+    if let Some(threads) = threads {
+        driver = driver.threads(threads);
+    }
+    if let Some(k) = max_units {
+        driver = driver.max_units(k);
+    }
+    let summary = match driver.run(&mut sink) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    sink.into_inner().flush().unwrap_or_else(|e| fail(format!("cannot flush {out_path}: {e}")));
+
+    eprintln!(
+        "campaign `{}`: {}/{} unit(s) run, {} from cache, {} simulated -> {out_path}",
+        campaign.name,
+        summary.units_run,
+        summary.units_total,
+        summary.cache_hits,
+        summary.cache_misses
+    );
+    println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+
+    if let Some(expected) = expect_hits {
+        if summary.cache_hits < expected {
+            eprintln!(
+                "CAMPAIGN CHECK FAILED: expected >= {expected} cache hit(s), got {}",
+                summary.cache_hits
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(allowed) = expect_misses {
+        if summary.cache_misses > allowed {
+            eprintln!(
+                "CAMPAIGN CHECK FAILED: expected <= {allowed} cache miss(es), got {}",
+                summary.cache_misses
+            );
+            std::process::exit(1);
+        }
+    }
+}

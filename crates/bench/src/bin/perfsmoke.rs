@@ -13,13 +13,20 @@
 //! * `sweep_refine` — the same 16-point grid re-run against a cache warmed
 //!   by the canonical 12-point grid (the "refine a sweep" workload: only
 //!   the four new points simulate). The warm points are verified
-//!   bit-identical to the cold run before timing.
+//!   bit-identical to the cold run before timing;
+//! * `campaign_cold` — the canonical demo campaign (three sweeps + a
+//!   16-shard fleet year) end to end with empty caches;
+//! * `campaign_resume` — the same campaign restarted from caches persisted
+//!   to disk by the cold run: every work unit loads from the segment files
+//!   and hits, modelling a killed campaign resumed in a new process. The
+//!   resumed stream is verified byte-identical to the cold one before
+//!   timing, and the timed path includes the `load_dir` cost.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin perfsmoke -- \
-//!     [--out BENCH_PR3.json] [--baseline OLD.json] [--repeat 3] [--check]
+//!     [--out BENCH_PR4.json] [--baseline OLD.json] [--repeat 3] [--check]
 //! ```
 //!
 //! Each workload runs `--repeat` times and the best wall time is kept (the
@@ -34,6 +41,7 @@
 use ltds_bench::workloads;
 use ltds_fleet::FleetSim;
 use ltds_sim::cache::SweepCache;
+use ltds_sim::campaign::{CampaignDriver, MemorySink};
 use ltds_sim::monte_carlo::MonteCarlo;
 use ltds_sim::sweep::SweepDriver;
 use serde::{Deserialize, Serialize};
@@ -53,6 +61,13 @@ const SWEEP_COLD_CEILING_MS: f64 = 20_000.0;
 /// ~0.25; 0.5 leaves room for noise while still failing hard if cache
 /// reuse breaks.
 const SWEEP_REFINE_MAX_RATIO: f64 = 0.5;
+
+/// `--check` requires `campaign_resume` to cost less than this fraction of
+/// `campaign_cold`. A resume answers *every* unit from the persisted cache
+/// (expected ratio well under 0.1 even with the segment reload included),
+/// so 0.5 only trips when on-disk reuse actually breaks — a
+/// machine-independent tripwire like `sweep_refine`.
+const CAMPAIGN_RESUME_MAX_RATIO: f64 = 0.5;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct WorkloadResult {
@@ -96,7 +111,7 @@ fn time_workload(name: &str, repeats: u32, mut run: impl FnMut() -> u64) -> Work
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR3.json");
+    let mut out_path = String::from("BENCH_PR4.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -201,6 +216,57 @@ fn main() {
         driver.cache(&cache).scrub_period(&refined).expect("refine sweep succeeds").len() as u64
     }));
 
+    // Campaign pair: the demo campaign cold, then resumed from caches
+    // persisted by a cold run — the "kill the process, restart from disk"
+    // workload. One worker thread for cross-host comparability.
+    let campaign = workloads::demo_campaign();
+    let run_campaign = |points: &SweepCache<ltds_sim::MttdlEstimate>,
+                        shards: &ltds_fleet::ShardCache| {
+        let mut sink = MemorySink::new();
+        let summary = CampaignDriver::new(&campaign)
+            .threads(1)
+            .point_cache(points)
+            .shard_cache(shards)
+            .run(&mut sink)
+            .expect("demo campaign runs");
+        (sink.to_jsonl(), summary)
+    };
+    let cache_dir = std::env::temp_dir().join(format!("ltds-perfsmoke-{}", std::process::id()));
+    let (cold_stream, _) = {
+        let points = SweepCache::new();
+        let shards = ltds_fleet::ShardCache::new();
+        let result = run_campaign(&points, &shards);
+        points.persist_dir(cache_dir.join("points")).expect("persist points");
+        shards.persist_dir(cache_dir.join("shards")).expect("persist shards");
+        result
+    };
+    // The resume must reproduce the cold stream byte-for-byte — with every
+    // unit answered from the persisted caches — before it is worth timing.
+    {
+        let points = SweepCache::new();
+        let shards = ltds_fleet::ShardCache::new();
+        points.load_dir(cache_dir.join("points")).expect("load points");
+        shards.load_dir(cache_dir.join("shards")).expect("load shards");
+        let (resumed_stream, summary) = run_campaign(&points, &shards);
+        assert_eq!(resumed_stream, cold_stream, "resumed campaign stream diverged from cold");
+        assert_eq!(summary.cache_misses, 0, "a full resume must hit every unit");
+    }
+    results.push(time_workload("campaign_cold", repeats, || {
+        let points = SweepCache::new();
+        let shards = ltds_fleet::ShardCache::new();
+        run_campaign(&points, &shards).1.units_run as u64
+    }));
+    results.push(time_workload("campaign_resume", repeats, || {
+        // Each repeat pays the full save/load boundary: fresh caches,
+        // reloaded from the segment files, then the whole campaign.
+        let points = SweepCache::new();
+        let shards = ltds_fleet::ShardCache::new();
+        points.load_dir(cache_dir.join("points")).expect("load points");
+        shards.load_dir(cache_dir.join("shards")).expect("load shards");
+        run_campaign(&points, &shards).1.units_run as u64
+    }));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
     let baseline = baseline_path.map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -242,21 +308,36 @@ fn main() {
         };
         ceiling("fleet_year_100k", FLEET_YEAR_CEILING_MS);
         ceiling("sweep_16_cold", SWEEP_COLD_CEILING_MS);
-        let cold = measured("sweep_16_cold").wall_ms;
-        let refine = measured("sweep_refine").wall_ms;
-        let ratio = refine / cold;
-        if ratio > SWEEP_REFINE_MAX_RATIO {
-            eprintln!(
-                "PERF CHECK FAILED: sweep_refine / sweep_16_cold = {ratio:.2} \
-                 (max {SWEEP_REFINE_MAX_RATIO}) — the sweep cache is not reusing points"
-            );
-            failed = true;
-        } else {
-            eprintln!(
-                "perf check ok: sweep_refine {refine:.1} ms is {:.0}% of the {cold:.1} ms cold sweep",
-                ratio * 100.0
-            );
-        }
+        let mut warm_ratio = |warm_name: &str, cold_name: &str, max: f64, what: &str| {
+            let cold = measured(cold_name).wall_ms;
+            let warm = measured(warm_name).wall_ms;
+            let ratio = warm / cold;
+            if ratio > max {
+                eprintln!(
+                    "PERF CHECK FAILED: {warm_name} / {cold_name} = {ratio:.2} (max {max}) \
+                     — {what}"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "perf check ok: {warm_name} {warm:.1} ms is {:.0}% of the {cold:.1} ms \
+                     {cold_name}",
+                    ratio * 100.0
+                );
+            }
+        };
+        warm_ratio(
+            "sweep_refine",
+            "sweep_16_cold",
+            SWEEP_REFINE_MAX_RATIO,
+            "the sweep cache is not reusing points",
+        );
+        warm_ratio(
+            "campaign_resume",
+            "campaign_cold",
+            CAMPAIGN_RESUME_MAX_RATIO,
+            "the persisted campaign caches are not being reused",
+        );
         if failed {
             std::process::exit(1);
         }

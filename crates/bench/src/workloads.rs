@@ -2,7 +2,11 @@
 //! `perfsmoke` binary so that "the fleet-year benchmark" always means the
 //! same configuration everywhere numbers are reported.
 
-use ltds_fleet::{BurstProfile, FleetConfig, FleetSim, FleetTopology, RepairBandwidth};
+use ltds_fleet::{
+    BurstProfile, FleetCampaign, FleetConfig, FleetScenario, FleetSim, FleetTopology,
+    RepairBandwidth,
+};
+use ltds_sim::campaign::{Campaign, SweepAxis, SweepSpec};
 use ltds_sim::config::{DetectionModel, SimConfig};
 use ltds_sim::monte_carlo::{MonteCarlo, MttdlEstimate};
 
@@ -94,6 +98,47 @@ pub fn sweep_grid_refined() -> Vec<f64> {
     grid
 }
 
+/// The canonical demo campaign: three named sweeps over the canonical
+/// Monte-Carlo group (the scrub-period grid shared with `sweep_16_cold`,
+/// a replication sweep under correlation, an α sweep) plus one fleet
+/// scenario — a 16-shard year of the 10k-group enterprise fleet. Used by
+/// the `campaign` binary's `--builtin demo` spec, the `campaign_resume`
+/// perfsmoke workload, and the CI persistence job, so "the demo campaign"
+/// is the same work everywhere it is reported.
+pub fn demo_campaign() -> FleetCampaign {
+    Campaign {
+        name: "demo".to_string(),
+        sweeps: vec![
+            SweepSpec {
+                name: "scrub_period".to_string(),
+                base: mc_group(),
+                axis: SweepAxis::ScrubPeriod { periods_hours: sweep_grid() },
+                trials: SWEEP_TRIALS,
+                seed: SWEEP_SEED,
+            },
+            SweepSpec {
+                name: "replication".to_string(),
+                base: mc_group(),
+                axis: SweepAxis::Replication { replica_counts: vec![1, 2, 3, 4], alpha: 0.5 },
+                trials: SWEEP_TRIALS,
+                seed: 2,
+            },
+            SweepSpec {
+                name: "alpha".to_string(),
+                base: mc_group(),
+                axis: SweepAxis::Alpha { alphas: vec![1.0, 0.5, 0.1, 0.05] },
+                trials: SWEEP_TRIALS,
+                seed: 3,
+            },
+        ],
+        scenarios: vec![FleetScenario {
+            name: "fleet_year_10k".to_string(),
+            fleet: fleet_year(10_000).with_shards(16),
+            seed: 1,
+        }],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +149,18 @@ mod tests {
         assert!(event_dense_fleet().validate().is_ok());
         assert_eq!(fleet_year(100).topology.total_drives(), 1_000);
         assert_eq!(mc_group().replicas, 2);
+    }
+
+    #[test]
+    fn demo_campaign_is_valid_and_roundtrips() {
+        let campaign = demo_campaign();
+        assert_eq!(campaign.sweeps.len(), 3);
+        assert_eq!(campaign.scenarios.len(), 1);
+        assert!(campaign.scenarios[0].fleet.validate().is_ok());
+        let json = serde_json::to_string(&campaign).unwrap();
+        let back: FleetCampaign = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sweeps[0].name, "scrub_period");
+        assert_eq!(back.scenarios[0].fleet.shards, 16);
     }
 
     #[test]

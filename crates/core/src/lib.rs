@@ -57,6 +57,7 @@ pub mod mission;
 pub mod mttdl;
 pub mod params;
 pub mod presets;
+pub mod record;
 pub mod regimes;
 pub mod replication;
 pub mod scrubbing;

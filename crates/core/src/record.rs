@@ -1,0 +1,103 @@
+//! Checksummed line records: the workspace's on-disk JSON-lines framing.
+//!
+//! Persistent stores (the sweep-cache segments, campaign streams) append
+//! one record per line. A crash or kill can truncate the final line, and a
+//! disk can hand back damaged bytes years later — exactly the threat model
+//! of the source paper — so every line carries its own [`fnv1a`] checksum:
+//!
+//! ```text
+//! <16 lowercase hex digits> <payload>\n
+//! ```
+//!
+//! The checksum covers the payload bytes only. [`decode`] rejects a line
+//! whose framing is malformed or whose checksum does not match, which lets
+//! a loader skip a truncated tail write (or a corrupted record in the
+//! middle of a segment) without poisoning the records around it.
+
+use crate::hash::fnv1a;
+
+/// Why a line failed to decode as a checksummed record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// The line does not look like `<16 hex digits> <payload>` at all —
+    /// typically a truncated head or foreign data.
+    Malformed,
+    /// The framing parsed but the payload does not hash to the stated
+    /// checksum — a truncated or corrupted payload.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordError::Malformed => write!(f, "malformed record framing"),
+            RecordError::ChecksumMismatch => write!(f, "record checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// Frames a payload as one checksummed record line (without the trailing
+/// newline). The payload must not contain `\n` — JSON-lines payloads never
+/// do, and embedding one would split the record on read-back.
+pub fn encode(payload: &str) -> String {
+    debug_assert!(!payload.contains('\n'), "record payloads must be single-line");
+    format!("{:016x} {payload}", fnv1a(payload.as_bytes()))
+}
+
+/// Decodes one record line, returning the payload slice if — and only if —
+/// the framing parses and the checksum matches the payload bytes.
+pub fn decode(line: &str) -> Result<&str, RecordError> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    let (checksum, payload) = line.split_at_checked(16).ok_or(RecordError::Malformed)?;
+    let payload = payload.strip_prefix(' ').ok_or(RecordError::Malformed)?;
+    let stated = u64::from_str_radix(checksum, 16).map_err(|_| RecordError::Malformed)?;
+    if fnv1a(payload.as_bytes()) == stated {
+        Ok(payload)
+    } else {
+        Err(RecordError::ChecksumMismatch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let payload = r#"{"seed":7,"shard":0}"#;
+        let line = encode(payload);
+        assert_eq!(decode(&line), Ok(payload));
+        assert_eq!(decode(&format!("{line}\n")), Ok(payload), "trailing newline is framing");
+    }
+
+    #[test]
+    fn truncated_payload_is_a_checksum_mismatch() {
+        let line = encode("a perfectly healthy record payload");
+        let truncated = &line[..line.len() - 3];
+        assert_eq!(decode(truncated), Err(RecordError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_mismatch() {
+        let line = encode("payload");
+        let corrupted = line.replace("payload", "paYload");
+        assert_eq!(decode(&corrupted), Err(RecordError::ChecksumMismatch));
+    }
+
+    #[test]
+    fn truncated_head_and_foreign_lines_are_malformed() {
+        assert_eq!(decode("deadbeef"), Err(RecordError::Malformed));
+        assert_eq!(decode(""), Err(RecordError::Malformed));
+        assert_eq!(decode("not a checksum!! {\"x\":1}"), Err(RecordError::Malformed));
+        // 16 hex digits but no separating space.
+        assert_eq!(decode("0123456789abcdef{\"x\":1}"), Err(RecordError::Malformed));
+    }
+
+    #[test]
+    fn empty_payload_is_framable() {
+        let line = encode("");
+        assert_eq!(decode(&line), Ok(""));
+    }
+}

@@ -1,0 +1,275 @@
+//! Fleet-scale scenarios for the campaign driver.
+//!
+//! `ltds_sim::campaign` executes work units it can neither name nor build:
+//! the [`Scenario`] trait is its only view of fleet-scale work. This module
+//! is the fleet side of that contract — the "support code" that turns a
+//! [`FleetConfig`] into individually shippable per-shard work units:
+//!
+//! * [`FleetScenario`] — the serde-round-trippable spec (name + fleet
+//!   config + seed) that rides inside a [`Campaign`];
+//! * [`PreparedFleet`] — the validated, ready-to-run form: the burst
+//!   timeline and placement index are built lazily *once* and shared
+//!   read-only by every worker that pulls one of this scenario's shards,
+//!   so shard units stay cheap no matter which threads execute them.
+//!
+//! A shard unit's [`CacheKey`] is exactly the key
+//! [`crate::FleetSim::run_cached`] uses — `(FleetConfig digest, seed,
+//! shard)` — so a campaign and a direct engine run share cache entries in
+//! both directions, and [`PreparedFleet::report`] folds the streamed
+//! outcomes back into the same bit-identical [`FleetReport`].
+
+use crate::bursts::Burst;
+use crate::config::FleetConfig;
+use crate::engine::BURST_STREAM;
+use crate::kernel::{KernelScratch, ShardKernel};
+use crate::placement::PlacementIndex;
+use crate::report::{FleetReport, ShardOutcome};
+use ltds_core::error::ModelError;
+use ltds_sim::cache::{CacheKey, ConfigDigest};
+use ltds_sim::campaign::{Campaign, PreparedScenario, Scenario};
+use ltds_stochastic::SimRng;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// A campaign whose scenarios are fleet simulations.
+pub type FleetCampaign = Campaign<FleetScenario>;
+
+/// One named fleet scenario of a campaign: a full [`FleetConfig`] run at a
+/// fixed master seed, executed shard-by-shard across the worker pool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetScenario {
+    /// Name of the scenario, carried on every streamed record.
+    pub name: String,
+    /// The fleet being simulated.
+    pub fleet: FleetConfig,
+    /// Master seed of the run.
+    pub seed: u64,
+}
+
+/// Shared per-scenario context, built lazily by whichever worker touches
+/// the scenario first and reused by every other shard unit.
+struct FleetContext {
+    bursts: Vec<Burst>,
+    index: PlacementIndex,
+}
+
+/// The executable form of a [`FleetScenario`]: a validated config plus the
+/// lazily built burst timeline and placement index.
+pub struct PreparedFleet {
+    config: FleetConfig,
+    seed: u64,
+    digest: u64,
+    context: OnceLock<FleetContext>,
+}
+
+impl PreparedFleet {
+    fn context(&self) -> &FleetContext {
+        self.context.get_or_init(|| {
+            let master = SimRng::seed_from(self.seed);
+            let mut burst_rng = master.fork(BURST_STREAM);
+            let bursts = self.config.bursts.timeline(
+                &self.config.topology,
+                self.config.horizon_hours,
+                &mut burst_rng,
+            );
+            let index = PlacementIndex::build(&self.config, !bursts.is_empty());
+            FleetContext { bursts, index }
+        })
+    }
+
+    /// Folds per-shard outcomes (in shard order, as streamed by the
+    /// campaign driver) back into the report [`crate::FleetSim::run`]
+    /// would have produced — bit-identical, since the merge walks the same
+    /// order.
+    pub fn report(&self, outcomes: &[ShardOutcome]) -> FleetReport {
+        assert_eq!(
+            outcomes.len(),
+            self.config.shards,
+            "a report needs every shard of the scenario"
+        );
+        let mut totals = ShardOutcome::default();
+        for outcome in outcomes {
+            totals.merge(outcome);
+        }
+        FleetReport {
+            groups: self.config.groups,
+            drives: self.config.topology.total_drives(),
+            horizon_hours: self.config.horizon_hours,
+            bursts_struck: self.context().bursts.len() as u64,
+            totals,
+        }
+    }
+}
+
+impl Scenario for FleetScenario {
+    type Outcome = ShardOutcome;
+    type Prepared = PreparedFleet;
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn prepare(&self) -> Result<PreparedFleet, ModelError> {
+        self.fleet.validate()?;
+        Ok(PreparedFleet {
+            config: self.fleet,
+            seed: self.seed,
+            digest: self.fleet.config_digest(),
+            context: OnceLock::new(),
+        })
+    }
+}
+
+impl PreparedScenario for PreparedFleet {
+    type Outcome = ShardOutcome;
+
+    fn shards(&self) -> u32 {
+        self.config.shards as u32
+    }
+
+    fn key(&self, shard: u32) -> CacheKey {
+        // The exact key `FleetSim::run_cached` uses, so campaigns and
+        // direct engine runs share cache entries.
+        CacheKey { digest: self.digest, seed: self.seed, shard }
+    }
+
+    fn run_shard(&self, shard: u32) -> ShardOutcome {
+        let context = self.context();
+        let kernel = ShardKernel::new(&self.config, &context.bursts, &context.index);
+        let rng = SimRng::seed_from(self.seed).fork(u64::from(shard));
+        let mut scratch = KernelScratch::new();
+        kernel.run_with(shard as usize, rng, &mut scratch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bursts::BurstProfile;
+    use crate::config::RepairBandwidth;
+    use crate::engine::{FleetSim, ShardCache};
+    use crate::topology::FleetTopology;
+    use ltds_sim::campaign::{CampaignDriver, MemorySink, RecordKind};
+    use ltds_sim::config::SimConfig;
+
+    fn scenario() -> FleetScenario {
+        let topology = FleetTopology::new(2, 2, 2, 8).unwrap();
+        let group =
+            SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap();
+        let fleet = FleetConfig::new(topology, 60, group)
+            .unwrap()
+            .with_horizon_hours(20_000.0)
+            .with_shards(8)
+            .with_bursts(BurstProfile::disaster_scenario())
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+        FleetScenario { name: "disaster".to_string(), fleet, seed: 7 }
+    }
+
+    fn campaign() -> FleetCampaign {
+        Campaign { name: "fleet-test".to_string(), sweeps: Vec::new(), scenarios: vec![scenario()] }
+    }
+
+    #[test]
+    fn campaign_shards_reproduce_the_engine_bit_for_bit() {
+        let scenario = scenario();
+        let engine = FleetSim::new(scenario.fleet).seed(scenario.seed).run().unwrap();
+
+        let mut sink = MemorySink::new();
+        let summary = CampaignDriver::new(&campaign()).threads(4).run(&mut sink).unwrap();
+        assert_eq!(summary.units_total, scenario.fleet.shards);
+
+        let outcomes: Vec<ShardOutcome> = sink
+            .records()
+            .iter()
+            .map(|record| {
+                assert_eq!(record.kind, RecordKind::FleetShard);
+                assert_eq!(record.task, "disaster");
+                ShardOutcome::from_value(&record.payload).unwrap()
+            })
+            .collect();
+        let report = scenario.prepare().unwrap().report(&outcomes);
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&engine).unwrap(),
+            "campaign shards merged in order must equal the engine's report"
+        );
+    }
+
+    #[test]
+    fn campaign_and_engine_share_cache_entries_both_ways() {
+        let scenario = scenario();
+        let cache = ShardCache::new();
+
+        // Warm through the engine, consume through the campaign.
+        FleetSim::new(scenario.fleet).seed(scenario.seed).run_cached(&cache).unwrap();
+        cache.reset_counters();
+        let campaign = campaign();
+        let driver = CampaignDriver::new(&campaign).threads(2).shard_cache(&cache);
+        let summary = driver.run(&mut MemorySink::new()).unwrap();
+        assert_eq!(summary.cache_hits as usize, scenario.fleet.shards);
+        assert_eq!(summary.cache_misses, 0);
+
+        // Warm through the campaign, consume through the engine.
+        let fresh = ShardCache::new();
+        CampaignDriver::new(&campaign)
+            .threads(2)
+            .shard_cache(&fresh)
+            .run(&mut MemorySink::new())
+            .unwrap();
+        fresh.reset_counters();
+        let report = FleetSim::new(scenario.fleet).seed(scenario.seed).run_cached(&fresh).unwrap();
+        assert_eq!(fresh.hits() as usize, scenario.fleet.shards);
+        let cold = FleetSim::new(scenario.fleet).seed(scenario.seed).run().unwrap();
+        assert_eq!(serde_json::to_string(&report).unwrap(), serde_json::to_string(&cold).unwrap());
+    }
+
+    #[test]
+    fn run_streamed_delivers_every_shard_in_order_with_the_same_report() {
+        let scenario = scenario();
+        let cold = FleetSim::new(scenario.fleet).seed(scenario.seed).run().unwrap();
+
+        let cache = ShardCache::new();
+        let mut seen: Vec<u32> = Vec::new();
+        let mut merged = ShardOutcome::default();
+        let streamed = FleetSim::new(scenario.fleet)
+            .seed(scenario.seed)
+            .run_streamed(&cache, |shard, outcome| {
+                seen.push(shard);
+                merged.merge(outcome);
+            })
+            .unwrap();
+        assert_eq!(seen, (0..scenario.fleet.shards as u32).collect::<Vec<_>>());
+        assert_eq!(
+            serde_json::to_string(&streamed).unwrap(),
+            serde_json::to_string(&cold).unwrap()
+        );
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&cold.totals).unwrap(),
+            "streamed outcomes must merge to the report's totals"
+        );
+    }
+
+    #[test]
+    fn invalid_fleet_specs_fail_at_prepare() {
+        let mut bad = scenario();
+        bad.fleet.horizon_hours = -1.0;
+        assert!(bad.prepare().is_err());
+        let campaign =
+            Campaign { name: "bad".to_string(), sweeps: Vec::new(), scenarios: vec![bad] };
+        assert!(CampaignDriver::new(&campaign).run(&mut MemorySink::new()).is_err());
+    }
+
+    #[test]
+    fn fleet_campaign_spec_roundtrips_through_json() {
+        let campaign = campaign();
+        let json = serde_json::to_string_pretty(&campaign).unwrap();
+        let back: FleetCampaign = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scenarios[0].name, "disaster");
+        assert_eq!(
+            back.scenarios[0].fleet.config_digest(),
+            campaign.scenarios[0].fleet.config_digest(),
+            "the spec must survive JSON with its content digest intact"
+        );
+    }
+}

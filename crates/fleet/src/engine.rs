@@ -28,9 +28,14 @@ use ltds_stochastic::SimRng;
 /// `(FleetConfig digest, seed, shard)`. See [`FleetSim::run_cached`].
 pub type ShardCache = SweepCache<ShardOutcome>;
 
+/// Per-shard streaming callback, as accepted by [`FleetSim::run_streamed`].
+type OnShard<'a> = &'a mut dyn FnMut(u32, &ShardOutcome);
+
 /// RNG sub-stream index reserved for the burst timeline (group shards use
-/// `0..shards`, which never collides with this).
-const BURST_STREAM: u64 = u64::MAX;
+/// `0..shards`, which never collides with this). Shared with
+/// `crate::campaign`, whose per-shard work units must reproduce the
+/// engine's draws exactly.
+pub(crate) const BURST_STREAM: u64 = u64::MAX;
 
 /// Builder/driver for a fleet simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +73,7 @@ impl FleetSim {
 
     /// Runs the simulation.
     pub fn run(&self) -> Result<FleetReport, ModelError> {
-        self.run_impl(None)
+        self.run_impl(None, None)
     }
 
     /// Runs the simulation through a shard cache: shards whose
@@ -80,10 +85,27 @@ impl FleetSim {
     /// When every shard hits, the run also skips building the placement
     /// index, leaving only the (cheap) burst-timeline draw and the merge.
     pub fn run_cached(&self, cache: &ShardCache) -> Result<FleetReport, ModelError> {
-        self.run_impl(Some(cache))
+        self.run_impl(Some(cache), None)
     }
 
-    fn run_impl(&self, cache: Option<&ShardCache>) -> Result<FleetReport, ModelError> {
+    /// Like [`FleetSim::run_cached`], but also streams every shard's
+    /// outcome — in shard order, cached and fresh alike — to `on_shard`
+    /// during the merge, so callers (report sinks, campaign drivers) can
+    /// consume per-shard results without waiting for, or re-deriving, the
+    /// merged report.
+    pub fn run_streamed(
+        &self,
+        cache: &ShardCache,
+        mut on_shard: impl FnMut(u32, &ShardOutcome),
+    ) -> Result<FleetReport, ModelError> {
+        self.run_impl(Some(cache), Some(&mut on_shard))
+    }
+
+    fn run_impl(
+        &self,
+        cache: Option<&ShardCache>,
+        mut on_shard: Option<OnShard<'_>>,
+    ) -> Result<FleetReport, ModelError> {
         self.config.validate()?;
         let master = SimRng::seed_from(self.seed);
 
@@ -168,8 +190,12 @@ impl FleetSim {
 
         // Merge strictly in shard order, wherever each outcome came from.
         let mut totals = ShardOutcome::default();
-        for outcome in &outcomes {
-            totals.merge(outcome.as_ref().expect("every shard was simulated or cached"));
+        for (shard, outcome) in outcomes.iter().enumerate() {
+            let outcome = outcome.as_ref().expect("every shard was simulated or cached");
+            if let Some(on_shard) = on_shard.as_deref_mut() {
+                on_shard(shard as u32, outcome);
+            }
+            totals.merge(outcome);
         }
 
         Ok(FleetReport {

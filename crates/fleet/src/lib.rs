@@ -61,6 +61,7 @@
 
 pub mod bursts;
 pub mod calendar;
+pub mod campaign;
 pub mod config;
 pub mod engine;
 pub mod kernel;
@@ -71,6 +72,7 @@ pub mod report;
 pub mod topology;
 
 pub use bursts::{Burst, BurstProfile, FaultDomain};
+pub use campaign::{FleetCampaign, FleetScenario, PreparedFleet};
 pub use config::{FleetConfig, RepairBandwidth, ScrubTour};
 pub use engine::{FleetSim, ShardCache};
 pub use ltds_sim::cache::{CacheKey, ConfigDigest, SweepCache};

@@ -23,13 +23,32 @@
 //! *content*, so renaming or reordering config fields changes it — which
 //! is the safe failure mode for a cache (a stale entry can never be
 //! returned for a config it does not describe).
+//!
+//! # Persistence
+//!
+//! A cache can outlive its process: [`SweepCache::persist_dir`] writes the
+//! entries to a directory as one JSON-lines *segment per config digest*
+//! (`seg-<16 hex digits>.jsonl`), each line framed as a checksummed record
+//! ([`ltds_core::record`]); [`SweepCache::load_dir`] reads every segment
+//! back, *skipping* — with a warning on stderr — any line whose checksum
+//! fails (a truncated tail write), whose JSON is damaged, or whose stated
+//! digest disagrees with its segment's filename, without poisoning the
+//! healthy records around it. [`SweepCache::write_through`] arms the same
+//! layout incrementally: every subsequent insert appends its record to the
+//! matching segment, so a killed process loses at most the line it was
+//! writing. Values round-trip bit-identically (floats are serialised in
+//! shortest-round-trip form), so a warm restart is indistinguishable from
+//! the run that filled the cache.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 pub use ltds_core::hash::fnv1a;
+use ltds_core::record;
 
 /// A stable content digest for run configurations.
 ///
@@ -51,7 +70,7 @@ impl<T: Serialize> ConfigDigest for T {
 
 /// Key of one cached outcome: which configuration, which master seed, and
 /// which shard of the run (0 for unsharded per-group sweep points).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CacheKey {
     /// [`ConfigDigest::config_digest`] of the run configuration (callers
     /// fold run-shape parameters such as trial counts in by digesting a
@@ -75,12 +94,20 @@ pub struct SweepCache<V> {
     map: Mutex<HashMap<CacheKey, V>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Write-through directory: when set, every insert also appends a
+    /// checksummed record to the key's on-disk segment.
+    write_through: Mutex<Option<PathBuf>>,
 }
 
-impl<V: Clone> SweepCache<V> {
+impl<V: Clone + Serialize> SweepCache<V> {
     /// Creates an empty cache.
     pub fn new() -> Self {
-        Self { map: Mutex::new(HashMap::new()), hits: AtomicU64::new(0), misses: AtomicU64::new(0) }
+        Self {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            write_through: Mutex::new(None),
+        }
     }
 
     /// Looks up a key, counting the access as a hit or a miss.
@@ -93,8 +120,24 @@ impl<V: Clone> SweepCache<V> {
         found
     }
 
-    /// Stores a value (replacing any previous entry for the key).
+    /// Stores a value (replacing any previous entry for the key). In
+    /// write-through mode the entry is also appended to its on-disk
+    /// segment; an I/O failure there is reported on stderr but does not
+    /// fail the insert (the in-memory cache stays correct, and the
+    /// checksummed framing means a partial append is skipped on reload).
     pub fn insert(&self, key: CacheKey, value: V) {
+        // Clone the directory out of the lock: the append itself runs
+        // unlocked, so concurrent workers' inserts do not serialise on
+        // disk I/O (the OS orders O_APPEND writes).
+        let dir = self.write_through.lock().expect("cache lock poisoned").clone();
+        if let Some(dir) = dir {
+            if let Err(e) = append_entry(&dir, &key, &value) {
+                eprintln!(
+                    "sweep-cache: write-through append failed for {}: {e}",
+                    segment_path(&dir, key.digest).display()
+                );
+            }
+        }
         self.map.lock().expect("cache lock poisoned").insert(key, value);
     }
 
@@ -130,16 +173,178 @@ impl<V: Clone> SweepCache<V> {
         self.map.lock().expect("cache lock poisoned").clear();
         self.reset_counters();
     }
+
+    /// Arms write-through persistence: the directory is created and every
+    /// *subsequent* [`SweepCache::insert`] appends its entry to the on-disk
+    /// segment for its digest (entries already in memory are not written —
+    /// call [`SweepCache::persist_dir`] for a full snapshot). Later records
+    /// for the same key supersede earlier ones on reload.
+    pub fn write_through(&self, dir: impl Into<PathBuf>) -> std::io::Result<()> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        *self.write_through.lock().expect("cache lock poisoned") = Some(dir);
+        Ok(())
+    }
+
+    /// Writes every entry to `dir` as one JSON-lines segment per config
+    /// digest, replacing those segments wholesale (segments for digests not
+    /// present in memory are left alone). Entries within a segment are
+    /// sorted by `(seed, shard)` and each segment is written to a temporary
+    /// file and renamed into place, so the resulting bytes are a
+    /// deterministic function of the cache contents and a reader never sees
+    /// a half-written segment. Returns the number of entries written.
+    ///
+    /// Do not snapshot into a directory that another thread is concurrently
+    /// appending to via an armed [`SweepCache::write_through`]: the rename
+    /// replaces the segment inode, so an append racing it can land on the
+    /// unlinked file and be lost. Snapshot either a quiescent cache or a
+    /// different directory.
+    pub fn persist_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<usize> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut by_digest: HashMap<u64, Vec<(CacheKey, V)>> = HashMap::new();
+        {
+            let map = self.map.lock().expect("cache lock poisoned");
+            for (key, value) in map.iter() {
+                by_digest.entry(key.digest).or_default().push((*key, value.clone()));
+            }
+        }
+        let mut written = 0;
+        for (digest, mut entries) in by_digest {
+            entries.sort_by_key(|(key, _)| *key);
+            let mut lines = String::new();
+            for (key, value) in &entries {
+                lines.push_str(&record::encode(&entry_payload(key, value)));
+                lines.push('\n');
+            }
+            let path = segment_path(dir, digest);
+            let tmp = path.with_extension("jsonl.tmp");
+            std::fs::write(&tmp, lines)?;
+            std::fs::rename(&tmp, &path)?;
+            written += entries.len();
+        }
+        Ok(written)
+    }
+}
+
+impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
+    /// Loads every segment under `dir` into the cache (later records for
+    /// the same key supersede earlier ones; hit/miss counters are not
+    /// touched). A record is *skipped with a warning on stderr* — never
+    /// trusted, never fatal for its neighbours — when its checksum fails
+    /// (truncated or corrupted line), its payload does not parse as an
+    /// entry, or its stated digest disagrees with the segment filename
+    /// (a record that leaked in from elsewhere must not impersonate this
+    /// configuration). A missing directory loads nothing.
+    pub fn load_dir(&self, dir: impl AsRef<Path>) -> std::io::Result<LoadStats> {
+        let dir = dir.as_ref();
+        let mut stats = LoadStats::default();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| segment_digest(path).is_some())
+            .collect();
+        paths.sort();
+        for path in paths {
+            let digest = segment_digest(&path).expect("paths were filtered on the pattern");
+            let text = std::fs::read_to_string(&path)?;
+            stats.segments += 1;
+            for line in text.lines() {
+                match decode_entry::<V>(line, digest) {
+                    Ok((key, value)) => {
+                        self.map.lock().expect("cache lock poisoned").insert(key, value);
+                        stats.loaded += 1;
+                    }
+                    Err(reason) => {
+                        eprintln!("sweep-cache: skipping record in {}: {reason}", path.display());
+                        stats.skipped += 1;
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// What [`SweepCache::load_dir`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Segment files read.
+    pub segments: usize,
+    /// Records loaded into the cache.
+    pub loaded: usize,
+    /// Records rejected (bad checksum, unparseable payload, or digest
+    /// mismatch) and skipped.
+    pub skipped: usize,
+}
+
+/// The on-disk filename of a digest's segment.
+fn segment_path(dir: &Path, digest: u64) -> PathBuf {
+    dir.join(format!("seg-{digest:016x}.jsonl"))
+}
+
+/// Parses a segment filename back into its digest; `None` for anything
+/// that is not a segment (temp files, foreign data).
+fn segment_digest(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let hex = name.strip_prefix("seg-")?.strip_suffix(".jsonl")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Serialises one entry as the record payload: the key fields (digest
+/// included, so a record can prove it belongs to its segment) plus the
+/// value.
+fn entry_payload<V: Serialize>(key: &CacheKey, value: &V) -> String {
+    let entry = serde::Value::Object(vec![
+        ("key".to_string(), key.to_value()),
+        ("value".to_string(), value.to_value()),
+    ]);
+    serde_json::to_string(&entry).expect("entry serializes")
+}
+
+/// Decodes one segment line into an entry, enforcing checksum and digest.
+fn decode_entry<V: Deserialize>(line: &str, segment: u64) -> Result<(CacheKey, V), String> {
+    let payload = record::decode(line).map_err(|e| e.to_string())?;
+    let value = serde_json::value_from_str(payload).map_err(|e| format!("bad JSON: {e}"))?;
+    let key = value.get("key").ok_or("missing key")?;
+    let key = CacheKey::from_value(key).map_err(|e| format!("bad key: {e}"))?;
+    if key.digest != segment {
+        return Err(format!("digest {:016x} does not match segment {:016x}", key.digest, segment));
+    }
+    let v = value.get("value").ok_or("missing value")?;
+    let v = V::from_value(v).map_err(|e| format!("bad value: {e}"))?;
+    Ok((key, v))
+}
+
+/// Appends one entry to its segment (write-through path).
+fn append_entry<V: Serialize>(dir: &Path, key: &CacheKey, value: &V) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .append(true)
+        .create(true)
+        .open(segment_path(dir, key.digest))?;
+    let mut line = record::encode(&entry_payload(key, value));
+    line.push('\n');
+    file.write_all(line.as_bytes())
 }
 
 impl<V: Clone> Clone for SweepCache<V> {
-    /// Clones the *entries* with fresh (zeroed) counters: a snapshot for
-    /// measuring how a warmed cache behaves under a new workload.
+    /// Clones the *entries* with fresh (zeroed) counters and no
+    /// write-through (a snapshot must not race the original for segment
+    /// appends): a snapshot for measuring how a warmed cache behaves under
+    /// a new workload.
     fn clone(&self) -> Self {
         Self {
             map: Mutex::new(self.map.lock().expect("cache lock poisoned").clone()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            write_through: Mutex::new(None),
         }
     }
 }
@@ -151,6 +356,150 @@ mod tests {
 
     fn config() -> SimConfig {
         SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap()
+    }
+
+    /// A unique scratch directory for one test, removed on drop.
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let dir =
+                std::env::temp_dir().join(format!("ltds-cache-{tag}-{}-{n}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create temp dir");
+            Self(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn filled_cache() -> SweepCache<f64> {
+        let cache = SweepCache::new();
+        for digest in [1u64, 2, u64::MAX - 3] {
+            for shard in 0..4u32 {
+                let key = CacheKey { digest, seed: 9, shard };
+                cache.insert(key, digest as f64 + 0.125 * shard as f64);
+            }
+        }
+        cache
+    }
+
+    #[test]
+    fn persist_then_load_restores_every_entry_bit_identically() {
+        let dir = TempDir::new("roundtrip");
+        let original = filled_cache();
+        assert_eq!(original.persist_dir(dir.path()).unwrap(), 12);
+
+        let restored: SweepCache<f64> = SweepCache::new();
+        let stats = restored.load_dir(dir.path()).unwrap();
+        assert_eq!(stats, LoadStats { segments: 3, loaded: 12, skipped: 0 });
+        assert_eq!(restored.len(), original.len());
+        assert_eq!((restored.hits(), restored.misses()), (0, 0), "loading is not a lookup");
+        for digest in [1u64, 2, u64::MAX - 3] {
+            for shard in 0..4u32 {
+                let key = CacheKey { digest, seed: 9, shard };
+                let want = original.get(&key).unwrap();
+                assert_eq!(restored.get(&key).unwrap().to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn persist_is_deterministic_bytes() {
+        let a = TempDir::new("det-a");
+        let b = TempDir::new("det-b");
+        filled_cache().persist_dir(a.path()).unwrap();
+        filled_cache().persist_dir(b.path()).unwrap();
+        for digest in [1u64, 2, u64::MAX - 3] {
+            let file_a = std::fs::read(segment_path(a.path(), digest)).unwrap();
+            let file_b = std::fs::read(segment_path(b.path(), digest)).unwrap();
+            assert_eq!(file_a, file_b, "segment bytes must be reproducible");
+            assert!(!file_a.is_empty());
+        }
+    }
+
+    #[test]
+    fn write_through_appends_match_a_full_persist_on_reload() {
+        let wt = TempDir::new("wt");
+        let cache: SweepCache<f64> = SweepCache::new();
+        cache.write_through(wt.path()).unwrap();
+        for shard in 0..4u32 {
+            cache.insert(CacheKey { digest: 5, seed: 1, shard }, 1.5 * shard as f64);
+        }
+        // Re-inserting a key appends a superseding record: last one wins.
+        cache.insert(CacheKey { digest: 5, seed: 1, shard: 2 }, 99.0);
+
+        let reloaded: SweepCache<f64> = SweepCache::new();
+        let stats = reloaded.load_dir(wt.path()).unwrap();
+        assert_eq!(stats.loaded, 5, "every append is a record");
+        assert_eq!(reloaded.len(), 4, "later records supersede earlier ones");
+        assert_eq!(reloaded.get(&CacheKey { digest: 5, seed: 1, shard: 2 }), Some(99.0));
+        assert_eq!(reloaded.get(&CacheKey { digest: 5, seed: 1, shard: 0 }), Some(0.0));
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_without_poisoning_the_segment() {
+        let dir = TempDir::new("truncated");
+        let cache: SweepCache<f64> = SweepCache::new();
+        for shard in 0..3u32 {
+            cache.insert(CacheKey { digest: 7, seed: 2, shard }, shard as f64);
+        }
+        cache.persist_dir(dir.path()).unwrap();
+
+        // Chop the file mid-way through the last record, as a kill during
+        // an append would.
+        let path = segment_path(dir.path(), 7);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+
+        let reloaded: SweepCache<f64> = SweepCache::new();
+        let stats = reloaded.load_dir(dir.path()).unwrap();
+        assert_eq!(stats.loaded, 2, "the intact records load");
+        assert_eq!(stats.skipped, 1, "the truncated tail is rejected");
+        assert_eq!(reloaded.get(&CacheKey { digest: 7, seed: 2, shard: 0 }), Some(0.0));
+        assert_eq!(reloaded.get(&CacheKey { digest: 7, seed: 2, shard: 1 }), Some(1.0));
+        assert_eq!(reloaded.get(&CacheKey { digest: 7, seed: 2, shard: 2 }), None);
+    }
+
+    #[test]
+    fn digest_mismatch_is_rejected_even_with_a_valid_checksum() {
+        let dir = TempDir::new("mismatch");
+        let cache: SweepCache<f64> = SweepCache::new();
+        cache.insert(CacheKey { digest: 3, seed: 0, shard: 0 }, 42.0);
+        cache.persist_dir(dir.path()).unwrap();
+
+        // Rename the segment so the (checksum-valid) record's digest no
+        // longer matches the file it claims to live in.
+        let from = segment_path(dir.path(), 3);
+        let to = segment_path(dir.path(), 4);
+        std::fs::rename(&from, &to).unwrap();
+
+        let reloaded: SweepCache<f64> = SweepCache::new();
+        let stats = reloaded.load_dir(dir.path()).unwrap();
+        assert_eq!(stats, LoadStats { segments: 1, loaded: 0, skipped: 1 });
+        assert!(reloaded.is_empty());
+    }
+
+    #[test]
+    fn foreign_files_and_missing_dirs_are_ignored() {
+        let dir = TempDir::new("foreign");
+        std::fs::write(dir.path().join("README.txt"), "not a segment").unwrap();
+        std::fs::write(dir.path().join("seg-zz.jsonl"), "also not one").unwrap();
+        let cache: SweepCache<f64> = SweepCache::new();
+        assert_eq!(cache.load_dir(dir.path()).unwrap(), LoadStats::default());
+        assert_eq!(
+            cache.load_dir(dir.path().join("does-not-exist")).unwrap(),
+            LoadStats::default()
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * [`sweep`] — parameter sweeps producing the series used by experiments;
 //! * [`cache`] — content-addressed memoisation of sweep points (and, via
 //!   `ltds-fleet`, per-shard fleet outcomes) so refining a grid reuses
-//!   every point already simulated;
+//!   every point already simulated — persistable to a directory of
+//!   checksummed JSON-lines segments, so the reuse survives restarts;
+//! * [`campaign`] — many related sweeps and fleet scenarios as one spec,
+//!   executed by a work-stealing worker pool with in-order incremental
+//!   report streaming;
 //! * [`validate`] — side-by-side comparison with the closed-form model.
 //!
 //! # Example
@@ -37,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod campaign;
 pub mod config;
 pub mod monte_carlo;
 pub mod replica;
@@ -44,7 +49,11 @@ pub mod sweep;
 pub mod trial;
 pub mod validate;
 
-pub use cache::{CacheKey, ConfigDigest, SweepCache};
+pub use cache::{CacheKey, ConfigDigest, LoadStats, SweepCache};
+pub use campaign::{
+    Campaign, CampaignDriver, CampaignSummary, JsonlSink, MemorySink, ReportSink, Scenario,
+    StreamRecord, SweepSpec,
+};
 pub use config::SimConfig;
 pub use monte_carlo::{MonteCarlo, MttdlEstimate};
 pub use trial::{TrialOutcome, TrialRunner};

@@ -25,6 +25,17 @@ pub struct SweepPoint {
     pub ci_half_width: f64,
 }
 
+impl SweepPoint {
+    /// Projects a Monte-Carlo estimate onto one grid point.
+    pub fn from_estimate(x: f64, est: &MttdlEstimate) -> Self {
+        Self {
+            x,
+            mttdl_hours: est.mttdl_hours.estimate,
+            ci_half_width: est.mttdl_hours.half_width(),
+        }
+    }
+}
+
 /// Drives a family of Monte-Carlo runs over a parameter grid.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepDriver<'a> {
@@ -40,11 +51,15 @@ pub struct SweepDriver<'a> {
 /// because different thread counts merge per-worker statistics in a
 /// different order (bit-level divergence), so a cache entry only ever
 /// answers for the execution shape that produced it.
+///
+/// Shared with `crate::campaign`, whose single-threaded grid-point work
+/// units digest `threads: Some(1)` — so a campaign and a
+/// `SweepDriver::threads(1)` sweep address the same cache entries.
 #[derive(Serialize)]
-struct PointRequest {
-    config: SimConfig,
-    trials: u64,
-    threads: Option<usize>,
+pub(crate) struct PointRequest {
+    pub(crate) config: SimConfig,
+    pub(crate) trials: u64,
+    pub(crate) threads: Option<usize>,
 }
 
 impl<'a> SweepDriver<'a> {
@@ -99,11 +114,7 @@ impl<'a> SweepDriver<'a> {
     }
 
     fn point(x: f64, est: &MttdlEstimate) -> SweepPoint {
-        SweepPoint {
-            x,
-            mttdl_hours: est.mttdl_hours.estimate,
-            ci_half_width: est.mttdl_hours.half_width(),
-        }
+        SweepPoint::from_estimate(x, est)
     }
 
     /// Sweeps the scrub period (hours) for a mirrored pair and reports the

@@ -1,0 +1,158 @@
+//! Property-based tests for campaign resume: a campaign killed after K of
+//! N work units and restarted from its persisted caches must stream a
+//! final report byte-identical to an uninterrupted run — across 1, 2 and 8
+//! worker threads, and across the on-disk save/load boundary.
+
+mod common;
+
+use common::TempDir;
+use ltds::fleet::{FleetCampaign, FleetConfig, FleetScenario, FleetTopology, ShardCache};
+use ltds::sim::cache::SweepCache;
+use ltds::sim::campaign::{Campaign, CampaignDriver, MemorySink, SweepAxis, SweepSpec};
+use ltds::sim::config::SimConfig;
+use ltds::sim::MttdlEstimate;
+use proptest::prelude::*;
+
+/// A small but mixed campaign — two sweeps plus a fragile fleet scenario —
+/// fast enough to run several times per proptest case.
+fn small_campaign(seed: u64, groups: usize, shards: usize) -> FleetCampaign {
+    let group = SimConfig::mirrored_disks(1_000.0, 5_000.0, 10.0, 10.0, Some(100.0), 1.0)
+        .expect("valid group");
+    let topology = FleetTopology::new(2, 2, 1, 4).expect("valid topology");
+    let fleet = FleetConfig::new(topology, groups, group)
+        .expect("valid fleet")
+        .with_horizon_hours(8_000.0)
+        .with_shards(shards);
+    Campaign {
+        name: "resume-test".to_string(),
+        sweeps: vec![
+            SweepSpec {
+                name: "scrub".to_string(),
+                base: group,
+                axis: SweepAxis::ScrubPeriod { periods_hours: vec![40.0, 400.0, f64::INFINITY] },
+                trials: 80,
+                seed,
+            },
+            SweepSpec {
+                name: "alpha".to_string(),
+                base: group,
+                axis: SweepAxis::Alpha { alphas: vec![1.0, 0.2] },
+                trials: 60,
+                seed: seed.wrapping_add(1),
+            },
+        ],
+        scenarios: vec![FleetScenario { name: "fleet".to_string(), fleet, seed }],
+    }
+}
+
+proptest! {
+    /// Kill after K units (write-through caches persist what completed),
+    /// then resume from a fresh load of the cache directory: the resumed
+    /// stream must be byte-identical to an uninterrupted run for every
+    /// thread count, with exactly the K completed units answered from disk.
+    #[test]
+    fn killed_campaign_resumes_to_a_byte_identical_stream(
+        seed in 0u64..500,
+        kill_after in 1usize..10,
+        groups in 10usize..40,
+        shards in 1usize..6,
+    ) {
+        let campaign = small_campaign(seed, groups, shards);
+
+        // The uninterrupted reference, no caches involved.
+        let mut reference = MemorySink::new();
+        let summary = CampaignDriver::new(&campaign).threads(1).run(&mut reference).unwrap();
+        let units_total = summary.units_total;
+        let reference = reference.to_jsonl();
+        let kill_after = kill_after.min(units_total);
+
+        // The killed run: write-through caches, stopped after K units.
+        let dir = TempDir::new("campaign");
+        {
+            let points: SweepCache<MttdlEstimate> = SweepCache::new();
+            let shard_cache = ShardCache::new();
+            points.write_through(dir.join("points")).unwrap();
+            shard_cache.write_through(dir.join("shards")).unwrap();
+            let mut partial = MemorySink::new();
+            let summary = CampaignDriver::new(&campaign)
+                .threads(2)
+                .point_cache(&points)
+                .shard_cache(&shard_cache)
+                .max_units(kill_after)
+                .run(&mut partial)
+                .unwrap();
+            prop_assert_eq!(summary.units_run, kill_after);
+            prop_assert!(
+                reference.starts_with(&partial.to_jsonl()),
+                "the partial stream must be a prefix of the reference"
+            );
+        }
+
+        // Resume in a "new process": fresh caches loaded from disk.
+        for threads in [1usize, 2, 8] {
+            let points: SweepCache<MttdlEstimate> = SweepCache::new();
+            let shard_cache = ShardCache::new();
+            points.load_dir(dir.join("points")).unwrap();
+            shard_cache.load_dir(dir.join("shards")).unwrap();
+            let mut resumed = MemorySink::new();
+            let summary = CampaignDriver::new(&campaign)
+                .threads(threads)
+                .point_cache(&points)
+                .shard_cache(&shard_cache)
+                .run(&mut resumed)
+                .unwrap();
+            prop_assert_eq!(summary.units_run, units_total);
+            prop_assert_eq!(
+                summary.cache_hits, kill_after as u64,
+                "exactly the completed units must be answered from disk"
+            );
+            prop_assert_eq!(
+                resumed.to_jsonl(),
+                reference.clone(),
+                "resume at {} threads diverged from the uninterrupted run",
+                threads
+            );
+        }
+    }
+
+    /// Interrupting at *every* point of a tiny campaign, resuming each
+    /// time: no kill point corrupts the stream (a denser sweep of the same
+    /// property, one thread count).
+    #[test]
+    fn every_kill_point_resumes_cleanly(seed in 0u64..200) {
+        let campaign = small_campaign(seed, 12, 2);
+        let mut reference = MemorySink::new();
+        let total =
+            CampaignDriver::new(&campaign).threads(1).run(&mut reference).unwrap().units_total;
+        let reference = reference.to_jsonl();
+
+        let dir = TempDir::new("campaign");
+        let points: SweepCache<MttdlEstimate> = SweepCache::new();
+        let shard_cache = ShardCache::new();
+        points.write_through(dir.join("points")).unwrap();
+        shard_cache.write_through(dir.join("shards")).unwrap();
+        let driver = CampaignDriver::new(&campaign)
+            .threads(2)
+            .point_cache(&points)
+            .shard_cache(&shard_cache);
+        // Kill later and later; every restart continues from the previous
+        // kills' accumulated cache (still write-through the whole time).
+        for k in 1..=total {
+            driver.max_units(k).run(&mut MemorySink::new()).unwrap();
+        }
+        // Final resume from disk only.
+        let fresh_points: SweepCache<MttdlEstimate> = SweepCache::new();
+        let fresh_shards = ShardCache::new();
+        fresh_points.load_dir(dir.join("points")).unwrap();
+        fresh_shards.load_dir(dir.join("shards")).unwrap();
+        let mut resumed = MemorySink::new();
+        let summary = CampaignDriver::new(&campaign)
+            .threads(8)
+            .point_cache(&fresh_points)
+            .shard_cache(&fresh_shards)
+            .run(&mut resumed)
+            .unwrap();
+        prop_assert_eq!(summary.cache_misses, 0, "every unit was eventually completed");
+        prop_assert_eq!(resumed.to_jsonl(), reference);
+    }
+}

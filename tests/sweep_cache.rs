@@ -1,8 +1,11 @@
 //! Property-based tests for the content-addressed sweep cache: cache-warm
 //! runs must be bit-identical to cold runs at every thread count, and
 //! extending a grid axis must reuse (and count) everything already
-//! simulated.
+//! simulated — including across an on-disk save/load boundary.
 
+mod common;
+
+use common::TempDir;
 use ltds::fleet::{FleetConfig, FleetSim, FleetTopology, ShardCache};
 use ltds::sim::cache::{ConfigDigest, SweepCache};
 use ltds::sim::config::SimConfig;
@@ -100,6 +103,51 @@ proptest! {
         prop_assert_eq!(cache.len(), config.shards);
         prop_assert_eq!(cache.hits(), 2 * config.shards as u64);
         prop_assert_eq!(cache.misses(), config.shards as u64);
+    }
+
+    /// The PR 3 warm==cold property, extended across a save/load boundary:
+    /// a shard cache persisted to disk and loaded by a "new process" must
+    /// reproduce the cold report bit-identically at every thread count,
+    /// hitting every shard.
+    #[test]
+    fn persisted_shard_cache_is_bit_identical_across_a_process_boundary(
+        config in arb_fleet(),
+        seed in 0u64..1_000,
+    ) {
+        let cold = FleetSim::new(config).seed(seed).threads(1).run().unwrap();
+        let cold_json = serde_json::to_string(&cold).unwrap();
+
+        // Fill via write-through (the incremental persistence path).
+        let dir = TempDir::new("sweep");
+        let cache = ShardCache::new();
+        cache.write_through(dir.path()).unwrap();
+        FleetSim::new(config).seed(seed).run_cached(&cache).unwrap();
+
+        // A full snapshot must load back just the same as the appends.
+        let snapshot = TempDir::new("sweep-snap");
+        assert_eq!(cache.persist_dir(snapshot.path()).unwrap(), config.shards);
+
+        for source in [&dir, &snapshot] {
+            for threads in [1usize, 2, 8] {
+                let reloaded = ShardCache::new();
+                let stats = reloaded.load_dir(source.path()).unwrap();
+                prop_assert_eq!(stats.loaded, config.shards);
+                prop_assert_eq!(stats.skipped, 0);
+                let warm = FleetSim::new(config)
+                    .seed(seed)
+                    .threads(threads)
+                    .run_cached(&reloaded)
+                    .unwrap();
+                prop_assert_eq!(reloaded.hits() as usize, config.shards);
+                prop_assert_eq!(reloaded.misses(), 0);
+                prop_assert_eq!(
+                    serde_json::to_string(&warm).unwrap(),
+                    cold_json.clone(),
+                    "reloaded cache diverged at {} threads",
+                    threads
+                );
+            }
+        }
     }
 
     /// Growing the fleet (a config change) shares nothing; re-running any

@@ -1,0 +1,228 @@
+//! Offline subset of `crossbeam-channel`: an unbounded multi-producer,
+//! multi-consumer FIFO channel.
+//!
+//! Implemented over `Mutex<VecDeque>` + `Condvar` instead of crossbeam's
+//! lock-free segments — the workspace uses channels to ship simulation work
+//! units that each cost micro- to milliseconds, so queue overhead is
+//! irrelevant; what matters is the API contract:
+//!
+//! * [`Sender`] and [`Receiver`] are both `Clone` (MPMC);
+//! * [`Receiver::recv`] blocks until a message arrives or every sender is
+//!   dropped (then returns [`RecvError`]);
+//! * [`Sender::send`] fails only once every receiver is gone.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped;
+/// carries the unsent message back, matching crossbeam's signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+/// The sending half of an unbounded channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of an unbounded channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates an unbounded MPMC FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+        ready: Condvar::new(),
+    });
+    (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Appends a message to the channel. Fails (returning the message) only
+    /// if every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        if state.receivers == 0 {
+            return Err(SendError(value));
+        }
+        state.items.push_back(value);
+        drop(state);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock poisoned").senders += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake every blocked receiver so it can observe disconnection.
+            self.shared.ready.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message is available or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Ok(item);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self.shared.ready.wait(state).expect("channel lock poisoned");
+        }
+    }
+
+    /// Pops a message if one is immediately available.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.queue.lock().expect("channel lock poisoned");
+        match state.items.pop_front() {
+            Some(item) => Ok(item),
+            None if state.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.queue.lock().expect("channel lock poisoned").receivers += 1;
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.queue.lock().expect("channel lock poisoned").receivers -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_a_single_consumer() {
+        let (tx, rx) = unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = std::iter::from_fn(|| rx.recv().ok()).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn multiple_consumers_drain_everything_exactly_once() {
+        let (tx, rx) = unbounded();
+        let n = 1000u64;
+        for i in 0..n {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move || {
+                        let mut sum = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send_and_on_disconnect() {
+        let (tx, rx) = unbounded();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(7u8).unwrap();
+            assert_eq!(h.join().unwrap(), Ok(7));
+            let h = s.spawn(|| rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            drop(tx);
+            assert_eq!(h.join().unwrap(), Err(RecvError));
+        });
+    }
+
+    #[test]
+    fn send_fails_once_receivers_are_gone() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1u8), Err(SendError(1)));
+    }
+
+    #[test]
+    fn try_recv_reports_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(3));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

@@ -1,6 +1,8 @@
 //! Offline subset of `crossbeam`: the `scope` API, implemented on top of
 //! `std::thread::scope` (stabilised in Rust 1.63, long after crossbeam's
-//! scoped threads were written).
+//! scoped threads were written), plus an unbounded MPMC [`channel`].
+
+pub mod channel;
 
 use std::any::Any;
 

@@ -229,7 +229,7 @@ pub fn any<T: Arbitrary>() -> T::Strategy {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count specification accepted by [`vec`].
+    /// Element-count specification accepted by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
