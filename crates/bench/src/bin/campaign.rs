@@ -8,11 +8,19 @@
 //!     [--spec FILE.json]    # FleetCampaign spec; default: the built-in demo
 //!     [--cache-dir DIR]     # persistent cache (loaded, then written through)
 //!     [--out FILE.jsonl]    # streamed report (default campaign.jsonl)
+//!     [--fleet-reports DIR] # also write merged per-scenario FleetReports
 //!     [--threads N]         # worker threads (default: all cores)
 //!     [--max-units K]       # stop after K work units ("kill" the campaign)
 //!     [--expect-hits N]     # exit 1 unless the caches answered >= N units
 //!     [--expect-misses N]   # exit 1 if more than N units were simulated
 //! ```
+//!
+//! `--fleet-reports DIR` collects the streamed fleet shards as they pass
+//! through the sink and, after the run, folds each fully streamed scenario
+//! into the merged [`ltds_fleet::FleetReport`] the engine would have
+//! produced (bit-identical — `PreparedFleet::report` merges in shard
+//! order), written as `DIR/<scenario>.json`. Scenarios truncated by
+//! `--max-units` are skipped with a warning.
 //!
 //! The cache directory holds two segment stores —
 //! `<dir>/points/seg-<digest>.jsonl` for sweep grid points and
@@ -29,9 +37,9 @@
 //! what CI asserts against.
 
 use ltds_bench::workloads;
-use ltds_fleet::{FleetCampaign, ShardCache};
+use ltds_fleet::{FleetCampaign, FleetReportCollector, ShardCache};
 use ltds_sim::cache::SweepCache;
-use ltds_sim::campaign::{CampaignDriver, JsonlSink};
+use ltds_sim::campaign::{CampaignDriver, JsonlSink, ReportSink};
 use std::io::Write;
 use std::path::PathBuf;
 
@@ -43,6 +51,7 @@ fn fail(message: impl std::fmt::Display) -> ! {
 fn main() {
     let mut spec_path: Option<String> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut fleet_reports: Option<PathBuf> = None;
     let mut out_path = String::from("campaign.jsonl");
     let mut threads: Option<usize> = None;
     let mut max_units: Option<usize> = None;
@@ -59,6 +68,9 @@ fn main() {
         match args[i].as_str() {
             "--spec" => spec_path = Some(value(&args, &mut i, "--spec")),
             "--cache-dir" => cache_dir = Some(PathBuf::from(value(&args, &mut i, "--cache-dir"))),
+            "--fleet-reports" => {
+                fleet_reports = Some(PathBuf::from(value(&args, &mut i, "--fleet-reports")))
+            }
             "--out" => out_path = value(&args, &mut i, "--out"),
             "--threads" => {
                 threads = Some(
@@ -145,7 +157,42 @@ fn main() {
     if let Some(k) = max_units {
         driver = driver.max_units(k);
     }
-    let summary = match driver.run(&mut sink) {
+    // With --fleet-reports the sink is teed through a collector that
+    // gathers fleet shards for the merged per-scenario reports.
+    let result = match &fleet_reports {
+        Some(dir) => {
+            let mut collector = FleetReportCollector::new(&mut sink);
+            let result = driver.run(&mut collector);
+            if result.is_ok() {
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
+                let reports = collector
+                    .reports(&campaign)
+                    .unwrap_or_else(|e| fail(format!("cannot merge fleet reports: {e}")));
+                for (name, report) in &reports {
+                    // Scenario names come from specs; keep the filename tame.
+                    let safe: String = name
+                        .chars()
+                        .map(|c| {
+                            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                                c
+                            } else {
+                                '_'
+                            }
+                        })
+                        .collect();
+                    let path = dir.join(format!("{safe}.json"));
+                    let json = serde_json::to_string_pretty(report).expect("report serializes");
+                    std::fs::write(&path, json + "\n")
+                        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", path.display())));
+                    eprintln!("fleet report `{name}` -> {}", path.display());
+                }
+            }
+            result
+        }
+        None => driver.run(&mut sink as &mut dyn ReportSink),
+    };
+    let summary = match result {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("campaign failed: {e}");

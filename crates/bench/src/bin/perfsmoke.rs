@@ -6,7 +6,11 @@
 //!   1 000-drive enterprise fleet at 100k / 10k replica groups (the 100k
 //!   variant is setup-dominated, so it tracks the thinned initial draw);
 //! * `event_dense_2k` — the event-dense small fleet (raw kernel throughput);
+//! * `dense_5k` — the mid-density sharded fleet whose per-shard queues sit
+//!   at the heap → calendar crossover;
 //! * `mc_10k_trials` — 10 000 Monte-Carlo trials of the canonical group;
+//! * `mc_ziggurat` — 10 000 trials of the correlated (draw-dominated)
+//!   group pinned to the ziggurat discipline;
 //! * `e15_sweep` — the E15 fleet-disaster experiment end to end;
 //! * `sweep_16_cold` — the refined 16-point scrub-period grid, simulated
 //!   from scratch;
@@ -32,11 +36,17 @@
 //! Each workload runs `--repeat` times and the best wall time is kept (the
 //! workloads are deterministic, so the minimum is the cleanest estimate of
 //! the true cost). `--baseline` embeds a previously recorded file under a
-//! `"baseline"` key so a single artifact carries the perf trajectory.
+//! `"baseline"` key so a single artifact carries the perf trajectory; when
+//! a baseline is present, every shared workload also records
+//! `ratio_vs_baseline` (current / baseline wall time, > 1 = regressed) and
+//! a one-line-per-workload regression table prints after the runs — so a
+//! quiet regression against the embedded baseline is visible in both the
+//! JSON and the console, not just discoverable by diffing files.
 //! `--check` exits non-zero on order-of-magnitude regressions: generous
-//! absolute ceilings on the setup-dominated 100k-group fleet-year and the
-//! cold sweep, plus a *relative* tripwire — `sweep_refine` must cost less
-//! than half of `sweep_16_cold`, or the cache has stopped reusing shards.
+//! absolute ceilings on the setup-dominated 100k-group fleet-year, the
+//! cold sweep and the dense event-loop workloads, plus a *relative*
+//! tripwire — `sweep_refine` must cost less than half of `sweep_16_cold`,
+//! or the cache has stopped reusing shards.
 
 use ltds_bench::workloads;
 use ltds_fleet::FleetSim;
@@ -55,6 +65,13 @@ const FLEET_YEAR_CEILING_MS: f64 = 10_000.0;
 /// Absolute ceiling for `--check` on the cold 16-point sweep, in
 /// milliseconds — the same "catastrophe only" philosophy.
 const SWEEP_COLD_CEILING_MS: f64 = 20_000.0;
+
+/// Ceilings for `--check` on the dense event-loop workloads, in
+/// milliseconds. These became the hot paths once setup was thinned
+/// (PR 3/PR 5), so they get their own catastrophe tripwires: normal runs
+/// are three orders of magnitude below.
+const EVENT_DENSE_CEILING_MS: f64 = 30_000.0;
+const DENSE_1SHARD_CEILING_MS: f64 = 20_000.0;
 
 /// `--check` requires `sweep_refine` to cost less than this fraction of
 /// `sweep_16_cold`. With 12 of 16 points cached the expected ratio is
@@ -79,6 +96,10 @@ struct WorkloadResult {
     work_items: u64,
     /// `work_items / wall`, in items per second.
     items_per_sec: f64,
+    /// `wall_ms / baseline wall_ms` for the same workload in the embedded
+    /// baseline (> 1 = slower than the baseline). Absent without a
+    /// baseline or for workloads the baseline did not measure.
+    ratio_vs_baseline: Option<f64>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -107,11 +128,17 @@ fn time_workload(name: &str, repeats: u32, mut run: impl FnMut() -> u64) -> Work
     }
     let items_per_sec = work_items as f64 / (best_ms / 1e3);
     eprintln!("{name:>18}: {best_ms:9.2} ms  ({work_items} items, {items_per_sec:.0}/s)");
-    WorkloadResult { name: name.to_string(), wall_ms: best_ms, work_items, items_per_sec }
+    WorkloadResult {
+        name: name.to_string(),
+        wall_ms: best_ms,
+        work_items,
+        items_per_sec,
+        ratio_vs_baseline: None,
+    }
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR4.json");
+    let mut out_path = String::from("BENCH_PR5.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -159,6 +186,14 @@ fn main() {
                 .totals
                 .events
         }),
+        time_workload("dense_5k", repeats, || {
+            FleetSim::new(workloads::event_dense_fleet_5k())
+                .seed(1)
+                .run()
+                .expect("fleet run succeeds")
+                .totals
+                .events
+        }),
         time_workload("dense_1shard", repeats, || {
             FleetSim::new(workloads::event_dense_single_shard())
                 .seed(1)
@@ -169,6 +204,10 @@ fn main() {
         }),
         time_workload("mc_10k_trials", repeats, || {
             let est = MonteCarlo::new(workloads::mc_group()).trials(10_000).seed(1).run();
+            est.completed_trials + est.censored_trials
+        }),
+        time_workload("mc_ziggurat", repeats, || {
+            let est = MonteCarlo::new(workloads::mc_ziggurat_group()).trials(10_000).seed(1).run();
             est.completed_trials + est.censored_trials
         }),
         time_workload("e15_sweep", repeats, || {
@@ -275,6 +314,32 @@ fn main() {
         Box::new(report)
     });
 
+    // Resolve each workload against the embedded baseline and print the
+    // regression table: a quiet slide against the baseline must be visible
+    // in the run output, not just discoverable by diffing JSON files.
+    if let Some(baseline) = &baseline {
+        eprintln!("\n{:>18}  {:>10}  {:>10}  {:>7}", "vs baseline", "now", "base", "ratio");
+        for result in results.iter_mut() {
+            let Some(base) = baseline.workloads.iter().find(|w| w.name == result.name) else {
+                continue;
+            };
+            let ratio = result.wall_ms / base.wall_ms;
+            result.ratio_vs_baseline = Some(ratio);
+            let flag = if ratio > 1.1 {
+                "  <-- REGRESSED"
+            } else if ratio < 1.0 / 1.5 {
+                "  (>=1.5x faster)"
+            } else {
+                ""
+            };
+            eprintln!(
+                "{:>18}  {:>8.2}ms  {:>8.2}ms  {:>6.2}x{flag}",
+                result.name, result.wall_ms, base.wall_ms, ratio
+            );
+        }
+        eprintln!();
+    }
+
     let report = PerfReport {
         schema: "ltds-perfsmoke/1".to_string(),
         repeats,
@@ -308,6 +373,8 @@ fn main() {
         };
         ceiling("fleet_year_100k", FLEET_YEAR_CEILING_MS);
         ceiling("sweep_16_cold", SWEEP_COLD_CEILING_MS);
+        ceiling("event_dense_2k", EVENT_DENSE_CEILING_MS);
+        ceiling("dense_1shard", DENSE_1SHARD_CEILING_MS);
         let mut warm_ratio = |warm_name: &str, cold_name: &str, max: f64, what: &str| {
             let cold = measured(cold_name).wall_ms;
             let warm = measured(warm_name).wall_ms;

@@ -57,11 +57,33 @@ pub fn event_dense_single_shard() -> FleetConfig {
         .with_shards(1)
 }
 
+/// A mid-density sharded fleet (5 000 fragile groups over the default 64
+/// shards): per-shard queues sit right around the heap → calendar
+/// migration threshold, so this measures the adaptive scheduler's
+/// crossover regime that neither `event_dense_2k` (small heaps) nor
+/// `dense_1shard` (one huge calendar) covers.
+pub fn event_dense_fleet_5k() -> FleetConfig {
+    let topology = FleetTopology::new(2, 2, 2, 8).expect("valid topology");
+    let group =
+        SimConfig::mirrored_disks(300.0, 1_500.0, 3.0, 3.0, Some(80.0), 1.0).expect("valid group");
+    FleetConfig::new(topology, 5_000, group).expect("valid fleet").with_horizon_hours(8_766.0)
+}
+
 /// The canonical per-group Monte-Carlo configuration: a fragile scrubbed
 /// mirror whose trials finish in microseconds, so a 10k-trial run measures
 /// the per-trial hot path rather than any single enormous trial.
 pub fn mc_group() -> SimConfig {
     SimConfig::mirrored_disks(1_000.0, 5_000.0, 10.0, 10.0, Some(100.0), 1.0).expect("valid config")
+}
+
+/// The draw-heaviest Monte-Carlo shape: a correlated mirror (`α = 0.5`)
+/// explicitly pinned to the ziggurat discipline. Every fault accelerates
+/// and resamples the surviving replica, so exponential draws dominate the
+/// per-trial cost — the workload that isolates the sampler itself.
+pub fn mc_ziggurat_group() -> SimConfig {
+    SimConfig::mirrored_disks(1_000.0, 5_000.0, 10.0, 10.0, Some(100.0), 0.5)
+        .expect("valid config")
+        .with_draw(ltds_sim::DrawDiscipline::Ziggurat)
 }
 
 /// Runs the canonical fleet-year workload once and returns its report.

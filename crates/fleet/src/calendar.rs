@@ -15,6 +15,14 @@
 //! (property-tested in `tests/fleet_properties.rs` against the retained
 //! [`BinaryHeapQueue`]).
 //!
+//! **Storage is flat.** Each ring bucket stores its (statistically ~1)
+//! event *inline* in one contiguous array — a push into an empty bucket is
+//! a single store, and the drain cursor walks adjacent array entries
+//! instead of chasing per-bucket heap allocations. The rare collisions
+//! overflow into an arena-backed linked list (indices, not pointers;
+//! freed nodes recycle through a free list), so no path allocates per
+//! event.
+//!
 //! Calibration is deterministic and content-driven: the queue starts tiny,
 //! grows geometrically with occupancy, re-derives the bucket width from
 //! the stored events' time span at every rebuild (first pop, growth,
@@ -25,19 +33,36 @@
 //! [`BinaryHeapQueue`]: crate::queue::BinaryHeapQueue
 //! [`EventQueue`]: crate::queue::EventQueue
 
-use crate::queue::Event;
+use crate::queue::Packed;
 
 /// Smallest ring size; also the size below which shrinking stops.
 const MIN_BUCKETS: usize = 16;
 /// Largest ring size — bounds rebuild cost for pathological schedules.
 const MAX_BUCKETS: usize = 1 << 20;
+/// Null index in the overflow arena.
+const NONE: u32 = u32::MAX;
 
-/// Calendar queue over [`Event`]s, ordered by `(time, seq)`.
+/// One overflow node: an event plus the index of the next node in its
+/// bucket's chain (or the free list).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    ev: Packed,
+    next: u32,
+}
+
+/// Calendar queue over packed events, ordered by `(time, seq)`.
 #[derive(Debug)]
 pub struct CalendarQueue {
-    /// Ring of buckets; `buckets.len()` is a power of two.
-    buckets: Vec<Vec<Event>>,
-    /// `buckets.len() - 1`, for cheap modular indexing.
+    /// One inline event per bucket ([`Packed::SENTINEL`] = empty);
+    /// `inline.len()` is a power of two.
+    inline: Vec<Packed>,
+    /// Head of each bucket's overflow chain (`NONE` = empty).
+    heads: Vec<u32>,
+    /// Overflow arena; nodes recycle through `free`.
+    nodes: Vec<Node>,
+    /// Free-list head into `nodes`.
+    free: u32,
+    /// `inline.len() - 1`, for cheap modular indexing.
     mask: usize,
     /// Time span covered by one bucket, in event-time units.
     width: f64,
@@ -52,7 +77,7 @@ pub struct CalendarQueue {
     /// Events of the cursor's year, sorted *descending* by `(time, seq)` —
     /// the next event to pop is `front.last()`. Extracted and sorted once
     /// per (bucket, year); same-year pushes insert at their sorted spot.
-    front: Vec<Event>,
+    front: Vec<Packed>,
     /// Occupancy at the last rebuild, for hysteresis on shrinking.
     last_rebuild_count: usize,
     /// Whether the width has been derived from real content yet. The first
@@ -76,15 +101,18 @@ impl Default for CalendarQueue {
 
 /// Descending `(time, seq)` order, so the minimum sits at the back.
 #[inline]
-fn descending(a: &Event, b: &Event) -> std::cmp::Ordering {
-    b.time.total_cmp(&a.time).then_with(|| b.seq.cmp(&a.seq))
+fn descending(a: &Packed, b: &Packed) -> std::cmp::Ordering {
+    b.key().cmp(&a.key())
 }
 
 impl CalendarQueue {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
-            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            inline: vec![Packed::SENTINEL; MIN_BUCKETS],
+            heads: vec![NONE; MIN_BUCKETS],
+            nodes: Vec::new(),
+            free: NONE,
             mask: MIN_BUCKETS - 1,
             width: 1.0,
             inv_width: 1.0,
@@ -116,11 +144,35 @@ impl CalendarQueue {
         (time * self.inv_width) as u64
     }
 
+    /// Stores an event in its ring bucket: inline when the slot is free,
+    /// otherwise onto the bucket's overflow chain (recycling freed nodes).
+    #[inline]
+    fn store(&mut self, abs: u64, event: Packed) {
+        let slot = (abs as usize) & self.mask;
+        let inline = &mut self.inline[slot];
+        if inline.is_sentinel() {
+            *inline = event;
+            return;
+        }
+        let next = self.heads[slot];
+        let idx = if self.free != NONE {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = Node { ev: event, next };
+            idx
+        } else {
+            assert!(self.nodes.len() < NONE as usize, "calendar overflow arena exhausted");
+            self.nodes.push(Node { ev: event, next });
+            (self.nodes.len() - 1) as u32
+        };
+        self.heads[slot] = idx;
+    }
+
     /// Schedules an event. Amortised O(1).
     #[inline]
-    pub fn push(&mut self, event: Event) {
+    pub(crate) fn push(&mut self, event: Packed) {
         self.count += 1;
-        let abs = self.bucket_of(event.time);
+        let abs = self.bucket_of(event.time());
         if abs == self.cursor && !self.front.is_empty() {
             // The cursor's year is staged in the sorted front: keep it
             // sorted by inserting at the event's position.
@@ -135,14 +187,14 @@ impl CalendarQueue {
             self.unstage_front();
             self.cursor = abs;
         }
-        self.buckets[(abs as usize) & self.mask].push(event);
-        if self.count > self.buckets.len() * 2 && self.buckets.len() < MAX_BUCKETS {
+        self.store(abs, event);
+        if self.count > self.inline.len() * 2 && self.inline.len() < MAX_BUCKETS {
             self.rebuild();
         }
     }
 
     /// Pops the earliest event by `(time, seq)`. Amortised O(1).
-    pub fn pop(&mut self) -> Option<Event> {
+    pub(crate) fn pop(&mut self) -> Option<Packed> {
         if self.count == 0 {
             return None;
         }
@@ -155,7 +207,7 @@ impl CalendarQueue {
                 self.count -= 1;
                 self.pops += 1;
                 let shrink =
-                    self.count * 4 < self.last_rebuild_count && self.buckets.len() > MIN_BUCKETS;
+                    self.count * 4 < self.last_rebuild_count && self.inline.len() > MIN_BUCKETS;
                 // Width drift: a healthy calendar scans a handful of
                 // entries/buckets per pop; sustained pressure an order of
                 // magnitude above that means events alias around the ring
@@ -170,16 +222,35 @@ impl CalendarQueue {
             // Stage the cursor's year: extract its events from the bucket
             // and sort them (one sort per bucket-year, however many ties).
             let slot = (self.cursor as usize) & self.mask;
-            let bucket = &mut self.buckets[slot];
-            self.scan_work += bucket.len() as u64 + 1;
-            let mut i = 0;
-            while i < bucket.len() {
-                if (bucket[i].time * self.inv_width) as u64 == self.cursor {
-                    self.front.push(bucket.swap_remove(i));
-                } else {
-                    i += 1;
+            let mut examined = 1u64;
+            let inline = self.inline[slot];
+            if !inline.is_sentinel() {
+                examined += 1;
+                if (inline.time() * self.inv_width) as u64 == self.cursor {
+                    self.front.push(inline);
+                    self.inline[slot] = Packed::SENTINEL;
                 }
             }
+            let mut prev = NONE;
+            let mut cur = self.heads[slot];
+            while cur != NONE {
+                examined += 1;
+                let node = self.nodes[cur as usize];
+                if (node.ev.time() * self.inv_width) as u64 == self.cursor {
+                    self.front.push(node.ev);
+                    if prev == NONE {
+                        self.heads[slot] = node.next;
+                    } else {
+                        self.nodes[prev as usize].next = node.next;
+                    }
+                    self.nodes[cur as usize].next = self.free;
+                    self.free = cur;
+                } else {
+                    prev = cur;
+                }
+                cur = node.next;
+            }
+            self.scan_work += examined;
             if !self.front.is_empty() {
                 self.front.sort_unstable_by(descending);
                 continue;
@@ -199,33 +270,54 @@ impl CalendarQueue {
     /// Earliest scheduled time, if any. O(n) — diagnostics and tests only;
     /// the simulation loop never peeks.
     pub fn peek_time(&self) -> Option<f64> {
-        let staged = self.front.last().map(|e| e.time);
-        let unstaged = self.iter_bucket_events().map(|e| e.time).min_by(f64::total_cmp);
+        let staged = self.front.last().map(Packed::time);
+        let mut unstaged: Option<f64> = None;
+        self.for_each_stored(|ev| {
+            let t = ev.time();
+            unstaged = Some(match unstaged {
+                Some(m) if m <= t => m,
+                _ => t,
+            });
+        });
         match (staged, unstaged) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         }
     }
 
-    fn iter_bucket_events(&self) -> impl Iterator<Item = &Event> {
-        self.buckets.iter().flatten()
+    /// Visits every event stored in the ring (inline slots and live
+    /// overflow chains; the staged front is *not* included).
+    fn for_each_stored(&self, mut f: impl FnMut(&Packed)) {
+        for ev in &self.inline {
+            if !ev.is_sentinel() {
+                f(ev);
+            }
+        }
+        for &head in &self.heads {
+            let mut cur = head;
+            while cur != NONE {
+                let node = &self.nodes[cur as usize];
+                f(&node.ev);
+                cur = node.next;
+            }
+        }
     }
 
-    /// Returns the staged front to its bucket (before a cursor rewind or a
-    /// rebuild).
+    /// Returns the staged front to its ring bucket (before a cursor rewind
+    /// or a rebuild). The front only ever holds the cursor's year.
     fn unstage_front(&mut self) {
-        let slot = (self.cursor as usize) & self.mask;
+        let cursor = self.cursor;
         let front = std::mem::take(&mut self.front);
-        self.buckets[slot].extend(front);
+        for ev in front {
+            self.store(cursor, ev);
+        }
     }
 
     /// Smallest absolute bucket index holding an event. Caller guarantees
     /// the buckets are non-empty (front exhausted).
     fn min_bucket(&self) -> u64 {
         let mut min = u64::MAX;
-        for ev in self.iter_bucket_events() {
-            min = min.min(self.bucket_of(ev.time));
-        }
+        self.for_each_stored(|ev| min = min.min(self.bucket_of(ev.time())));
         min
     }
 
@@ -244,12 +336,14 @@ impl CalendarQueue {
         self.scan_work = 0;
         let target = self.count.next_power_of_two().clamp(MIN_BUCKETS, MAX_BUCKETS);
 
+        let mut events: Vec<Packed> = Vec::with_capacity(self.count);
         let mut min_t = f64::INFINITY;
         let mut max_t = f64::NEG_INFINITY;
-        for ev in self.iter_bucket_events() {
-            min_t = min_t.min(ev.time);
-            max_t = max_t.max(ev.time);
-        }
+        self.for_each_stored(|ev| {
+            min_t = min_t.min(ev.time());
+            max_t = max_t.max(ev.time());
+            events.push(*ev);
+        });
         let span = max_t - min_t;
         self.width = if self.count >= 2 && span > 0.0 {
             (span / self.count as f64).max(1e-12)
@@ -260,14 +354,18 @@ impl CalendarQueue {
         };
         self.inv_width = 1.0 / self.width;
 
-        let old = std::mem::take(&mut self.buckets);
-        self.buckets = (0..target).map(|_| Vec::new()).collect();
+        self.inline.clear();
+        self.inline.resize(target, Packed::SENTINEL);
+        self.heads.clear();
+        self.heads.resize(target, NONE);
+        self.nodes.clear();
+        self.free = NONE;
         self.mask = target - 1;
         self.cursor = u64::MAX;
-        for ev in old.into_iter().flatten() {
-            let abs = self.bucket_of(ev.time);
+        for ev in events {
+            let abs = self.bucket_of(ev.time());
             self.cursor = self.cursor.min(abs);
-            self.buckets[(abs as usize) & self.mask].push(ev);
+            self.store(abs, ev);
         }
         if self.count == 0 {
             self.cursor = 0;
@@ -280,8 +378,8 @@ mod tests {
     use super::*;
     use crate::queue::EventKind;
 
-    fn ev(time: f64, seq: u64) -> Event {
-        Event { time, token: 0, kind: EventKind::Fault { slot: seq as u32 }, seq }
+    fn ev(time: f64, seq: u64) -> Packed {
+        Packed::new(time, 0, EventKind::Fault { slot: seq as u32 }, seq)
     }
 
     #[test]
@@ -292,7 +390,7 @@ mod tests {
         q.push(ev(5.0, 2));
         q.push(ev(3.0, 3));
         let order: Vec<(f64, u64)> =
-            std::iter::from_fn(|| q.pop().map(|e| (e.time, e.seq))).collect();
+            std::iter::from_fn(|| q.pop().map(|e| (e.time(), e.seq()))).collect();
         assert_eq!(order, vec![(1.0, 1), (3.0, 3), (5.0, 0), (5.0, 2)]);
         assert!(q.is_empty());
     }
@@ -311,14 +409,14 @@ mod tests {
         let mut last = (f64::NEG_INFINITY, 0u64);
         for i in 0..60 {
             let e = q.pop().unwrap();
-            assert!(e.time >= last.0);
-            last = (e.time, e.seq);
+            assert!(e.time() >= last.0);
+            last = (e.time(), e.seq());
             // Keep feeding events at-or-after the current time.
-            push(&mut q, e.time + (i % 5) as f64);
+            push(&mut q, e.time() + (i % 5) as f64);
         }
         while let Some(e) = q.pop() {
-            assert!(e.time >= last.0);
-            last.0 = e.time;
+            assert!(e.time() >= last.0);
+            last.0 = e.time();
         }
         assert!(q.is_empty());
     }
@@ -329,11 +427,11 @@ mod tests {
         for i in 0..50u64 {
             q.push(ev(100.0 + i as f64, i));
         }
-        assert_eq!(q.pop().unwrap().time, 100.0);
+        assert_eq!(q.pop().unwrap().time(), 100.0);
         // Earlier than anything stored — and than anything already staged.
         q.push(ev(1.0, 1000));
-        assert_eq!(q.pop().unwrap().time, 1.0);
-        assert_eq!(q.pop().unwrap().time, 101.0);
+        assert_eq!(q.pop().unwrap().time(), 1.0);
+        assert_eq!(q.pop().unwrap().time(), 101.0);
     }
 
     #[test]
@@ -347,8 +445,8 @@ mod tests {
         let mut popped = 0;
         let mut last_t = f64::NEG_INFINITY;
         while let Some(e) = q.pop() {
-            assert!(e.time >= last_t);
-            last_t = e.time;
+            assert!(e.time() >= last_t);
+            last_t = e.time();
             popped += 1;
         }
         assert_eq!(popped, 10_000);
@@ -359,29 +457,49 @@ mod tests {
         let mut q = CalendarQueue::new();
         q.push(ev(0.5, 0));
         q.push(ev(1.0e9, 1));
-        assert_eq!(q.pop().unwrap().seq, 0);
+        assert_eq!(q.pop().unwrap().seq(), 0);
         // The next event is a billion time units out; the cursor must jump.
-        assert_eq!(q.pop().unwrap().seq, 1);
+        assert_eq!(q.pop().unwrap().seq(), 1);
         assert!(q.pop().is_none());
     }
 
     #[test]
     fn tie_storms_pop_by_seq() {
         // A scrub-boundary-style storm: many events at the exact same
-        // instant, interleaved with pushes of further ties mid-drain.
+        // instant, interleaved with pushes of further ties mid-drain. All
+        // land in one bucket, exercising deep overflow chains.
         let mut q = CalendarQueue::new();
         for i in 0..500u64 {
             q.push(ev(42.0, i));
         }
         for i in 0..250u64 {
-            assert_eq!(q.pop().unwrap().seq, i);
+            assert_eq!(q.pop().unwrap().seq(), i);
         }
         for i in 500..600u64 {
             q.push(ev(42.0, i));
         }
         for i in 250..600u64 {
-            assert_eq!(q.pop().unwrap().seq, i);
+            assert_eq!(q.pop().unwrap().seq(), i);
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn overflow_nodes_recycle_through_the_free_list() {
+        // Collide many events into few buckets, drain, refill, drain: the
+        // arena must not grow without bound once freed nodes recycle.
+        let mut q = CalendarQueue::new();
+        for round in 0..5 {
+            for i in 0..200u64 {
+                q.push(ev((i % 4) as f64, round * 1000 + i));
+            }
+            let mut last = f64::NEG_INFINITY;
+            while let Some(e) = q.pop() {
+                assert!(e.time() >= last);
+                last = e.time();
+            }
+            assert!(q.is_empty());
+        }
+        assert!(q.nodes.len() <= 1024, "arena grew unbounded: {}", q.nodes.len());
     }
 }

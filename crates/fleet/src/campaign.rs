@@ -26,9 +26,12 @@ use crate::placement::PlacementIndex;
 use crate::report::{FleetReport, ShardOutcome};
 use ltds_core::error::ModelError;
 use ltds_sim::cache::{CacheKey, ConfigDigest};
-use ltds_sim::campaign::{Campaign, PreparedScenario, Scenario};
+use ltds_sim::campaign::{
+    Campaign, PreparedScenario, RecordKind, ReportSink, Scenario, StreamRecord,
+};
 use ltds_stochastic::SimRng;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// A campaign whose scenarios are fleet simulations.
@@ -117,6 +120,81 @@ impl Scenario for FleetScenario {
             digest: self.fleet.config_digest(),
             context: OnceLock::new(),
         })
+    }
+}
+
+/// A [`ReportSink`] adapter that tees every record to an inner sink while
+/// collecting the fleet-shard outcomes per scenario, so a campaign run can
+/// be folded into merged per-scenario [`FleetReport`]s afterwards (via
+/// [`FleetReportCollector::reports`]) without re-reading — or re-deriving —
+/// anything from the streamed JSONL.
+///
+/// Records arrive in unit order (the campaign driver's contract), so each
+/// scenario's outcomes accumulate already sorted by shard.
+pub struct FleetReportCollector<'a> {
+    inner: &'a mut dyn ReportSink,
+    by_task: BTreeMap<String, Vec<ShardOutcome>>,
+}
+
+impl<'a> FleetReportCollector<'a> {
+    /// Wraps an inner sink.
+    pub fn new(inner: &'a mut dyn ReportSink) -> Self {
+        Self { inner, by_task: BTreeMap::new() }
+    }
+
+    /// Folds the collected shard outcomes into one merged [`FleetReport`]
+    /// per scenario of `campaign`, in spec order — each bit-identical to
+    /// what [`crate::FleetSim::run`] would report for that scenario.
+    /// Scenarios whose shards were not all streamed (a truncated run) are
+    /// skipped with a warning on stderr.
+    pub fn reports(
+        &self,
+        campaign: &FleetCampaign,
+    ) -> Result<Vec<(String, FleetReport)>, ModelError> {
+        let mut out = Vec::new();
+        for scenario in &campaign.scenarios {
+            let outcomes = match self.by_task.get(&scenario.name) {
+                Some(outcomes) => outcomes,
+                None => {
+                    eprintln!("fleet-reports: scenario `{}` streamed no shards", scenario.name);
+                    continue;
+                }
+            };
+            if outcomes.len() != scenario.fleet.shards {
+                eprintln!(
+                    "fleet-reports: scenario `{}` streamed {} of {} shards; skipping",
+                    scenario.name,
+                    outcomes.len(),
+                    scenario.fleet.shards
+                );
+                continue;
+            }
+            let prepared = scenario.prepare()?;
+            out.push((scenario.name.clone(), prepared.report(outcomes)));
+        }
+        Ok(out)
+    }
+}
+
+impl ReportSink for FleetReportCollector<'_> {
+    fn record(&mut self, record: &StreamRecord) -> std::io::Result<()> {
+        if record.kind == RecordKind::FleetShard {
+            match ShardOutcome::from_value(&record.payload) {
+                Ok(outcome) => self.by_task.entry(record.task.clone()).or_default().push(outcome),
+                // Never silent: a payload that stops parsing (schema
+                // drift) would otherwise surface only as a misleading
+                // "streamed N of M shards" warning at report time.
+                Err(e) => eprintln!(
+                    "fleet-reports: cannot parse shard {} of `{}`: {e}",
+                    record.unit, record.task
+                ),
+            }
+        }
+        self.inner.record(record)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -248,6 +326,39 @@ mod tests {
             serde_json::to_string(&cold.totals).unwrap(),
             "streamed outcomes must merge to the report's totals"
         );
+    }
+
+    #[test]
+    fn report_collector_tees_and_merges_bit_identically_to_the_engine() {
+        let scenario = scenario();
+        let engine = FleetSim::new(scenario.fleet).seed(scenario.seed).run().unwrap();
+        let campaign = campaign();
+
+        let mut inner = MemorySink::new();
+        let mut collector = FleetReportCollector::new(&mut inner);
+        CampaignDriver::new(&campaign).threads(3).run(&mut collector).unwrap();
+        let reports = collector.reports(&campaign).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].0, "disaster");
+        assert_eq!(
+            serde_json::to_string(&reports[0].1).unwrap(),
+            serde_json::to_string(&engine).unwrap(),
+            "collected shards merged in order must equal the engine's report"
+        );
+        // The tee is transparent: the inner sink saw the full stream.
+        let mut plain = MemorySink::new();
+        CampaignDriver::new(&campaign).threads(3).run(&mut plain).unwrap();
+        assert_eq!(inner.to_jsonl(), plain.to_jsonl());
+    }
+
+    #[test]
+    fn report_collector_skips_incomplete_scenarios() {
+        let campaign = campaign();
+        let mut inner = MemorySink::new();
+        let mut collector = FleetReportCollector::new(&mut inner);
+        // Kill the campaign after half the shards: no merged report.
+        CampaignDriver::new(&campaign).threads(2).max_units(4).run(&mut collector).unwrap();
+        assert!(collector.reports(&campaign).unwrap().is_empty());
     }
 
     #[test]

@@ -17,35 +17,70 @@
 //!
 //! Everything is deterministic given `(config, seed)`: the kernel's RNG is
 //! consumed strictly in event order, events tie-break by insertion order,
-//! and burst victims come from a pre-generated shared timeline.
+//! and burst victims come from a pre-generated shared timeline. The
+//! config's [`DrawDiscipline`] selects how exponential delays are drawn
+//! (ziggurat by default, the scalar inverse CDF for stream compatibility
+//! with pre-ziggurat pinned digests); either way the event distribution is
+//! identical.
 //!
-//! The hot paths are allocation-free: placement lookups go through the
-//! shared read-only [`PlacementIndex`] (built once per fleet run), fault
-//! delays come from pre-resolved [`FaultRace`]s (normal and `α`-accelerated
-//! means are fixed per config), and burst victim lists reuse one scratch
-//! buffer per shard. Setup is *thinned* to O(expected events): the number
-//! of slots whose first fault lands inside the horizon is drawn binomially
-//! and only those slots are sampled (truncated-exponential delays), so a
-//! fleet where almost every initial fault falls past the horizon pays
-//! almost nothing for the slots that stay quiet.
+//! The hot paths are allocation- and division-free: slot → drive and
+//! slot → group are direct loads from the shard's lazily built
+//! [`ShardView`] tables, fault delays come from pre-resolved
+//! [`FaultRace`]s (normal and `α`-accelerated means fixed per config), and
+//! burst victim lists reuse one scratch buffer per shard. Setup is
+//! *thinned* to O(expected events) — the number of slots whose first fault
+//! lands inside the horizon is drawn binomially and only those slots are
+//! sampled — and per-slot scratch is *generation-stamped*: resetting a
+//! shard's state is a counter bump, not a memset of full-fleet arrays, and
+//! a slot's arrays are initialized the first time the shard actually
+//! touches it.
+//!
+//! [`ShardView`]: crate::placement::ShardView
+//! [`DrawDiscipline`]: ltds_stochastic::DrawDiscipline
 
 use crate::bursts::Burst;
 use crate::config::FleetConfig;
-use crate::placement::PlacementIndex;
+use crate::placement::{PlacementIndex, ShardView};
 use crate::queue::{EventKind, EventQueue};
 use crate::repair::SitePipeline;
 use crate::report::ShardOutcome;
 use ltds_core::fault::FaultClass;
 use ltds_stochastic::{Binomial, Exponential, FaultRace, SimRng};
 
+/// Per-slot kernel state, packed so one event touches one cache line:
+/// the generation stamp, the staleness token, the replica state and the
+/// pending fault class live in 12 bytes instead of four parallel arrays.
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    /// Generation stamp; the entry is live iff it matches the scratch's.
+    generation: u32,
+    /// Staleness token; bumped on every transition or resample.
+    token: u32,
+    /// Replica state (`INTACT` / `FAULTY`).
+    state: u8,
+    /// Class of an intact slot's pending next fault; while the slot is
+    /// faulty, class of its *active* fault (consulted at detection time).
+    /// Always written before read, so never reset.
+    pending_class: FaultClass,
+}
+
+const SLOT_RESET: SlotState =
+    SlotState { generation: 0, token: 0, state: INTACT, pending_class: FaultClass::Visible };
+
 /// Reusable per-worker kernel buffers: a worker thread allocates one
-/// scratch and runs every shard it owns through it, so per-shard setup is
-/// a handful of memsets instead of fresh allocations.
+/// scratch and runs every shard it owns through it.
+///
+/// The per-*slot* state (the packed 12-byte slot record plus the
+/// `reserved` pipeline-hours array) is guarded by a generation stamp: a
+/// slot's entries are logically `(INTACT, token 0, reserved 0.0)` until
+/// the slot is *touched* this generation, and the per-shard reset bumps
+/// the generation counter instead of memsetting full-fleet arrays. The
+/// per-*group* arrays are a replica-factor smaller and stay plain fills.
 #[derive(Debug, Default)]
 pub struct KernelScratch {
-    state: Vec<u8>,
-    token: Vec<u32>,
-    pending_class: Vec<FaultClass>,
+    /// Current generation; slot entries are valid iff their stamp matches.
+    generation: u32,
+    slots: Vec<SlotState>,
     faulty_count: Vec<u16>,
     birth: Vec<f64>,
     reserved: Vec<f64>,
@@ -56,6 +91,29 @@ impl KernelScratch {
     /// Creates an empty scratch (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Prepares the scratch for a shard of `n_slots` slots over `n_local`
+    /// groups: one generation bump plus O(groups-per-shard) fills — no
+    /// per-slot work.
+    fn begin_shard(&mut self, n_slots: usize, n_local: usize) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // A u32 wrap (4 billion shards through one scratch) could alias
+            // stale stamps; restart the epoch explicitly.
+            for slot in self.slots.iter_mut() {
+                slot.generation = 0;
+            }
+            self.generation = 1;
+        }
+        // Resizes only initialize *appended* entries; existing entries are
+        // invalidated wholesale by the generation bump above. New entries
+        // use generation 0, which the current generation can never equal
+        // (see the wrap guard).
+        self.slots.resize(n_slots, SLOT_RESET);
+        self.reserved.resize(n_slots, 0.0);
+        reset(&mut self.faulty_count, n_local, 0);
+        reset(&mut self.birth, n_local, 0.0);
     }
 }
 
@@ -115,42 +173,34 @@ impl<'a> ShardKernel<'a> {
 
         // Fault races with the normal and `α`-accelerated means resolved up
         // front (the accelerated mean uses the same `mean / (1/α)`
-        // arithmetic the per-call path used, so delays are bit-identical).
+        // arithmetic the per-call path used, so delays are bit-identical),
+        // drawing through the config's discipline.
         let inv_alpha = 1.0 / cfg.group.alpha;
-        let race_normal = FaultRace::new(cfg.group.mttf_visible_hours, cfg.group.mttf_latent_hours);
+        let race_normal = FaultRace::new(cfg.group.mttf_visible_hours, cfg.group.mttf_latent_hours)
+            .with_draw(cfg.group.draw);
         let race_accel = FaultRace::new(
             cfg.group.mttf_visible_hours / inv_alpha,
             cfg.group.mttf_latent_hours / inv_alpha,
-        );
+        )
+        .with_draw(cfg.group.draw);
 
-        reset(&mut scratch.state, n_slots, INTACT);
-        reset(&mut scratch.token, n_slots, 0);
-        // `pending_class` is always written before it is read (the gated
-        // resample sets it for every scheduled fault; burst faults set it in
-        // `handle_fault`), so stale values from a previous shard are fine —
-        // only size it.
-        scratch.pending_class.resize(n_slots, FaultClass::Visible);
-        reset(&mut scratch.faulty_count, n_local, 0);
-        reset(&mut scratch.birth, n_local, 0.0);
-        reset(&mut scratch.reserved, n_slots, 0.0);
-
-        let KernelScratch { state, token, pending_class, faulty_count, birth, reserved, victims } =
-            scratch;
+        scratch.begin_shard(n_slots, n_local);
+        let KernelScratch { generation, slots, faulty_count, birth, reserved, victims } = scratch;
+        let limited =
+            matches!(cfg.repair_bandwidth, crate::config::RepairBandwidth::PerSiteBytesPerHour(_));
         let mut sim = Sim {
             cfg,
-            index: self.index,
-            shard,
-            shards: cfg.shards,
+            placement: self.index.shard(shard),
             replicas,
             threshold,
             horizon: cfg.horizon_hours,
             race_normal,
             race_accel,
-            state,
-            token,
-            pending_class,
+            generation: *generation,
+            slots,
             faulty_count,
             birth,
+            limited,
             reserved,
             pipelines: (0..cfg.topology.sites)
                 .map(|_| SitePipeline::new(cfg.shard_site_rate(n_local)))
@@ -169,26 +219,35 @@ impl<'a> ShardKernel<'a> {
         }
 
         // Event loop. Events past the horizon are never scheduled, so the
-        // queue simply drains.
+        // queue simply drains. Every slot referenced by a queued event was
+        // touched (generation-stamped) when the event was pushed, so the
+        // hot paths read the arrays directly.
         while let Some(event) = sim.queue.pop() {
             out.events += 1;
             match event.kind {
                 EventKind::Fault { slot } => {
-                    if sim.token[slot as usize] != event.token {
+                    let entry = sim.slots[slot as usize];
+                    if entry.token != event.token {
                         continue; // stale: the slot was resampled, repaired or renewed
                     }
-                    let class = sim.pending_class[slot as usize];
-                    sim.handle_fault(slot, event.time, class, false, &mut rng, &mut out);
+                    sim.handle_fault(
+                        slot,
+                        event.time,
+                        entry.pending_class,
+                        false,
+                        &mut rng,
+                        &mut out,
+                    );
                 }
                 EventKind::RepairReady { slot } => {
-                    if sim.token[slot as usize] != event.token {
+                    let entry = sim.slots[slot as usize];
+                    if entry.token != event.token {
                         continue; // stale: the group was lost and renewed meanwhile
                     }
-                    let class = sim.pending_class[slot as usize];
-                    sim.commit_repair(slot, event.time, class);
+                    sim.commit_repair(slot, event.time, entry.pending_class);
                 }
                 EventKind::RepairDone { slot } => {
-                    if sim.token[slot as usize] != event.token {
+                    if sim.slots[slot as usize].token != event.token {
                         continue; // stale: the group was lost and renewed meanwhile
                     }
                     sim.handle_repair_done(slot, event.time, &mut rng);
@@ -214,10 +273,9 @@ const FAULTY: u8 = 1;
 /// Mutable simulation state of one shard.
 struct Sim<'a> {
     cfg: &'a FleetConfig,
-    /// Shared read-only placement index (slot → drive → site/detection).
-    index: &'a PlacementIndex,
-    shard: usize,
-    shards: usize,
+    /// This shard's placement view (slot → drive/group, drive → site /
+    /// detection, burst residents).
+    placement: ShardView<'a>,
     replicas: usize,
     threshold: usize,
     horizon: f64,
@@ -225,19 +283,20 @@ struct Sim<'a> {
     race_normal: FaultRace,
     /// Pre-resolved race at the `α`-accelerated rates.
     race_accel: FaultRace,
-    /// Per-slot replica state (`INTACT` / `FAULTY`).
-    state: &'a mut Vec<u8>,
-    /// Per-slot staleness token; bumped on every transition or resample.
-    token: &'a mut Vec<u32>,
-    /// Class of an intact slot's pending next fault; while the slot is
-    /// faulty, class of its *active* fault (consulted at detection time).
-    pending_class: &'a mut Vec<FaultClass>,
+    /// This shard's scratch generation; slot entries are live iff stamped.
+    generation: u32,
+    /// Per-slot packed state (see [`Sim::touch`]).
+    slots: &'a mut Vec<SlotState>,
     /// Currently faulty replicas per local group.
     faulty_count: &'a mut Vec<u16>,
     /// Renewal time of each local group (loss intervals measure from here).
     birth: &'a mut Vec<f64>,
+    /// Whether repair bandwidth is constrained (reservations are only
+    /// tracked when there is a pipeline to refund them to).
+    limited: bool,
     /// Pipeline hours reserved by each slot's committed, not-yet-finished
     /// repair (refunded if the group is lost before the repair completes).
+    /// Maintained only under `limited`.
     reserved: &'a mut Vec<f64>,
     /// Per-site repair pipelines (this shard's bandwidth slice).
     pipelines: Vec<SitePipeline>,
@@ -247,6 +306,21 @@ struct Sim<'a> {
 }
 
 impl Sim<'_> {
+    /// Brings a slot's scratch entries into the current generation,
+    /// initializing them to the reset values on first touch. Called on the
+    /// cold entry points (initial sampling, sibling resamples, renewals,
+    /// burst victims); the event loop's hot paths rely on every scheduled
+    /// slot having been touched at push time.
+    #[inline]
+    fn touch(&mut self, s: usize) {
+        if self.slots[s].generation != self.generation {
+            self.slots[s] = SlotState { generation: self.generation, ..SLOT_RESET };
+            if self.limited {
+                self.reserved[s] = 0.0;
+            }
+        }
+    }
+
     /// Samples every slot's first fault in one thinned pass.
     ///
     /// Each slot's first fault is within the horizon independently with
@@ -265,7 +339,7 @@ impl Sim<'_> {
     /// re-pinned when it landed; the distribution of scheduled events is
     /// unchanged (degeneracy vs `MonteCarlo` holds statistically).
     fn sample_initial_faults(&mut self, rng: &mut SimRng) {
-        let n_slots = self.state.len() as u64;
+        let n_slots = self.slots.len() as u64;
         let p_within = -(-self.horizon / self.race_normal.combined_mean()).exp_m1();
         let delay =
             Exponential::with_mean(self.race_normal.combined_mean()).truncated(self.horizon);
@@ -274,26 +348,25 @@ impl Sim<'_> {
             let s = slot as usize;
             let at = delay.sample(rng);
             let visible = self.race_normal.sample_winner(rng);
-            self.token[s] = self.token[s].wrapping_add(1);
-            self.pending_class[s] = if visible { FaultClass::Visible } else { FaultClass::Latent };
-            self.queue.push(at, self.token[s], EventKind::Fault { slot: slot as u32 });
+            self.touch(s);
+            let entry = &mut self.slots[s];
+            entry.token = entry.token.wrapping_add(1);
+            entry.pending_class = if visible { FaultClass::Visible } else { FaultClass::Latent };
+            self.queue.push(at, entry.token, EventKind::Fault { slot: slot as u32 });
         }
     }
 
-    /// Global slot index of a shard-local slot: local group `ℓ` is global
-    /// group `shard + ℓ·shards`.
-    #[inline]
-    fn global_slot(&self, slot: u32) -> usize {
-        let s = slot as usize;
-        let local_group = s / self.replicas;
-        let r = s - local_group * self.replicas;
-        (self.shard + local_group * self.shards) * self.replicas + r
-    }
-
-    /// Drive hosting a shard-local slot.
+    /// Drive hosting a shard-local slot: a direct load from the shard's
+    /// placement table.
     #[inline]
     fn drive_of(&self, slot: u32) -> usize {
-        self.index.drive_of_slot(self.global_slot(slot))
+        self.placement.drive_of_slot(slot as usize)
+    }
+
+    /// Local group of a shard-local slot (preresolved `slot / replicas`).
+    #[inline]
+    fn group_of(&self, slot: u32) -> usize {
+        self.placement.group_of_slot(slot as usize)
     }
 
     /// Samples a slot's next fault at the given acceleration level and
@@ -301,17 +374,19 @@ impl Sim<'_> {
     /// through the shared [`FaultRace`]); the winner's identity is drawn
     /// only for faults inside the horizon — the class of a fault that never
     /// fires is never consulted, and minimum and identity are independent,
-    /// so skipping the draw is distribution-exact.
+    /// so skipping the draw is distribution-exact. Callers guarantee the
+    /// slot is touched.
     #[inline]
     fn resample(&mut self, slot: u32, now: f64, accel: bool, rng: &mut SimRng) {
         let s = slot as usize;
-        self.token[s] = self.token[s].wrapping_add(1);
+        self.slots[s].token = self.slots[s].token.wrapping_add(1);
         let race = if accel { &self.race_accel } else { &self.race_normal };
         let at = now + race.sample_delay(rng);
         if at <= self.horizon {
             let visible = race.sample_winner(rng);
-            self.pending_class[s] = if visible { FaultClass::Visible } else { FaultClass::Latent };
-            self.queue.push(at, self.token[s], EventKind::Fault { slot });
+            let entry = &mut self.slots[s];
+            entry.pending_class = if visible { FaultClass::Visible } else { FaultClass::Latent };
+            self.queue.push(at, entry.token, EventKind::Fault { slot });
         }
     }
 
@@ -326,7 +401,7 @@ impl Sim<'_> {
     /// Time at which a latent fault occurring at `now` on `slot` is
     /// detected by the scrub tour (infinite if never).
     fn detection_time(&self, slot: u32, now: f64) -> f64 {
-        match self.index.detection_of_drive(self.drive_of(slot)) {
+        match self.placement.detection_of_drive(self.drive_of(slot)) {
             None => f64::INFINITY,
             Some((period, phase)) => {
                 if now < phase {
@@ -349,11 +424,11 @@ impl Sim<'_> {
         out: &mut ShardOutcome,
     ) {
         let s = slot as usize;
-        debug_assert_eq!(self.state[s], INTACT);
-        let group = s / self.replicas;
+        debug_assert_eq!(self.slots[s].state, INTACT);
+        let group = self.group_of(slot);
         let faulty_before = self.faulty_count[group];
-        self.state[s] = FAULTY;
-        self.token[s] = self.token[s].wrapping_add(1);
+        self.slots[s].state = FAULTY;
+        self.slots[s].token = self.slots[s].token.wrapping_add(1);
         self.faulty_count[group] = faulty_before + 1;
         out.faults += 1;
         if from_burst {
@@ -368,7 +443,7 @@ impl Sim<'_> {
 
         // Remember the active fault's class (burst faults may differ from
         // the slot's sampled pending class) for the eventual repair commit.
-        self.pending_class[s] = class;
+        self.slots[s].pending_class = class;
 
         // Visible faults enter the site repair pipeline immediately; latent
         // faults only once the scrub tour finds them (a RepairReady event at
@@ -379,14 +454,18 @@ impl Sim<'_> {
             FaultClass::Latent => {
                 let detect_at = self.detection_time(slot, now);
                 if detect_at <= self.horizon {
-                    self.queue.push(detect_at, self.token[s], EventKind::RepairReady { slot });
+                    self.queue.push(
+                        detect_at,
+                        self.slots[s].token,
+                        EventKind::RepairReady { slot },
+                    );
                 }
             }
         }
 
         // First fault in the group: accelerate the surviving replicas.
         if faulty_before == 0 && self.cfg.group.alpha < 1.0 {
-            self.resample_intact_siblings(slot, now, true, rng);
+            self.resample_intact_siblings(slot, group, now, true, rng);
         }
     }
 
@@ -399,38 +478,51 @@ impl Sim<'_> {
             FaultClass::Visible => self.cfg.group.repair_visible_hours,
             FaultClass::Latent => self.cfg.group.repair_latent_hours,
         };
-        let site = self.index.site_of_drive(self.drive_of(slot));
+        let site = self.placement.site_of_drive(self.drive_of(slot));
         let done = self.pipelines[site].schedule(now, base, self.cfg.group_bytes);
-        self.reserved[s] = self.pipelines[site].transfer_hours(self.cfg.group_bytes);
+        if self.limited {
+            self.reserved[s] = self.pipelines[site].transfer_hours(self.cfg.group_bytes);
+        }
         if done <= self.horizon {
-            self.queue.push(done, self.token[s], EventKind::RepairDone { slot });
+            self.queue.push(done, self.slots[s].token, EventKind::RepairDone { slot });
         }
     }
 
     /// A repair completes: the replica returns to service with fresh data.
     fn handle_repair_done(&mut self, slot: u32, now: f64, rng: &mut SimRng) {
         let s = slot as usize;
-        debug_assert_eq!(self.state[s], FAULTY);
-        let group = s / self.replicas;
-        self.state[s] = INTACT;
-        self.reserved[s] = 0.0;
+        debug_assert_eq!(self.slots[s].state, FAULTY);
+        let group = self.group_of(slot);
+        self.slots[s].state = INTACT;
+        if self.limited {
+            self.reserved[s] = 0.0;
+        }
         self.faulty_count[group] -= 1;
         let faulty_now = self.faulty_count[group];
         self.resample(slot, now, self.accelerated(faulty_now), rng);
         // The group just became fault-free: decelerate the others.
         if faulty_now == 0 && self.cfg.group.alpha < 1.0 {
-            self.resample_intact_siblings(slot, now, false, rng);
+            self.resample_intact_siblings(slot, group, now, false, rng);
         }
     }
 
-    /// Resamples every intact replica of `slot`'s group except `slot`.
-    fn resample_intact_siblings(&mut self, slot: u32, now: f64, accel: bool, rng: &mut SimRng) {
-        let group = slot as usize / self.replicas;
+    /// Resamples every intact replica of `group` except `slot`.
+    fn resample_intact_siblings(
+        &mut self,
+        slot: u32,
+        group: usize,
+        now: f64,
+        accel: bool,
+        rng: &mut SimRng,
+    ) {
         let base = group * self.replicas;
         for r in 0..self.replicas {
             let sibling = (base + r) as u32;
-            if sibling != slot && self.state[base + r] == INTACT {
-                self.resample(sibling, now, accel, rng);
+            if sibling != slot {
+                self.touch(base + r);
+                if self.slots[base + r].state == INTACT {
+                    self.resample(sibling, now, accel, rng);
+                }
             }
         }
     }
@@ -442,15 +534,16 @@ impl Sim<'_> {
         let base = group * self.replicas;
         for r in 0..self.replicas {
             let s = base + r;
+            self.touch(s);
             // Repairs of the dead group are cancelled: hand any pipeline
             // hours they still held back to the site, so phantom
             // reservations do not starve the survivors.
-            if self.reserved[s] > 0.0 {
-                let site = self.index.site_of_drive(self.drive_of(s as u32));
+            if self.limited && self.reserved[s] > 0.0 {
+                let site = self.placement.site_of_drive(self.drive_of(s as u32));
                 self.pipelines[site].refund(now, self.reserved[s]);
                 self.reserved[s] = 0.0;
             }
-            self.state[s] = INTACT;
+            self.slots[s].state = INTACT;
         }
         for r in 0..self.replicas {
             self.resample((base + r) as u32, now, false, rng);
@@ -467,7 +560,7 @@ impl Sim<'_> {
     /// victim resamples its *intact* siblings under `α`-acceleration, which
     /// bumps their tokens even though they must still be struck.)
     fn apply_burst(&mut self, burst: &Burst, rng: &mut SimRng, out: &mut ShardOutcome) {
-        if !self.index.has_burst_index() {
+        if !self.placement.drive_slots_available() {
             return;
         }
         let class = burst.domain.fault_class();
@@ -477,11 +570,12 @@ impl Sim<'_> {
         let mut victims = std::mem::take(self.victims);
         victims.clear();
         for drive in burst.affected_drives(&self.cfg.topology) {
-            victims.extend_from_slice(self.index.drive_slots(drive, self.shard));
+            victims.extend_from_slice(self.placement.drive_slots(drive));
         }
         for &slot in &victims {
-            let group = slot as usize / self.replicas;
-            if self.state[slot as usize] == INTACT && self.birth[group] != burst.time_hours {
+            self.touch(slot as usize);
+            let group = self.group_of(slot);
+            if self.slots[slot as usize].state == INTACT && self.birth[group] != burst.time_hours {
                 self.handle_fault(slot, burst.time_hours, class, true, rng, out);
             }
         }
@@ -537,6 +631,74 @@ mod tests {
         assert_eq!(a.faults, b.faults);
         assert_eq!(a.events, b.events);
         assert_eq!(a.loss_intervals.mean(), b.loss_intervals.mean());
+    }
+
+    #[test]
+    fn stale_generation_slots_read_as_reset_values() {
+        // The dirty-list contract: after a begin_shard, every slot written
+        // under an older generation must read back as the reset state the
+        // moment it is touched — without any per-slot work at reset time.
+        let mut scratch = KernelScratch::new();
+        scratch.begin_shard(8, 4);
+        let generation = scratch.generation;
+        for s in 0..8 {
+            // Simulate a shard that touched and dirtied every slot.
+            scratch.slots[s] = SlotState {
+                generation,
+                token: 41 + s as u32,
+                state: FAULTY,
+                pending_class: FaultClass::Latent,
+            };
+            scratch.reserved[s] = 7.5;
+        }
+
+        // Next shard: reset is one counter bump; the dirty values are
+        // still physically present...
+        scratch.begin_shard(8, 4);
+        assert_eq!(scratch.slots[3].token, 44, "reset must not rewrite slot memory");
+        // ...but logically stale: a touch (the only way the kernel reads a
+        // cold slot) restores the reset values.
+        for s in 0..8 {
+            let slot = &mut scratch.slots[s];
+            if slot.generation != scratch.generation {
+                *slot = SlotState { generation: scratch.generation, ..SLOT_RESET };
+                scratch.reserved[s] = 0.0;
+            }
+            assert_eq!(scratch.slots[s].token, 0, "stale token must read as reset");
+            assert_eq!(scratch.slots[s].state, INTACT, "stale state must read as reset");
+            assert_eq!(scratch.reserved[s], 0.0, "stale reservation must read as reset");
+        }
+
+        // Shrinking then regrowing across shards must not resurrect stale
+        // high-water entries either.
+        scratch.begin_shard(4, 2);
+        scratch.begin_shard(8, 4);
+        assert_ne!(scratch.slots[7].generation, scratch.generation, "slot 7 is untouched");
+    }
+
+    #[test]
+    fn scratch_reuse_across_shards_is_equivalent_to_fresh_scratch() {
+        // The generation-stamped scratch must behave exactly like freshly
+        // reset arrays, shard after shard — including when a later shard is
+        // *smaller* than an earlier one (stale high-water entries).
+        let config = small_config();
+        let index = PlacementIndex::build(&config, false);
+        let kernel = ShardKernel::new(&config, &[], &index);
+        let mut reused = KernelScratch::new();
+        for round in 0..3 {
+            for shard in (0..config.shards).rev() {
+                let rng = SimRng::seed_from(7).fork(shard as u64);
+                let shared = kernel.run_with(shard, rng.clone(), &mut reused);
+                let fresh = kernel.run(shard, rng);
+                assert_eq!(shared.losses, fresh.losses, "round {round}, shard {shard}");
+                assert_eq!(shared.events, fresh.events, "round {round}, shard {shard}");
+                assert_eq!(
+                    shared.loss_intervals.mean().to_bits(),
+                    fresh.loss_intervals.mean().to_bits(),
+                    "round {round}, shard {shard}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -72,7 +72,7 @@ pub mod report;
 pub mod topology;
 
 pub use bursts::{Burst, BurstProfile, FaultDomain};
-pub use campaign::{FleetCampaign, FleetScenario, PreparedFleet};
+pub use campaign::{FleetCampaign, FleetReportCollector, FleetScenario, PreparedFleet};
 pub use config::{FleetConfig, RepairBandwidth, ScrubTour};
 pub use engine::{FleetSim, ShardCache};
 pub use ltds_sim::cache::{CacheKey, ConfigDigest, SweepCache};

@@ -1,119 +1,264 @@
-//! Precomputed placement index: everything the per-shard kernels need to
-//! know about where replicas live, resolved once per [`FleetSim`] run
-//! instead of once per shard.
+//! Precomputed placement: everything the per-shard kernels need to know
+//! about where replicas live.
 //!
-//! The index flattens three lookups that used to happen per slot in every
-//! shard's setup path (and, for bursts, through a per-shard
-//! `HashMap<usize, Vec<u32>>`):
+//! The index is split by cost. The *fleet-wide* part — per-drive site,
+//! per-drive detection schedule (a `(period, phase)` pair gated by a
+//! presence bitmap), and the within-site drive offset of each local
+//! placement index — is O(drives) and built eagerly by
+//! [`PlacementIndex::build`]. The *per-shard* part is O(slots) and built
+//! lazily: each shard's slot tables (slot → drive, slot → local group) are
+//! materialized into a single flat bump-allocated arena by whichever
+//! worker thread first runs that shard, and the shard's burst CSR
+//! (drive → resident slots) only materializes if a burst actually consults
+//! it. A fully cache-warm fleet run therefore touches no per-slot state at
+//! all, and a cold run builds each shard's tables on the worker that
+//! simulates it — in parallel, not serially on the coordinator.
 //!
-//! * **slot → drive** — the placement function evaluated once for every
-//!   `(group, replica)` pair;
-//! * **drive → site / detection schedule** — one entry per *drive* rather
-//!   than per replica (a 1 000-drive fleet carrying 300 000 replicas does
-//!   1 000 schedule computations instead of 300 000);
-//! * **drive → resident slots** — a CSR adjacency (offsets + one flat slot
-//!   array) shared read-only by every shard, replacing per-shard hash maps
-//!   and their tens of thousands of small allocations. Only built when a
-//!   burst timeline is active; bursts walk `drive_slots(drive)` and filter
-//!   by shard.
+//! The per-shard tables also serve the kernel's hot path: `slot → group`
+//! used to be an integer division per event (`slot / replicas`, a runtime
+//! divisor), and `slot → drive` went through a shard-to-global index
+//! conversion with another division. Both are now single loads from the
+//! shard's arena.
 //!
-//! [`FleetSim`]: crate::engine::FleetSim
+//! [`FleetTopology::place`] remains the placement *specification*; the
+//! incremental odometer that fills the tables is pinned against it across
+//! topology shapes by `shard_tables_match_place_spec`.
+//!
+//! [`FleetTopology::place`]: crate::topology::FleetTopology::place
 
 use crate::config::FleetConfig;
+use crate::topology::FleetTopology;
+use std::sync::OnceLock;
 
 /// Read-only placement data shared by all shards of one fleet run.
-#[derive(Debug, Clone)]
+/// Construction is O(drives); per-shard slot tables materialize lazily on
+/// first touch (see the module docs).
+#[derive(Debug)]
 pub struct PlacementIndex {
-    /// Logical shard count the burst CSR was bucketed by.
+    /// Logical shard count the lazy tables are bucketed by.
     shards: usize,
-    /// Drive hosting each global slot (`group * replicas + r`).
-    drive_of_slot: Vec<u32>,
+    /// Replicas per group.
+    replicas: usize,
+    /// Total replica groups on the fleet.
+    groups: usize,
+    /// Whether burst CSRs may be materialized (a timeline is active).
+    with_bursts: bool,
+    /// The topology, for the odometer walk.
+    topology: FleetTopology,
     /// Site of each drive.
     site_of_drive: Vec<u32>,
-    /// `(period, phase)` of each drive's latent-fault detection, or `None`.
-    detection_of_drive: Vec<Option<(f64, f64)>>,
-    /// CSR offsets into `burst_slots`: one region per `(drive, shard)` pair
-    /// (shard-major within a drive) plus a sentinel, so a shard's residents
-    /// on a drive are one contiguous slice — a burst costs each shard only
-    /// its own victims, not a scan of the whole blast radius. Empty when no
-    /// burst timeline is active.
-    burst_offsets: Vec<u32>,
-    /// *Shard-local* slot ids (`local_group * replicas + r`), grouped by
-    /// `(drive, shard)` in ascending `(group, r)` order — the same victim
-    /// order the old per-shard maps produced.
-    burst_slots: Vec<u32>,
+    /// Detection period of each drive (valid only where the presence bit
+    /// is set).
+    detection_period: Vec<f64>,
+    /// Detection phase of each drive (same gating).
+    detection_phase: Vec<f64>,
+    /// Presence bitmap: bit `d` set iff drive `d` has a detection schedule.
+    detection_present: Vec<u64>,
+    /// Within-site drive offset of each local placement index
+    /// (`rack·dpr + node·dpn + drive` for `local` striped rack-first).
+    w_of_local: Vec<u32>,
+    /// Lazily built per-shard slot tables.
+    shard_tables: Vec<OnceLock<ShardTables>>,
+    /// Lazily built per-shard burst CSRs (only under `with_bursts`).
+    shard_bursts: Vec<OnceLock<ShardBursts>>,
+}
+
+/// One shard's resolved slot tables, bump-built into one flat arena:
+/// `arena[..n_slots]` is the drive of each shard-local slot,
+/// `arena[n_slots..]` the slot's local group.
+#[derive(Debug)]
+struct ShardTables {
+    n_slots: usize,
+    arena: Vec<u32>,
+}
+
+impl ShardTables {
+    #[inline]
+    fn drive_of(&self) -> &[u32] {
+        &self.arena[..self.n_slots]
+    }
+
+    #[inline]
+    fn group_of(&self) -> &[u32] {
+        &self.arena[self.n_slots..]
+    }
+}
+
+/// One shard's burst CSR, bump-built into one flat arena:
+/// `arena[..drives + 1]` are the per-drive offsets, the rest the resident
+/// shard-local slot ids in ascending `(group, r)` order.
+#[derive(Debug)]
+struct ShardBursts {
+    drives: usize,
+    arena: Vec<u32>,
+}
+
+impl ShardBursts {
+    /// Shard-local slots resident on `drive`.
+    #[inline]
+    fn slots(&self, drive: usize) -> &[u32] {
+        let lo = self.arena[drive] as usize;
+        let hi = self.arena[drive + 1] as usize;
+        &self.arena[self.drives + 1 + lo..self.drives + 1 + hi]
+    }
 }
 
 impl PlacementIndex {
-    /// Builds the index for a validated config. `with_bursts` controls
-    /// whether the drive → slots CSR is materialised.
+    /// Builds the fleet-wide index for a validated config. `with_bursts`
+    /// controls whether shards may materialize their drive → slots CSR.
     pub fn build(config: &FleetConfig, with_bursts: bool) -> Self {
-        let topology = &config.topology;
+        let topology = config.topology;
         let replicas = config.group.replicas;
         let drives = topology.total_drives();
         let slots = config.groups * replicas;
         assert!(slots <= u32::MAX as usize, "fleet exceeds u32 slot space");
         assert!(drives <= u32::MAX as usize, "fleet exceeds u32 drive space");
 
-        let drive_of_slot = fill_drive_of_slot(topology, config.groups, replicas);
-
         let site_of_drive: Vec<u32> = (0..drives).map(|d| topology.site_of(d) as u32).collect();
-        let detection_of_drive: Vec<Option<(f64, f64)>> =
-            (0..drives).map(|d| config.detection_for_drive(d)).collect();
+        let mut detection_period = vec![0.0f64; drives];
+        let mut detection_phase = vec![0.0f64; drives];
+        let mut detection_present = vec![0u64; drives.div_ceil(64)];
+        for drive in 0..drives {
+            if let Some((period, phase)) = config.detection_for_drive(drive) {
+                detection_period[drive] = period;
+                detection_phase[drive] = phase;
+                detection_present[drive >> 6] |= 1u64 << (drive & 63);
+            }
+        }
+
+        // Within-site drive offset of each local index: `local` stripes
+        // racks first, then nodes, then drives (the spec in `place()`).
+        let dps = topology.drives_per_site();
+        let dpr = topology.drives_per_rack();
+        let dpn = topology.drives_per_node;
+        let rps = topology.racks_per_site;
+        let npr = topology.nodes_per_rack;
+        let w_of_local: Vec<u32> = (0..dps)
+            .map(|local| {
+                let rack = local % rps;
+                let node = (local / rps) % npr;
+                let drive = local / (rps * npr);
+                (rack * dpr + node * dpn + drive) as u32
+            })
+            .collect();
 
         let shards = config.shards;
-        let (burst_offsets, burst_slots) = if with_bursts {
-            // Counting sort of every slot into its (drive, shard) region.
-            // Iterating global slots in ascending order fills each region in
-            // ascending (group, r) order automatically; the group → shard
-            // deal is tracked with wrap-around counters (no per-slot
-            // division).
-            let regions = drives * shards;
-            let mut counts = vec![0u32; regions + 1];
-            let mut slot = 0usize;
-            for_each_group_shard(config.groups, shards, |_, group_shard| {
-                for _ in 0..replicas {
-                    let drive = drive_of_slot[slot] as usize;
-                    counts[drive * shards + group_shard + 1] += 1;
-                    slot += 1;
-                }
-            });
-            for region in 0..regions {
-                counts[region + 1] += counts[region];
-            }
-            let offsets = counts.clone();
-            let mut cursor = counts;
-            let mut flat = vec![0u32; slots];
-            let mut slot = 0usize;
-            for_each_group_shard(config.groups, shards, |local_group, group_shard| {
-                for r in 0..replicas {
-                    let drive = drive_of_slot[slot] as usize;
-                    let region = drive * shards + group_shard;
-                    let at = cursor[region];
-                    flat[at as usize] = (local_group * replicas + r) as u32;
-                    cursor[region] = at + 1;
-                    slot += 1;
-                }
-            });
-            (offsets, flat)
-        } else {
-            (Vec::new(), Vec::new())
-        };
-
         Self {
             shards,
-            drive_of_slot,
+            replicas,
+            groups: config.groups,
+            with_bursts,
+            topology,
             site_of_drive,
-            detection_of_drive,
-            burst_offsets,
-            burst_slots,
+            detection_period,
+            detection_phase,
+            detection_present,
+            w_of_local,
+            shard_tables: (0..shards).map(|_| OnceLock::new()).collect(),
+            shard_bursts: (0..shards).map(|_| OnceLock::new()).collect(),
         }
     }
 
-    /// Drive hosting a global slot.
+    /// Groups dealt to `shard` (round-robin: global group `g` lives in
+    /// shard `g % shards`).
+    fn groups_in_shard(&self, shard: usize) -> usize {
+        (self.groups + self.shards - 1 - shard) / self.shards
+    }
+
+    /// The shard's view of the placement, materializing its slot tables on
+    /// first touch.
+    pub fn shard(&self, shard: usize) -> ShardView<'_> {
+        assert!(shard < self.shards, "shard {shard} out of range 0..{}", self.shards);
+        let tables = self.shard_tables[shard].get_or_init(|| self.materialize_tables(shard));
+        ShardView {
+            index: self,
+            shard,
+            drive_of_slot: tables.drive_of(),
+            group_of_slot: tables.group_of(),
+        }
+    }
+
+    /// Walks this shard's slots with an incremental odometer (no per-slot
+    /// divisions): local group `ℓ` is global group `shard + ℓ·shards`, and
+    /// stepping a group by `shards` advances the site residue and the
+    /// within-site local index by fixed increments (plus a carry), so each
+    /// slot costs a few adds, compares and one `w_of_local` lookup.
+    fn materialize_tables(&self, shard: usize) -> ShardTables {
+        let sites = self.topology.sites;
+        let dps = self.topology.drives_per_site();
+        let replicas = self.replicas;
+        let n_local = self.groups_in_shard(shard);
+        let n_slots = n_local * replicas;
+        let mut arena = vec![0u32; 2 * n_slots];
+        let (drive_of, group_of) = arena.split_at_mut(n_slots);
+
+        // Per-replica offsets: replica r shifts the site by `r % sites` and
+        // the local index by `(r / sites) % dps` (the site-wrap rule).
+        let r_site: Vec<usize> = (0..replicas).map(|r| r % sites).collect();
+        let r_local: Vec<usize> = (0..replicas).map(|r| (r / sites) % dps).collect();
+
+        let step_rem = self.shards % sites;
+        let step_q = (self.shards / sites) % dps;
+        let mut rem = shard % sites; // (shard + ℓ·shards) % sites
+        let mut local_base = (shard / sites) % dps; // ((shard + ℓ·shards) / sites) % dps
+        let mut slot = 0usize;
+        for local_group in 0..n_local {
+            for r in 0..replicas {
+                let mut site = rem + r_site[r];
+                if site >= sites {
+                    site -= sites;
+                }
+                let mut local = local_base + r_local[r];
+                if local >= dps {
+                    local -= dps;
+                }
+                drive_of[slot] = (site * dps) as u32 + self.w_of_local[local];
+                group_of[slot] = local_group as u32;
+                slot += 1;
+            }
+            rem += step_rem;
+            let carry = usize::from(rem >= sites);
+            if carry == 1 {
+                rem -= sites;
+            }
+            local_base += step_q + carry;
+            if local_base >= dps {
+                local_base -= dps;
+            }
+        }
+        ShardTables { n_slots, arena }
+    }
+
+    /// Counting-sorts a shard's slots into per-drive runs (ascending slot
+    /// order within a drive, which is ascending `(group, r)` — the victim
+    /// order the burst path relies on).
+    fn materialize_bursts(&self, drive_of: &[u32]) -> ShardBursts {
+        let drives = self.site_of_drive.len();
+        let mut arena = vec![0u32; drives + 1 + drive_of.len()];
+        let (offsets, slots_out) = arena.split_at_mut(drives + 1);
+        for &d in drive_of {
+            offsets[d as usize + 1] += 1;
+        }
+        for d in 0..drives {
+            offsets[d + 1] += offsets[d];
+        }
+        let mut cursor: Vec<u32> = offsets[..drives].to_vec();
+        for (slot, &d) in drive_of.iter().enumerate() {
+            let at = &mut cursor[d as usize];
+            slots_out[*at as usize] = slot as u32;
+            *at += 1;
+        }
+        ShardBursts { drives, arena }
+    }
+
+    /// Drive hosting a global slot, straight from the placement
+    /// specification — validation and tests; kernels use the per-shard
+    /// tables via [`PlacementIndex::shard`].
     #[inline]
     pub fn drive_of_slot(&self, global_slot: usize) -> usize {
-        self.drive_of_slot[global_slot] as usize
+        let group = global_slot / self.replicas;
+        let r = global_slot - group * self.replicas;
+        self.topology.place(group, r)
     }
 
     /// Site of a drive.
@@ -126,107 +271,74 @@ impl PlacementIndex {
     /// on it are never detected.
     #[inline]
     pub fn detection_of_drive(&self, drive: usize) -> Option<(f64, f64)> {
-        self.detection_of_drive[drive]
+        if self.detection_present[drive >> 6] & (1u64 << (drive & 63)) == 0 {
+            None
+        } else {
+            Some((self.detection_period[drive], self.detection_phase[drive]))
+        }
     }
 
-    /// Shard-local slot ids of `shard`'s replicas resident on `drive`, in
-    /// ascending `(group, r)` order. Empty unless the index was built
-    /// `with_bursts`.
+    /// Whether shards may materialize burst CSRs (a timeline is active).
+    pub fn has_burst_index(&self) -> bool {
+        self.with_bursts
+    }
+}
+
+/// One shard's placement view: direct slot → drive / slot → group loads
+/// from the shard's arena, plus delegates for the fleet-wide lookups.
+/// Cheap to copy; the kernel holds one per run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardView<'a> {
+    index: &'a PlacementIndex,
+    shard: usize,
+    drive_of_slot: &'a [u32],
+    group_of_slot: &'a [u32],
+}
+
+impl ShardView<'_> {
+    /// Drive hosting a shard-local slot.
     #[inline]
-    pub fn drive_slots(&self, drive: usize, shard: usize) -> &[u32] {
-        if self.burst_offsets.is_empty() {
+    pub fn drive_of_slot(&self, slot: usize) -> usize {
+        self.drive_of_slot[slot] as usize
+    }
+
+    /// Local group of a shard-local slot (`slot / replicas`, preresolved).
+    #[inline]
+    pub fn group_of_slot(&self, slot: usize) -> usize {
+        self.group_of_slot[slot] as usize
+    }
+
+    /// Site of a drive.
+    #[inline]
+    pub fn site_of_drive(&self, drive: usize) -> usize {
+        self.index.site_of_drive(drive)
+    }
+
+    /// Detection `(period, phase)` of a drive, or `None`.
+    #[inline]
+    pub fn detection_of_drive(&self, drive: usize) -> Option<(f64, f64)> {
+        self.index.detection_of_drive(drive)
+    }
+
+    /// Whether [`ShardView::drive_slots`] can return residents (the index
+    /// was built with a burst timeline active).
+    #[inline]
+    pub fn drive_slots_available(&self) -> bool {
+        self.index.with_bursts
+    }
+
+    /// Shard-local slots of this shard's replicas resident on `drive`, in
+    /// ascending `(group, r)` order. Empty unless the index was built
+    /// `with_bursts`; the CSR materializes on the first call for the shard.
+    #[inline]
+    pub fn drive_slots(&self, drive: usize) -> &[u32] {
+        if !self.index.with_bursts {
             return &[];
         }
-        let region = drive * self.shards + shard;
-        let lo = self.burst_offsets[region] as usize;
-        let hi = self.burst_offsets[region + 1] as usize;
-        &self.burst_slots[lo..hi]
+        self.index.shard_bursts[self.shard]
+            .get_or_init(|| self.index.materialize_bursts(self.drive_of_slot))
+            .slots(drive)
     }
-
-    /// Whether the burst CSR was materialised.
-    pub fn has_burst_index(&self) -> bool {
-        !self.burst_offsets.is_empty()
-    }
-}
-
-/// Calls `f(local_group, group_shard)` for global groups `0..groups` in
-/// order, tracking `group / shards` and `group % shards` with wrap-around
-/// counters instead of per-group division.
-#[inline]
-fn for_each_group_shard(groups: usize, shards: usize, mut f: impl FnMut(usize, usize)) {
-    let mut local_group = 0usize;
-    let mut group_shard = 0usize;
-    for _ in 0..groups {
-        f(local_group, group_shard);
-        group_shard += 1;
-        if group_shard == shards {
-            group_shard = 0;
-            local_group += 1;
-        }
-    }
-}
-
-/// Evaluates [`FleetTopology::place`] for every `(group, r)` pair with
-/// incremental counters — the striped placement walks sites and the
-/// within-site mixed-radix `(rack, node, drive)` odometer one step at a
-/// time instead of re-deriving each drive with four divisions. `place()`
-/// stays the specification; `placement_fill_matches_place_spec` pins the
-/// equivalence across topology shapes.
-///
-/// [`FleetTopology::place`]: crate::topology::FleetTopology::place
-fn fill_drive_of_slot(
-    topology: &crate::topology::FleetTopology,
-    groups: usize,
-    replicas: usize,
-) -> Vec<u32> {
-    let sites = topology.sites;
-    let rps = topology.racks_per_site;
-    let npr = topology.nodes_per_rack;
-    let dpn = topology.drives_per_node;
-    let dps = topology.drives_per_site();
-    let dpr = topology.drives_per_rack();
-
-    let mut drive_of_slot = vec![0u32; groups * replicas];
-    for r in 0..replicas {
-        // `local = (group / sites + r / sites) % dps`, held constant for
-        // runs of `sites` consecutive groups and advanced by one odometer
-        // step in between; `w` is the within-site drive offset of `local`.
-        let local0 = (r / sites) % dps;
-        let mut rack = local0 % rps;
-        let mut node = (local0 / rps) % npr;
-        let mut drive_in = local0 / (rps * npr);
-        let mut w = rack * dpr + node * dpn + drive_in;
-        let mut site = r % sites;
-        let mut site_run = 0usize; // groups processed in the current `local` run
-        for group in 0..groups {
-            drive_of_slot[group * replicas + r] = (site * dps + w) as u32;
-            site += 1;
-            if site == sites {
-                site = 0;
-            }
-            site_run += 1;
-            if site_run == sites {
-                site_run = 0;
-                // local += 1 (mod dps): rack is the fastest digit.
-                rack += 1;
-                if rack < rps {
-                    w += dpr;
-                } else {
-                    rack = 0;
-                    node += 1;
-                    if node == npr {
-                        node = 0;
-                        drive_in += 1;
-                        if drive_in == dpn {
-                            drive_in = 0;
-                        }
-                    }
-                    w = node * dpn + drive_in;
-                }
-            }
-        }
-    }
-    drive_of_slot
 }
 
 #[cfg(test)]
@@ -242,18 +354,30 @@ mod tests {
         FleetConfig::new(topology, 50, group).unwrap()
     }
 
+    /// Maps a shard-local slot back to its global identity.
+    fn global_slot(config: &FleetConfig, shard: usize, local: usize) -> (usize, usize) {
+        let replicas = config.group.replicas;
+        let local_group = local / replicas;
+        let r = local % replicas;
+        (shard + local_group * config.shards, r)
+    }
+
     #[test]
     fn index_matches_direct_computation() {
-        let config = config();
+        let config = config().with_shards(4);
         let index = PlacementIndex::build(&config, true);
         let replicas = config.group.replicas;
-        for group in 0..config.groups {
-            for r in 0..replicas {
-                let slot = group * replicas + r;
+        for shard in 0..config.shards {
+            let view = index.shard(shard);
+            let n_local = (config.groups + config.shards - 1 - shard) / config.shards;
+            for local in 0..n_local * replicas {
+                let (group, r) = global_slot(&config, shard, local);
                 let drive = config.topology.place(group, r);
-                assert_eq!(index.drive_of_slot(slot), drive);
-                assert_eq!(index.site_of_drive(drive), config.topology.site_of(drive));
-                assert_eq!(index.detection_of_drive(drive), config.detection_for_drive(drive));
+                assert_eq!(view.drive_of_slot(local), drive);
+                assert_eq!(view.group_of_slot(local), local / replicas);
+                assert_eq!(index.drive_of_slot(group * replicas + r), drive);
+                assert_eq!(view.site_of_drive(drive), config.topology.site_of(drive));
+                assert_eq!(view.detection_of_drive(drive), config.detection_for_drive(drive));
             }
         }
     }
@@ -261,21 +385,19 @@ mod tests {
     #[test]
     fn csr_partitions_all_slots_by_drive_and_shard() {
         let config = config().with_shards(4);
-        let replicas = config.group.replicas;
         let index = PlacementIndex::build(&config, true);
         assert!(index.has_burst_index());
         let mut seen = 0usize;
-        for drive in 0..config.topology.total_drives() {
-            for shard in 0..config.shards {
-                let slots = index.drive_slots(drive, shard);
+        for shard in 0..config.shards {
+            let view = index.shard(shard);
+            for drive in 0..config.topology.total_drives() {
+                let slots = view.drive_slots(drive);
                 seen += slots.len();
                 for &local in slots {
                     // Map the shard-local slot back to its global identity
                     // and check it really lives on this drive.
-                    let local_group = local as usize / replicas;
-                    let r = local as usize % replicas;
-                    let group = shard + local_group * config.shards;
-                    assert_eq!(index.drive_of_slot(group * replicas + r), drive);
+                    let (group, r) = global_slot(&config, shard, local as usize);
+                    assert_eq!(config.topology.place(group, r), drive);
                 }
                 // Ascending (group, r) order within one (drive, shard).
                 assert!(slots.windows(2).all(|w| w[0] < w[1]));
@@ -285,9 +407,10 @@ mod tests {
     }
 
     #[test]
-    fn placement_fill_matches_place_spec() {
+    fn shard_tables_match_place_spec() {
         // Diverse shapes: degenerate levels, replicas > sites (site wrap),
-        // groups wrapping the within-site odometer several times.
+        // groups wrapping the within-site odometer several times, shard
+        // counts around and past the site count.
         let shapes =
             [(1, 1, 1, 4), (3, 2, 2, 2), (2, 3, 1, 5), (5, 1, 4, 2), (4, 2, 3, 3), (1, 2, 2, 3)];
         for (sites, rps, npr, dpn) in shapes {
@@ -296,15 +419,34 @@ mod tests {
                 if replicas > topology.max_replicas() {
                     continue;
                 }
+                let group = SimConfig::new(
+                    replicas,
+                    1,
+                    1000.0,
+                    5000.0,
+                    10.0,
+                    10.0,
+                    ltds_sim::config::DetectionModel::Never,
+                    1.0,
+                )
+                .unwrap();
                 let groups = 3 * sites * topology.drives_per_site() + 5;
-                let fast = fill_drive_of_slot(&topology, groups, replicas);
-                for group in 0..groups {
-                    for r in 0..replicas {
-                        assert_eq!(
-                            fast[group * replicas + r] as usize,
-                            topology.place(group, r),
-                            "topology {sites}x{rps}x{npr}x{dpn}, group {group}, r {r}"
-                        );
+                for shards in [1usize, 2, sites, sites + 1, 7 * sites + 3] {
+                    let config =
+                        FleetConfig::new(topology, groups, group).unwrap().with_shards(shards);
+                    let index = PlacementIndex::build(&config, false);
+                    for shard in 0..shards {
+                        let view = index.shard(shard);
+                        let n_local = (groups + shards - 1 - shard) / shards;
+                        for local in 0..n_local * replicas {
+                            let (g, r) = global_slot(&config, shard, local);
+                            assert_eq!(
+                                view.drive_of_slot(local),
+                                topology.place(g, r),
+                                "topology {sites}x{rps}x{npr}x{dpn}, shards {shards}, \
+                                 shard {shard}, local {local}"
+                            );
+                        }
                     }
                 }
             }
@@ -315,6 +457,6 @@ mod tests {
     fn burst_index_is_optional() {
         let index = PlacementIndex::build(&config(), false);
         assert!(!index.has_burst_index());
-        assert!(index.drive_slots(0, 0).is_empty());
+        assert!(index.shard(0).drive_slots(0).is_empty());
     }
 }

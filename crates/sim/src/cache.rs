@@ -41,7 +41,7 @@
 //! the run that filled the cache.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -228,6 +228,65 @@ impl<V: Clone + Serialize> SweepCache<V> {
 }
 
 impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
+    /// Compacts every segment under `dir` in place: write-through appends
+    /// are last-record-wins on reload, so a long-lived cache directory
+    /// grows monotonically with superseding records that will never be
+    /// read. Compaction rewrites each segment keeping only the surviving
+    /// record per key — sorted by `(seed, shard)` and written through a
+    /// temp-file rename, i.e. byte-identical to what
+    /// [`SweepCache::persist_dir`] of the loaded cache would produce — and
+    /// drops damaged records (they would be skipped on load anyway) with
+    /// the same stderr warning as the loader. Reloading a compacted
+    /// directory is bit-identical to reloading the original.
+    ///
+    /// Like [`SweepCache::persist_dir`], do not run concurrently with an
+    /// armed write-through on the same directory.
+    pub fn compact_dir(dir: impl AsRef<Path>) -> std::io::Result<CompactStats> {
+        let dir = dir.as_ref();
+        let mut stats = CompactStats::default();
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|path| segment_digest(path).is_some())
+            .collect();
+        paths.sort();
+        for path in paths {
+            let digest = segment_digest(&path).expect("paths were filtered on the pattern");
+            let text = std::fs::read_to_string(&path)?;
+            stats.segments += 1;
+            // Last record wins, exactly as load_dir resolves duplicates.
+            let mut survivors: BTreeMap<CacheKey, V> = BTreeMap::new();
+            for line in text.lines() {
+                stats.records += 1;
+                match decode_entry::<V>(line, digest) {
+                    Ok((key, value)) => {
+                        if survivors.insert(key, value).is_some() {
+                            stats.superseded += 1;
+                        }
+                    }
+                    Err(reason) => {
+                        eprintln!("sweep-cache: dropping record in {}: {reason}", path.display());
+                        stats.dropped += 1;
+                    }
+                }
+            }
+            let mut lines = String::new();
+            for (key, value) in &survivors {
+                lines.push_str(&record::encode(&entry_payload(key, value)));
+                lines.push('\n');
+            }
+            let tmp = path.with_extension("jsonl.tmp");
+            std::fs::write(&tmp, lines)?;
+            std::fs::rename(&tmp, &path)?;
+            stats.kept += survivors.len();
+        }
+        Ok(stats)
+    }
+
     /// Loads every segment under `dir` into the cache (later records for
     /// the same key supersede earlier ones; hit/miss counters are not
     /// touched). A record is *skipped with a warning on stderr* — never
@@ -268,6 +327,22 @@ impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
         }
         Ok(stats)
     }
+}
+
+/// What [`SweepCache::compact_dir`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Segment files rewritten.
+    pub segments: usize,
+    /// Records read across all segments.
+    pub records: usize,
+    /// Records kept (one per surviving key).
+    pub kept: usize,
+    /// Records dropped because a later record for the same key superseded
+    /// them.
+    pub superseded: usize,
+    /// Records dropped as damaged (bad checksum / JSON / digest).
+    pub dropped: usize,
 }
 
 /// What [`SweepCache::load_dir`] found on disk.
@@ -444,6 +519,81 @@ mod tests {
         assert_eq!(reloaded.len(), 4, "later records supersede earlier ones");
         assert_eq!(reloaded.get(&CacheKey { digest: 5, seed: 1, shard: 2 }), Some(99.0));
         assert_eq!(reloaded.get(&CacheKey { digest: 5, seed: 1, shard: 0 }), Some(0.0));
+    }
+
+    #[test]
+    fn compact_dir_drops_superseded_records_and_loads_bit_identically() {
+        let dir = TempDir::new("compact");
+        let cache: SweepCache<f64> = SweepCache::new();
+        cache.write_through(dir.path()).unwrap();
+        // Two digests; every key superseded at least once, one key thrice.
+        for round in 0..3u32 {
+            for digest in [5u64, 9] {
+                for shard in 0..4u32 {
+                    let key = CacheKey { digest, seed: 1, shard };
+                    cache.insert(key, digest as f64 + shard as f64 + 0.001 * round as f64);
+                }
+            }
+        }
+        cache.insert(CacheKey { digest: 5, seed: 1, shard: 0 }, 123.456);
+        let before: SweepCache<f64> = SweepCache::new();
+        before.load_dir(dir.path()).unwrap();
+
+        let stats = SweepCache::<f64>::compact_dir(dir.path()).unwrap();
+        assert_eq!(stats.segments, 2);
+        assert_eq!(stats.records, 25);
+        assert_eq!(stats.kept, 8);
+        assert_eq!(stats.superseded, 17);
+        assert_eq!(stats.dropped, 0);
+
+        let after: SweepCache<f64> = SweepCache::new();
+        let load = after.load_dir(dir.path()).unwrap();
+        assert_eq!(load.loaded, 8, "compacted segments hold one record per key");
+        assert_eq!(after.len(), before.len());
+        for digest in [5u64, 9] {
+            for shard in 0..4u32 {
+                let key = CacheKey { digest, seed: 1, shard };
+                assert_eq!(
+                    after.get(&key).unwrap().to_bits(),
+                    before.get(&key).unwrap().to_bits(),
+                    "compaction changed the surviving value for {key:?}"
+                );
+            }
+        }
+        // Compacted bytes match a fresh persist of the same contents
+        // (sorted, checksummed, rename-committed) — and compacting again
+        // is a no-op.
+        let fresh = TempDir::new("compact-fresh");
+        before.persist_dir(fresh.path()).unwrap();
+        for digest in [5u64, 9] {
+            assert_eq!(
+                std::fs::read(segment_path(dir.path(), digest)).unwrap(),
+                std::fs::read(segment_path(fresh.path(), digest)).unwrap()
+            );
+        }
+        let again = SweepCache::<f64>::compact_dir(dir.path()).unwrap();
+        assert_eq!(again.superseded, 0);
+        assert_eq!(again.kept, 8);
+    }
+
+    #[test]
+    fn compact_dir_drops_damaged_records() {
+        let dir = TempDir::new("compact-damaged");
+        let cache: SweepCache<f64> = SweepCache::new();
+        for shard in 0..3u32 {
+            cache.insert(CacheKey { digest: 7, seed: 2, shard }, shard as f64);
+        }
+        cache.persist_dir(dir.path()).unwrap();
+        let path = segment_path(dir.path(), 7);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 9]).unwrap();
+
+        let stats = SweepCache::<f64>::compact_dir(dir.path()).unwrap();
+        assert_eq!(stats.dropped, 1, "the truncated tail is dropped");
+        assert_eq!(stats.kept, 2);
+        let reloaded: SweepCache<f64> = SweepCache::new();
+        let load = reloaded.load_dir(dir.path()).unwrap();
+        assert_eq!((load.loaded, load.skipped), (2, 0), "compaction scrubbed the damage");
     }
 
     #[test]

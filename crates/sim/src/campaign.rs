@@ -123,7 +123,7 @@ impl SweepAxis {
                 alphas[i],
             )?,
         };
-        Ok(config.with_max_hours(base.max_hours))
+        Ok(config.with_max_hours(base.max_hours).with_draw(base.draw))
     }
 }
 

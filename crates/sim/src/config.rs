@@ -3,6 +3,7 @@
 use ltds_core::error::ModelError;
 use ltds_core::params::ReliabilityParams;
 use ltds_core::units::Hours;
+use ltds_stochastic::DrawDiscipline;
 use serde::{Deserialize, Serialize};
 
 /// How latent faults get detected in the simulated system.
@@ -51,6 +52,12 @@ pub struct SimConfig {
     /// Safety cap on simulated time per trial, hours. Trials that reach the
     /// cap without data loss are reported as censored.
     pub max_hours: f64,
+    /// How the simulators draw exponential fault delays for this
+    /// configuration: the ziggurat (default, `ln`-free fast path) or the
+    /// scalar inverse CDF (the pre-ziggurat random stream, kept so pinned
+    /// sample paths stay reproducible). Same distribution either way — see
+    /// [`DrawDiscipline`].
+    pub draw: DrawDiscipline,
 }
 
 impl SimConfig {
@@ -170,6 +177,7 @@ impl SimConfig {
             detection,
             alpha,
             max_hours: Self::DEFAULT_MAX_HOURS,
+            draw: DrawDiscipline::default(),
         })
     }
 
@@ -177,6 +185,12 @@ impl SimConfig {
     pub fn with_max_hours(mut self, max_hours: f64) -> Self {
         assert!(max_hours > 0.0, "time cap must be positive");
         self.max_hours = max_hours;
+        self
+    }
+
+    /// Overrides the exponential draw discipline ([`DrawDiscipline`]).
+    pub fn with_draw(mut self, draw: DrawDiscipline) -> Self {
+        self.draw = draw;
         self
     }
 
@@ -276,6 +290,25 @@ mod tests {
             1.0
         )
         .is_err());
+    }
+
+    #[test]
+    fn pre_discipline_json_still_deserializes_with_the_default_draw() {
+        // Specs written before `draw` existed must keep loading: the
+        // absent field maps to the default discipline, and an explicit
+        // variant still round-trips.
+        let current = SimConfig::mirrored_disks(1.4e6, 2.8e5, 0.33, 0.33, Some(2920.0), 1.0)
+            .unwrap()
+            .with_draw(DrawDiscipline::Scalar);
+        let json = serde_json::to_string(&current).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.draw, DrawDiscipline::Scalar);
+
+        let legacy = json.replace(",\"draw\":\"Scalar\"", "").replace("\"draw\":\"Scalar\",", "");
+        assert!(!legacy.contains("draw"), "the legacy payload must omit the field");
+        let back: SimConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.draw, DrawDiscipline::default());
+        assert_eq!(back.mttf_visible_hours, current.mttf_visible_hours);
     }
 
     #[test]

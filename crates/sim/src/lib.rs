@@ -49,12 +49,13 @@ pub mod sweep;
 pub mod trial;
 pub mod validate;
 
-pub use cache::{CacheKey, ConfigDigest, LoadStats, SweepCache};
+pub use cache::{CacheKey, CompactStats, ConfigDigest, LoadStats, SweepCache};
 pub use campaign::{
     Campaign, CampaignDriver, CampaignSummary, JsonlSink, MemorySink, ReportSink, Scenario,
     StreamRecord, SweepSpec,
 };
 pub use config::SimConfig;
+pub use ltds_stochastic::DrawDiscipline;
 pub use monte_carlo::{MonteCarlo, MttdlEstimate};
 pub use trial::{TrialOutcome, TrialRunner};
 pub use validate::{validate_against_model, ValidationReport};

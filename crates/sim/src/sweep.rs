@@ -133,7 +133,8 @@ impl<'a> SweepDriver<'a> {
                 scrub,
                 base.alpha,
             )?
-            .with_max_hours(base.max_hours);
+            .with_max_hours(base.max_hours)
+            .with_draw(base.draw);
             out.push(Self::point(period, &self.estimate(config, i)));
         }
         Ok(out)
@@ -158,7 +159,8 @@ impl<'a> SweepDriver<'a> {
                 base.detection,
                 alpha,
             )?
-            .with_max_hours(base.max_hours);
+            .with_max_hours(base.max_hours)
+            .with_draw(base.draw);
             out.push(Self::point(r as f64, &self.estimate(config, i)));
         }
         Ok(out)
@@ -179,7 +181,8 @@ impl<'a> SweepDriver<'a> {
                 base.detection,
                 alpha,
             )?
-            .with_max_hours(base.max_hours);
+            .with_max_hours(base.max_hours)
+            .with_draw(base.draw);
             out.push(Self::point(alpha, &self.estimate(config, i)));
         }
         Ok(out)

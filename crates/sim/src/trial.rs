@@ -10,7 +10,6 @@
 //! exponential inter-arrival times.
 
 use crate::config::{DetectionModel, SimConfig};
-use crate::replica::{intact_count, ReplicaState};
 use ltds_core::fault::FaultClass;
 use ltds_stochastic::{FaultRace, SimRng};
 use serde::{Deserialize, Serialize};
@@ -39,11 +38,16 @@ impl TrialOutcome {
 /// Reusable per-trial buffers: a Monte-Carlo worker allocates one scratch
 /// and runs every trial through it, making the per-trial hot path
 /// allocation-free.
+///
+/// State is kept flat — one pending-event time per replica (next fault if
+/// intact, repair completion if faulty), a faulty flag and the pending
+/// fault's class — so the event loop's "find the earliest event" scan is a
+/// pure float argmin with no enum matching.
 #[derive(Debug, Clone, Default)]
 pub struct TrialScratch {
-    states: Vec<ReplicaState>,
-    next_fault: Vec<(f64, FaultClass)>,
-    races: Vec<(f64, bool)>,
+    next_time: Vec<f64>,
+    class: Vec<FaultClass>,
+    faulty: Vec<bool>,
 }
 
 impl TrialScratch {
@@ -66,14 +70,17 @@ pub struct TrialRunner {
 
 impl TrialRunner {
     /// Creates a runner for a configuration, pre-resolving the fault-race
-    /// distribution parameters for both correlation regimes.
+    /// distribution parameters for both correlation regimes. The races draw
+    /// through the config's [`ltds_stochastic::DrawDiscipline`].
     pub fn new(config: SimConfig) -> Self {
         let inv_alpha = 1.0 / config.alpha;
-        let race_normal = FaultRace::new(config.mttf_visible_hours, config.mttf_latent_hours);
+        let race_normal = FaultRace::new(config.mttf_visible_hours, config.mttf_latent_hours)
+            .with_draw(config.draw);
         let race_accel = FaultRace::new(
             config.mttf_visible_hours / inv_alpha,
             config.mttf_latent_hours / inv_alpha,
-        );
+        )
+        .with_draw(config.draw);
         Self { config, race_normal, race_accel }
     }
 
@@ -122,45 +129,35 @@ impl TrialRunner {
     pub fn run_with(&self, rng: &mut SimRng, scratch: &mut TrialScratch) -> TrialOutcome {
         let n = self.config.replicas;
         let loss_threshold = self.config.loss_threshold();
-        scratch.states.clear();
-        scratch.states.resize(n, ReplicaState::Intact);
-        // Batched multi-replica draw of every replica's first fault; the
-        // stream is identical to n sequential draws.
-        scratch.races.clear();
-        scratch.races.resize(n, (0.0, false));
-        self.race_normal.sample_batch(rng, &mut scratch.races);
-        scratch.next_fault.clear();
-        scratch.next_fault.extend(scratch.races.iter().map(|&(delay, visible)| {
-            (delay, if visible { FaultClass::Visible } else { FaultClass::Latent })
-        }));
-        let states = &mut scratch.states;
-        let next_fault = &mut scratch.next_fault;
+        // Every replica's first fault, drawn through the shared race (the
+        // replica counts here are far below the batch chunk size, so the
+        // scalar loop is the fast path).
+        scratch.next_time.clear();
+        scratch.class.clear();
+        for _ in 0..n {
+            let (delay, class) = self.sample_next_fault(rng, false);
+            scratch.next_time.push(delay);
+            scratch.class.push(class);
+        }
+        scratch.faulty.clear();
+        scratch.faulty.resize(n, false);
+        let next_time = &mut scratch.next_time;
+        let class = &mut scratch.class;
+        let faulty = &mut scratch.faulty;
+        let mut faulty_count = 0usize;
         let mut faults = 0u64;
         let mut repairs = 0u64;
 
         loop {
-            // Find the earliest pending event: a fault at an intact replica or
-            // a repair completion at a faulty one.
+            // Find the earliest pending event — a fault at an intact
+            // replica or a repair completion at a faulty one; `next_time`
+            // holds whichever applies, so this is a plain float argmin.
             let mut best_time = f64::INFINITY;
             let mut best_replica = usize::MAX;
-            let mut best_is_fault = true;
-            for i in 0..n {
-                match states[i] {
-                    ReplicaState::Intact => {
-                        let (t, _) = next_fault[i];
-                        if t < best_time {
-                            best_time = t;
-                            best_replica = i;
-                            best_is_fault = true;
-                        }
-                    }
-                    ReplicaState::Faulty { repaired_at_hours, .. } => {
-                        if repaired_at_hours < best_time {
-                            best_time = repaired_at_hours;
-                            best_replica = i;
-                            best_is_fault = false;
-                        }
-                    }
+            for (i, &t) in next_time.iter().enumerate() {
+                if t < best_time {
+                    best_time = t;
+                    best_replica = i;
                 }
             }
 
@@ -168,33 +165,30 @@ impl TrialRunner {
                 return TrialOutcome { loss_time_hours: None, faults, repairs, fatal_fault: None };
             }
             let now = best_time;
-            let faulty_before = n - intact_count(states);
+            let faulty_before = faulty_count;
 
-            if best_is_fault {
-                let (_, class) = next_fault[best_replica];
-                let repaired_at = self.repair_completion(now, class, rng);
-                states[best_replica] = ReplicaState::Faulty {
-                    since_hours: now,
-                    class,
-                    repaired_at_hours: repaired_at,
-                };
+            if !faulty[best_replica] {
+                let fault_class = class[best_replica];
+                faulty[best_replica] = true;
+                next_time[best_replica] = self.repair_completion(now, fault_class, rng);
+                faulty_count += 1;
                 faults += 1;
-                let faulty_now = faulty_before + 1;
-                if faulty_now >= loss_threshold {
+                if faulty_count >= loss_threshold {
                     return TrialOutcome {
                         loss_time_hours: Some(now),
                         faults,
                         repairs,
-                        fatal_fault: Some(class),
+                        fatal_fault: Some(fault_class),
                     };
                 }
                 // Correlation state may have changed: resample pending faults
                 // for the remaining intact replicas at the accelerated rate.
                 if faulty_before == 0 && self.config.alpha < 1.0 {
                     for i in 0..n {
-                        if states[i].is_intact() {
+                        if !faulty[i] {
                             let (d, c) = self.sample_next_fault(rng, true);
-                            next_fault[i] = (now + d, c);
+                            next_time[i] = now + d;
+                            class[i] = c;
                         }
                     }
                 }
@@ -202,18 +196,20 @@ impl TrialRunner {
                 // Repair completes; replica returns to service with a fresh
                 // copy (an intact source must exist, otherwise the loss
                 // threshold would already have been crossed).
-                states[best_replica] = ReplicaState::Intact;
+                faulty[best_replica] = false;
+                faulty_count -= 1;
                 repairs += 1;
-                let faulty_now = faulty_before - 1;
                 // Sample the repaired replica's next fault, and if the system
                 // just became fault-free, de-accelerate the others.
-                let (d, c) = self.sample_next_fault(rng, faulty_now > 0);
-                next_fault[best_replica] = (now + d, c);
-                if faulty_now == 0 && self.config.alpha < 1.0 {
+                let (d, c) = self.sample_next_fault(rng, faulty_count > 0);
+                next_time[best_replica] = now + d;
+                class[best_replica] = c;
+                if faulty_count == 0 && self.config.alpha < 1.0 {
                     for i in 0..n {
-                        if i != best_replica && states[i].is_intact() {
+                        if i != best_replica && !faulty[i] {
                             let (d, c) = self.sample_next_fault(rng, false);
-                            next_fault[i] = (now + d, c);
+                            next_time[i] = now + d;
+                            class[i] = c;
                         }
                     }
                 }

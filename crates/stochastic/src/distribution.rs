@@ -5,6 +5,46 @@
 //! analytic mean, a CDF, and a hazard rate where meaningful.
 
 use crate::rng::SimRng;
+use crate::ziggurat;
+use serde::{Deserialize, Serialize};
+
+/// How exponential deviates are drawn from the hot-path samplers
+/// ([`FaultRace`], [`Exponential`]'s batched form): the inverse-CDF
+/// `-m·ln(U)` (one `ln` per draw, the PR 1–4 random stream) or the
+/// [`ZigguratExp`] rejection sampler (no `ln` on ~98.9 % of draws).
+///
+/// Both draw from *exactly* the same distribution — the choice changes how
+/// much raw randomness each draw consumes, and therefore the concrete
+/// sample path of a seeded simulation. Configs carry the discipline
+/// explicitly so pinned-digest tests can hold the old stream (`Scalar`)
+/// while production defaults to the fast one, and the equivalence proptests
+/// can demand statistical agreement between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum DrawDiscipline {
+    /// Inverse-CDF sampling: `-m·ln(U)`, one `ln` and one uniform per draw.
+    /// Reproduces the random stream every release before the ziggurat used.
+    Scalar,
+    /// Ziggurat rejection sampling ([`ZigguratExp`]): one raw `u64`, a table
+    /// lookup and a compare on the fast path; the `ln` survives only in the
+    /// rare tail branch.
+    #[default]
+    Ziggurat,
+}
+
+// Deserialization is written out by hand so configs predating the
+// discipline stay loadable: the vendored derive hands *absent* struct
+// fields through as `Null`, which maps to the default here instead of a
+// hard parse error (a pre-ziggurat campaign spec should not stop parsing).
+impl Deserialize for DrawDiscipline {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Null => Ok(Self::default()),
+            serde::Value::Str(s) if s == "Scalar" => Ok(Self::Scalar),
+            serde::Value::Str(s) if s == "Ziggurat" => Ok(Self::Ziggurat),
+            _ => Err(serde::Error::custom("expected variant of DrawDiscipline")),
+        }
+    }
+}
 
 /// A probability distribution over non-negative reals.
 ///
@@ -86,14 +126,30 @@ impl Exponential {
 
 impl Exponential {
     /// Fills `out` with independent samples, consuming the RNG exactly as
-    /// `out.len()` sequential [`Distribution::sample`] calls would — the
-    /// batched form exists so hot loops (multi-replica fault draws) can
-    /// amortise call overhead without changing any random stream.
+    /// `out.len()` sequential [`Distribution::sample`] calls would. The
+    /// uniforms are drawn up front in chunks and transformed in a separate
+    /// fixed-stride pass, so the draw loop and the `ln` loop each stay
+    /// tight — but the consumed values and their order are identical to the
+    /// sequential path, so no random stream changes. (For the stream-
+    /// *incompatible* but `ln`-free wide path, see
+    /// [`ZigguratExp::sample_batch`].)
     #[inline]
     pub fn sample_batch(&self, rng: &mut SimRng, out: &mut [f64]) {
-        for slot in out.iter_mut() {
-            *slot = rng.exponential(self.mean);
+        const CHUNK: usize = 64;
+        for block in out.chunks_mut(CHUNK) {
+            for slot in block.iter_mut() {
+                *slot = rng.open01();
+            }
+            for slot in block.iter_mut() {
+                *slot = -self.mean * slot.ln();
+            }
         }
+    }
+
+    /// The ziggurat view of this distribution: same law, `ln`-free draws,
+    /// different random-stream consumption (see [`DrawDiscipline`]).
+    pub fn ziggurat(&self) -> ZigguratExp {
+        ZigguratExp::with_mean(self.mean)
     }
 
     /// Conditions the distribution on `X <= bound`, resolving the bound's
@@ -170,6 +226,89 @@ impl Distribution for Exponential {
     }
 }
 
+/// Exponential sampling through the 256-layer ziggurat (Marsaglia & Tsang
+/// 2000; see the private `ziggurat` module for the tables and their
+/// self-verifying construction): the same law as [`Exponential`], drawn
+/// without a logarithm on ~98.9 % of calls — one raw `u64` supplies both the layer
+/// index and the abscissa, and the fast path is a table lookup, a multiply
+/// and a compare. The `ln` survives only in the exact tail branch
+/// (`P ≈ 4.5e-4`).
+///
+/// The price is random-stream shape: a ziggurat draw consumes one `u64`
+/// (plus rare rejection retries) where the inverse CDF consumes one
+/// uniform, so seeded sample paths differ from [`Exponential`]'s even
+/// though the distributions are identical. Simulators therefore select the
+/// sampler through an explicit [`DrawDiscipline`] on their configs.
+///
+/// # Examples
+///
+/// ```
+/// use ltds_stochastic::{Distribution, SimRng, ZigguratExp};
+///
+/// let z = ZigguratExp::with_mean(1000.0);
+/// let mut rng = SimRng::seed_from(7);
+/// assert!(z.sample(&mut rng) > 0.0);
+/// assert_eq!(z.mean(), 1000.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZigguratExp {
+    mean: f64,
+}
+
+impl ZigguratExp {
+    /// Creates a ziggurat exponential sampler with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive and finite, got {mean}"
+        );
+        Self { mean }
+    }
+
+    /// Draws one unit-mean deviate (the raw table walk, shared by every
+    /// mean — scaling a unit exponential is exact).
+    #[inline]
+    pub fn standard(rng: &mut SimRng) -> f64 {
+        ziggurat::standard(rng)
+    }
+
+    /// Fills `out` with independent samples: raw bits for a whole chunk are
+    /// drawn up front and transformed in a fixed-stride lookup/multiply/
+    /// compare pass, with the rare rejections resolved scalar afterwards.
+    /// Deterministic, but consumes the RNG in a different order than
+    /// sequential [`Distribution::sample`] calls (see [`DrawDiscipline`]).
+    #[inline]
+    pub fn sample_batch(&self, rng: &mut SimRng, out: &mut [f64]) {
+        ziggurat::fill_standard(rng, out);
+        for slot in out.iter_mut() {
+            *slot *= self.mean;
+        }
+    }
+}
+
+impl Distribution for ZigguratExp {
+    #[inline]
+    fn sample(&self, rng: &mut SimRng) -> f64 {
+        ziggurat::standard(rng) * self.mean
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn cdf(&self, t: f64) -> f64 {
+        Exponential { mean: self.mean }.cdf(t)
+    }
+
+    fn hazard(&self, _t: f64) -> Option<f64> {
+        Some(1.0 / self.mean)
+    }
+}
+
 /// A pre-resolved race between two competing exponential clocks — the
 /// innermost draw of both simulators ("does the visible or the latent fault
 /// arrive first, and when?").
@@ -182,7 +321,10 @@ impl Distribution for Exponential {
 /// draw, from exactly the same joint distribution.
 ///
 /// All derived parameters (combined mean, winner probability) are resolved
-/// at construction, so per-draw work is branch-free.
+/// at construction, so per-draw work is branch-free. The minimum's delay is
+/// drawn through the race's [`DrawDiscipline`] — [`ZigguratExp`] by
+/// default, the inverse CDF under [`DrawDiscipline::Scalar`] (same joint
+/// distribution either way; only the raw-stream consumption differs).
 ///
 /// # Examples
 ///
@@ -199,10 +341,12 @@ impl Distribution for Exponential {
 pub struct FaultRace {
     combined_mean: f64,
     p_first: f64,
+    draw: DrawDiscipline,
 }
 
 impl FaultRace {
-    /// Creates a race between clocks with the given means.
+    /// Creates a race between clocks with the given means, drawing delays
+    /// through the default discipline ([`DrawDiscipline::Ziggurat`]).
     ///
     /// # Panics
     ///
@@ -217,7 +361,17 @@ impl FaultRace {
             "race mean must be positive and finite, got {mean_second}"
         );
         let rate = 1.0 / mean_first + 1.0 / mean_second;
-        Self { combined_mean: 1.0 / rate, p_first: (1.0 / mean_first) / rate }
+        Self {
+            combined_mean: 1.0 / rate,
+            p_first: (1.0 / mean_first) / rate,
+            draw: DrawDiscipline::default(),
+        }
+    }
+
+    /// Selects the delay-draw discipline (simulators pass their config's).
+    pub fn with_draw(mut self, draw: DrawDiscipline) -> Self {
+        self.draw = draw;
+        self
     }
 
     /// Mean of the winning (minimum) delay.
@@ -234,7 +388,7 @@ impl FaultRace {
     /// whether the first clock produced it.
     #[inline]
     pub fn sample(&self, rng: &mut SimRng) -> (f64, bool) {
-        let delay = rng.exponential(self.combined_mean);
+        let delay = self.sample_delay(rng);
         (delay, rng.uniform01() < self.p_first)
     }
 
@@ -244,7 +398,10 @@ impl FaultRace {
     /// ([`FaultRace::sample_winner`]) only on faults it will schedule.
     #[inline]
     pub fn sample_delay(&self, rng: &mut SimRng) -> f64 {
-        rng.exponential(self.combined_mean)
+        match self.draw {
+            DrawDiscipline::Scalar => rng.exponential(self.combined_mean),
+            DrawDiscipline::Ziggurat => ziggurat::standard(rng) * self.combined_mean,
+        }
     }
 
     /// Draws the winner's identity (`true` = first clock), independent of
@@ -254,14 +411,39 @@ impl FaultRace {
         rng.uniform01() < self.p_first
     }
 
-    /// Fills `out` with independent race draws, consuming the RNG exactly
-    /// as `out.len()` sequential [`FaultRace::sample`] calls would. This is
-    /// the batched multi-replica fault draw: simulators sample every
-    /// replica's first fault in one tight pass at setup.
+    /// Fills `out` with independent race draws — the batched multi-replica
+    /// fault draw: simulators sample every replica's first fault in one
+    /// tight pass at setup.
+    ///
+    /// Under [`DrawDiscipline::Scalar`] the stream is exactly `out.len()`
+    /// sequential [`FaultRace::sample`] calls. Under
+    /// [`DrawDiscipline::Ziggurat`] the delays of a whole chunk are drawn
+    /// wide ([`ZigguratExp::sample_batch`]-style: raw bits up front,
+    /// fixed-stride transform, `ln` only on parked rejections) and the
+    /// winner identities follow in a second pass — deterministic, but a
+    /// different consumption order than sequential calls.
     #[inline]
     pub fn sample_batch(&self, rng: &mut SimRng, out: &mut [(f64, bool)]) {
-        for slot in out.iter_mut() {
-            *slot = self.sample(rng);
+        match self.draw {
+            DrawDiscipline::Scalar => {
+                for slot in out.iter_mut() {
+                    *slot = self.sample(rng);
+                }
+            }
+            DrawDiscipline::Ziggurat => {
+                const CHUNK: usize = 64;
+                let mut delays = [0.0f64; CHUNK];
+                for block in out.chunks_mut(CHUNK) {
+                    let delays = &mut delays[..block.len()];
+                    ziggurat::fill_standard(rng, delays);
+                    for (slot, &delay) in block.iter_mut().zip(delays.iter()) {
+                        slot.0 = delay * self.combined_mean;
+                    }
+                    for slot in block.iter_mut() {
+                        slot.1 = rng.uniform01() < self.p_first;
+                    }
+                }
+            }
         }
     }
 }
@@ -882,6 +1064,123 @@ mod tests {
     #[should_panic(expected = "binomial p")]
     fn binomial_rejects_bad_probability() {
         let _ = Binomial::new(10, 1.5);
+    }
+
+    /// Two-sided Kolmogorov–Smirnov statistic of `xs` against the unit
+    /// exponential CDF.
+    fn ks_vs_unit_exponential(xs: &mut [f64]) -> f64 {
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len() as f64;
+        let mut d = 0.0f64;
+        for (i, &x) in xs.iter().enumerate() {
+            let f = 1.0 - (-x).exp();
+            d = d.max((f - i as f64 / n).abs()).max(((i + 1) as f64 / n - f).abs());
+        }
+        d
+    }
+
+    #[test]
+    fn ziggurat_moments_match_the_exponential() {
+        let z = ZigguratExp::with_mean(42.0);
+        let n = 80_000;
+        let mut rng = SimRng::seed_from(7);
+        let xs: Vec<f64> = (0..n).map(|_| z.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 42.0).abs() / 42.0 < 0.02, "mean {mean}");
+        // Exponential variance is mean².
+        assert!((var - 42.0 * 42.0).abs() / (42.0 * 42.0) < 0.05, "variance {var}");
+        assert_eq!(z.mean(), 42.0);
+        assert!((z.cdf(42.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!((z.hazard(5.0).unwrap() - 1.0 / 42.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ziggurat_body_passes_a_ks_test() {
+        // Scalar path: the empirical CDF of 50k draws must stay within the
+        // α ≈ 0.001 Kolmogorov band of the exponential CDF (deterministic
+        // given the pinned seed, so this is a regression pin, not a flake).
+        let n = 50_000usize;
+        let mut rng = SimRng::seed_from(101);
+        let mut xs: Vec<f64> = (0..n).map(|_| ZigguratExp::standard(&mut rng)).collect();
+        let d = ks_vs_unit_exponential(&mut xs);
+        assert!(d < 1.95 / (n as f64).sqrt(), "scalar KS statistic {d}");
+    }
+
+    #[test]
+    fn ziggurat_batch_passes_a_ks_test() {
+        // Wide path: same band, exercising the chunked fill (fast pass,
+        // parked rejections, wedge and tail resolution).
+        let n = 50_000usize;
+        let z = ZigguratExp::with_mean(1.0);
+        let mut rng = SimRng::seed_from(102);
+        let mut xs = vec![0.0f64; n];
+        z.sample_batch(&mut rng, &mut xs);
+        let d = ks_vs_unit_exponential(&mut xs);
+        assert!(d < 1.95 / (n as f64).sqrt(), "batch KS statistic {d}");
+    }
+
+    #[test]
+    fn ziggurat_tail_is_exact_beyond_r() {
+        // Beyond R the law is exponential again: the exceedance fraction
+        // must match e^{-R} and the exceedances themselves must be
+        // unit-exponential (mean 1). 4M draws put ~1800 in the tail.
+        let r = crate::ziggurat::R;
+        let n = 4_000_000u64;
+        let mut rng = SimRng::seed_from(103);
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let x = ZigguratExp::standard(&mut rng);
+            if x > r {
+                count += 1;
+                sum += x - r;
+            }
+        }
+        let expect = (-r).exp() * n as f64;
+        assert!(
+            (count as f64 - expect).abs() < 5.0 * expect.sqrt(),
+            "tail count {count}, expected ~{expect:.0}"
+        );
+        let tail_mean = sum / count as f64;
+        assert!((tail_mean - 1.0).abs() < 0.1, "tail exceedance mean {tail_mean}");
+    }
+
+    #[test]
+    fn fault_race_disciplines_agree_statistically() {
+        // Same joint distribution through either discipline: compare the
+        // mean delay and winner frequency of the two streams.
+        let scalar = FaultRace::new(1000.0, 5000.0).with_draw(DrawDiscipline::Scalar);
+        let ziggurat = FaultRace::new(1000.0, 5000.0).with_draw(DrawDiscipline::Ziggurat);
+        let n = 60_000;
+        let summarize = |race: &FaultRace, seed: u64| {
+            let mut rng = SimRng::seed_from(seed);
+            let mut out = vec![(0.0, false); n];
+            race.sample_batch(&mut rng, &mut out);
+            let mean: f64 = out.iter().map(|&(d, _)| d).sum::<f64>() / n as f64;
+            let first = out.iter().filter(|&&(_, f)| f).count() as f64 / n as f64;
+            (mean, first)
+        };
+        let (m_s, f_s) = summarize(&scalar, 23);
+        let (m_z, f_z) = summarize(&ziggurat, 24);
+        assert!((m_s - m_z).abs() / m_s < 0.03, "mean delays diverged: {m_s} vs {m_z}");
+        assert!((f_s - f_z).abs() < 0.01, "winner frequencies diverged: {f_s} vs {f_z}");
+    }
+
+    #[test]
+    fn scalar_discipline_reproduces_the_inverse_cdf_stream() {
+        // The Scalar discipline is the compatibility path: it must consume
+        // the RNG exactly as the pre-ziggurat code did.
+        let race = FaultRace::new(1000.0, 5000.0).with_draw(DrawDiscipline::Scalar);
+        let mut a = SimRng::seed_from(9);
+        let mut b = SimRng::seed_from(9);
+        for _ in 0..64 {
+            let (delay, first) = race.sample(&mut a);
+            let want = b.exponential(race.combined_mean());
+            assert_eq!(delay.to_bits(), want.to_bits());
+            assert_eq!(first, b.uniform01() < race.p_first());
+        }
+        assert_eq!(a.uniform01(), b.uniform01());
     }
 
     #[test]

@@ -26,10 +26,11 @@ pub mod events;
 pub mod histogram;
 pub mod parallelism;
 pub mod rng;
+mod ziggurat;
 
 pub use distribution::{
-    Bathtub, Binomial, BinomialPositions, Deterministic, Distribution, Exponential, FaultRace,
-    LogNormal, TruncatedExponential, Uniform, Weibull,
+    Bathtub, Binomial, BinomialPositions, Deterministic, Distribution, DrawDiscipline, Exponential,
+    FaultRace, LogNormal, TruncatedExponential, Uniform, Weibull, ZigguratExp,
 };
 pub use estimators::{ConfidenceInterval, ProportionEstimate, StreamingStats};
 pub use events::{EventStream, RenewalProcess};

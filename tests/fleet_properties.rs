@@ -4,6 +4,7 @@
 use ltds::fleet::queue::{BinaryHeapQueue, EventKind, EventQueue};
 use ltds::fleet::{BurstProfile, FleetConfig, FleetSim, FleetTopology, RepairBandwidth};
 use ltds::sim::config::SimConfig;
+use ltds::stochastic::DrawDiscipline;
 use proptest::prelude::*;
 
 /// Strategy producing small, fragile fleets that lose data within a short
@@ -198,6 +199,47 @@ proptest! {
         );
     }
 
+    /// The two draw disciplines consume the RNG differently but sample the
+    /// same joint event distribution, so fleet aggregates must agree
+    /// statistically: same exposure, loss counts within Poisson noise of
+    /// each other, fault counts within a few percent.
+    #[test]
+    fn draw_disciplines_agree_statistically_on_fleet_aggregates(seed in 0u64..500) {
+        let topology = FleetTopology::new(2, 2, 2, 6).unwrap();
+        let group = SimConfig::mirrored_disks(900.0, 4_000.0, 10.0, 10.0, Some(100.0), 0.7)
+            .unwrap();
+        let base = FleetConfig::new(topology, 150, group)
+            .unwrap()
+            .with_horizon_hours(20_000.0)
+            .with_shards(8);
+        let mut scalar_cfg = base;
+        scalar_cfg.group = group.with_draw(DrawDiscipline::Scalar);
+        let mut ziggurat_cfg = base;
+        ziggurat_cfg.group = group.with_draw(DrawDiscipline::Ziggurat);
+        let scalar = FleetSim::new(scalar_cfg).seed(seed).run().unwrap();
+        let ziggurat = FleetSim::new(ziggurat_cfg).seed(seed + 1).run().unwrap();
+        // Loss counts are sums of many i.i.d. renewals: compare with a
+        // generous gate of several standard deviations (√n Poisson noise).
+        let (a, b) = (scalar.totals.losses as f64, ziggurat.totals.losses as f64);
+        prop_assert!(a > 50.0 && b > 50.0, "fleet too quiet to compare: {a} vs {b}");
+        let sigma = (a + b).sqrt();
+        prop_assert!(
+            (a - b).abs() < 6.0 * sigma,
+            "loss counts diverged beyond noise: {a} vs {b} (6σ = {:.1})",
+            6.0 * sigma
+        );
+        let (fa, fb) = (scalar.totals.faults as f64, ziggurat.totals.faults as f64);
+        prop_assert!(
+            (fa - fb).abs() / fa < 0.1,
+            "fault counts diverged: {fa} vs {fb}"
+        );
+        let (ma, mb) = (scalar.mttdl_exposure_hours(), ziggurat.mttdl_exposure_hours());
+        prop_assert!(
+            (ma - mb).abs() / ma < 0.25,
+            "MTTDL estimates diverged: {ma} vs {mb}"
+        );
+    }
+
     #[test]
     fn unlimited_bandwidth_is_the_best_case(seed in 0u64..200) {
         let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
@@ -236,48 +278,60 @@ proptest! {
 /// order is caught — not just thread-count variance.
 ///
 /// The digests are tied to the vendored RNG (xoshiro256++) and the
-/// `FaultRace` draw discipline; re-pin them (with a CHANGES.md note) if
+/// config's `DrawDiscipline`; re-pin them (with a CHANGES.md note) if
 /// either deliberately changes.
 #[test]
 fn scheduler_determinism_digest_is_pinned() {
-    // A mid-size fleet exercising bursts, bandwidth queueing and multiple
-    // shards; shard queues stay on the heap backend.
-    let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
-    let group = SimConfig::mirrored_disks(1_500.0, 6_000.0, 10.0, 10.0, Some(150.0), 0.5).unwrap();
-    let sharded = FleetConfig::new(topology, 300, group)
-        .unwrap()
-        .with_horizon_hours(10_000.0)
-        .with_shards(6)
-        .with_bursts(BurstProfile::disaster_scenario())
-        .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
-    // A single-shard fleet whose queue occupancy (~12k events) crosses the
-    // calendar-migration threshold, pinning the calendar-backed path too.
-    let topology = FleetTopology::new(2, 2, 2, 8).unwrap();
-    let dense = SimConfig::mirrored_disks(2_000.0, 8_000.0, 5.0, 5.0, Some(400.0), 1.0).unwrap();
-    let single = FleetConfig::new(topology, 6_000, dense)
-        .unwrap()
-        .with_horizon_hours(8_766.0)
-        .with_shards(1);
+    // PR 5 introduced the ziggurat draw discipline (the default): fault
+    // delays now consume one raw u64 (plus rare rejection retries) instead
+    // of one uniform + ln, so the Ziggurat sample paths differ from the
+    // PR 3/PR 4 stream and their digests are pinned fresh here. The Scalar
+    // discipline preserves the pre-ziggurat stream exactly — its pins are
+    // the unchanged PR 3 values, which is the regression guard proving the
+    // PR 5 kernel refactors (packed scheduler entries, lazy placement
+    // tables, generation-stamped scratch) changed no observable behaviour.
+    for (draw, pin_sharded, pin_single) in [
+        (DrawDiscipline::Scalar, 0x76bf_e96c_7935_c597_u64, 0x3d84_89ee_6da5_fb8f_u64),
+        (DrawDiscipline::Ziggurat, 0xf71e_d9bd_1762_cfd7, 0xd49c_4744_c941_77e7),
+    ] {
+        // A mid-size fleet exercising bursts, bandwidth queueing and
+        // multiple shards; shard queues stay on the heap backend.
+        let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
+        let group = SimConfig::mirrored_disks(1_500.0, 6_000.0, 10.0, 10.0, Some(150.0), 0.5)
+            .unwrap()
+            .with_draw(draw);
+        let sharded = FleetConfig::new(topology, 300, group)
+            .unwrap()
+            .with_horizon_hours(10_000.0)
+            .with_shards(6)
+            .with_bursts(BurstProfile::disaster_scenario())
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+        // A single-shard fleet whose queue occupancy (~12k events) is deep
+        // into calendar territory, pinning the calendar-backed path too.
+        let topology = FleetTopology::new(2, 2, 2, 8).unwrap();
+        let dense = SimConfig::mirrored_disks(2_000.0, 8_000.0, 5.0, 5.0, Some(400.0), 1.0)
+            .unwrap()
+            .with_draw(draw);
+        let single = FleetConfig::new(topology, 6_000, dense)
+            .unwrap()
+            .with_horizon_hours(8_766.0)
+            .with_shards(1);
 
-    // Digests re-pinned for PR 3's initial-draw thinning: setup now draws a
-    // binomial within-horizon count + truncated delays instead of one delay
-    // per slot, which consumes the RNG differently (same event
-    // distribution; the degeneracy test in model_vs_simulator.rs still
-    // cross-checks the statistics).
-    for (config, pinned) in [(sharded, 0x76bf_e96c_7935_c597_u64), (single, 0x3d84_89ee_6da5_fb8f)]
-    {
-        let mut digests = Vec::new();
-        for threads in [1usize, 2, 8] {
-            let report = FleetSim::new(config).seed(42).threads(threads).run().unwrap();
-            let json = serde_json::to_string(&report).expect("report serializes");
-            digests.push(fnv1a(json.as_bytes()));
+        for (config, pinned) in [(sharded, pin_sharded), (single, pin_single)] {
+            let mut digests = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let report = FleetSim::new(config).seed(42).threads(threads).run().unwrap();
+                let json = serde_json::to_string(&report).expect("report serializes");
+                digests.push(fnv1a(json.as_bytes()));
+            }
+            assert_eq!(digests[0], digests[1], "thread count changed the report");
+            assert_eq!(digests[0], digests[2], "thread count changed the report");
+            assert_eq!(
+                digests[0], pinned,
+                "pinned digest mismatch under {draw:?}: got {:#018x} — the scheduler/RNG \
+                 behaviour changed",
+                digests[0]
+            );
         }
-        assert_eq!(digests[0], digests[1], "thread count changed the report");
-        assert_eq!(digests[0], digests[2], "thread count changed the report");
-        assert_eq!(
-            digests[0], pinned,
-            "pinned digest mismatch: got {:#018x} — the scheduler/RNG behaviour changed",
-            digests[0]
-        );
     }
 }
