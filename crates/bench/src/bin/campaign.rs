@@ -10,6 +10,7 @@
 //!     [--out FILE.jsonl]    # streamed report (default campaign.jsonl)
 //!     [--fleet-reports DIR] # also write merged per-scenario FleetReports
 //!     [--threads N]         # worker threads (default: all cores)
+//!     [--telemetry HOURS]   # stream shard traces sampled every HOURS sim-time
 //!     [--max-units K]       # stop after K work units ("kill" the campaign)
 //!     [--expect-hits N]     # exit 1 unless the caches answered >= N units
 //!     [--expect-misses N]   # exit 1 if more than N units were simulated
@@ -32,12 +33,17 @@
 //! unit order, a re-run against a warm directory emits a byte-identical
 //! report; resuming a killed campaign is just running it again.
 //!
+//! `--telemetry HOURS` streams an extra `ShardTrace` record (sampled at
+//! the given sim-time cadence) behind every fleet shard the run actually
+//! simulates; cache hits carry no trace.
+//!
 //! On success the final line on stdout is the run summary as JSON
-//! (`units_total` / `units_run` / `cache_hits` / `cache_misses`), which is
-//! what CI asserts against.
+//! (`units_total` / `units_run` / `cache_hits` / `cache_misses` /
+//! `skipped_records` — the last counts damaged cache records dropped at
+//! load), which is what CI asserts against.
 
 use ltds_bench::workloads;
-use ltds_fleet::{FleetCampaign, FleetReportCollector, ShardCache};
+use ltds_fleet::{FleetCampaign, FleetReportCollector, ShardCache, TelemetryConfig};
 use ltds_sim::cache::SweepCache;
 use ltds_sim::campaign::{CampaignDriver, JsonlSink, ReportSink};
 use std::io::Write;
@@ -54,6 +60,7 @@ fn main() {
     let mut fleet_reports: Option<PathBuf> = None;
     let mut out_path = String::from("campaign.jsonl");
     let mut threads: Option<usize> = None;
+    let mut telemetry_hours: Option<f64> = None;
     let mut max_units: Option<usize> = None;
     let mut expect_hits: Option<u64> = None;
     let mut expect_misses: Option<u64> = None;
@@ -79,6 +86,15 @@ fn main() {
                         .ok()
                         .filter(|&n: &usize| n > 0)
                         .unwrap_or_else(|| fail("--threads needs a number >= 1")),
+                )
+            }
+            "--telemetry" => {
+                telemetry_hours = Some(
+                    value(&args, &mut i, "--telemetry")
+                        .parse()
+                        .ok()
+                        .filter(|&h: &f64| h.is_finite() && h > 0.0)
+                        .unwrap_or_else(|| fail("--telemetry needs a positive number of hours")),
                 )
             }
             "--max-units" => {
@@ -127,6 +143,7 @@ fn main() {
     // every fresh result through so a kill loses at most one record.
     let points: SweepCache<ltds_sim::MttdlEstimate> = SweepCache::new();
     let shards = ShardCache::new();
+    let mut skipped_records = 0u64;
     if let Some(dir) = &cache_dir {
         for (name, stats) in [
             ("points", points.load_dir(dir.join("points"))),
@@ -137,6 +154,7 @@ fn main() {
                 "cache {name}: {} record(s) from {} segment(s), {} skipped",
                 stats.loaded, stats.segments, stats.skipped
             );
+            skipped_records += stats.skipped as u64;
         }
         points
             .write_through(dir.join("points"))
@@ -153,6 +171,9 @@ fn main() {
     let mut driver = CampaignDriver::new(&campaign).point_cache(&points).shard_cache(&shards);
     if let Some(threads) = threads {
         driver = driver.threads(threads);
+    }
+    if let Some(hours) = telemetry_hours {
+        driver = driver.telemetry(TelemetryConfig::default().sample_period_hours(hours));
     }
     if let Some(k) = max_units {
         driver = driver.max_units(k);
@@ -192,13 +213,17 @@ fn main() {
         }
         None => driver.run(&mut sink as &mut dyn ReportSink),
     };
-    let summary = match result {
+    let mut summary = match result {
         Ok(summary) => summary,
         Err(e) => {
             eprintln!("campaign failed: {e}");
             std::process::exit(1);
         }
     };
+    // Damaged records dropped while loading the persistent caches: the
+    // driver cannot see them, so the binary folds them into the published
+    // summary (CI greps for a nonzero count after corruption drills).
+    summary.skipped_records = skipped_records;
     sink.into_inner().flush().unwrap_or_else(|e| fail(format!("cannot flush {out_path}: {e}")));
 
     eprintln!(

@@ -1,0 +1,329 @@
+//! `ltds-trace` — generate and inspect deterministic telemetry traces.
+//!
+//! Usage:
+//!
+//! ```text
+//! ltds-trace gen [--workload e15|demo] [--threads N] [--seed S]
+//!                [--sample-hours H] [--ring N] [--out FILE]
+//! ltds-trace summary FILE [--json]
+//! ltds-trace filter FILE [--kind meta|sample|loss|shard|run] [--shard N]
+//! ltds-trace diff FILE_A FILE_B
+//! ```
+//!
+//! * `gen` runs a traced fleet workload and writes the checksummed trace
+//!   JSONL. The trace's run summary is cross-checked against the engine's
+//!   [`ltds_fleet::FleetReport`] before anything is written — `gen` itself
+//!   fails if the post-mortem stream would not reproduce the report's loss
+//!   totals. The `e15` workload is the E15 disaster fleet at its canonical
+//!   seed, so its traces describe exactly the run the experiment reports.
+//!   Traces are byte-identical for any `--threads` value.
+//! * `summary` validates every line (checksum framing, JSON, schema,
+//!   cross-checked totals) via [`ltds_telemetry::scan_jsonl`] and prints
+//!   the run totals; any corruption exits nonzero.
+//! * `filter` re-emits the decoded JSON payloads of matching lines.
+//! * `diff` scans two traces and compares their run summaries field by
+//!   field (exit 1 on divergence) — the cheap way to compare runs whose
+//!   bytes are not expected to match (different seeds or cadences).
+
+use ltds_bench::workloads;
+use ltds_fleet::{FleetSim, RepairBandwidth, TelemetryConfig};
+use ltds_telemetry::{scan_jsonl, RunSummary, TraceScan};
+use serde::Value;
+use std::io::Write;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("ltds-trace: {message}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => gen(&args[1..]),
+        Some("summary") => summary(&args[1..]),
+        Some("filter") => filter(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        Some(other) => fail(format!("unknown command `{other}` (try gen/summary/filter/diff)")),
+        None => fail("a command is required: gen, summary, filter or diff"),
+    }
+}
+
+/// Pulls the value after a flag, advancing the cursor.
+fn value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).unwrap_or_else(|| fail(format!("{flag} needs a value"))).clone()
+}
+
+fn gen(args: &[String]) {
+    let mut workload = String::from("demo");
+    let mut threads: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut sample_hours: Option<f64> = None;
+    let mut ring: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workload" => workload = value(args, &mut i, "--workload"),
+            "--threads" => {
+                threads = Some(
+                    value(args, &mut i, "--threads")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| fail("--threads needs a number >= 1")),
+                )
+            }
+            "--seed" => {
+                seed = Some(
+                    value(args, &mut i, "--seed")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--seed needs a number")),
+                )
+            }
+            "--sample-hours" => {
+                sample_hours = Some(
+                    value(args, &mut i, "--sample-hours")
+                        .parse()
+                        .ok()
+                        .filter(|&h: &f64| h.is_finite() && h > 0.0)
+                        .unwrap_or_else(|| fail("--sample-hours needs a positive number")),
+                )
+            }
+            "--ring" => {
+                ring = Some(
+                    value(args, &mut i, "--ring")
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| fail("--ring needs a number >= 1")),
+                )
+            }
+            "--out" => out = Some(value(args, &mut i, "--out")),
+            other => fail(format!("unknown gen argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let (config, default_seed) = match workload.as_str() {
+        // The E15 disaster fleet at its canonical seed: three sites, site
+        // disasters, constrained per-site repair bandwidth.
+        "e15" => (
+            workloads::disaster_fleet(2, RepairBandwidth::PerSiteBytesPerHour(2.0e10)),
+            workloads::E15_SEED,
+        ),
+        // A quick small fleet for smoke tests and demos.
+        "demo" => (workloads::event_dense_fleet(), 1),
+        other => fail(format!("unknown workload `{other}` (try e15 or demo)")),
+    };
+    let mut sim = FleetSim::new(config).seed(seed.unwrap_or(default_seed));
+    if let Some(threads) = threads {
+        sim = sim.threads(threads);
+    }
+    let mut telemetry = TelemetryConfig::default();
+    if let Some(hours) = sample_hours {
+        telemetry = telemetry.sample_period_hours(hours);
+    }
+    if let Some(ring) = ring {
+        telemetry = telemetry.ring_capacity(ring);
+    }
+    let (report, trace) = sim
+        .telemetry(telemetry)
+        .run_traced()
+        .unwrap_or_else(|e| fail(format!("invalid fleet: {e}")));
+
+    // The trace must reproduce the engine's report before it leaves the
+    // process: the post-mortem stream and shard summaries carry the same
+    // loss/fault/repair totals the report does.
+    let summary = trace.summary();
+    for (what, from_trace, from_report) in [
+        ("losses", summary.losses, report.totals.losses),
+        ("faults", summary.faults, report.totals.faults),
+        ("repairs", summary.repairs, report.totals.repairs),
+        ("burst faults", summary.burst_faults, report.totals.burst_faults),
+        ("visible-fatal losses", summary.fatal_visible, report.totals.fatal_visible),
+        ("latent-fatal losses", summary.fatal_latent, report.totals.fatal_latent),
+        ("post-mortems", summary.postmortems, report.totals.losses),
+    ] {
+        if from_trace != from_report {
+            fail(format!(
+                "trace does not reproduce the report: {what} {from_trace} != {from_report}"
+            ));
+        }
+    }
+
+    let jsonl = trace.to_jsonl();
+    match out.as_deref() {
+        None | Some("-") => {
+            std::io::stdout()
+                .write_all(jsonl.as_bytes())
+                .unwrap_or_else(|e| fail(format!("cannot write trace: {e}")));
+        }
+        Some(path) => {
+            std::fs::write(path, &jsonl)
+                .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+        }
+    }
+    eprintln!(
+        "workload `{workload}`: {} shard(s), {} sample(s), {} loss post-mortem(s); \
+         report totals reproduced ({} losses / {} faults / {} repairs)",
+        trace.meta.shards,
+        summary.samples,
+        summary.postmortems,
+        report.totals.losses,
+        report.totals.faults,
+        report.totals.repairs,
+    );
+}
+
+/// Scans a trace file, exiting nonzero with the offending line on damage.
+fn scan_file(path: &str) -> TraceScan {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    match scan_jsonl(&text) {
+        Ok(scan) => scan,
+        Err(e) => {
+            eprintln!("ltds-trace: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn summary(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => fail(format!("unknown summary argument: {other}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| fail("summary needs a trace file"));
+    let scan = scan_file(&path);
+    if json {
+        println!("{}", serde_json::to_string(&scan).expect("scan serializes"));
+        return;
+    }
+    let meta = &scan.meta;
+    println!("{path}: valid {} trace, {} line(s)", meta.schema, scan.lines);
+    println!(
+        "  run: seed {} | {} shard(s) | {} group(s) | horizon {} h | cadence {} h | ring {}",
+        meta.seed,
+        meta.shards,
+        meta.groups,
+        meta.horizon_hours,
+        meta.sample_period_hours,
+        meta.ring_capacity
+    );
+    let run = &scan.run;
+    println!(
+        "  faults: {} ({} visible / {} latent / {} burst-induced)",
+        run.faults, run.faults_visible, run.faults_latent, run.burst_faults
+    );
+    println!("  repairs: {}", run.repairs);
+    println!(
+        "  losses: {} ({} visible-fatal / {} latent-fatal), {} post-mortem(s)",
+        run.losses, run.fatal_visible, run.fatal_latent, run.postmortems
+    );
+    println!("  samples: {}", run.samples);
+}
+
+fn filter(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut kind: Option<String> = None;
+    let mut shard: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--kind" => {
+                let k = value(args, &mut i, "--kind");
+                if !matches!(k.as_str(), "meta" | "sample" | "loss" | "shard" | "run") {
+                    fail(format!("unknown kind `{k}` (try meta/sample/loss/shard/run)"));
+                }
+                kind = Some(k);
+            }
+            "--shard" => {
+                shard = Some(
+                    value(args, &mut i, "--shard")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--shard needs a number")),
+                )
+            }
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => fail(format!("unknown filter argument: {other}")),
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| fail("filter needs a trace file"));
+    // Validate the whole trace first: filtering a damaged file would
+    // silently drop the damage along with the filtered lines.
+    scan_file(&path);
+    let text = std::fs::read_to_string(&path).expect("file was just read");
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in text.lines() {
+        let payload = ltds_core::record::decode(line).expect("scan validated every line");
+        let value = serde_json::value_from_str(payload).expect("scan validated every line");
+        let line_kind = match value.get("kind") {
+            Some(Value::Str(kind)) => kind.clone(),
+            _ => continue,
+        };
+        if kind.as_deref().is_some_and(|k| k != line_kind) {
+            continue;
+        }
+        if let Some(want) = shard {
+            let has = match value.get("shard") {
+                Some(Value::U64(n)) => *n == want,
+                Some(Value::I64(n)) => *n == want as i64,
+                Some(Value::F64(n)) => *n == want as f64,
+                // meta/run lines carry no shard index; keep them only when
+                // no kind filter already selected them.
+                _ => kind.is_none(),
+            };
+            if !has {
+                continue;
+            }
+        }
+        writeln!(out, "{payload}").unwrap_or_else(|e| {
+            if e.kind() == std::io::ErrorKind::BrokenPipe {
+                // A downstream `head` closed the pipe; not an error.
+                std::process::exit(0);
+            }
+            fail(format!("cannot write: {e}"))
+        });
+    }
+}
+
+fn diff(args: &[String]) {
+    let [a, b] = args else {
+        fail("diff needs exactly two trace files");
+    };
+    let scan_a = scan_file(a);
+    let scan_b = scan_file(b);
+    let fields = |s: &RunSummary| {
+        [
+            ("faults", s.faults),
+            ("faults_visible", s.faults_visible),
+            ("faults_latent", s.faults_latent),
+            ("burst_faults", s.burst_faults),
+            ("repairs", s.repairs),
+            ("losses", s.losses),
+            ("fatal_visible", s.fatal_visible),
+            ("fatal_latent", s.fatal_latent),
+            ("samples", s.samples),
+            ("postmortems", s.postmortems),
+        ]
+    };
+    let mut diverged = false;
+    for ((name, va), (_, vb)) in fields(&scan_a.run).into_iter().zip(fields(&scan_b.run)) {
+        if va != vb {
+            println!("{name}: {va} != {vb}");
+            diverged = true;
+        }
+    }
+    if diverged {
+        std::process::exit(1);
+    }
+    println!("run summaries match ({} vs {} line(s))", scan_a.lines, scan_b.lines);
+}

@@ -8,6 +8,10 @@
 //! * `event_dense_2k` — the event-dense small fleet (raw kernel throughput);
 //! * `dense_5k` — the mid-density sharded fleet whose per-shard queues sit
 //!   at the heap → calendar crossover;
+//! * `dense_1shard_telemetry_off` — `dense_1shard` again, named for what it
+//!   measures: the probe-generic kernel with telemetry disabled (the
+//!   `NoTelemetry` path every plain `run()` takes). `--check` pins the pair
+//!   within noise of each other so disabled probes provably compile out;
 //! * `mc_10k_trials` — 10 000 Monte-Carlo trials of the canonical group;
 //! * `mc_ziggurat` — 10 000 trials of the correlated (draw-dominated)
 //!   group pinned to the ziggurat discipline;
@@ -30,8 +34,12 @@
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin perfsmoke -- \
-//!     [--out BENCH_PR4.json] [--baseline OLD.json] [--repeat 3] [--check]
+//!     [--out BENCH_PR6.json] [--baseline OLD.json] [--repeat 3] [--check]
 //! ```
+//!
+//! The report embeds its own provenance — thread count, `rustc -V`, and an
+//! FNV-1a hash of the workload-name set — so BENCH_*.json files from
+//! different PRs are comparable without out-of-band notes.
 //!
 //! Each workload runs `--repeat` times and the best wall time is kept (the
 //! workloads are deterministic, so the minimum is the cleanest estimate of
@@ -73,6 +81,14 @@ const SWEEP_COLD_CEILING_MS: f64 = 20_000.0;
 const EVENT_DENSE_CEILING_MS: f64 = 30_000.0;
 const DENSE_1SHARD_CEILING_MS: f64 = 20_000.0;
 
+/// `--check` requires `dense_1shard_telemetry_off` (the same workload run
+/// through the probe-generic kernel with telemetry disabled — the
+/// `NoTelemetry` static-dispatch path every plain `run()` takes) to stay
+/// within this factor of `dense_1shard`, in either direction. The window
+/// is noise-sized: disabled probes must compile out entirely, so any
+/// systematic gap means the probe surface grew a runtime cost.
+const TELEMETRY_OFF_MAX_RATIO: f64 = 1.3;
+
 /// `--check` requires `sweep_refine` to cost less than this fraction of
 /// `sweep_16_cold`. With 12 of 16 points cached the expected ratio is
 /// ~0.25; 0.5 leaves room for noise while still failing hard if cache
@@ -107,6 +123,14 @@ struct PerfReport {
     schema: String,
     repeats: u32,
     threads: usize,
+    /// `rustc -V` of the compiler that produced this binary's toolchain,
+    /// when it can be queried. `Option` so reports recorded before this
+    /// field existed (BENCH_PR5 and earlier) still parse as baselines.
+    rustc: Option<String>,
+    /// FNV-1a hash (hex) of the ordered workload-name list, so trajectory
+    /// comparisons can tell "this workload got slower" apart from "the
+    /// workload set changed". `Option` for pre-existing baselines.
+    workload_set_hash: Option<String>,
     workloads: Vec<WorkloadResult>,
     /// A previously recorded report (e.g. the PR 1 binary-heap kernel),
     /// embedded via `--baseline` so one artifact carries the trajectory.
@@ -138,7 +162,7 @@ fn time_workload(name: &str, repeats: u32, mut run: impl FnMut() -> u64) -> Work
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR5.json");
+    let mut out_path = String::from("BENCH_PR6.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -195,6 +219,20 @@ fn main() {
                 .events
         }),
         time_workload("dense_1shard", repeats, || {
+            FleetSim::new(workloads::event_dense_single_shard())
+                .seed(1)
+                .run()
+                .expect("fleet run succeeds")
+                .totals
+                .events
+        }),
+        // Identical workload to `dense_1shard` by construction: `run()` is
+        // the probe-generic kernel instantiated with `NoTelemetry`, i.e.
+        // telemetry *off*. Recording it under its own name (and gating the
+        // pair in `--check`) keeps the disabled-probe path pinned to the
+        // uninstrumented cost — if the probe surface ever stops compiling
+        // out, this pair drifts apart and the check trips.
+        time_workload("dense_1shard_telemetry_off", repeats, || {
             FleetSim::new(workloads::event_dense_single_shard())
                 .seed(1)
                 .run()
@@ -340,10 +378,22 @@ fn main() {
         eprintln!();
     }
 
+    let rustc = std::process::Command::new("rustc")
+        .arg("-V")
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .map(|out| String::from_utf8_lossy(&out.stdout).trim().to_string());
+    let workload_names = results.iter().map(|w| w.name.as_str()).collect::<Vec<_>>().join("\n");
+    let workload_set_hash =
+        Some(format!("{:016x}", ltds_core::hash::fnv1a(workload_names.as_bytes())));
+
     let report = PerfReport {
         schema: "ltds-perfsmoke/1".to_string(),
         repeats,
         threads,
+        rustc,
+        workload_set_hash,
         workloads: results,
         baseline,
     };
@@ -405,6 +455,29 @@ fn main() {
             CAMPAIGN_RESUME_MAX_RATIO,
             "the persisted campaign caches are not being reused",
         );
+        // Two-sided noise window: `dense_1shard_telemetry_off` is the same
+        // workload as `dense_1shard` through the disabled-probe path, so
+        // the pair must agree to within run-to-run noise in *either*
+        // direction.
+        {
+            let base = measured("dense_1shard").wall_ms;
+            let off = measured("dense_1shard_telemetry_off").wall_ms;
+            let ratio = off / base;
+            if !(1.0 / TELEMETRY_OFF_MAX_RATIO..=TELEMETRY_OFF_MAX_RATIO).contains(&ratio) {
+                eprintln!(
+                    "PERF CHECK FAILED: dense_1shard_telemetry_off / dense_1shard = {ratio:.2} \
+                     (window {:.2}..{TELEMETRY_OFF_MAX_RATIO}) — disabled probes are no longer \
+                     free",
+                    1.0 / TELEMETRY_OFF_MAX_RATIO
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "perf check ok: dense_1shard_telemetry_off {off:.1} ms within noise of \
+                     dense_1shard {base:.1} ms ({ratio:.2}x)"
+                );
+            }
+        }
         if failed {
             std::process::exit(1);
         }

@@ -16,40 +16,11 @@
 //! degenerate configuration where they must agree.
 
 use crate::report::{ExperimentResult, Row};
-use ltds_core::units::{hours_to_years, HOURS_PER_YEAR};
+use crate::workloads::{disaster_fleet, E15_SEED};
+use ltds_core::units::hours_to_years;
 use ltds_fleet::{BurstProfile, FleetConfig, FleetSim, FleetTopology, RepairBandwidth};
-use ltds_sim::config::{DetectionModel, SimConfig};
+use ltds_sim::config::SimConfig;
 use ltds_sim::monte_carlo::MonteCarlo;
-
-/// One year of a 120-drive, three-site fleet under disaster pressure.
-fn disaster_fleet(replicas: usize, bandwidth: RepairBandwidth) -> FleetConfig {
-    let topology = FleetTopology::new(3, 2, 2, 10).expect("valid topology");
-    let group = SimConfig::new(
-        replicas,
-        1,
-        50_000.0,
-        50_000.0,
-        24.0,
-        24.0,
-        DetectionModel::PeriodicScrub { period_hours: 730.0 },
-        1.0,
-    )
-    .expect("valid group");
-    let bursts = BurstProfile {
-        // ~2 expected site disasters and steady rack/node/drive trouble
-        // within the one-year horizon, so the scenario actually exercises
-        // mass recovery rather than waiting a decade for it.
-        site_mtbf_hours: Some(HOURS_PER_YEAR / 2.0),
-        rack_mtbf_hours: Some(1_000.0),
-        node_mtbf_hours: Some(500.0),
-        drive_mtbf_hours: Some(300.0),
-    };
-    FleetConfig::new(topology, 2_000, group)
-        .expect("valid fleet")
-        .with_horizon_hours(HOURS_PER_YEAR)
-        .with_bursts(bursts)
-        .with_repair_bandwidth(bandwidth, 2.0e10)
-}
 
 /// Runs the experiment.
 pub fn run() -> ExperimentResult {
@@ -59,16 +30,20 @@ pub fn run() -> ExperimentResult {
     // slices and stretches exposure windows fleet-wide.
     let constrained = RepairBandwidth::PerSiteBytesPerHour(2.0e10);
 
-    let mirrored =
-        FleetSim::new(disaster_fleet(2, constrained)).seed(15).run().expect("fleet run succeeds");
-    let triplicated =
-        FleetSim::new(disaster_fleet(3, constrained)).seed(15).run().expect("fleet run succeeds");
+    let mirrored = FleetSim::new(disaster_fleet(2, constrained))
+        .seed(E15_SEED)
+        .run()
+        .expect("fleet run succeeds");
+    let triplicated = FleetSim::new(disaster_fleet(3, constrained))
+        .seed(E15_SEED)
+        .run()
+        .expect("fleet run succeeds");
     let unlimited = FleetSim::new(disaster_fleet(2, RepairBandwidth::Unlimited))
-        .seed(15)
+        .seed(E15_SEED)
         .run()
         .expect("fleet run succeeds");
     let calm = FleetSim::new(disaster_fleet(2, constrained).with_bursts(BurstProfile::none()))
-        .seed(15)
+        .seed(E15_SEED)
         .run()
         .expect("fleet run succeeds");
 

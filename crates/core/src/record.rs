@@ -46,6 +46,16 @@ pub fn encode(payload: &str) -> String {
     format!("{:016x} {payload}", fnv1a(payload.as_bytes()))
 }
 
+/// Appends a payload to `out` as one framed record line, trailing newline
+/// included. Equivalent to `out.push_str(&encode(payload))` plus the `\n`,
+/// without the intermediate allocation — bulk exporters (telemetry traces,
+/// campaign streams) frame thousands of lines into one buffer.
+pub fn encode_line(payload: &str, out: &mut String) {
+    debug_assert!(!payload.contains('\n'), "record payloads must be single-line");
+    use std::fmt::Write;
+    let _ = writeln!(out, "{:016x} {payload}", fnv1a(payload.as_bytes()));
+}
+
 /// Decodes one record line, returning the payload slice if — and only if —
 /// the framing parses and the checksum matches the payload bytes.
 pub fn decode(line: &str) -> Result<&str, RecordError> {
@@ -99,5 +109,16 @@ mod tests {
     fn empty_payload_is_framable() {
         let line = encode("");
         assert_eq!(decode(&line), Ok(""));
+    }
+
+    #[test]
+    fn encode_line_matches_encode_plus_newline() {
+        let mut out = String::new();
+        encode_line("{\"a\":1}", &mut out);
+        encode_line("second", &mut out);
+        assert_eq!(out, format!("{}\n{}\n", encode("{\"a\":1}"), encode("second")));
+        for line in out.lines() {
+            assert!(decode(line).is_ok());
+        }
     }
 }

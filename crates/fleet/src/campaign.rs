@@ -30,7 +30,8 @@ use ltds_sim::campaign::{
     Campaign, PreparedScenario, RecordKind, ReportSink, Scenario, StreamRecord,
 };
 use ltds_stochastic::SimRng;
-use serde::{Deserialize, Serialize};
+use ltds_telemetry::{ShardParams, ShardTelemetry, TelemetryConfig};
+use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
@@ -218,6 +219,27 @@ impl PreparedScenario for PreparedFleet {
         let mut scratch = KernelScratch::new();
         kernel.run_with(shard as usize, rng, &mut scratch)
     }
+
+    fn run_shard_traced(&self, shard: u32, telemetry: TelemetryConfig) -> (ShardOutcome, Value) {
+        let context = self.context();
+        let kernel = ShardKernel::new(&self.config, &context.bursts, &context.index);
+        let rng = SimRng::seed_from(self.seed).fork(u64::from(shard));
+        let mut scratch = KernelScratch::new();
+        let mut sink = ShardTelemetry::new(
+            ShardParams {
+                shard,
+                shards: self.config.shards as u32,
+                groups: kernel.groups_in_shard(shard as usize),
+                replicas: self.config.group.replicas,
+                sites: self.config.topology.sites,
+                horizon_hours: self.config.horizon_hours,
+                scrub: self.config.detection_for_drive(0),
+            },
+            telemetry,
+        );
+        let outcome = kernel.run_probed(shard as usize, rng, &mut scratch, &mut sink);
+        (outcome, sink.finish().to_value())
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +381,58 @@ mod tests {
         // Kill the campaign after half the shards: no merged report.
         CampaignDriver::new(&campaign).threads(2).max_units(4).run(&mut collector).unwrap();
         assert!(collector.reports(&campaign).unwrap().is_empty());
+    }
+
+    #[test]
+    fn telemetry_campaign_streams_traces_for_computed_shards_only() {
+        let scenario = scenario();
+        let campaign = campaign();
+        let telemetry = TelemetryConfig::default().sample_period_hours(5000.0);
+
+        let mut cold = MemorySink::new();
+        CampaignDriver::new(&campaign).threads(3).telemetry(telemetry).run(&mut cold).unwrap();
+        let traces = cold.records().iter().filter(|r| r.kind == RecordKind::ShardTrace).count();
+        assert_eq!(traces, scenario.fleet.shards, "one trace per simulated shard");
+
+        // Each trace rides directly behind its shard's result under the
+        // same unit and key, and reconciles with that outcome.
+        for (i, record) in cold.records().iter().enumerate() {
+            if record.kind != RecordKind::ShardTrace {
+                continue;
+            }
+            let prev = &cold.records()[i - 1];
+            assert_eq!(prev.kind, RecordKind::FleetShard);
+            assert_eq!(prev.unit, record.unit);
+            assert_eq!(prev.key, record.key);
+            let outcome = ShardOutcome::from_value(&prev.payload).unwrap();
+            let trace = ltds_telemetry::ShardTrace::from_value(&record.payload).unwrap();
+            assert_eq!(trace.summary.losses, outcome.losses);
+            assert_eq!(trace.summary.faults, outcome.faults);
+            assert_eq!(trace.summary.repairs, outcome.repairs);
+            assert_eq!(trace.losses.len() as u64, outcome.losses, "one post-mortem per loss");
+            assert!(!trace.samples.is_empty());
+        }
+
+        // The traced stream stays byte-identical across thread counts.
+        for threads in [1usize, 8] {
+            let mut sink = MemorySink::new();
+            CampaignDriver::new(&campaign)
+                .threads(threads)
+                .telemetry(telemetry)
+                .run(&mut sink)
+                .unwrap();
+            assert_eq!(sink.to_jsonl(), cold.to_jsonl(), "{threads} threads diverged");
+        }
+
+        // Cache hits were computed elsewhere: a warm rerun streams results
+        // only, no traces.
+        let cache = ShardCache::new();
+        let driver = CampaignDriver::new(&campaign).shard_cache(&cache).telemetry(telemetry);
+        driver.run(&mut MemorySink::new()).unwrap();
+        let mut warm = MemorySink::new();
+        let summary = driver.run(&mut warm).unwrap();
+        assert_eq!(summary.cache_misses, 0);
+        assert!(warm.records().iter().all(|r| r.kind != RecordKind::ShardTrace));
     }
 
     #[test]

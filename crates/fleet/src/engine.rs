@@ -23,6 +23,9 @@ use crate::report::{FleetReport, ShardOutcome};
 use ltds_core::error::ModelError;
 use ltds_sim::cache::{CacheKey, ConfigDigest, SweepCache};
 use ltds_stochastic::SimRng;
+use ltds_telemetry::{
+    RunTrace, ShardParams, ShardTelemetry, ShardTrace, TelemetryConfig, TraceMeta, TRACE_SCHEMA,
+};
 
 /// A content-addressed cache of per-shard fleet outcomes, keyed by
 /// `(FleetConfig digest, seed, shard)`. See [`FleetSim::run_cached`].
@@ -30,6 +33,10 @@ pub type ShardCache = SweepCache<ShardOutcome>;
 
 /// Per-shard streaming callback, as accepted by [`FleetSim::run_streamed`].
 type OnShard<'a> = &'a mut dyn FnMut(u32, &ShardOutcome);
+
+/// Per-shard streaming callback of the traced path, as accepted by
+/// [`FleetSim::run_traced_streamed`].
+type OnShardTraced<'a> = &'a mut dyn FnMut(u32, &ShardOutcome, &ShardTrace);
 
 /// RNG sub-stream index reserved for the burst timeline (group shards use
 /// `0..shards`, which never collides with this). Shared with
@@ -43,13 +50,23 @@ pub struct FleetSim {
     config: FleetConfig,
     seed: u64,
     threads: usize,
+    /// Telemetry knobs for [`FleetSim::run_traced`]. Carried by the driver
+    /// (like `seed` and `threads`), *not* by `FleetConfig`: configs are
+    /// digest inputs and cache keys, and observability must not change
+    /// them.
+    telemetry: TelemetryConfig,
 }
 
 impl FleetSim {
     /// Creates a driver with seed 0 and one worker per available core (the
     /// core count is resolved once per process and cached).
     pub fn new(config: FleetConfig) -> Self {
-        Self { config, seed: 0, threads: ltds_stochastic::available_threads() }
+        Self {
+            config,
+            seed: 0,
+            threads: ltds_stochastic::available_threads(),
+            telemetry: TelemetryConfig::default(),
+        }
     }
 
     /// Sets the master seed.
@@ -63,6 +80,14 @@ impl FleetSim {
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "at least one thread is required");
         self.threads = threads;
+        self
+    }
+
+    /// Sets the telemetry knobs used by [`FleetSim::run_traced`] (sampling
+    /// cadence, post-mortem ring capacity). Has no effect on [`FleetSim::run`],
+    /// which always compiles probes out.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -99,6 +124,128 @@ impl FleetSim {
         mut on_shard: impl FnMut(u32, &ShardOutcome),
     ) -> Result<FleetReport, ModelError> {
         self.run_impl(Some(cache), Some(&mut on_shard))
+    }
+
+    /// Runs the simulation with telemetry enabled, returning the report
+    /// *and* the run's [`RunTrace`] (metric time series, loss post-mortems,
+    /// per-shard summaries — see [`FleetSim::telemetry`] for the knobs).
+    ///
+    /// The probes are behaviour-free — statically dispatched, no RNG — so
+    /// the report is bit-identical to [`FleetSim::run`], and per-shard
+    /// sinks are merged in shard order, so the trace (and its JSONL
+    /// export) is byte-identical for any thread count.
+    pub fn run_traced(&self) -> Result<(FleetReport, RunTrace), ModelError> {
+        self.run_traced_impl(None)
+    }
+
+    /// Like [`FleetSim::run_traced`], but also streams every shard's
+    /// outcome and trace — in shard order — to `on_shard` during the
+    /// merge, mirroring [`FleetSim::run_streamed`].
+    pub fn run_traced_streamed(
+        &self,
+        mut on_shard: impl FnMut(u32, &ShardOutcome, &ShardTrace),
+    ) -> Result<(FleetReport, RunTrace), ModelError> {
+        self.run_traced_impl(Some(&mut on_shard))
+    }
+
+    fn run_traced_impl(
+        &self,
+        mut on_shard: Option<OnShardTraced<'_>>,
+    ) -> Result<(FleetReport, RunTrace), ModelError> {
+        self.config.validate()?;
+        let master = SimRng::seed_from(self.seed);
+        let mut burst_rng = master.fork(BURST_STREAM);
+        let bursts: Vec<Burst> = self.config.bursts.timeline(
+            &self.config.topology,
+            self.config.horizon_hours,
+            &mut burst_rng,
+        );
+
+        let shards = self.config.shards;
+        let index = PlacementIndex::build(&self.config, !bursts.is_empty());
+        let kernel = ShardKernel::new(&self.config, &bursts, &index);
+        let threads = self.threads.min(shards).max(1);
+        // The scrub-progress gauge tracks drive 0's tour as the fleet's
+        // representative phase.
+        let scrub = self.config.detection_for_drive(0);
+
+        let chunk = shards / threads;
+        let remainder = shards % threads;
+        let mut per_worker: Vec<Vec<(usize, ShardOutcome, ShardTrace)>> =
+            Vec::with_capacity(threads);
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0usize;
+            for t in 0..threads {
+                let count = chunk + usize::from(t < remainder);
+                let range = start..start + count;
+                start += count;
+                let master = master.clone();
+                let kernel = &kernel;
+                handles.push(scope.spawn(move |_| {
+                    let mut scratch = KernelScratch::new();
+                    range
+                        .map(|shard| {
+                            let rng = master.fork(shard as u64);
+                            let params = ShardParams {
+                                shard: shard as u32,
+                                shards: shards as u32,
+                                groups: kernel.groups_in_shard(shard),
+                                replicas: self.config.group.replicas,
+                                sites: self.config.topology.sites,
+                                horizon_hours: self.config.horizon_hours,
+                                scrub,
+                            };
+                            let mut sink = ShardTelemetry::new(params, self.telemetry);
+                            let outcome = kernel.run_probed(shard, rng, &mut scratch, &mut sink);
+                            (shard, outcome, sink.finish())
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                per_worker.push(handle.join().expect("fleet worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        // Merge strictly in shard order, exactly like the untraced path.
+        let mut slots: Vec<Option<(ShardOutcome, ShardTrace)>> =
+            (0..shards).map(|_| None).collect();
+        for (shard, outcome, trace) in per_worker.into_iter().flatten() {
+            slots[shard] = Some((outcome, trace));
+        }
+        let mut totals = ShardOutcome::default();
+        let mut shard_traces = Vec::with_capacity(shards);
+        for (shard, slot) in slots.into_iter().enumerate() {
+            let (outcome, trace) = slot.expect("every shard was simulated");
+            if let Some(on_shard) = on_shard.as_deref_mut() {
+                on_shard(shard as u32, &outcome, &trace);
+            }
+            totals.merge(&outcome);
+            shard_traces.push(trace);
+        }
+
+        let report = FleetReport {
+            groups: self.config.groups,
+            drives: self.config.topology.total_drives(),
+            horizon_hours: self.config.horizon_hours,
+            bursts_struck: bursts.len() as u64,
+            totals,
+        };
+        let trace = RunTrace {
+            meta: TraceMeta {
+                schema: TRACE_SCHEMA.to_string(),
+                seed: self.seed,
+                shards: shards as u32,
+                groups: self.config.groups as u64,
+                horizon_hours: self.config.horizon_hours,
+                sample_period_hours: self.telemetry.sample_period_hours,
+                ring_capacity: self.telemetry.ring_capacity as u64,
+            },
+            shards: shard_traces,
+        };
+        Ok((report, trace))
     }
 
     fn run_impl(
@@ -289,6 +436,66 @@ mod tests {
         config.horizon_hours = -1.0;
         assert!(FleetSim::new(config).run().is_err());
         assert!(FleetSim::new(config).run_cached(&ShardCache::new()).is_err());
+        assert!(FleetSim::new(config).run_traced().is_err());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_report_and_trace_totals_reconcile() {
+        let config = fragile_fleet(60)
+            .with_bursts(BurstProfile::disaster_scenario())
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+        let plain = FleetSim::new(config).seed(7).run().unwrap();
+        let telemetry = TelemetryConfig::default().sample_period_hours(1000.0);
+        let (report, trace) =
+            FleetSim::new(config).seed(7).telemetry(telemetry).run_traced().unwrap();
+        assert_eq!(
+            serde_json::to_string(&report).unwrap(),
+            serde_json::to_string(&plain).unwrap(),
+            "probes must be behaviour-free: traced report == untraced report"
+        );
+        let summary = trace.summary();
+        assert_eq!(summary.losses, plain.totals.losses);
+        assert_eq!(summary.faults, plain.totals.faults);
+        assert_eq!(summary.repairs, plain.totals.repairs);
+        assert_eq!(summary.burst_faults, plain.totals.burst_faults);
+        assert_eq!(summary.fatal_visible, plain.totals.fatal_visible);
+        assert_eq!(summary.fatal_latent, plain.totals.fatal_latent);
+        assert_eq!(summary.postmortems, plain.totals.losses, "one post-mortem per loss");
+        assert!(summary.samples > 0);
+    }
+
+    #[test]
+    fn trace_export_is_byte_identical_across_thread_counts() {
+        let config = fragile_fleet(60)
+            .with_bursts(BurstProfile::disaster_scenario())
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+        let telemetry = TelemetryConfig::default().sample_period_hours(2000.0);
+        let (_, one) =
+            FleetSim::new(config).seed(5).threads(1).telemetry(telemetry).run_traced().unwrap();
+        let jsonl = one.to_jsonl();
+        for threads in [2, 8] {
+            let (_, t) = FleetSim::new(config)
+                .seed(5)
+                .threads(threads)
+                .telemetry(telemetry)
+                .run_traced()
+                .unwrap();
+            assert_eq!(t.to_jsonl(), jsonl, "{threads} threads must export identical bytes");
+        }
+        // The streamed variant walks shards in order with the same data.
+        let mut seen = Vec::new();
+        let (_, streamed) = FleetSim::new(config)
+            .seed(5)
+            .threads(4)
+            .telemetry(telemetry)
+            .run_traced_streamed(|shard, outcome, trace| {
+                seen.push((shard, outcome.losses, trace.summary.losses));
+            })
+            .unwrap();
+        assert_eq!(streamed.to_jsonl(), jsonl);
+        assert_eq!(seen.len(), config.shards);
+        assert!(seen.windows(2).all(|w| w[0].0 < w[1].0), "streamed in shard order");
+        assert!(seen.iter().all(|&(_, losses, traced)| losses == traced));
     }
 
     #[test]

@@ -46,6 +46,7 @@ use crate::repair::SitePipeline;
 use crate::report::ShardOutcome;
 use ltds_core::fault::FaultClass;
 use ltds_stochastic::{Binomial, Exponential, FaultRace, SimRng};
+use ltds_telemetry::{NoTelemetry, Probe, ProbeEvent};
 
 /// Per-slot kernel state, packed so one event touches one cache line:
 /// the generation stamp, the staleness token, the replica state and the
@@ -155,11 +156,22 @@ impl<'a> ShardKernel<'a> {
 
     /// Simulates the shard, consuming its dedicated RNG sub-stream and
     /// reusing `scratch` for all per-slot state.
-    pub fn run_with(
+    pub fn run_with(&self, shard: usize, rng: SimRng, scratch: &mut KernelScratch) -> ShardOutcome {
+        self.run_probed(shard, rng, scratch, &mut NoTelemetry)
+    }
+
+    /// Simulates the shard with an instrumentation probe. The probe surface
+    /// is statically dispatched and behaviour-free: every call site is
+    /// gated on [`Probe::ENABLED`] (so [`run_with`](Self::run_with), which
+    /// passes the disabled probe, compiles to the uninstrumented kernel)
+    /// and probes never consume RNG — the outcome is bit-identical with
+    /// telemetry on or off.
+    pub fn run_probed<P: Probe>(
         &self,
         shard: usize,
         mut rng: SimRng,
         scratch: &mut KernelScratch,
+        probe: &mut P,
     ) -> ShardOutcome {
         let cfg = self.config;
         let replicas = cfg.group.replicas;
@@ -207,6 +219,7 @@ impl<'a> ShardKernel<'a> {
                 .collect(),
             queue: EventQueue::with_capacity(n_slots + self.bursts.len()),
             victims,
+            probe,
         };
 
         // Initial fault sampling — thinned to the within-horizon slots, in
@@ -224,6 +237,9 @@ impl<'a> ShardKernel<'a> {
         // hot paths read the arrays directly.
         while let Some(event) = sim.queue.pop() {
             out.events += 1;
+            if P::ENABLED {
+                sim.probe.tick(event.time, sim.queue.len());
+            }
             match event.kind {
                 EventKind::Fault { slot } => {
                     let entry = sim.slots[slot as usize];
@@ -271,7 +287,7 @@ const INTACT: u8 = 0;
 const FAULTY: u8 = 1;
 
 /// Mutable simulation state of one shard.
-struct Sim<'a> {
+struct Sim<'a, P: Probe> {
     cfg: &'a FleetConfig,
     /// This shard's placement view (slot → drive/group, drive → site /
     /// detection, burst residents).
@@ -303,9 +319,12 @@ struct Sim<'a> {
     queue: EventQueue,
     /// Reusable burst-victim scratch buffer (no per-burst allocation).
     victims: &'a mut Vec<u32>,
+    /// Instrumentation probe; every use is gated on [`Probe::ENABLED`], so
+    /// the disabled probe leaves no trace in the compiled hot paths.
+    probe: &'a mut P,
 }
 
-impl Sim<'_> {
+impl<P: Probe> Sim<'_, P> {
     /// Brings a slot's scratch entries into the current generation,
     /// initializing them to the reset values on first touch. Called on the
     /// cold entry points (initial sampling, sibling resamples, renewals,
@@ -434,9 +453,19 @@ impl Sim<'_> {
         if from_burst {
             out.burst_faults += 1;
         }
+        if P::ENABLED {
+            self.probe.record(
+                now,
+                slot,
+                ProbeEvent::Fault { class, from_burst, faulty: faulty_before + 1 },
+            );
+        }
 
         if self.faulty_count[group] as usize >= self.threshold {
             out.record_loss(now - self.birth[group], class);
+            if P::ENABLED {
+                self.probe.loss(now, group as u32, now - self.birth[group], class);
+            }
             self.renew_group(group, now, rng);
             return;
         }
@@ -479,6 +508,20 @@ impl Sim<'_> {
             FaultClass::Latent => self.cfg.group.repair_latent_hours,
         };
         let site = self.placement.site_of_drive(self.drive_of(slot));
+        if P::ENABLED {
+            // Probed before `schedule` mutates the pipeline: the backlog at
+            // commit time *is* the queueing wait the FIFO imposes.
+            self.probe.record(
+                now,
+                slot,
+                ProbeEvent::RepairStart {
+                    class,
+                    site: site as u32,
+                    wait_hours: self.pipelines[site].backlog_hours(now),
+                    transfer_hours: self.pipelines[site].transfer_hours(self.cfg.group_bytes),
+                },
+            );
+        }
         let done = self.pipelines[site].schedule(now, base, self.cfg.group_bytes);
         if self.limited {
             self.reserved[s] = self.pipelines[site].transfer_hours(self.cfg.group_bytes);
@@ -499,6 +542,18 @@ impl Sim<'_> {
         }
         self.faulty_count[group] -= 1;
         let faulty_now = self.faulty_count[group];
+        if P::ENABLED {
+            let site = self.placement.site_of_drive(self.drive_of(slot)) as u32;
+            self.probe.record(
+                now,
+                slot,
+                ProbeEvent::RepairDone {
+                    class: self.slots[s].pending_class,
+                    site,
+                    faulty: faulty_now,
+                },
+            );
+        }
         self.resample(slot, now, self.accelerated(faulty_now), rng);
         // The group just became fault-free: decelerate the others.
         if faulty_now == 0 && self.cfg.group.alpha < 1.0 {

@@ -76,6 +76,10 @@ pub use campaign::{FleetCampaign, FleetReportCollector, FleetScenario, PreparedF
 pub use config::{FleetConfig, RepairBandwidth, ScrubTour};
 pub use engine::{FleetSim, ShardCache};
 pub use ltds_sim::cache::{CacheKey, ConfigDigest, SweepCache};
+pub use ltds_telemetry::{
+    LossTrace, MetricSample, NoTelemetry, Probe, ProbeEvent, RunSummary, RunTrace, ShardSummary,
+    ShardTelemetry, ShardTrace, TelemetryConfig, TraceMeta, TRACE_SCHEMA,
+};
 pub use placement::PlacementIndex;
 pub use report::{FleetReport, ShardOutcome};
 pub use topology::FleetTopology;

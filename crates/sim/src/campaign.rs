@@ -32,6 +32,7 @@ use crate::config::SimConfig;
 use crate::monte_carlo::{MonteCarlo, MttdlEstimate};
 use crate::sweep::{PointRequest, SweepPoint};
 use ltds_core::error::ModelError;
+use ltds_telemetry::TelemetryConfig;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::Write;
@@ -211,6 +212,18 @@ pub trait PreparedScenario {
     fn key(&self, shard: u32) -> CacheKey;
     /// Runs one shard to completion.
     fn run_shard(&self, shard: u32) -> Self::Outcome;
+
+    /// Runs one shard while collecting telemetry, returning the outcome and
+    /// the trace payload to stream as a [`RecordKind::ShardTrace`] record.
+    ///
+    /// The default ignores `telemetry` and reports no trace
+    /// (`Value::Null`), so scenarios without an instrumented kernel keep
+    /// working unchanged; `ltds-fleet` overrides this with its probed
+    /// kernel path.
+    fn run_shard_traced(&self, shard: u32, telemetry: TelemetryConfig) -> (Self::Outcome, Value) {
+        let _ = telemetry;
+        (self.run_shard(shard), Value::Null)
+    }
 }
 
 /// The scenario type of sweep-only campaigns: carries no data, prepares
@@ -257,6 +270,12 @@ pub enum RecordKind {
     SweepPoint,
     /// One fleet scenario shard; the payload is the scenario's outcome.
     FleetShard,
+    /// The telemetry trace of a fleet shard the driver simulated this run
+    /// (emitted right after the shard's [`RecordKind::FleetShard`] record
+    /// when [`CampaignDriver::telemetry`] is set; cache hits carry no
+    /// trace). The payload is the scenario's trace value — for the fleet,
+    /// an `ltds_telemetry::ShardTrace`.
+    ShardTrace,
 }
 
 /// One line of the streamed campaign report: which campaign/task/unit, its
@@ -406,6 +425,12 @@ pub struct CampaignSummary {
     pub cache_hits: u64,
     /// Units simulated (and inserted into their cache, if one is wired).
     pub cache_misses: u64,
+    /// Damaged persistent-cache records skipped while loading (checksum,
+    /// parse, or digest failures). The driver itself never loads from disk
+    /// and reports `0`; callers that do (the `campaign` binary) fold their
+    /// [`crate::cache::LoadStats::skipped`] counts in before publishing the
+    /// summary.
+    pub skipped_records: u64,
 }
 
 /// Executes a [`Campaign`] over a worker pool. See the module docs for the
@@ -416,6 +441,7 @@ pub struct CampaignDriver<'a, S: Scenario> {
     point_cache: Option<&'a SweepCache<MttdlEstimate>>,
     shard_cache: Option<&'a SweepCache<S::Outcome>>,
     max_units: Option<usize>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 // All fields are references or small scalars, so the driver is freely
@@ -443,6 +469,7 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
             point_cache: None,
             shard_cache: None,
             max_units: None,
+            telemetry: None,
         }
     }
 
@@ -465,6 +492,20 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
     /// `FleetSim::run_cached` over the same configurations).
     pub fn shard_cache(mut self, cache: &'a SweepCache<S::Outcome>) -> Self {
         self.shard_cache = Some(cache);
+        self
+    }
+
+    /// Streams a telemetry trace record ([`RecordKind::ShardTrace`]) after
+    /// every scenario shard the run actually simulates, collected at
+    /// `telemetry`'s cadence through the scenario's instrumented kernel.
+    ///
+    /// Cache hits carry no trace — the unit was computed by some earlier
+    /// run — so a warm rerun streams fewer records than the cold run it
+    /// resumes. Telemetry is a diagnostic channel, not part of the
+    /// deterministic resumable report; with caches off (or uniformly cold)
+    /// the stream is still byte-identical for any thread count.
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -524,7 +565,8 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
             work_tx.send(ordinal).expect("work channel open");
         }
         drop(work_tx);
-        let (result_tx, result_rx) = crossbeam::channel::unbounded::<(usize, Value, bool)>();
+        type UnitResult = (usize, Value, bool, Option<Value>);
+        let (result_tx, result_rx) = crossbeam::channel::unbounded::<UnitResult>();
 
         let mut hits = 0u64;
         let mut misses = 0u64;
@@ -535,11 +577,12 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
                 let units = &units;
                 let point_cache = self.point_cache;
                 let shard_cache = self.shard_cache;
+                let telemetry = self.telemetry;
                 scope.spawn(move |_| {
                     while let Ok(ordinal) = work_rx.recv() {
-                        let (payload, hit) =
-                            execute_unit(&units[ordinal], point_cache, shard_cache);
-                        if result_tx.send((ordinal, payload, hit)).is_err() {
+                        let (payload, hit, trace) =
+                            execute_unit(&units[ordinal], point_cache, shard_cache, telemetry);
+                        if result_tx.send((ordinal, payload, hit, trace)).is_err() {
                             break;
                         }
                     }
@@ -553,19 +596,27 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
             let mut deliver = |record: &StreamRecord| {
                 sink.record(record).inspect_err(|_| while work_rx.try_recv().is_ok() {})
             };
-            let mut reorder: BTreeMap<usize, (Value, bool)> = BTreeMap::new();
+            let mut reorder: BTreeMap<usize, (Value, bool, Option<Value>)> = BTreeMap::new();
             let mut next = 0usize;
             for _ in 0..limit {
-                let (ordinal, payload, hit) =
+                let (ordinal, payload, hit, trace) =
                     result_rx.recv().expect("every enqueued unit reports a result");
-                reorder.insert(ordinal, (payload, hit));
-                while let Some((payload, hit)) = reorder.remove(&next) {
+                reorder.insert(ordinal, (payload, hit, trace));
+                while let Some((payload, hit, trace)) = reorder.remove(&next) {
                     if hit {
                         hits += 1;
                     } else {
                         misses += 1;
                     }
                     deliver(&self.record_for(&units[next], payload))?;
+                    // The trace rides directly behind its shard's result,
+                    // under the same key. Scenarios without an instrumented
+                    // kernel report `Null` — nothing worth streaming.
+                    if let Some(trace) = trace.filter(|t| !matches!(t, Value::Null)) {
+                        let mut record = self.record_for(&units[next], trace);
+                        record.kind = RecordKind::ShardTrace;
+                        deliver(&record)?;
+                    }
                     next += 1;
                 }
             }
@@ -579,6 +630,7 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
             units_run: limit,
             cache_hits: hits,
             cache_misses: misses,
+            skipped_records: 0,
         })
     }
 
@@ -606,37 +658,45 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
 }
 
 /// Executes one unit on whichever worker pulled it, consulting (and
-/// filling) its cache. Returns the record payload and whether the cache
-/// answered.
+/// filling) its cache. Returns the record payload, whether the cache
+/// answered, and — for scenario shards simulated with telemetry on — the
+/// trace payload to stream behind the result.
 fn execute_unit<S: Scenario>(
     unit: &Unit<'_, S>,
     point_cache: Option<&SweepCache<MttdlEstimate>>,
     shard_cache: Option<&SweepCache<S::Outcome>>,
-) -> (Value, bool) {
+    telemetry: Option<TelemetryConfig>,
+) -> (Value, bool, Option<Value>) {
     match unit {
         Unit::Point { spec, x, config, key, .. } => {
             if let Some(cache) = point_cache {
                 if let Some(est) = cache.get(key) {
-                    return (SweepPoint::from_estimate(*x, &est).to_value(), true);
+                    return (SweepPoint::from_estimate(*x, &est).to_value(), true, None);
                 }
             }
             let est = MonteCarlo::new(*config).trials(spec.trials).seed(key.seed).threads(1).run();
             if let Some(cache) = point_cache {
                 cache.insert(*key, est.clone());
             }
-            (SweepPoint::from_estimate(*x, &est).to_value(), false)
+            (SweepPoint::from_estimate(*x, &est).to_value(), false, None)
         }
         Unit::Shard { prepared, shard, key, .. } => {
             if let Some(cache) = shard_cache {
                 if let Some(outcome) = cache.get(key) {
-                    return (outcome.to_value(), true);
+                    return (outcome.to_value(), true, None);
                 }
             }
-            let outcome = prepared.run_shard(*shard);
+            let (outcome, trace) = match telemetry {
+                Some(telemetry) => {
+                    let (outcome, trace) = prepared.run_shard_traced(*shard, telemetry);
+                    (outcome, Some(trace))
+                }
+                None => (prepared.run_shard(*shard), None),
+            };
             if let Some(cache) = shard_cache {
                 cache.insert(*key, outcome.clone());
             }
-            (outcome.to_value(), false)
+            (outcome.to_value(), false, trace)
         }
     }
 }

@@ -12,6 +12,7 @@
 use crate::config::{DetectionModel, SimConfig};
 use ltds_core::fault::FaultClass;
 use ltds_stochastic::{FaultRace, SimRng};
+use ltds_telemetry::{NoTelemetry, Probe, ProbeEvent};
 use serde::{Deserialize, Serialize};
 
 /// The result of one trial.
@@ -127,6 +128,24 @@ impl TrialRunner {
     /// Runs a single trial with the given random stream, reusing `scratch`
     /// so the per-trial path performs no allocations.
     pub fn run_with(&self, rng: &mut SimRng, scratch: &mut TrialScratch) -> TrialOutcome {
+        self.run_probed(rng, scratch, &mut NoTelemetry)
+    }
+
+    /// Runs a single trial while emitting telemetry through `probe`.
+    ///
+    /// The probe is statically dispatched and behaviour-free: it consumes no
+    /// randomness, so for any seed the outcome is identical to
+    /// [`TrialRunner::run_with`], and with [`NoTelemetry`] every probe site
+    /// compiles out. A trial models one replica group, so events carry the
+    /// replica index as the slot and data loss is reported as group `0`.
+    /// Trials have no repair pipeline; probes emit faults, repair
+    /// completions and the final loss, but no `RepairStart` events.
+    pub fn run_probed<P: Probe>(
+        &self,
+        rng: &mut SimRng,
+        scratch: &mut TrialScratch,
+        probe: &mut P,
+    ) -> TrialOutcome {
         let n = self.config.replicas;
         let loss_threshold = self.config.loss_threshold();
         // Every replica's first fault, drawn through the shared race (the
@@ -166,6 +185,12 @@ impl TrialRunner {
             }
             let now = best_time;
             let faulty_before = faulty_count;
+            if P::ENABLED {
+                // Occupancy for a trial is the number of replicas with a
+                // finite pending event (latent faults under
+                // `DetectionModel::Never` park at infinity).
+                probe.tick(now, next_time.iter().filter(|t| t.is_finite()).count());
+            }
 
             if !faulty[best_replica] {
                 let fault_class = class[best_replica];
@@ -173,7 +198,21 @@ impl TrialRunner {
                 next_time[best_replica] = self.repair_completion(now, fault_class, rng);
                 faulty_count += 1;
                 faults += 1;
+                if P::ENABLED {
+                    probe.record(
+                        now,
+                        best_replica as u32,
+                        ProbeEvent::Fault {
+                            class: fault_class,
+                            from_burst: false,
+                            faulty: faulty_count as u16,
+                        },
+                    );
+                }
                 if faulty_count >= loss_threshold {
+                    if P::ENABLED {
+                        probe.loss(now, 0, now, fault_class);
+                    }
                     return TrialOutcome {
                         loss_time_hours: Some(now),
                         faults,
@@ -199,6 +238,19 @@ impl TrialRunner {
                 faulty[best_replica] = false;
                 faulty_count -= 1;
                 repairs += 1;
+                if P::ENABLED {
+                    // `class[best_replica]` still holds the repaired fault's
+                    // class; the resample below reassigns it.
+                    probe.record(
+                        now,
+                        best_replica as u32,
+                        ProbeEvent::RepairDone {
+                            class: class[best_replica],
+                            site: 0,
+                            faulty: faulty_count as u16,
+                        },
+                    );
+                }
                 // Sample the repaired replica's next fault, and if the system
                 // just became fault-free, de-accelerate the others.
                 let (d, c) = self.sample_next_fault(rng, faulty_count > 0);
@@ -246,6 +298,39 @@ mod tests {
             let a = runner.run(&mut SimRng::seed_from(seed));
             let b = runner.run_with(&mut SimRng::seed_from(seed), &mut scratch);
             assert_eq!(a, b, "seed {seed}: scratch reuse changed the outcome");
+        }
+    }
+
+    #[test]
+    fn probed_trial_matches_unprobed_and_reconciles_counters() {
+        use ltds_telemetry::{ShardParams, ShardTelemetry, TelemetryConfig};
+        let config = fast_config(Some(100.0), 0.5);
+        let runner = TrialRunner::new(config);
+        let params = ShardParams {
+            shard: 0,
+            shards: 1,
+            groups: 1,
+            replicas: config.replicas,
+            sites: 1,
+            horizon_hours: config.max_hours,
+            scrub: None,
+        };
+        let mut scratch = TrialScratch::new();
+        for seed in 0..20 {
+            let plain = runner.run_with(&mut SimRng::seed_from(seed), &mut scratch);
+            let mut sink = ShardTelemetry::new(params, TelemetryConfig::default());
+            let probed = runner.run_probed(&mut SimRng::seed_from(seed), &mut scratch, &mut sink);
+            assert_eq!(plain, probed, "seed {seed}: the probe consumed randomness");
+            let trace = sink.finish();
+            assert_eq!(trace.summary.faults, plain.faults);
+            assert_eq!(trace.summary.repairs, plain.repairs);
+            assert_eq!(trace.summary.losses, u64::from(plain.lost_data()));
+            if plain.lost_data() {
+                let post = &trace.losses[0];
+                assert_eq!(post.group, 0);
+                assert_eq!(post.t, plain.loss_time_hours.unwrap());
+                assert!(!post.events.is_empty(), "the ring should hold the fatal event");
+            }
         }
     }
 

@@ -14,6 +14,7 @@
 //! | [`replication`] | `ltds-replication` | Replication configs, diversity → α mapping |
 //! | [`sim`] | `ltds-sim` | Discrete-event Monte-Carlo simulator (one group at a time) |
 //! | [`fleet`] | `ltds-fleet` | Fleet-scale discrete-event engine: shared repair bandwidth, scrub tours, correlated bursts |
+//! | [`telemetry`] | `ltds-telemetry` | Deterministic sim-time telemetry: metric samples, loss post-mortems, checksummed trace export |
 //! | [`archive`] | `ltds-archive` | Miniature replicated archival store |
 //!
 //! # Quickstart
@@ -40,3 +41,4 @@ pub use ltds_replication as replication;
 pub use ltds_scrub as scrub;
 pub use ltds_sim as sim;
 pub use ltds_stochastic as stochastic;
+pub use ltds_telemetry as telemetry;

@@ -1,0 +1,153 @@
+//! Telemetry behaviour-freedom and trace/report reconciliation, plus
+//! `FleetReport` edge cases the telemetry work leans on.
+
+use ltds::fleet::{
+    BurstProfile, FleetConfig, FleetReport, FleetSim, FleetTopology, RepairBandwidth, ShardOutcome,
+    TelemetryConfig,
+};
+use ltds::sim::config::SimConfig;
+use ltds::telemetry::scan_jsonl;
+use proptest::prelude::*;
+
+/// A disaster-shaped fleet (bursts + constrained per-site bandwidth +
+/// scrubbed latent faults), scaled down so a traced run finishes quickly
+/// in debug builds.
+fn disaster_fleet() -> FleetConfig {
+    let topology = FleetTopology::new(3, 2, 2, 4).unwrap();
+    let group = SimConfig::mirrored_disks(5_000.0, 5_000.0, 24.0, 24.0, Some(730.0), 1.0).unwrap();
+    FleetConfig::new(topology, 400, group)
+        .unwrap()
+        .with_horizon_hours(8_766.0)
+        .with_bursts(BurstProfile::disaster_scenario())
+        .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(2.0e9), 2.0e9)
+}
+
+/// A zero-activity report: a fleet nobody simulated (or one whose horizon
+/// saw no events). Every derived statistic must stay finite-or-defined —
+/// no NaN, no division by zero.
+#[test]
+fn zero_event_report_statistics_are_defined() {
+    let report = FleetReport {
+        groups: 100,
+        drives: 1_000,
+        horizon_hours: 8_766.0,
+        bursts_struck: 0,
+        totals: ShardOutcome::default(),
+    };
+    assert_eq!(report.mean_repair_wait_hours(), 0.0);
+    assert_eq!(report.latent_loss_fraction(), 0.0);
+    assert_eq!(report.loss_probability_by(1.0e6), 0.0);
+    assert_eq!(report.loss_probability_by(0.0), 0.0);
+    assert!(report.mttdl_exposure_hours().is_infinite());
+    assert!(!report.events_per_group_year().is_nan());
+}
+
+/// A run with faults and repairs but zero losses: loss-derived statistics
+/// stay defined, and the trace scan accepts a post-mortem-free stream.
+#[test]
+fn zero_loss_run_keeps_statistics_and_trace_defined() {
+    // Reliable mirrored drives over a short horizon: activity, no losses.
+    let topology = FleetTopology::new(2, 2, 2, 4).unwrap();
+    let group = SimConfig::mirrored_disks(20_000.0, 1.0e9, 10.0, 10.0, Some(1_000.0), 1.0).unwrap();
+    let config =
+        FleetConfig::new(topology, 50, group).unwrap().with_horizon_hours(5_000.0).with_shards(4);
+    let (report, trace) = FleetSim::new(config).seed(9).run_traced().unwrap();
+    assert_eq!(report.totals.losses, 0, "this fleet must stay healthy");
+    assert!(report.totals.faults > 0, "but not idle");
+    assert_eq!(report.latent_loss_fraction(), 0.0);
+    assert_eq!(report.loss_probability_by(1.0e9), 0.0);
+    assert!(report.mttdl_exposure_hours().is_infinite());
+
+    let scan = scan_jsonl(&trace.to_jsonl()).expect("a lossless trace still scans");
+    assert_eq!(scan.postmortems, 0);
+    assert_eq!(scan.run.faults, report.totals.faults);
+    assert!(scan.samples > 0, "samples are padded to the horizon even without events");
+}
+
+/// The disaster trace reproduces the engine report's loss accounting from
+/// the post-mortem stream alone — the property the `ltds-trace` CLI
+/// asserts for the full E15 workload.
+#[test]
+fn disaster_trace_reproduces_report_loss_totals() {
+    let (report, trace) = FleetSim::new(disaster_fleet()).seed(15).run_traced().unwrap();
+    assert!(report.totals.losses > 0, "the disaster fleet must actually lose groups");
+
+    // scan_jsonl re-derives totals from the post-mortem stream and fails
+    // if they disagree with the trailing run summary.
+    let scan = scan_jsonl(&trace.to_jsonl()).expect("trace validates");
+    assert_eq!(scan.postmortems, report.totals.losses);
+    assert_eq!(scan.run.losses, report.totals.losses);
+    assert_eq!(scan.run.fatal_visible, report.totals.fatal_visible);
+    assert_eq!(scan.run.fatal_latent, report.totals.fatal_latent);
+    assert_eq!(scan.run.faults, report.totals.faults);
+    assert_eq!(scan.run.burst_faults, report.totals.burst_faults);
+    assert_eq!(scan.run.repairs, report.totals.repairs);
+
+    // Every post-mortem carries a causal trail ending in the fatal fault.
+    for shard in &trace.shards {
+        for loss in &shard.losses {
+            assert!(!loss.events.is_empty(), "group {} died without a trail", loss.group);
+            assert!(loss.faulty >= 2, "mirrored groups die at two faulty replicas");
+        }
+    }
+}
+
+/// Strategy producing small fleets whose traced runs are cheap.
+fn arb_fleet() -> impl Strategy<Value = FleetConfig> {
+    (
+        2usize..4,           // sites
+        1usize..3,           // racks
+        2usize..5,           // drives per node
+        10usize..60,         // groups
+        1usize..7,           // shards
+        500.0..2_000.0f64,   // MV
+        2_000.0..8_000.0f64, // ML
+        0.2..1.0f64,         // alpha
+    )
+        .prop_map(|(sites, racks, drives, groups, shards, mv, ml, alpha)| {
+            let topology = FleetTopology::new(sites, racks, 1, drives).unwrap();
+            let group = SimConfig::mirrored_disks(mv, ml, 10.0, 10.0, Some(100.0), alpha).unwrap();
+            FleetConfig::new(topology, groups, group)
+                .unwrap()
+                .with_horizon_hours(12_000.0)
+                .with_shards(shards)
+        })
+}
+
+proptest! {
+    /// Telemetry must be behaviour-free: a traced run's report is
+    /// byte-identical to the untraced run at the same seed, for any
+    /// sampling cadence, including under bursts and bandwidth contention.
+    #[test]
+    fn traced_reports_match_untraced_reports(
+        config in arb_fleet(),
+        seed in 0u64..500,
+        cadence in 50.0..5_000.0f64,
+        bursty in any::<bool>(),
+    ) {
+        let config = if bursty {
+            config
+                .with_bursts(BurstProfile::disaster_scenario())
+                .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9)
+        } else {
+            config
+        };
+        let plain = FleetSim::new(config).seed(seed).run().unwrap();
+        let (traced, trace) = FleetSim::new(config)
+            .seed(seed)
+            .telemetry(TelemetryConfig::default().sample_period_hours(cadence))
+            .run_traced()
+            .unwrap();
+        prop_assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&traced).unwrap(),
+            "telemetry perturbed the simulation"
+        );
+        // And the trace it produced reconciles with that report.
+        let summary = trace.summary();
+        prop_assert_eq!(summary.losses, plain.totals.losses);
+        prop_assert_eq!(summary.faults, plain.totals.faults);
+        prop_assert_eq!(summary.repairs, plain.totals.repairs);
+        prop_assert_eq!(summary.burst_faults, plain.totals.burst_faults);
+    }
+}
