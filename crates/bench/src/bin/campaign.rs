@@ -5,7 +5,10 @@
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin campaign -- \
-//!     [--spec FILE.json]    # FleetCampaign spec; default: the built-in demo
+//!     [--spec FILE.json]    # FleetCampaign spec; default: the built-in demo.
+//!                           # `demo-rare` / `demo-rare-vanilla` name the
+//!                           # built-in rare-event campaigns (importance
+//!                           # sampled and its vanilla twin).
 //!     [--cache-dir DIR]     # persistent cache (loaded, then written through)
 //!     [--out FILE.jsonl]    # streamed report (default campaign.jsonl)
 //!     [--fleet-reports DIR] # also write merged per-scenario FleetReports
@@ -40,7 +43,10 @@
 //! On success the final line on stdout is the run summary as JSON
 //! (`units_total` / `units_run` / `cache_hits` / `cache_misses` /
 //! `skipped_records` — the last counts damaged cache records dropped at
-//! load), which is what CI asserts against.
+//! load), which is what CI asserts against. When the report contains sweep
+//! points, the line before it is a censoring digest
+//! (`censoring_mean` / `censoring_max` / `sweep_points`) — the first thing
+//! to check when a rare-event config produces a noisy estimate.
 
 use ltds_bench::workloads;
 use ltds_fleet::{FleetCampaign, FleetReportCollector, ShardCache, TelemetryConfig};
@@ -123,7 +129,18 @@ fn main() {
         i += 1;
     }
 
-    let campaign: FleetCampaign = match &spec_path {
+    let campaign: FleetCampaign = match spec_path.as_deref() {
+        // Built-in rare-event specs: the importance-sampled demo and its
+        // vanilla twin (same grids, seeds and trials — only the strategy,
+        // and therefore every cache digest, differs).
+        Some("demo-rare") => {
+            workloads::demo_rare_campaign(ltds_sim::RareEventStrategy::ImportanceSampling {
+                tilt: workloads::RARE_TILT,
+            })
+        }
+        Some("demo-rare-vanilla") => {
+            workloads::demo_rare_campaign(ltds_sim::RareEventStrategy::Vanilla)
+        }
         Some(path) => {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail(format!("cannot read spec {path}: {e}")));
@@ -234,6 +251,37 @@ fn main() {
         summary.cache_hits,
         summary.cache_misses
     );
+    // Trial-censoring visibility: fold the per-point censoring fractions
+    // out of the streamed report, so a rare config whose tilt is too weak
+    // (everything still censored) is obvious without a debugger. Printed
+    // before the final summary line, which CI parses by position.
+    if let Ok(report) = std::fs::read_to_string(&out_path) {
+        let mut sum = 0.0f64;
+        let mut max = 0.0f64;
+        let mut points = 0u64;
+        for line in report.lines() {
+            let Ok(record) = serde_json::value_from_str(line) else { continue };
+            let Some(c) = record.get("payload").and_then(|p| p.get("censoring_fraction")) else {
+                continue;
+            };
+            let c = match c {
+                serde_json::Value::F64(x) => *x,
+                serde_json::Value::U64(n) => *n as f64,
+                serde_json::Value::I64(n) => *n as f64,
+                _ => continue,
+            };
+            sum += c;
+            max = max.max(c);
+            points += 1;
+        }
+        if points > 0 {
+            let mean = sum / points as f64;
+            eprintln!("censoring: mean {mean:.4}, max {max:.4} across {points} sweep point(s)");
+            println!(
+                "{{\"censoring_mean\":{mean},\"censoring_max\":{max},\"sweep_points\":{points}}}"
+            );
+        }
+    }
     println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
 
     if let Some(expected) = expect_hits {

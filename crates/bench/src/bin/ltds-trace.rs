@@ -19,7 +19,8 @@
 //!   Traces are byte-identical for any `--threads` value.
 //! * `summary` validates every line (checksum framing, JSON, schema,
 //!   cross-checked totals) via [`ltds_telemetry::scan_jsonl`] and prints
-//!   the run totals; any corruption exits nonzero.
+//!   the run totals plus the trial-censoring fraction (the share of groups
+//!   with no loss by the horizon); any corruption exits nonzero.
 //! * `filter` re-emits the decoded JSON payloads of matching lines.
 //! * `diff` scans two traces and compares their run summaries field by
 //!   field (exit 1 on divergence) — the cheap way to compare runs whose
@@ -225,6 +226,10 @@ fn summary(args: &[String]) {
     println!(
         "  losses: {} ({} visible-fatal / {} latent-fatal), {} post-mortem(s)",
         run.losses, run.fatal_visible, run.fatal_latent, run.postmortems
+    );
+    println!(
+        "  censoring: {} of {} group(s) lost, fraction {:.4}",
+        scan.groups_lost, meta.groups, scan.censoring_fraction
     );
     println!("  samples: {}", run.samples);
 }

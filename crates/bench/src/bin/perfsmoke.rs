@@ -28,13 +28,22 @@
 //!   to disk by the cold run: every work unit loads from the segment files
 //!   and hits, modelling a killed campaign resumed in a new process. The
 //!   resumed stream is verified byte-identical to the cold one before
-//!   timing, and the timed path includes the `load_dir` cost.
+//!   timing, and the timed path includes the `load_dir` cost;
+//! * `mc_rare_vanilla` / `mc_rare_is` — the pinned rare-loss mirror pair
+//!   (a scrubbed two-way mirror whose one-year loss probability is ~2e-4,
+//!   so vanilla runs censor >99.9 % of trials). Each workload doubles its
+//!   Monte-Carlo trial count until the 95 % CI on the one-year loss
+//!   probability is at most [`RARE_CI_TARGET`] half-wide, so the recorded
+//!   wall time is *time to target CI width* and `work_items` is the trial
+//!   count of the rung that reached it. `--check` requires the
+//!   importance-sampled ladder to get there with >= 10x fewer trials than
+//!   vanilla and its measured variance ratio to clear the same floor.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin perfsmoke -- \
-//!     [--out BENCH_PR6.json] [--baseline OLD.json] [--repeat 3] [--check]
+//!     [--out BENCH_PR7.json] [--baseline OLD.json] [--repeat 3] [--check]
 //! ```
 //!
 //! The report embeds its own provenance — thread count, `rustc -V`, and an
@@ -102,6 +111,22 @@ const SWEEP_REFINE_MAX_RATIO: f64 = 0.5;
 /// machine-independent tripwire like `sweep_refine`.
 const CAMPAIGN_RESUME_MAX_RATIO: f64 = 0.5;
 
+/// Target 95 % CI half-width on P[loss by one year] for the rare-event
+/// ladder pair: both estimators double their trial count until the
+/// interval is this tight, so their wall times are directly comparable
+/// "time to target CI width" figures.
+const RARE_CI_TARGET: f64 = 2.0e-4;
+
+/// Safety cap on the rare ladders — reaching it means the workload is
+/// mis-tuned (the target is unreachable), not that the machine is slow.
+const RARE_LADDER_CAP: u64 = 4_000_000;
+
+/// `--check` floor for rare-event acceleration: the vanilla ladder must
+/// need at least this many times more trials than the importance-sampled
+/// one to reach [`RARE_CI_TARGET`], and the IS run's measured
+/// `variance_ratio_vs_vanilla` must clear the same bar.
+const RARE_TRIALS_MIN_RATIO: f64 = 10.0;
+
 #[derive(Debug, Serialize, Deserialize)]
 struct WorkloadResult {
     name: String,
@@ -161,8 +186,28 @@ fn time_workload(name: &str, repeats: u32, mut run: impl FnMut() -> u64) -> Work
     }
 }
 
+/// Runs the rare-workload Monte-Carlo ladder: doubles the trial count
+/// (same seed per rung) until the 95 % CI on P[loss by the horizon] is at
+/// most [`RARE_CI_TARGET`] half-wide with at least one observed loss,
+/// returning the rung that reached it and its estimate. Timing the whole
+/// ladder measures the cost a practitioner actually pays to get a usable
+/// tail estimate, including the rungs that came up too loose.
+fn rare_ladder(config: &ltds_sim::SimConfig, start: u64) -> (u64, ltds_sim::MttdlEstimate) {
+    let horizon = config.max_hours;
+    let mut trials = start;
+    loop {
+        let est = MonteCarlo::new(*config).trials(trials).seed(1).run();
+        let ci = est.loss_probability_by(horizon);
+        if ci.estimate > 0.0 && ci.half_width() <= RARE_CI_TARGET {
+            return (trials, est);
+        }
+        assert!(trials <= RARE_LADDER_CAP, "rare ladder exceeded {RARE_LADDER_CAP} trials");
+        trials *= 2;
+    }
+}
+
 fn main() {
-    let mut out_path = String::from("BENCH_PR6.json");
+    let mut out_path = String::from("BENCH_PR7.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -344,6 +389,20 @@ fn main() {
     }));
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // Rare-event pair: time-to-target-CI-width on the pinned rare mirror
+    // workload, vanilla vs importance-sampled. Both ladders start at the
+    // same rung so the final trial counts compare like for like.
+    let rare_vanilla = workloads::mc_rare_group();
+    let rare_is = workloads::mc_rare_is_group();
+    let mut rare_is_estimate: Option<ltds_sim::MttdlEstimate> = None;
+    results.push(time_workload("mc_rare_vanilla", repeats, || rare_ladder(&rare_vanilla, 250).0));
+    results.push(time_workload("mc_rare_is", repeats, || {
+        let (trials, est) = rare_ladder(&rare_is, 250);
+        rare_is_estimate = Some(est);
+        trials
+    }));
+    let rare_variance_ratio = rare_is_estimate.and_then(|est| est.variance_ratio_vs_vanilla);
+
     let baseline = baseline_path.map(|path| {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
@@ -476,6 +535,44 @@ fn main() {
                     "perf check ok: dense_1shard_telemetry_off {off:.1} ms within noise of \
                      dense_1shard {base:.1} ms ({ratio:.2}x)"
                 );
+            }
+        }
+        // Rare-event acceleration: importance sampling must reach the
+        // target CI width with an order of magnitude fewer trials than
+        // vanilla, and its measured per-root variance ratio must agree.
+        // Both ladders are deterministic (fixed seeds), so this is a
+        // machine-independent gate like the cache-reuse tripwires.
+        {
+            let vanilla = measured("mc_rare_vanilla").work_items as f64;
+            let tilted = measured("mc_rare_is").work_items as f64;
+            let ratio = vanilla / tilted;
+            if ratio < RARE_TRIALS_MIN_RATIO {
+                eprintln!(
+                    "PERF CHECK FAILED: mc_rare_vanilla needed {vanilla:.0} trials vs \
+                     mc_rare_is {tilted:.0} ({ratio:.1}x, floor {RARE_TRIALS_MIN_RATIO}) \
+                     — importance sampling is not accelerating the tail"
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "perf check ok: mc_rare_is reached the target CI width with {ratio:.0}x \
+                     fewer trials ({tilted:.0} vs {vanilla:.0})"
+                );
+            }
+            match rare_variance_ratio {
+                Some(vr) if vr >= RARE_TRIALS_MIN_RATIO => {
+                    eprintln!(
+                        "perf check ok: mc_rare_is variance ratio vs vanilla {vr:.1} >= \
+                         {RARE_TRIALS_MIN_RATIO}"
+                    );
+                }
+                other => {
+                    eprintln!(
+                        "PERF CHECK FAILED: mc_rare_is variance ratio vs vanilla {other:?} \
+                         (floor {RARE_TRIALS_MIN_RATIO})"
+                    );
+                    failed = true;
+                }
             }
         }
         if failed {

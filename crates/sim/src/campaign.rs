@@ -124,7 +124,7 @@ impl SweepAxis {
                 alphas[i],
             )?,
         };
-        Ok(config.with_max_hours(base.max_hours).with_draw(base.draw))
+        Ok(config.with_max_hours(base.max_hours).with_draw(base.draw).with_strategy(base.strategy))
     }
 }
 
@@ -884,6 +884,39 @@ mod tests {
             assert_eq!(streamed.mttdl_hours.to_bits(), point.mttdl_hours.to_bits());
             assert_eq!(streamed.ci_half_width.to_bits(), point.ci_half_width.to_bits());
         }
+    }
+
+    #[test]
+    fn strategy_is_part_of_the_cache_identity() {
+        // A vanilla campaign and an importance-sampled twin over the same
+        // grid must never answer each other from a shared point cache: the
+        // strategy sits on `SimConfig`, so `config_at` folds it into every
+        // unit's digest.
+        use crate::config::RareEventStrategy;
+        let vanilla = sweep_campaign();
+        let mut tilted = sweep_campaign();
+        for spec in &mut tilted.sweeps {
+            spec.base =
+                spec.base.with_strategy(RareEventStrategy::ImportanceSampling { tilt: 2.0 });
+        }
+        let cache = SweepCache::new();
+        let mut sink = MemorySink::new();
+        let cold =
+            CampaignDriver::new(&vanilla).threads(2).point_cache(&cache).run(&mut sink).unwrap();
+        assert_eq!(cold.cache_hits, 0);
+
+        let mut sink = MemorySink::new();
+        let cross =
+            CampaignDriver::new(&tilted).threads(2).point_cache(&cache).run(&mut sink).unwrap();
+        assert_eq!(cross.cache_hits, 0, "an accelerated unit hit a vanilla cache entry");
+        assert_eq!(cross.cache_misses as usize, cross.units_total);
+
+        // Each campaign still hits its own entries on a rerun.
+        let mut sink = MemorySink::new();
+        let warm =
+            CampaignDriver::new(&tilted).threads(2).point_cache(&cache).run(&mut sink).unwrap();
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.cache_hits as usize, warm.units_total);
     }
 
     #[test]

@@ -27,6 +27,77 @@ pub enum DetectionModel {
     },
 }
 
+/// How the Monte-Carlo engine attacks the rare-event tail.
+///
+/// Well-protected configurations (the paper's §5.4 century-scale MTTDLs)
+/// censor nearly every vanilla trial: the horizon passes with no loss and
+/// the estimate is dominated by censoring noise. Both accelerated
+/// strategies keep the estimator unbiased while concentrating the
+/// simulation effort on loss paths:
+///
+/// * [`ImportanceSampling`](Self::ImportanceSampling) inflates both fault
+///   rates by `tilt` (repairs untouched) and carries the per-draw
+///   log-likelihood-ratio so each loss is counted with weight
+///   `exp(Σ llr) < 1`.
+/// * [`Splitting`](Self::Splitting) multiplies promising paths instead of
+///   reweighting draws: whenever a trial first climbs to one of the last
+///   `levels` fault counts below the loss threshold, the path is replaced
+///   by `offspring` statistically fresh clones at `1/offspring` the weight.
+///
+/// `Vanilla` reproduces the historical random stream bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub enum RareEventStrategy {
+    /// Plain Monte Carlo: every draw at its nominal rate, unit weights.
+    #[default]
+    Vanilla,
+    /// Exponential tilting of the fault races; unbiased via
+    /// likelihood-ratio weights.
+    ImportanceSampling {
+        /// Fault-rate inflation factor (> 0; 1.0 degenerates to vanilla
+        /// dynamics with unit weights). Useful tilts are modest — see the
+        /// README's tilt guidance.
+        tilt: f64,
+    },
+    /// Multilevel splitting on the "replicas simultaneously faulty" level
+    /// sets nearest the loss threshold.
+    Splitting {
+        /// Number of fault-count thresholds to split at, counted down from
+        /// `loss_threshold − 1`. Clamped to the available `loss_threshold − 1`
+        /// intermediate levels at run time.
+        levels: u32,
+        /// Clones spawned (replacing the parent) at each threshold
+        /// crossing; each carries `1/offspring` of the parent weight.
+        offspring: u32,
+    },
+}
+
+// Manual impl (mirrors `DrawDiscipline`'s): configs written before the
+// strategy existed hand the absent field through as `Null`, which must map
+// to `Vanilla` instead of a parse error.
+impl Deserialize for RareEventStrategy {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        match value {
+            serde::Value::Null => Ok(Self::default()),
+            serde::Value::Str(s) if s == "Vanilla" => Ok(Self::Vanilla),
+            serde::Value::Object(_) => {
+                if let Some(inner) = value.get("ImportanceSampling") {
+                    let tilt = f64::from_value(inner.get("tilt").unwrap_or(&serde::Value::Null))?;
+                    Ok(Self::ImportanceSampling { tilt })
+                } else if let Some(inner) = value.get("Splitting") {
+                    let levels =
+                        u32::from_value(inner.get("levels").unwrap_or(&serde::Value::Null))?;
+                    let offspring =
+                        u32::from_value(inner.get("offspring").unwrap_or(&serde::Value::Null))?;
+                    Ok(Self::Splitting { levels, offspring })
+                } else {
+                    Err(serde::Error::custom("expected variant of RareEventStrategy"))
+                }
+            }
+            _ => Err(serde::Error::custom("expected variant of RareEventStrategy")),
+        }
+    }
+}
+
 /// Full description of the simulated replicated system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -58,6 +129,9 @@ pub struct SimConfig {
     /// sample paths stay reproducible). Same distribution either way — see
     /// [`DrawDiscipline`].
     pub draw: DrawDiscipline,
+    /// Rare-event acceleration strategy ([`RareEventStrategy`]); `Vanilla`
+    /// (the default) reproduces the historical stream bit-exactly.
+    pub strategy: RareEventStrategy,
 }
 
 impl SimConfig {
@@ -178,6 +252,7 @@ impl SimConfig {
             alpha,
             max_hours: Self::DEFAULT_MAX_HOURS,
             draw: DrawDiscipline::default(),
+            strategy: RareEventStrategy::default(),
         })
     }
 
@@ -191,6 +266,35 @@ impl SimConfig {
     /// Overrides the exponential draw discipline ([`DrawDiscipline`]).
     pub fn with_draw(mut self, draw: DrawDiscipline) -> Self {
         self.draw = draw;
+        self
+    }
+
+    /// Overrides the rare-event strategy ([`RareEventStrategy`]).
+    ///
+    /// # Panics
+    /// On a non-positive or non-finite tilt, zero levels/offspring, or a
+    /// splitting schedule whose worst-case population `offspring^levels`
+    /// exceeds one million paths per root trial.
+    pub fn with_strategy(mut self, strategy: RareEventStrategy) -> Self {
+        match strategy {
+            RareEventStrategy::Vanilla => {}
+            RareEventStrategy::ImportanceSampling { tilt } => {
+                assert!(
+                    tilt.is_finite() && tilt > 0.0,
+                    "importance tilt must be positive and finite, got {tilt}"
+                );
+            }
+            RareEventStrategy::Splitting { levels, offspring } => {
+                assert!(levels >= 1, "splitting needs at least one level");
+                assert!(offspring >= 1, "splitting needs at least one offspring per level");
+                let worst = (offspring as u64).checked_pow(levels.min(64));
+                assert!(
+                    worst.is_some_and(|w| w <= 1_000_000),
+                    "splitting population {offspring}^{levels} exceeds the 1e6 path cap"
+                );
+            }
+        }
+        self.strategy = strategy;
         self
     }
 
@@ -309,6 +413,47 @@ mod tests {
         let back: SimConfig = serde_json::from_str(&legacy).unwrap();
         assert_eq!(back.draw, DrawDiscipline::default());
         assert_eq!(back.mttf_visible_hours, current.mttf_visible_hours);
+    }
+
+    #[test]
+    fn pre_strategy_json_still_deserializes_as_vanilla() {
+        // Specs written before `strategy` existed must keep loading with
+        // vanilla semantics, and both accelerated variants must round-trip.
+        let current = SimConfig::mirrored_disks(1.4e6, 2.8e5, 0.33, 0.33, Some(2920.0), 1.0)
+            .unwrap()
+            .with_strategy(RareEventStrategy::ImportanceSampling { tilt: 16.0 });
+        let json = serde_json::to_string(&current).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.strategy, RareEventStrategy::ImportanceSampling { tilt: 16.0 });
+
+        let split = current.with_strategy(RareEventStrategy::Splitting { levels: 2, offspring: 8 });
+        let json_split = serde_json::to_string(&split).unwrap();
+        let back: SimConfig = serde_json::from_str(&json_split).unwrap();
+        assert_eq!(back.strategy, RareEventStrategy::Splitting { levels: 2, offspring: 8 });
+
+        let vanilla_json =
+            serde_json::to_string(&current.with_strategy(RareEventStrategy::Vanilla)).unwrap();
+        let legacy = vanilla_json
+            .replace(",\"strategy\":\"Vanilla\"", "")
+            .replace("\"strategy\":\"Vanilla\",", "");
+        assert!(!legacy.contains("strategy"), "the legacy payload must omit the field");
+        let back: SimConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(back.strategy, RareEventStrategy::Vanilla);
+        assert_eq!(back.mttf_visible_hours, current.mttf_visible_hours);
+    }
+
+    #[test]
+    #[should_panic(expected = "tilt")]
+    fn with_strategy_rejects_bad_tilt() {
+        let c = SimConfig::mirrored_disks(1.0e3, 1.0e3, 1.0, 1.0, None, 1.0).unwrap();
+        let _ = c.with_strategy(RareEventStrategy::ImportanceSampling { tilt: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "path cap")]
+    fn with_strategy_rejects_explosive_splitting() {
+        let c = SimConfig::mirrored_disks(1.0e3, 1.0e3, 1.0, 1.0, None, 1.0).unwrap();
+        let _ = c.with_strategy(RareEventStrategy::Splitting { levels: 10, offspring: 10 });
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod cache;
 pub mod campaign;
 pub mod config;
 pub mod monte_carlo;
+pub mod rare;
 pub mod replica;
 pub mod sweep;
 pub mod trial;
@@ -54,7 +55,7 @@ pub use campaign::{
     Campaign, CampaignDriver, CampaignSummary, JsonlSink, MemorySink, ReportSink, Scenario,
     StreamRecord, SweepSpec,
 };
-pub use config::SimConfig;
+pub use config::{RareEventStrategy, SimConfig};
 pub use ltds_stochastic::DrawDiscipline;
 pub use monte_carlo::{MonteCarlo, MttdlEstimate};
 pub use trial::{TrialOutcome, TrialRunner};

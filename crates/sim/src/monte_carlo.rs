@@ -4,7 +4,8 @@
 //! trial gets its own deterministic RNG sub-stream, so the estimate for a
 //! given `(seed, trials)` pair is identical regardless of thread count.
 
-use crate::config::SimConfig;
+use crate::config::{RareEventStrategy, SimConfig};
+use crate::rare::RareRunner;
 use crate::trial::{TrialRunner, TrialScratch};
 use ltds_stochastic::{ConfidenceInterval, ProportionEstimate, SimRng, StreamingStats};
 use serde::{Deserialize, Serialize};
@@ -12,22 +13,47 @@ use serde::{Deserialize, Serialize};
 /// Result of a Monte-Carlo run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MttdlEstimate {
-    /// Number of trials that ended in data loss.
+    /// Number of trials (leaf paths, for accelerated strategies) that ended
+    /// in data loss.
     pub completed_trials: u64,
-    /// Number of trials censored at the time cap.
+    /// Number of trials (leaf paths) censored at the time cap.
     pub censored_trials: u64,
     /// Mean time to data loss with a 95 % confidence interval (hours).
     /// Censored trials are excluded from the mean, making it slightly
     /// optimistic if censoring is common; [`MttdlEstimate::censoring_fraction`]
-    /// reports how much that matters.
+    /// reports how much that matters. Under an accelerated strategy this is
+    /// the likelihood-ratio-weighted (self-normalised) mean, with the
+    /// standard error scaled by the weights' effective sample size.
     pub mttdl_hours: ConfidenceInterval,
-    /// Mean number of faults processed per trial.
+    /// Mean number of faults processed per root trial.
     pub mean_faults_per_trial: f64,
-    /// Mean number of repairs completed per trial.
+    /// Mean number of repairs completed per root trial.
     pub mean_repairs_per_trial: f64,
-    /// Loss times of every completed trial, in hours (used for empirical
-    /// mission-probability estimates). Sorted ascending.
+    /// The rare-event strategy these numbers were produced under.
+    pub strategy: RareEventStrategy,
+    /// Number of independent root trials (equals `completed + censored` for
+    /// vanilla runs; splitting roots can produce many leaves each).
+    pub root_trials: u64,
+    /// Effective sample size of the loss observations:
+    /// `(Σw)² / Σw²` over the loss weights. Equals `completed_trials` for
+    /// vanilla runs; a value far below `completed_trials` means a few heavy
+    /// weights dominate and the tilt is too aggressive.
+    pub effective_sample_size: f64,
+    /// Estimated variance-reduction factor for the horizon loss
+    /// probability: Var(vanilla indicator) / Var(weighted per-root loss
+    /// mass). `None` for vanilla runs or when either variance is
+    /// degenerate. Values ≫ 1 mean the strategy needs that many times
+    /// fewer root trials than vanilla for the same CI width.
+    pub variance_ratio_vs_vanilla: Option<f64>,
+    /// Loss times of every completed trial (leaf), in hours (used for
+    /// empirical mission-probability estimates). Sorted ascending.
     loss_times: Vec<f64>,
+    /// Likelihood-ratio weight of each loss, parallel to `loss_times`.
+    /// Empty for vanilla runs (all weights are 1).
+    loss_weights: Vec<f64>,
+    /// Root-trial index of each loss, parallel to `loss_times`; groups
+    /// splitting leaves for per-root variance. Empty for vanilla runs.
+    loss_roots: Vec<u64>,
 }
 
 impl MttdlEstimate {
@@ -46,15 +72,53 @@ impl MttdlEstimate {
         ltds_core::units::hours_to_years(self.mttdl_hours.estimate)
     }
 
-    /// Empirical probability (with Wilson 95 % interval) that data is lost
-    /// within `mission_hours`. Censored trials count as surviving, which is
-    /// correct as long as the cap exceeds the mission length.
+    /// Empirical probability that data is lost within `mission_hours`.
+    /// Censored trials count as surviving, which is correct as long as the
+    /// cap exceeds the mission length.
+    ///
+    /// Vanilla runs report a Wilson 95 % interval over the trial count.
+    /// Accelerated runs report the likelihood-ratio-weighted estimate
+    /// `(1/N) Σᵢ zᵢ` — `zᵢ` the total loss weight under root trial `i` —
+    /// with a normal interval from the per-root sample variance (the
+    /// correct scale: splitting leaves under one root are dependent).
     pub fn loss_probability_by(&self, mission_hours: f64) -> ConfidenceInterval {
-        let mut p = ProportionEstimate::new();
-        let lost = self.loss_times.partition_point(|&t| t <= mission_hours) as u64;
-        let total = self.completed_trials + self.censored_trials;
-        p.record(lost, total);
-        p.confidence_interval(0.95)
+        let cut = self.loss_times.partition_point(|&t| t <= mission_hours);
+        if matches!(self.strategy, RareEventStrategy::Vanilla) {
+            let mut p = ProportionEstimate::new();
+            let total = self.completed_trials + self.censored_trials;
+            p.record(cut as u64, total);
+            return p.confidence_interval(0.95);
+        }
+        let n = self.root_trials as f64;
+        // Group the qualifying loss weights by root trial. Sorting (rather
+        // than hashing) keeps the accumulation order — and hence the
+        // floating-point result — deterministic.
+        let mut pairs: Vec<(u64, f64)> =
+            (0..cut).map(|i| (self.loss_roots[i], self.loss_weights[i])).collect();
+        pairs.sort_by_key(|&(root, _)| root);
+        let mut sum_z = 0.0;
+        let mut sum_z2 = 0.0;
+        let mut i = 0;
+        while i < pairs.len() {
+            let root = pairs[i].0;
+            let mut z = 0.0;
+            while i < pairs.len() && pairs[i].0 == root {
+                z += pairs[i].1;
+                i += 1;
+            }
+            sum_z += z;
+            sum_z2 += z * z;
+        }
+        let p = (sum_z / n).clamp(0.0, 1.0);
+        let variance =
+            if self.root_trials > 1 { ((sum_z2 - n * p * p) / (n - 1.0)).max(0.0) } else { 0.0 };
+        let ci = ConfidenceInterval::around(p, (variance / n).sqrt(), 0.95);
+        ConfidenceInterval {
+            estimate: p,
+            lower: ci.lower.max(0.0),
+            upper: ci.upper.min(1.0),
+            confidence: ci.confidence,
+        }
     }
 }
 
@@ -96,7 +160,21 @@ impl MonteCarlo {
     }
 
     /// Runs the trials and collects the estimate.
+    ///
+    /// Dispatches on [`SimConfig::strategy`]: `Vanilla` runs the historical
+    /// path (bit-identical random stream to every prior release);
+    /// `ImportanceSampling` and `Splitting` run the weighted rare-event
+    /// pipeline. All three return an unbiased [`MttdlEstimate`].
     pub fn run(&self) -> MttdlEstimate {
+        match self.config.strategy {
+            RareEventStrategy::Vanilla => self.run_vanilla(),
+            _ => self.run_rare(),
+        }
+    }
+
+    /// The pre-acceleration Monte-Carlo loop, kept verbatim so the vanilla
+    /// random stream and results stay bit-exact.
+    fn run_vanilla(&self) -> MttdlEstimate {
         let runner = TrialRunner::new(self.config);
         let master = SimRng::seed_from(self.seed);
         let threads = self.threads.min(self.trials as usize).max(1);
@@ -166,7 +244,151 @@ impl MonteCarlo {
             mttdl_hours: stats.confidence_interval(0.95),
             mean_faults_per_trial: faults as f64 / total,
             mean_repairs_per_trial: repairs as f64 / total,
+            strategy: RareEventStrategy::Vanilla,
+            root_trials: self.trials,
+            effective_sample_size: stats.count() as f64,
+            variance_ratio_vs_vanilla: None,
             loss_times,
+            loss_weights: Vec::new(),
+            loss_roots: Vec::new(),
+        }
+    }
+
+    /// The weighted rare-event loop: each root trial index runs through
+    /// [`RareRunner::run_root`], producing one leaf (importance sampling)
+    /// or a clone tree of leaves (splitting), every leaf carrying its
+    /// likelihood-ratio × splitting weight.
+    ///
+    /// Determinism matches the vanilla loop: a root's leaf set depends only
+    /// on `(seed, root index)`, workers cover contiguous ascending index
+    /// ranges, and merged accumulations run in root order — so the estimate
+    /// is identical regardless of thread count.
+    fn run_rare(&self) -> MttdlEstimate {
+        let runner = RareRunner::new(self.config);
+        let master = SimRng::seed_from(self.seed);
+        let threads = self.threads.min(self.trials as usize).max(1);
+        let chunk = self.trials / threads as u64;
+        let remainder = self.trials % threads as u64;
+
+        type RareShare = (Vec<(u64, f64, f64)>, u64, u64, u64);
+        let mut per_thread: Vec<RareShare> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0u64;
+            for t in 0..threads as u64 {
+                let count = chunk + if t < remainder { 1 } else { 0 };
+                let range = start..start + count;
+                start += count;
+                let master = master.clone();
+                let runner = runner.clone();
+                handles.push(scope.spawn(move |_| {
+                    // (root index, loss time, weight) per loss leaf; roots
+                    // ascend and a root's leaves stay contiguous.
+                    let mut losses: Vec<(u64, f64, f64)> = Vec::new();
+                    let mut censored = 0u64;
+                    let mut faults = 0u64;
+                    let mut repairs = 0u64;
+                    let mut leaves = Vec::new();
+                    for index in range {
+                        leaves.clear();
+                        runner.run_root(&master.fork(index), &mut leaves);
+                        for leaf in &leaves {
+                            faults += leaf.outcome.faults;
+                            repairs += leaf.outcome.repairs;
+                            match leaf.outcome.loss_time_hours {
+                                Some(t) => losses.push((index, t, leaf.weight)),
+                                None => censored += 1,
+                            }
+                        }
+                    }
+                    (losses, censored, faults, repairs)
+                }));
+            }
+            for h in handles {
+                per_thread.push(h.join().expect("simulation worker panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut records: Vec<(u64, f64, f64)> = Vec::new();
+        let mut censored = 0u64;
+        let mut faults = 0u64;
+        let mut repairs = 0u64;
+        for (losses, c, f, r) in per_thread {
+            records.extend(losses);
+            censored += c;
+            faults += f;
+            repairs += r;
+        }
+
+        // Per-root loss mass z_i for the variance-vs-vanilla diagnostic;
+        // records arrive grouped by ascending root, so one linear scan in
+        // deterministic order suffices.
+        let n = self.trials as f64;
+        let mut sum_z = 0.0;
+        let mut sum_z2 = 0.0;
+        let mut i = 0;
+        while i < records.len() {
+            let root = records[i].0;
+            let mut z = 0.0;
+            while i < records.len() && records[i].0 == root {
+                z += records[i].2;
+                i += 1;
+            }
+            sum_z += z;
+            sum_z2 += z * z;
+        }
+        let p_hat = sum_z / n;
+        let var_z =
+            if self.trials > 1 { ((sum_z2 - n * p_hat * p_hat) / (n - 1.0)).max(0.0) } else { 0.0 };
+        let variance_ratio_vs_vanilla = if p_hat > 0.0 && p_hat < 1.0 && var_z > 0.0 {
+            Some(p_hat * (1.0 - p_hat) / var_z)
+        } else {
+            None
+        };
+
+        records.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("loss times are finite"));
+        let loss_times: Vec<f64> = records.iter().map(|r| r.1).collect();
+        let loss_weights: Vec<f64> = records.iter().map(|r| r.2).collect();
+        let loss_roots: Vec<u64> = records.iter().map(|r| r.0).collect();
+
+        // Self-normalised weighted MTTDL: mean Σwt/Σw, with the standard
+        // error scaled by the weights' effective sample size.
+        let sum_w: f64 = loss_weights.iter().sum();
+        let sum_w2: f64 = loss_weights.iter().map(|w| w * w).sum();
+        let effective_sample_size = if sum_w2 > 0.0 { sum_w * sum_w / sum_w2 } else { 0.0 };
+        let mttdl_hours = if sum_w > 0.0 {
+            let mean: f64 =
+                loss_times.iter().zip(&loss_weights).map(|(t, w)| w * t).sum::<f64>() / sum_w;
+            let var_w: f64 = loss_times
+                .iter()
+                .zip(&loss_weights)
+                .map(|(t, w)| w * (t - mean) * (t - mean))
+                .sum::<f64>()
+                / sum_w;
+            let std_error = if effective_sample_size > 0.0 {
+                (var_w / effective_sample_size).sqrt()
+            } else {
+                0.0
+            };
+            ConfidenceInterval::around(mean, std_error, 0.95)
+        } else {
+            ConfidenceInterval::around(0.0, 0.0, 0.95)
+        };
+
+        MttdlEstimate {
+            completed_trials: loss_times.len() as u64,
+            censored_trials: censored,
+            mttdl_hours,
+            mean_faults_per_trial: faults as f64 / n,
+            mean_repairs_per_trial: repairs as f64 / n,
+            strategy: self.config.strategy,
+            root_trials: self.trials,
+            effective_sample_size,
+            variance_ratio_vs_vanilla,
+            loss_times,
+            loss_weights,
+            loss_roots,
         }
     }
 }
@@ -218,6 +440,73 @@ mod tests {
         // Mission of length MTTDL should lose data with probability ~1 - 1/e.
         let p_mttdl = est.loss_probability_by(est.mttdl_hours.estimate).estimate;
         assert!((p_mttdl - 0.632).abs() < 0.06, "p at MTTDL {p_mttdl}");
+    }
+
+    #[test]
+    fn vanilla_estimate_carries_trivial_rare_event_metadata() {
+        let est = MonteCarlo::new(fast_config()).trials(500).seed(6).run();
+        assert_eq!(est.strategy, RareEventStrategy::Vanilla);
+        assert_eq!(est.root_trials, 500);
+        assert_eq!(est.effective_sample_size, est.completed_trials as f64);
+        assert_eq!(est.variance_ratio_vs_vanilla, None);
+    }
+
+    #[test]
+    fn importance_sampling_agrees_with_vanilla_on_a_common_config() {
+        // Short mission horizon — the regime importance sampling is built
+        // for: loss paths are a handful of draws, so weights stay tame.
+        // The acid test against the exact analytic MTTDL lives in
+        // tests/rare_event.rs.
+        let config = fast_config().with_max_hours(3000.0);
+        let vanilla = MonteCarlo::new(config).trials(4000).seed(11).run();
+        let tilted = MonteCarlo::new(
+            config.with_strategy(RareEventStrategy::ImportanceSampling { tilt: 2.0 }),
+        )
+        .trials(4000)
+        .seed(11)
+        .run();
+        assert_eq!(tilted.strategy, RareEventStrategy::ImportanceSampling { tilt: 2.0 });
+        assert_eq!(tilted.root_trials, 4000);
+        assert!(
+            tilted.effective_sample_size > 30.0,
+            "ESS {} too degenerate to trust",
+            tilted.effective_sample_size
+        );
+        let pv = vanilla.loss_probability_by(3000.0);
+        let pt = tilted.loss_probability_by(3000.0);
+        assert!(
+            (pv.estimate - pt.estimate).abs() < 3.0 * (pv.half_width() + pt.half_width()),
+            "p(mission): vanilla {} ± {} vs IS {} ± {}",
+            pv.estimate,
+            pv.half_width(),
+            pt.estimate,
+            pt.half_width()
+        );
+        assert!(pt.lower >= 0.0 && pt.upper <= 1.0);
+    }
+
+    #[test]
+    fn rare_estimates_are_thread_count_invariant() {
+        for strategy in [
+            RareEventStrategy::ImportanceSampling { tilt: 2.0 },
+            RareEventStrategy::Splitting { levels: 1, offspring: 4 },
+        ] {
+            let config = fast_config().with_max_hours(50_000.0).with_strategy(strategy);
+            let a = MonteCarlo::new(config).trials(400).seed(21).threads(1).run();
+            let b = MonteCarlo::new(config).trials(400).seed(21).threads(4).run();
+            assert_eq!(a.completed_trials, b.completed_trials, "{strategy:?}");
+            assert_eq!(
+                a.mttdl_hours.estimate.to_bits(),
+                b.mttdl_hours.estimate.to_bits(),
+                "{strategy:?}"
+            );
+            assert_eq!(
+                a.loss_probability_by(20_000.0).estimate.to_bits(),
+                b.loss_probability_by(20_000.0).estimate.to_bits(),
+                "{strategy:?}"
+            );
+            assert_eq!(a.effective_sample_size.to_bits(), b.effective_sample_size.to_bits());
+        }
     }
 
     #[test]

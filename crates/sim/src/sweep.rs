@@ -15,7 +15,7 @@ use ltds_core::error::ModelError;
 use serde::{Deserialize, Serialize};
 
 /// One point of a sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SweepPoint {
     /// Value of the swept parameter.
     pub x: f64,
@@ -23,6 +23,36 @@ pub struct SweepPoint {
     pub mttdl_hours: f64,
     /// Half-width of the 95 % confidence interval in hours.
     pub ci_half_width: f64,
+    /// Fraction of trials (leaf paths) censored at the time cap — the
+    /// first thing to inspect when a rare-config point looks noisy.
+    pub censoring_fraction: f64,
+    /// Effective sample size of the loss observations
+    /// ([`MttdlEstimate::effective_sample_size`]).
+    pub effective_sample_size: f64,
+    /// Variance-reduction factor vs vanilla, when an accelerated strategy
+    /// produced this point ([`MttdlEstimate::variance_ratio_vs_vanilla`]).
+    pub variance_ratio_vs_vanilla: Option<f64>,
+}
+
+// Manual impl so stream records written before the rare-event fields
+// existed still parse: absent fields arrive as `Null` and map to their
+// pre-acceleration meaning (no censoring report, loss count as ESS).
+impl Deserialize for SweepPoint {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| value.get(name).unwrap_or(&serde::Value::Null);
+        let optional = |name: &str| match field(name) {
+            serde::Value::Null => Ok(None),
+            v => f64::from_value(v).map(Some),
+        };
+        Ok(Self {
+            x: f64::from_value(field("x"))?,
+            mttdl_hours: f64::from_value(field("mttdl_hours"))?,
+            ci_half_width: f64::from_value(field("ci_half_width"))?,
+            censoring_fraction: optional("censoring_fraction")?.unwrap_or(0.0),
+            effective_sample_size: optional("effective_sample_size")?.unwrap_or(0.0),
+            variance_ratio_vs_vanilla: optional("variance_ratio_vs_vanilla")?,
+        })
+    }
 }
 
 impl SweepPoint {
@@ -32,6 +62,9 @@ impl SweepPoint {
             x,
             mttdl_hours: est.mttdl_hours.estimate,
             ci_half_width: est.mttdl_hours.half_width(),
+            censoring_fraction: est.censoring_fraction(),
+            effective_sample_size: est.effective_sample_size,
+            variance_ratio_vs_vanilla: est.variance_ratio_vs_vanilla,
         }
     }
 }
@@ -134,7 +167,8 @@ impl<'a> SweepDriver<'a> {
                 base.alpha,
             )?
             .with_max_hours(base.max_hours)
-            .with_draw(base.draw);
+            .with_draw(base.draw)
+            .with_strategy(base.strategy);
             out.push(Self::point(period, &self.estimate(config, i)));
         }
         Ok(out)
@@ -160,7 +194,8 @@ impl<'a> SweepDriver<'a> {
                 alpha,
             )?
             .with_max_hours(base.max_hours)
-            .with_draw(base.draw);
+            .with_draw(base.draw)
+            .with_strategy(base.strategy);
             out.push(Self::point(r as f64, &self.estimate(config, i)));
         }
         Ok(out)
@@ -182,7 +217,8 @@ impl<'a> SweepDriver<'a> {
                 alpha,
             )?
             .with_max_hours(base.max_hours)
-            .with_draw(base.draw);
+            .with_draw(base.draw)
+            .with_strategy(base.strategy);
             out.push(Self::point(alpha, &self.estimate(config, i)));
         }
         Ok(out)
@@ -226,6 +262,7 @@ pub fn alpha_sweep(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RareEventStrategy;
 
     fn base() -> SimConfig {
         SimConfig::mirrored_disks(2000.0, 2000.0, 5.0, 5.0, Some(100.0), 1.0).unwrap()
@@ -318,11 +355,53 @@ mod tests {
 
     #[test]
     fn sweep_point_roundtrips_through_json() {
-        let point = SweepPoint { x: 730.0, mttdl_hours: 1.25e7, ci_half_width: 3.5e5 };
+        let point = SweepPoint {
+            x: 730.0,
+            mttdl_hours: 1.25e7,
+            ci_half_width: 3.5e5,
+            censoring_fraction: 0.999,
+            effective_sample_size: 412.5,
+            variance_ratio_vs_vanilla: Some(37.0),
+        };
         let json = serde_json::to_string(&point).unwrap();
         let back: SweepPoint = serde_json::from_str(&json).unwrap();
         assert_eq!(back.x.to_bits(), point.x.to_bits());
         assert_eq!(back.mttdl_hours.to_bits(), point.mttdl_hours.to_bits());
         assert_eq!(back.ci_half_width.to_bits(), point.ci_half_width.to_bits());
+        assert_eq!(back.censoring_fraction.to_bits(), point.censoring_fraction.to_bits());
+        assert_eq!(back.effective_sample_size.to_bits(), point.effective_sample_size.to_bits());
+        assert_eq!(back.variance_ratio_vs_vanilla, Some(37.0));
+    }
+
+    #[test]
+    fn pre_rare_event_sweep_point_json_still_parses() {
+        // Stream records written before the rare-event fields existed.
+        let legacy = r#"{"x":730.0,"mttdl_hours":1.25e7,"ci_half_width":3.5e5}"#;
+        let back: SweepPoint = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.x, 730.0);
+        assert_eq!(back.censoring_fraction, 0.0);
+        assert_eq!(back.effective_sample_size, 0.0);
+        assert_eq!(back.variance_ratio_vs_vanilla, None);
+    }
+
+    #[test]
+    fn sweeps_thread_the_strategy_through_rebuilt_configs() {
+        // An accelerated base must produce accelerated grid points: with
+        // the strategy dropped, this rare config censors everything and the
+        // MTTDL estimate collapses to zero.
+        let rare = SimConfig::mirrored_disks(2.0e5, 2.0e5, 5.0, 5.0, Some(1000.0), 1.0)
+            .unwrap()
+            .with_max_hours(5000.0)
+            .with_strategy(RareEventStrategy::ImportanceSampling { tilt: 30.0 });
+        let points =
+            SweepDriver::new(&rare, 400, 5).threads(1).scrub_period(&[500.0, 2000.0]).unwrap();
+        assert!(
+            points.iter().all(|p| p.mttdl_hours > 0.0),
+            "accelerated sweep saw no losses: {points:?}"
+        );
+        // The tilt is what makes losses reachable: the accelerated paths
+        // must censor *less* than the (hopeless) vanilla dynamics would.
+        assert!(points.iter().all(|p| p.censoring_fraction < 1.0));
+        assert!(points.iter().all(|p| p.effective_sample_size > 0.0));
     }
 }

@@ -101,8 +101,9 @@ impl TrialRunner {
     }
 
     /// Time at which a fault occurring at `t` of the given class will have
-    /// been detected and repaired.
-    fn repair_completion(&self, t: f64, class: FaultClass, rng: &mut SimRng) -> f64 {
+    /// been detected and repaired. Shared with the rare-event runner
+    /// (`crate::rare`), whose paths must price repairs identically.
+    pub(crate) fn repair_completion(&self, t: f64, class: FaultClass, rng: &mut SimRng) -> f64 {
         match class {
             FaultClass::Visible => t + self.config.repair_visible_hours,
             FaultClass::Latent => {

@@ -448,6 +448,109 @@ impl FaultRace {
     }
 }
 
+/// A [`FaultRace`] sampled under an importance-sampling *tilt*: both clock
+/// rates are inflated by `tilt`, so faults arrive `tilt`× sooner than under
+/// the nominal measure, and every draw reports the log-likelihood-ratio
+/// increment `ln(p_nominal(x) / p_tilted(x))` needed to reweight outcomes
+/// back to the nominal measure.
+///
+/// Because both clocks tilt by the same factor, the winner identity keeps
+/// its nominal law (`p_first` is invariant under a common rate scaling) and
+/// contributes nothing to the log-LR; only the delay draw is biased. For an
+/// exponential minimum with nominal combined mean `m` the increment is
+/// exact:
+///
+/// ```text
+/// llr(x) = ln( (1/m)·e^{-x/m} / (tilt/m)·e^{-x·tilt/m} )
+///        = -ln(tilt) + (tilt - 1)·x/m
+/// ```
+///
+/// With `tilt = 1` the race consumes the RNG exactly like the unbiased
+/// [`FaultRace`] (same draws, same order) and every increment is `0.0`.
+///
+/// # Examples
+///
+/// ```
+/// use ltds_stochastic::{BiasedFaultRace, SimRng};
+///
+/// let race = BiasedFaultRace::new(1000.0, 5000.0, 8.0);
+/// let mut rng = SimRng::seed_from(7);
+/// let (delay, _first_won, llr) = race.sample(&mut rng);
+/// assert!(delay > 0.0);
+/// // The weight exp(llr) reweights this draw back to the nominal measure.
+/// assert!(llr.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BiasedFaultRace {
+    /// The race resolved at the tilted (inflated) rates.
+    race: FaultRace,
+    tilt: f64,
+    ln_tilt: f64,
+    /// `(tilt - 1) / nominal combined mean` — the slope of the log-LR in
+    /// the realised delay.
+    llr_slope: f64,
+}
+
+impl BiasedFaultRace {
+    /// Creates a tilted race between clocks with the given *nominal* means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either mean is not strictly positive and finite, or if
+    /// `tilt` is not strictly positive and finite.
+    pub fn new(mean_first: f64, mean_second: f64, tilt: f64) -> Self {
+        assert!(
+            tilt.is_finite() && tilt > 0.0,
+            "importance tilt must be positive and finite, got {tilt}"
+        );
+        let nominal = FaultRace::new(mean_first, mean_second);
+        let race = FaultRace::new(mean_first / tilt, mean_second / tilt);
+        Self { race, tilt, ln_tilt: tilt.ln(), llr_slope: (tilt - 1.0) / nominal.combined_mean() }
+    }
+
+    /// Selects the delay-draw discipline (simulators pass their config's).
+    pub fn with_draw(mut self, draw: DrawDiscipline) -> Self {
+        self.race = self.race.with_draw(draw);
+        self
+    }
+
+    /// The rate-inflation factor.
+    pub fn tilt(&self) -> f64 {
+        self.tilt
+    }
+
+    /// Mean of the winning delay under the *tilted* measure
+    /// (`nominal combined mean / tilt`).
+    pub fn tilted_mean(&self) -> f64 {
+        self.race.combined_mean()
+    }
+
+    /// Probability that the first clock wins (identical under both
+    /// measures).
+    pub fn p_first(&self) -> f64 {
+        self.race.p_first()
+    }
+
+    /// Log-likelihood-ratio increment of a realised delay `x`:
+    /// `-ln(tilt) + (tilt - 1)·x / nominal_mean`. Exactly `0.0` when
+    /// `tilt = 1`.
+    #[inline]
+    pub fn llr_of(&self, delay: f64) -> f64 {
+        self.llr_slope * delay - self.ln_tilt
+    }
+
+    /// Draws `(delay, first_won, llr_increment)` under the tilted measure.
+    ///
+    /// Summing the increments over every draw a trial makes and
+    /// exponentiating yields the trial's importance weight under the
+    /// nominal measure.
+    #[inline]
+    pub fn sample(&self, rng: &mut SimRng) -> (f64, bool, f64) {
+        let (delay, first_won) = self.race.sample(rng);
+        (delay, first_won, self.llr_of(delay))
+    }
+}
+
 /// The number of successes in `n` independent Bernoulli(`p`) trials.
 ///
 /// Sampling is *exact* (no normal or Poisson approximation) via geometric
@@ -1224,6 +1327,82 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn fault_race_rejects_bad_means() {
         let _ = FaultRace::new(0.0, 10.0);
+    }
+
+    #[test]
+    fn unit_tilt_reproduces_the_unbiased_race_bit_exactly() {
+        // tilt = 1 is the compatibility case: identical draws in identical
+        // order, zero log-LR on every one.
+        for draw in [DrawDiscipline::Scalar, DrawDiscipline::Ziggurat] {
+            let plain = FaultRace::new(1000.0, 5000.0).with_draw(draw);
+            let biased = BiasedFaultRace::new(1000.0, 5000.0, 1.0).with_draw(draw);
+            let mut a = SimRng::seed_from(77);
+            let mut b = SimRng::seed_from(77);
+            for i in 0..256 {
+                let (d0, f0) = plain.sample(&mut a);
+                let (d1, f1, llr) = biased.sample(&mut b);
+                assert_eq!(d0.to_bits(), d1.to_bits(), "draw {i} delay diverged ({draw:?})");
+                assert_eq!(f0, f1, "draw {i} winner diverged ({draw:?})");
+                assert_eq!(llr, 0.0, "draw {i} log-LR must vanish at tilt 1");
+            }
+            assert_eq!(a.uniform01(), b.uniform01(), "RNG states diverged ({draw:?})");
+        }
+    }
+
+    #[test]
+    fn tilted_race_parameters() {
+        let biased = BiasedFaultRace::new(1000.0, 5000.0, 4.0);
+        let nominal = FaultRace::new(1000.0, 5000.0);
+        assert_eq!(biased.tilt(), 4.0);
+        // Combined mean shrinks by the tilt; the winner law is unchanged.
+        assert!((biased.tilted_mean() - nominal.combined_mean() / 4.0).abs() < 1e-12);
+        assert!((biased.p_first() - nominal.p_first()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn importance_weights_integrate_to_one_and_reweight_the_mean() {
+        // E_tilted[e^llr] = 1 (the likelihood ratio integrates to unity) and
+        // E_tilted[e^llr · x] = nominal mean: the textbook unbiasedness
+        // identities, checked by Monte Carlo. Tilt stays below 2 so the
+        // weight has finite variance under the tilted law (for tilt ≥ 2 the
+        // second moment E[e^{2(tilt−1)λx}] diverges and the raw-mean check
+        // would need astronomically many draws; rare-event estimators dodge
+        // this because loss paths have short delays and hence small weights).
+        let tilt = 1.6;
+        let biased = BiasedFaultRace::new(1000.0, 5000.0, tilt);
+        let nominal_mean = FaultRace::new(1000.0, 5000.0).combined_mean();
+        let n = 400_000;
+        let mut rng = SimRng::seed_from(91);
+        let mut sum_w = 0.0;
+        let mut sum_wx = 0.0;
+        let mut sum_x = 0.0;
+        for _ in 0..n {
+            let (x, _, llr) = biased.sample(&mut rng);
+            let w = llr.exp();
+            sum_w += w;
+            sum_wx += w * x;
+            sum_x += x;
+        }
+        let mean_w = sum_w / n as f64;
+        let mean_wx = sum_wx / n as f64;
+        let mean_x = sum_x / n as f64;
+        assert!((mean_w - 1.0).abs() < 0.02, "E[w] = {mean_w}, want 1");
+        assert!(
+            (mean_wx - nominal_mean).abs() / nominal_mean < 0.05,
+            "E[w·x] = {mean_wx}, want {nominal_mean}"
+        );
+        // Sanity: the raw tilted draws really are tilt× faster.
+        assert!(
+            (mean_x - nominal_mean / tilt).abs() / (nominal_mean / tilt) < 0.02,
+            "tilted mean {mean_x}, want {}",
+            nominal_mean / tilt
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tilt")]
+    fn biased_race_rejects_bad_tilt() {
+        let _ = BiasedFaultRace::new(1000.0, 5000.0, 0.0);
     }
 
     #[test]

@@ -29,10 +29,11 @@ pub mod rng;
 mod ziggurat;
 
 pub use distribution::{
-    Bathtub, Binomial, BinomialPositions, Deterministic, Distribution, DrawDiscipline, Exponential,
-    FaultRace, LogNormal, TruncatedExponential, Uniform, Weibull, ZigguratExp,
+    Bathtub, BiasedFaultRace, Binomial, BinomialPositions, Deterministic, Distribution,
+    DrawDiscipline, Exponential, FaultRace, LogNormal, TruncatedExponential, Uniform, Weibull,
+    ZigguratExp,
 };
-pub use estimators::{ConfidenceInterval, ProportionEstimate, StreamingStats};
+pub use estimators::{ConfidenceInterval, ProportionEstimate, StreamingStats, WeightedEstimator};
 pub use events::{EventStream, RenewalProcess};
 pub use histogram::Histogram;
 pub use parallelism::available_threads;

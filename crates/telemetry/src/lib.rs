@@ -147,6 +147,13 @@ pub trait Probe {
     /// Advances sim time (called once per popped kernel event with the
     /// current event-queue occupancy); due metric samples are emitted here.
     fn tick(&mut self, t: f64, queue_len: usize);
+
+    /// Reports the likelihood-ratio weight of a finished trial under a
+    /// rare-event strategy. Default no-op; vanilla runs (weight 1.0) need
+    /// not call it at all. Feeds in-memory gauges only — weights are never
+    /// serialized into traces, so trace bytes stay stable.
+    #[inline(always)]
+    fn weight(&mut self, _weight: f64) {}
 }
 
 /// The disabled probe: every method is an inlined no-op and
@@ -351,6 +358,11 @@ pub struct ShardTelemetry {
     summary: ShardSummary,
     wait_sum: f64,
     wait_count: u64,
+    /// Likelihood-ratio weight moments (rare-event runs only; in-memory
+    /// gauge, never serialized into the trace).
+    weight_sum: f64,
+    weight_sq_sum: f64,
+    weight_count: u64,
     // Output.
     samples: Vec<MetricSample>,
     losses: Vec<LossTrace>,
@@ -379,6 +391,9 @@ impl ShardTelemetry {
             summary: ShardSummary { shard: params.shard, ..ShardSummary::default() },
             wait_sum: 0.0,
             wait_count: 0,
+            weight_sum: 0.0,
+            weight_sq_sum: 0.0,
+            weight_count: 0,
             samples: Vec::new(),
             losses: Vec::new(),
             rings: vec![Ring::default(); params.groups],
@@ -405,6 +420,24 @@ impl ShardTelemetry {
         });
         self.site_window.fill(0.0);
         self.summary.samples += 1;
+    }
+
+    /// Effective sample size of the likelihood-ratio weights reported via
+    /// [`Probe::weight`]: `(Σw)² / Σw²`, the classic importance-sampling
+    /// degeneracy gauge. 0.0 until any weight arrives; equals the trial
+    /// count when every weight is 1.0 (vanilla). In-memory only — the
+    /// serialized trace carries no weights, so trace bytes are unchanged.
+    pub fn weight_ess(&self) -> f64 {
+        if self.weight_sq_sum > 0.0 {
+            self.weight_sum * self.weight_sum / self.weight_sq_sum
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of trial weights reported so far.
+    pub fn weight_count(&self) -> u64 {
+        self.weight_count
     }
 
     /// Finalizes the sink: pads the metric series out to the horizon (so
@@ -542,6 +575,12 @@ impl Probe for ShardTelemetry {
             self.emit_sample(at);
             self.next_sample += self.config.sample_period_hours;
         }
+    }
+
+    fn weight(&mut self, weight: f64) {
+        self.weight_sum += weight;
+        self.weight_sq_sum += weight * weight;
+        self.weight_count += 1;
     }
 }
 
@@ -704,6 +743,12 @@ pub struct TraceScan {
     pub fatal_visible: u64,
     /// Post-mortems whose fatal fault was latent.
     pub fatal_latent: u64,
+    /// Distinct groups with at least one post-mortem.
+    pub groups_lost: u64,
+    /// Fraction of the fleet's groups that reached the horizon without a
+    /// loss — the trace-level view of trial censoring. Near 1.0 means the
+    /// run barely sampled the loss tail.
+    pub censoring_fraction: f64,
     /// The trailing `run` totals line.
     pub run: RunSummary,
 }
@@ -731,6 +776,7 @@ pub fn scan_jsonl(text: &str) -> Result<TraceScan, ScanError> {
     let mut shard_losses = 0u64;
     let mut shard_fatal_visible = 0u64;
     let mut shard_fatal_latent = 0u64;
+    let mut lost_groups = std::collections::BTreeSet::new();
 
     for (index, line) in text.lines().enumerate() {
         let number = index + 1;
@@ -774,6 +820,7 @@ pub fn scan_jsonl(text: &str) -> Result<TraceScan, ScanError> {
                     .map_err(|e| scan_fail(number, format!("bad loss trace: {e}")))?;
                 postmortems += 1;
                 losses += 1;
+                lost_groups.insert(loss.group);
                 match loss.fatal {
                     FaultClass::Visible => fatal_visible += 1,
                     FaultClass::Latent => fatal_latent += 1,
@@ -827,6 +874,9 @@ pub fn scan_jsonl(text: &str) -> Result<TraceScan, ScanError> {
             ));
         }
     }
+    let groups_lost = lost_groups.len() as u64;
+    let censoring_fraction =
+        if meta.groups == 0 { 0.0 } else { 1.0 - groups_lost as f64 / meta.groups as f64 };
     Ok(TraceScan {
         meta,
         lines,
@@ -836,6 +886,8 @@ pub fn scan_jsonl(text: &str) -> Result<TraceScan, ScanError> {
         losses,
         fatal_visible,
         fatal_latent,
+        groups_lost,
+        censoring_fraction,
         run,
     })
 }
@@ -868,6 +920,25 @@ mod tests {
         probe.record(1.0, 0, visible_fault(1));
         probe.loss(1.0, 0, 1.0, FaultClass::Visible);
         probe.tick(1.0, 3);
+        probe.weight(2.0);
+    }
+
+    #[test]
+    fn weight_gauge_tracks_ess_without_touching_the_trace() {
+        let mut sink = ShardTelemetry::new(params(), TelemetryConfig::default());
+        assert_eq!(sink.weight_ess(), 0.0);
+        for _ in 0..4 {
+            sink.weight(1.0);
+        }
+        assert_eq!(sink.weight_count(), 4);
+        assert!((sink.weight_ess() - 4.0).abs() < 1e-12);
+        // One huge weight collapses the effective sample size.
+        sink.weight(100.0);
+        assert!(sink.weight_ess() < 2.0);
+        // The serialized trace carries no weight fields at all.
+        let trace = sink.finish();
+        let json = serde_json::to_string(&trace.summary).expect("summary serializes");
+        assert!(!json.contains("weight"));
     }
 
     #[test]
@@ -1054,6 +1125,10 @@ mod tests {
         assert_eq!(scan.postmortems, 2);
         assert_eq!(scan.samples, 4);
         assert_eq!(scan.shard_summaries, 2);
+        // Each shard lost its local group 0 — two distinct global groups
+        // out of the fleet's four, so half the fleet is censored.
+        assert_eq!(scan.groups_lost, 2);
+        assert!((scan.censoring_fraction - 0.5).abs() < 1e-12);
         assert_eq!(scan.run, trace.summary());
         assert_eq!(scan.lines as usize, text.lines().count());
     }

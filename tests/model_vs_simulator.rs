@@ -5,6 +5,7 @@ use ltds::fleet::{FleetConfig, FleetSim, FleetTopology};
 use ltds::sim::config::{DetectionModel, SimConfig};
 use ltds::sim::monte_carlo::MonteCarlo;
 use ltds::sim::validate::validate_against_model;
+use ltds::sim::RareEventStrategy;
 
 #[test]
 fn mirrored_scrubbed_pair_matches_equation_8() {
@@ -42,6 +43,33 @@ fn scrubbing_buys_the_predicted_orders_of_magnitude() {
     let m_un = MonteCarlo::new(unscrubbed).trials(2_000).seed(7).run().mttdl_hours.estimate;
     let m_sc = MonteCarlo::new(scrubbed).trials(2_000).seed(8).run().mttdl_hours.estimate;
     assert!(m_sc > m_un * 10.0, "scrubbed {m_sc} vs unscrubbed {m_un}");
+}
+
+#[test]
+fn importance_sampling_degenerates_to_vanilla_where_losses_are_common() {
+    // On a config where vanilla already sees plenty of losses, a mild tilt
+    // must reproduce the same mission loss probability — acceleration may
+    // only reduce variance, never move the answer.
+    let base = SimConfig::mirrored_disks(1_000.0, 5_000.0, 10.0, 10.0, Some(100.0), 1.0)
+        .unwrap()
+        .with_max_hours(10_000.0);
+    let vanilla = MonteCarlo::new(base).trials(4_000).seed(33).run();
+    let tilted =
+        MonteCarlo::new(base.with_strategy(RareEventStrategy::ImportanceSampling { tilt: 1.5 }))
+            .trials(4_000)
+            .seed(34)
+            .run();
+    let p_van = vanilla.loss_probability_by(10_000.0);
+    let p_is = tilted.loss_probability_by(10_000.0);
+    assert!(vanilla.completed_trials > 200, "losses must be common here");
+    assert!(
+        (p_is.estimate - p_van.estimate).abs() < 3.0 * (p_is.half_width() + p_van.half_width()),
+        "IS P[loss] {} +- {} vs vanilla {} +- {}",
+        p_is.estimate,
+        p_is.half_width(),
+        p_van.estimate,
+        p_van.half_width()
+    );
 }
 
 #[test]
