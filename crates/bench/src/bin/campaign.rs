@@ -17,7 +17,41 @@
 //!     [--max-units K]       # stop after K work units ("kill" the campaign)
 //!     [--expect-hits N]     # exit 1 unless the caches answered >= N units
 //!     [--expect-misses N]   # exit 1 if more than N units were simulated
+//!     [--max-skipped N]     # exit 1 if more than N damaged cache records
+//!                           # were skipped at load
 //! ```
+//!
+//! # Fault-tolerant service mode
+//!
+//! `--serve DIR` runs the campaign as a [`ltds_sim::CampaignService`] over
+//! the spool directory `DIR` instead of the in-process pool: workers are
+//! separate `campaign --worker DIR` processes exchanging checksum-framed
+//! JSON lines through `DIR/workers/<id>/{in,out}.jsonl`. Worker crashes,
+//! lost heartbeats and torn frames are absorbed by lease re-issue; the
+//! streamed report stays byte-identical to the driver's. The final stdout
+//! line is then the [`ltds_sim::ServiceSummary`] as JSON.
+//!
+//! ```text
+//!     --serve DIR             # run as the campaign service over spool DIR
+//!     --worker DIR            # run as a worker against spool DIR (reads the
+//!                             # spec from DIR/campaign.json; other flags and
+//!                             # specs do not apply)
+//!     [--worker-id NAME]      # stable worker name (default w0)
+//!     [--incarnation N]       # restart counter; respawn wrappers increment it
+//!     [--poll-ms N]           # spool poll interval (default 25)
+//!     [--max-polls N]         # stall budget, in polls (default 100000)
+//!     [--lease-ticks N]       # heartbeat-silence ticks before a worker is dead
+//!     [--reissue-ticks N]     # lease age before straggler re-issue
+//!     [--max-attempts N]      # lease attempts before quarantine (default 3)
+//!     [--fallback-ticks N]    # ticks without workers before in-process
+//!                             # fallback; `none` disables (poison drills)
+//!     [--expect-quarantined N]# exit 1 unless exactly N units were quarantined
+//! ```
+//!
+//! Deterministic fault injection is armed from `LTDS_FAILPOINTS` (see
+//! `ltds_core::failpoint`) when the binary is built with
+//! `--features failpoints`; setting the variable on a binary built without
+//! the feature is an error, so a chaos drill can never silently run clean.
 //!
 //! `--fleet-reports DIR` collects the streamed fleet shards as they pass
 //! through the sink and, after the run, folds each fully streamed scenario
@@ -51,13 +85,96 @@
 use ltds_bench::workloads;
 use ltds_fleet::{FleetCampaign, FleetReportCollector, ShardCache, TelemetryConfig};
 use ltds_sim::cache::SweepCache;
-use ltds_sim::campaign::{CampaignDriver, JsonlSink, ReportSink};
+use ltds_sim::campaign::{CampaignDriver, CampaignSummary, JsonlSink, ReportSink};
+use ltds_sim::service::{
+    run_spool_worker, serve_spool, CampaignService, ServiceConfig, ServiceSummary, SpoolConfig,
+    SpoolWorkerConfig,
+};
 use std::io::Write;
 use std::path::PathBuf;
+use std::time::Duration;
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("campaign: {message}");
     std::process::exit(2);
+}
+
+/// The published run summary: the driver's or the service's, depending on
+/// the mode — either way the final stdout line CI parses.
+enum RunSummary {
+    Driver(CampaignSummary),
+    Service(ServiceSummary),
+}
+
+impl RunSummary {
+    fn cache_hits(&self) -> u64 {
+        match self {
+            RunSummary::Driver(s) => s.cache_hits,
+            RunSummary::Service(s) => s.cache_hits,
+        }
+    }
+
+    fn cache_misses(&self) -> u64 {
+        match self {
+            RunSummary::Driver(s) => s.cache_misses,
+            RunSummary::Service(s) => s.cache_misses,
+        }
+    }
+
+    fn quarantined(&self) -> u64 {
+        match self {
+            RunSummary::Driver(_) => 0,
+            RunSummary::Service(s) => s.quarantined.len() as u64,
+        }
+    }
+
+    fn set_skipped(&mut self, skipped: u64) {
+        match self {
+            RunSummary::Driver(s) => s.skipped_records = skipped,
+            RunSummary::Service(s) => s.skipped_records = skipped,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        match self {
+            RunSummary::Driver(s) => serde_json::to_string(s).expect("summary serializes"),
+            RunSummary::Service(s) => serde_json::to_string(s).expect("summary serializes"),
+        }
+    }
+}
+
+/// Worker mode: reads the spec the service published into the spool,
+/// executes assignments until shutdown. Fail points (if armed) can kill
+/// this process mid-unit — the respawn wrapper restarts it with a higher
+/// `--incarnation`.
+fn run_worker(config: SpoolWorkerConfig) -> ! {
+    let spec_path = config.dir.join("campaign.json");
+    // The service writes campaign.json as it starts; wait for it to appear
+    // and parse (retrying while a concurrent write is mid-flight).
+    let mut campaign: Option<FleetCampaign> = None;
+    for _ in 0..config.max_polls {
+        if let Ok(text) = std::fs::read_to_string(&spec_path) {
+            if let Ok(spec) = serde_json::from_str(&text) {
+                campaign = Some(spec);
+                break;
+            }
+        }
+        std::thread::sleep(config.poll);
+    }
+    let Some(campaign) = campaign else {
+        fail(format!("worker {}: no readable spec at {}", config.name, spec_path.display()));
+    };
+    let name = config.name.clone();
+    match run_spool_worker(&campaign, &config) {
+        Ok(completed) => {
+            eprintln!("worker {name}: completed {completed} unit(s)");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -70,6 +187,24 @@ fn main() {
     let mut max_units: Option<usize> = None;
     let mut expect_hits: Option<u64> = None;
     let mut expect_misses: Option<u64> = None;
+    let mut max_skipped: Option<u64> = None;
+    let mut expect_quarantined: Option<u64> = None;
+    let mut serve_dir: Option<PathBuf> = None;
+    let mut worker_dir: Option<PathBuf> = None;
+    let mut worker_id = String::from("w0");
+    let mut incarnation = 0u64;
+    let mut poll_ms = 25u64;
+    let mut max_polls = 100_000u64;
+    // A spool poll is a service tick, so tick-denominated knobs get
+    // poll-scale defaults. Workers announce once per poll and once per
+    // unit, but a single slow unit sends nothing while it computes — the
+    // lease window must comfortably cover one unit's runtime.
+    let mut service_config = ServiceConfig {
+        lease_ticks: 400,
+        reissue_ticks: 4000,
+        fallback_ticks: Some(1200),
+        ..ServiceConfig::default()
+    };
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -124,9 +259,110 @@ fn main() {
                         .unwrap_or_else(|_| fail("--expect-misses needs a number")),
                 )
             }
+            "--max-skipped" => {
+                max_skipped = Some(
+                    value(&args, &mut i, "--max-skipped")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--max-skipped needs a number")),
+                )
+            }
+            "--expect-quarantined" => {
+                expect_quarantined = Some(
+                    value(&args, &mut i, "--expect-quarantined")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--expect-quarantined needs a number")),
+                )
+            }
+            "--serve" => serve_dir = Some(PathBuf::from(value(&args, &mut i, "--serve"))),
+            "--worker" => worker_dir = Some(PathBuf::from(value(&args, &mut i, "--worker"))),
+            "--worker-id" => worker_id = value(&args, &mut i, "--worker-id"),
+            "--incarnation" => {
+                incarnation = value(&args, &mut i, "--incarnation")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--incarnation needs a number"))
+            }
+            "--poll-ms" => {
+                poll_ms = value(&args, &mut i, "--poll-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .unwrap_or_else(|| fail("--poll-ms needs a number >= 1"))
+            }
+            "--max-polls" => {
+                max_polls = value(&args, &mut i, "--max-polls")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--max-polls needs a number"))
+            }
+            "--lease-ticks" => {
+                service_config.lease_ticks = value(&args, &mut i, "--lease-ticks")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--lease-ticks needs a number"))
+            }
+            "--reissue-ticks" => {
+                service_config.reissue_ticks = value(&args, &mut i, "--reissue-ticks")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reissue-ticks needs a number"))
+            }
+            "--max-attempts" => {
+                service_config.max_attempts = value(&args, &mut i, "--max-attempts")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u32| n > 0)
+                    .unwrap_or_else(|| fail("--max-attempts needs a number >= 1"))
+            }
+            "--fallback-ticks" => {
+                let v = value(&args, &mut i, "--fallback-ticks");
+                service_config.fallback_ticks = match v.as_str() {
+                    "none" => None,
+                    n => Some(
+                        n.parse()
+                            .unwrap_or_else(|_| fail("--fallback-ticks needs a number or `none`")),
+                    ),
+                }
+            }
             other => fail(format!("unknown argument: {other}")),
         }
         i += 1;
+    }
+
+    // Arm deterministic fault injection before anything else. A drill that
+    // sets LTDS_FAILPOINTS on a binary built without the feature must fail
+    // loudly, never silently run clean.
+    match ltds_core::failpoint::init_from_env() {
+        Ok(true) => eprintln!("campaign: fail points armed from LTDS_FAILPOINTS"),
+        Ok(false) => {
+            if std::env::var("LTDS_FAILPOINTS").is_ok() && !ltds_core::failpoint::compiled_in() {
+                fail(
+                    "LTDS_FAILPOINTS is set but this binary was built without the \
+                     `failpoints` feature; rebuild with --features failpoints",
+                );
+            }
+        }
+        Err(e) => fail(format!("invalid LTDS_FAILPOINTS: {e}")),
+    }
+
+    if serve_dir.is_some() && worker_dir.is_some() {
+        fail("--serve and --worker are mutually exclusive");
+    }
+    if let Some(dir) = worker_dir {
+        if spec_path.is_some() {
+            fail("--worker reads its spec from the spool's campaign.json, not --spec");
+        }
+        run_worker(SpoolWorkerConfig {
+            dir,
+            name: worker_id,
+            incarnation,
+            poll: Duration::from_millis(poll_ms),
+            max_polls,
+        });
+    }
+    if serve_dir.is_some() {
+        if max_units.is_some() {
+            fail("--max-units applies to the in-process driver, not --serve");
+        }
+        if telemetry_hours.is_some() {
+            fail("--telemetry applies to the in-process driver, not --serve");
+        }
     }
 
     let campaign: FleetCampaign = match spec_path.as_deref() {
@@ -162,6 +398,21 @@ fn main() {
     let shards = ShardCache::new();
     let mut skipped_records = 0u64;
     if let Some(dir) = &cache_dir {
+        // Probe writability up front: write-through failures mid-run only
+        // warn (the in-memory cache stays correct), so an unwritable
+        // directory would otherwise silently produce a run that cannot be
+        // resumed. Fail now, clearly, instead.
+        for sub in ["points", "shards"] {
+            let store = dir.join(sub);
+            std::fs::create_dir_all(&store).unwrap_or_else(|e| {
+                fail(format!("cache directory {} is not writable: {e}", store.display()))
+            });
+            let probe = store.join(".write-probe.tmp");
+            std::fs::write(&probe, b"probe\n").unwrap_or_else(|e| {
+                fail(format!("cache directory {} is not writable: {e}", store.display()))
+            });
+            let _ = std::fs::remove_file(&probe);
+        }
         for (name, stats) in [
             ("points", points.load_dir(dir.join("points"))),
             ("shards", shards.load_dir(dir.join("shards"))),
@@ -185,22 +436,38 @@ fn main() {
         .unwrap_or_else(|e| fail(format!("cannot create {out_path}: {e}")));
     let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
 
-    let mut driver = CampaignDriver::new(&campaign).point_cache(&points).shard_cache(&shards);
-    if let Some(threads) = threads {
-        driver = driver.threads(threads);
-    }
-    if let Some(hours) = telemetry_hours {
-        driver = driver.telemetry(TelemetryConfig::default().sample_period_hours(hours));
-    }
-    if let Some(k) = max_units {
-        driver = driver.max_units(k);
-    }
+    // One run, two modes: the in-process driver, or the fault-tolerant
+    // service over a spool directory. Both stream the same bytes.
+    let run = |sink: &mut dyn ReportSink| match &serve_dir {
+        Some(dir) => {
+            let mut service = CampaignService::new(&campaign, service_config)?
+                .point_cache(&points)
+                .shard_cache(&shards);
+            let spool =
+                SpoolConfig { dir: dir.clone(), poll: Duration::from_millis(poll_ms), max_polls };
+            serve_spool(&mut service, &spool, sink).map(RunSummary::Service)
+        }
+        None => {
+            let mut driver =
+                CampaignDriver::new(&campaign).point_cache(&points).shard_cache(&shards);
+            if let Some(threads) = threads {
+                driver = driver.threads(threads);
+            }
+            if let Some(hours) = telemetry_hours {
+                driver = driver.telemetry(TelemetryConfig::default().sample_period_hours(hours));
+            }
+            if let Some(k) = max_units {
+                driver = driver.max_units(k);
+            }
+            driver.run(sink).map(RunSummary::Driver)
+        }
+    };
     // With --fleet-reports the sink is teed through a collector that
     // gathers fleet shards for the merged per-scenario reports.
     let result = match &fleet_reports {
         Some(dir) => {
             let mut collector = FleetReportCollector::new(&mut sink);
-            let result = driver.run(&mut collector);
+            let result = run(&mut collector);
             if result.is_ok() {
                 std::fs::create_dir_all(dir)
                     .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
@@ -228,7 +495,7 @@ fn main() {
             }
             result
         }
-        None => driver.run(&mut sink as &mut dyn ReportSink),
+        None => run(&mut sink as &mut dyn ReportSink),
     };
     let mut summary = match result {
         Ok(summary) => summary,
@@ -240,17 +507,26 @@ fn main() {
     // Damaged records dropped while loading the persistent caches: the
     // driver cannot see them, so the binary folds them into the published
     // summary (CI greps for a nonzero count after corruption drills).
-    summary.skipped_records = skipped_records;
+    summary.set_skipped(skipped_records);
     sink.into_inner().flush().unwrap_or_else(|e| fail(format!("cannot flush {out_path}: {e}")));
 
-    eprintln!(
-        "campaign `{}`: {}/{} unit(s) run, {} from cache, {} simulated -> {out_path}",
-        campaign.name,
-        summary.units_run,
-        summary.units_total,
-        summary.cache_hits,
-        summary.cache_misses
-    );
+    match &summary {
+        RunSummary::Driver(s) => eprintln!(
+            "campaign `{}`: {}/{} unit(s) run, {} from cache, {} simulated -> {out_path}",
+            campaign.name, s.units_run, s.units_total, s.cache_hits, s.cache_misses
+        ),
+        RunSummary::Service(s) => eprintln!(
+            "campaign `{}`: {}/{} unit(s) done, {} from cache, {} computed, {} quarantined, \
+             {} worker(s) -> {out_path}",
+            campaign.name,
+            s.units_done,
+            s.units_total,
+            s.cache_hits,
+            s.cache_misses,
+            s.quarantined.len(),
+            s.workers_seen
+        ),
+    }
     // Trial-censoring visibility: fold the per-point censoring fractions
     // out of the streamed report, so a rare config whose tilt is too weak
     // (everything still censored) is obvious without a debugger. Printed
@@ -282,22 +558,40 @@ fn main() {
             );
         }
     }
-    println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+    println!("{}", summary.to_json());
 
     if let Some(expected) = expect_hits {
-        if summary.cache_hits < expected {
+        if summary.cache_hits() < expected {
             eprintln!(
                 "CAMPAIGN CHECK FAILED: expected >= {expected} cache hit(s), got {}",
-                summary.cache_hits
+                summary.cache_hits()
             );
             std::process::exit(1);
         }
     }
     if let Some(allowed) = expect_misses {
-        if summary.cache_misses > allowed {
+        if summary.cache_misses() > allowed {
             eprintln!(
                 "CAMPAIGN CHECK FAILED: expected <= {allowed} cache miss(es), got {}",
-                summary.cache_misses
+                summary.cache_misses()
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(expected) = expect_quarantined {
+        if summary.quarantined() != expected {
+            eprintln!(
+                "CAMPAIGN CHECK FAILED: expected {expected} quarantined unit(s), got {}",
+                summary.quarantined()
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(allowed) = max_skipped {
+        if skipped_records > allowed {
+            eprintln!(
+                "CAMPAIGN CHECK FAILED: {skipped_records} damaged cache record(s) skipped, \
+                 --max-skipped allows {allowed}"
             );
             std::process::exit(1);
         }

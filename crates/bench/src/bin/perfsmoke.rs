@@ -29,6 +29,13 @@
 //!   and hits, modelling a killed campaign resumed in a new process. The
 //!   resumed stream is verified byte-identical to the cold one before
 //!   timing, and the timed path includes the `load_dir` cost;
+//! * `campaign_service` — the same campaign dispatched through the
+//!   fault-tolerant service's deterministic in-process harness (two
+//!   simulated workers, no chaos): every unit crosses the lease / registry
+//!   / reorder machinery. The streamed report is verified byte-identical
+//!   to the driver's before timing, and `--check` pins the service's
+//!   overhead to a bounded multiple of `campaign_cold` so the coordination
+//!   layer stays plumbing, not compute;
 //! * `mc_rare_vanilla` / `mc_rare_is` — the pinned rare-loss mirror pair
 //!   (a scrubbed two-way mirror whose one-year loss probability is ~2e-4,
 //!   so vanilla runs censor >99.9 % of trials). Each workload doubles its
@@ -43,7 +50,7 @@
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin perfsmoke -- \
-//!     [--out BENCH_PR7.json] [--baseline OLD.json] [--repeat 3] [--check]
+//!     [--out BENCH_PR8.json] [--baseline OLD.json] [--repeat 3] [--check]
 //! ```
 //!
 //! The report embeds its own provenance — thread count, `rustc -V`, and an
@@ -70,6 +77,7 @@ use ltds_fleet::FleetSim;
 use ltds_sim::cache::SweepCache;
 use ltds_sim::campaign::{CampaignDriver, MemorySink};
 use ltds_sim::monte_carlo::MonteCarlo;
+use ltds_sim::service::ServiceHarness;
 use ltds_sim::sweep::SweepDriver;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -110,6 +118,12 @@ const SWEEP_REFINE_MAX_RATIO: f64 = 0.5;
 /// so 0.5 only trips when on-disk reuse actually breaks — a
 /// machine-independent tripwire like `sweep_refine`.
 const CAMPAIGN_RESUME_MAX_RATIO: f64 = 0.5;
+
+/// `--check` ceiling on `campaign_service` as a multiple of
+/// `campaign_cold`. The harness runs the same units single-threaded plus
+/// the full lease/registry/reorder machinery, so anything much above 1.0
+/// means coordination stopped being plumbing and started being compute.
+const CAMPAIGN_SERVICE_MAX_RATIO: f64 = 1.5;
 
 /// Target 95 % CI half-width on P[loss by one year] for the rare-event
 /// ladder pair: both estimators double their trial count until the
@@ -207,7 +221,7 @@ fn rare_ladder(config: &ltds_sim::SimConfig, start: u64) -> (u64, ltds_sim::Mttd
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR7.json");
+    let mut out_path = String::from("BENCH_PR8.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -389,6 +403,22 @@ fn main() {
     }));
     let _ = std::fs::remove_dir_all(&cache_dir);
 
+    // Campaign service: the same campaign, every unit crossing the
+    // fault-tolerant service's lease machinery via the deterministic
+    // in-process harness (two simulated workers, no chaos). The stream
+    // must match the driver's byte-for-byte before it is worth timing.
+    {
+        let mut sink = MemorySink::new();
+        let summary =
+            ServiceHarness::new(&campaign, 2).run(&mut sink).expect("service harness runs");
+        assert_eq!(summary.units_done, summary.units_total);
+        assert_eq!(sink.to_jsonl(), cold_stream, "service stream diverged from the driver");
+    }
+    results.push(time_workload("campaign_service", repeats, || {
+        let mut sink = MemorySink::new();
+        ServiceHarness::new(&campaign, 2).run(&mut sink).expect("service harness runs").units_done
+    }));
+
     // Rare-event pair: time-to-target-CI-width on the pinned rare mirror
     // workload, vanilla vs importance-sampled. Both ladders start at the
     // same rung so the final trial counts compare like for like.
@@ -513,6 +543,12 @@ fn main() {
             "campaign_cold",
             CAMPAIGN_RESUME_MAX_RATIO,
             "the persisted campaign caches are not being reused",
+        );
+        warm_ratio(
+            "campaign_service",
+            "campaign_cold",
+            CAMPAIGN_SERVICE_MAX_RATIO,
+            "the campaign service's coordination overhead has outgrown the compute",
         );
         // Two-sided noise window: `dense_1shard_telemetry_off` is the same
         // workload as `dense_1shard` through the disabled-probe path, so

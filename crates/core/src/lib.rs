@@ -50,6 +50,7 @@
 pub mod correlation;
 pub mod error;
 pub mod estimation;
+pub mod failpoint;
 pub mod fault;
 pub mod hash;
 pub mod memoryless;

@@ -12,9 +12,27 @@
 //! The checksum covers the payload bytes only. [`decode`] rejects a line
 //! whose framing is malformed or whose checksum does not match, which lets
 //! a loader skip a truncated tail write (or a corrupted record in the
-//! middle of a segment) without poisoning the records around it.
+//! middle of a segment) without poisoning the records around it. Damage
+//! that could only come from a hostile or badly broken writer — payloads
+//! beyond [`MAX_PAYLOAD_BYTES`], embedded NUL bytes — gets its own typed
+//! error instead of blending into the generic skip path, so loaders can
+//! tell "torn tail write" apart from "this file is not ours".
+//!
+//! The spool transport ships the same records between processes and wants
+//! truncation detected *before* hashing a partial payload, so it uses the
+//! length-prefixed framed variant ([`encode_framed`] / [`decode_framed`]):
+//!
+//! ```text
+//! <8 hex payload-byte-length> <16 hex checksum> <payload>\n
+//! ```
 
 use crate::hash::fnv1a;
+
+/// Hard ceiling on a record payload's byte length. Anything larger is not a
+/// payload this workspace writes — segment entries and spool frames are
+/// single JSON values — and is rejected with [`RecordError::Oversized`]
+/// before the decoder hashes (or a caller buffers) an absurd line.
+pub const MAX_PAYLOAD_BYTES: usize = 16 << 20;
 
 /// Why a line failed to decode as a checksummed record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +43,18 @@ pub enum RecordError {
     /// The framing parsed but the payload does not hash to the stated
     /// checksum — a truncated or corrupted payload.
     ChecksumMismatch,
+    /// The line (or a payload handed to an encoder) exceeds
+    /// [`MAX_PAYLOAD_BYTES`]: nothing this workspace writes is that large,
+    /// so the bytes are foreign or damaged beyond salvage.
+    Oversized,
+    /// The line (or a payload handed to an encoder) embeds a NUL byte.
+    /// JSON-lines payloads never do; NULs are the classic signature of a
+    /// block of zeroed disk spliced into a file.
+    EmbeddedNul,
+    /// Framed records only: the stated payload length disagrees with the
+    /// bytes actually present — a frame truncated or glued to its
+    /// neighbour by a torn write.
+    LengthMismatch,
 }
 
 impl std::fmt::Display for RecordError {
@@ -32,11 +62,28 @@ impl std::fmt::Display for RecordError {
         match self {
             RecordError::Malformed => write!(f, "malformed record framing"),
             RecordError::ChecksumMismatch => write!(f, "record checksum mismatch"),
+            RecordError::Oversized => {
+                write!(f, "record exceeds {MAX_PAYLOAD_BYTES} payload bytes")
+            }
+            RecordError::EmbeddedNul => write!(f, "record embeds a NUL byte"),
+            RecordError::LengthMismatch => write!(f, "framed record length mismatch"),
         }
     }
 }
 
 impl std::error::Error for RecordError {}
+
+/// Rejects payload bytes no well-formed record may carry. Shared by the
+/// plain and framed decoders so both report the same typed errors.
+fn check_payload(payload: &str) -> Result<(), RecordError> {
+    if payload.len() > MAX_PAYLOAD_BYTES {
+        return Err(RecordError::Oversized);
+    }
+    if payload.as_bytes().contains(&0) {
+        return Err(RecordError::EmbeddedNul);
+    }
+    Ok(())
+}
 
 /// Frames a payload as one checksummed record line (without the trailing
 /// newline). The payload must not contain `\n` — JSON-lines payloads never
@@ -62,6 +109,49 @@ pub fn decode(line: &str) -> Result<&str, RecordError> {
     let line = line.strip_suffix('\n').unwrap_or(line);
     let (checksum, payload) = line.split_at_checked(16).ok_or(RecordError::Malformed)?;
     let payload = payload.strip_prefix(' ').ok_or(RecordError::Malformed)?;
+    check_payload(payload)?;
+    let stated = u64::from_str_radix(checksum, 16).map_err(|_| RecordError::Malformed)?;
+    if fnv1a(payload.as_bytes()) == stated {
+        Ok(payload)
+    } else {
+        Err(RecordError::ChecksumMismatch)
+    }
+}
+
+/// Frames a payload as one *length-prefixed* checksummed record line
+/// (without the trailing newline): `<8 hex length> <16 hex checksum>
+/// <payload>`. The spool transport uses this shape so a reader can tell a
+/// truncated frame from a short payload before hashing anything, and so a
+/// future TCP transport can reuse the exact same bytes.
+///
+/// Unlike [`encode`], this is fallible: transports frame data on behalf of
+/// remote peers, so a payload that could never round-trip (embedded
+/// newline or NUL, oversized) is a typed error, not a debug assert.
+pub fn encode_framed(payload: &str) -> Result<String, RecordError> {
+    if payload.contains('\n') {
+        return Err(RecordError::Malformed);
+    }
+    check_payload(payload)?;
+    Ok(format!("{:08x} {:016x} {payload}", payload.len(), fnv1a(payload.as_bytes())))
+}
+
+/// Decodes one length-prefixed record line produced by [`encode_framed`],
+/// returning the payload slice only if the length, the framing and the
+/// checksum all agree with the payload bytes.
+pub fn decode_framed(line: &str) -> Result<&str, RecordError> {
+    let line = line.strip_suffix('\n').unwrap_or(line);
+    let (length, rest) = line.split_at_checked(8).ok_or(RecordError::Malformed)?;
+    let rest = rest.strip_prefix(' ').ok_or(RecordError::Malformed)?;
+    let stated_len = usize::from_str_radix(length, 16).map_err(|_| RecordError::Malformed)?;
+    if stated_len > MAX_PAYLOAD_BYTES {
+        return Err(RecordError::Oversized);
+    }
+    let (checksum, payload) = rest.split_at_checked(16).ok_or(RecordError::Malformed)?;
+    let payload = payload.strip_prefix(' ').ok_or(RecordError::Malformed)?;
+    check_payload(payload)?;
+    if payload.len() != stated_len {
+        return Err(RecordError::LengthMismatch);
+    }
     let stated = u64::from_str_radix(checksum, 16).map_err(|_| RecordError::Malformed)?;
     if fnv1a(payload.as_bytes()) == stated {
         Ok(payload)
@@ -112,13 +202,53 @@ mod tests {
     }
 
     #[test]
-    fn encode_line_matches_encode_plus_newline() {
-        let mut out = String::new();
-        encode_line("{\"a\":1}", &mut out);
-        encode_line("second", &mut out);
-        assert_eq!(out, format!("{}\n{}\n", encode("{\"a\":1}"), encode("second")));
-        for line in out.lines() {
-            assert!(decode(line).is_ok());
-        }
+    fn embedded_nul_is_its_own_error() {
+        let line = format!("{:016x} pay\0load", fnv1a(b"pay\0load"));
+        assert_eq!(decode(&line), Err(RecordError::EmbeddedNul));
+        assert_eq!(encode_framed("pay\0load"), Err(RecordError::EmbeddedNul));
+    }
+
+    #[test]
+    fn oversized_payload_is_its_own_error() {
+        let big = "x".repeat(MAX_PAYLOAD_BYTES + 1);
+        let line = format!("{:016x} {big}", fnv1a(big.as_bytes()));
+        assert_eq!(decode(&line), Err(RecordError::Oversized));
+        assert_eq!(encode_framed(&big), Err(RecordError::Oversized));
+        // A framed header *claiming* an oversized payload is rejected from
+        // the stated length alone, before looking at the bytes.
+        assert_eq!(decode_framed("ffffffff 0000000000000000 x"), Err(RecordError::Oversized));
+    }
+
+    #[test]
+    fn framed_roundtrip() {
+        let payload = r#"{"unit":3,"lease":9}"#;
+        let line = encode_framed(payload).unwrap();
+        assert_eq!(decode_framed(&line), Ok(payload));
+        assert_eq!(decode_framed(&format!("{line}\n")), Ok(payload));
+        assert_eq!(decode_framed(&encode_framed("").unwrap()), Ok(""));
+    }
+
+    #[test]
+    fn framed_rejects_newline_payloads() {
+        assert_eq!(encode_framed("two\nlines"), Err(RecordError::Malformed));
+    }
+
+    #[test]
+    fn framed_truncation_is_detected() {
+        let line = encode_framed("spool frame payload").unwrap();
+        // A torn write that loses the payload tail: the stated length no
+        // longer matches the surviving bytes.
+        assert_eq!(decode_framed(&line[..line.len() - 4]), Err(RecordError::LengthMismatch));
+        // A torn write inside the header is plain malformed.
+        assert_eq!(decode_framed(&line[..7]), Err(RecordError::Malformed));
+    }
+
+    #[test]
+    fn framed_glued_frames_are_rejected() {
+        // A frame with no trailing newline glued to its successor: length
+        // check fires before any checksum work.
+        let a = encode_framed("first").unwrap();
+        let b = encode_framed("second").unwrap();
+        assert_eq!(decode_framed(&format!("{a}{b}")), Err(RecordError::LengthMismatch));
     }
 }

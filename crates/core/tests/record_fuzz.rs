@@ -1,0 +1,91 @@
+//! Corruption fuzzing for the checksummed record framing.
+//!
+//! The decoders' contract under damage is simple: *never panic, never
+//! accept bytes that differ from what was encoded*. These proptests throw
+//! random byte flips and truncations at both the plain and the
+//! length-prefixed framings and hold them to it.
+
+use ltds_core::record::{decode, decode_framed, encode, encode_framed};
+use proptest::prelude::*;
+
+/// Payload strategy: printable ASCII without `\n` (JSON-lines payloads are
+/// exactly this shape), so byte-level mutations keep string ops simple.
+fn payload() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0x20u8..0x7f, 0..200)
+        .prop_map(|bytes| String::from_utf8(bytes).unwrap())
+}
+
+proptest! {
+    #[test]
+    fn plain_roundtrip(payload in payload()) {
+        let line = encode(&payload);
+        prop_assert_eq!(decode(&line), Ok(payload.as_str()));
+    }
+
+    #[test]
+    fn framed_roundtrip(payload in payload()) {
+        let line = encode_framed(&payload).unwrap();
+        prop_assert_eq!(decode_framed(&line), Ok(payload.as_str()));
+    }
+
+    /// A single flipped byte anywhere in the line must never decode to a
+    /// payload other than the original. (An identity flip is excluded by
+    /// construction: the xor mask is nonzero.)
+    #[test]
+    fn plain_byte_flip_never_accepts_wrong_bytes(
+        payload in payload(),
+        pos in 0usize..4096,
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = encode(&payload).into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        // A flip can leave ASCII: only valid UTF-8 ever reaches decode.
+        // A rejection is exactly what damage should earn; an accept must
+        // return the original bytes.
+        if let Ok(line) = std::str::from_utf8(&bytes) {
+            if let Ok(got) = decode(line) {
+                prop_assert_eq!(got, payload.as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn framed_byte_flip_never_accepts_wrong_bytes(
+        payload in payload(),
+        pos in 0usize..4096,
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = encode_framed(&payload).unwrap().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= mask;
+        if let Ok(line) = std::str::from_utf8(&bytes) {
+            if let Ok(got) = decode_framed(line) {
+                prop_assert_eq!(got, payload.as_str());
+            }
+        }
+    }
+
+    /// Any strict prefix of a record line (a torn tail write) is rejected.
+    #[test]
+    fn plain_truncation_is_rejected(payload in payload(), cut in 0usize..4096) {
+        let line = encode(&payload);
+        let cut = cut % line.len(); // strict prefix: 0..len
+        prop_assert!(decode(&line[..cut]).is_err());
+    }
+
+    #[test]
+    fn framed_truncation_is_rejected(payload in payload(), cut in 0usize..4096) {
+        let line = encode_framed(&payload).unwrap();
+        let cut = cut % line.len();
+        prop_assert!(decode_framed(&line[..cut]).is_err());
+    }
+
+    /// Two frames glued onto one line by a lost newline are rejected —
+    /// the length prefix catches what a checksum alone would have to.
+    #[test]
+    fn framed_glue_is_rejected(a in payload(), b in payload()) {
+        let glued = format!("{}{}", encode_framed(&a).unwrap(), encode_framed(&b).unwrap());
+        prop_assert!(decode_framed(&glued).is_err());
+    }
+}

@@ -137,6 +137,13 @@ impl<V: Clone + Serialize> SweepCache<V> {
                     segment_path(&dir, key.digest).display()
                 );
             }
+            // Chaos drill: die right after the durable append, before the
+            // in-memory insert — the worst moment for a crash, which the
+            // checksummed segment framing must make survivable.
+            if ltds_core::failpoint::fire("cache.persist.crash", key.seed) {
+                eprintln!("sweep-cache: failpoint cache.persist.crash fired; aborting");
+                std::process::exit(83);
+            }
         }
         self.map.lock().expect("cache lock poisoned").insert(key, value);
     }
@@ -249,10 +256,14 @@ impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
             Err(e) => return Err(e),
         };
-        let mut paths: Vec<PathBuf> = entries
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|path| segment_digest(path).is_some())
-            .collect();
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for path in entries.filter_map(|entry| entry.ok().map(|e| e.path())) {
+            if segment_digest(&path).is_some() {
+                paths.push(path);
+            } else if is_orphaned_tmp(&path) {
+                stats.removed_tmp += remove_orphaned_tmp(&path);
+            }
+        }
         paths.sort();
         for path in paths {
             let digest = segment_digest(&path).expect("paths were filtered on the pattern");
@@ -303,10 +314,14 @@ impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
             Err(e) => return Err(e),
         };
-        let mut paths: Vec<PathBuf> = entries
-            .filter_map(|entry| entry.ok().map(|e| e.path()))
-            .filter(|path| segment_digest(path).is_some())
-            .collect();
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for path in entries.filter_map(|entry| entry.ok().map(|e| e.path())) {
+            if segment_digest(&path).is_some() {
+                paths.push(path);
+            } else if is_orphaned_tmp(&path) {
+                stats.removed_tmp += remove_orphaned_tmp(&path);
+            }
+        }
         paths.sort();
         for path in paths {
             let digest = segment_digest(&path).expect("paths were filtered on the pattern");
@@ -343,6 +358,8 @@ pub struct CompactStats {
     pub superseded: usize,
     /// Records dropped as damaged (bad checksum / JSON / digest).
     pub dropped: usize,
+    /// Orphaned `seg-*.jsonl.tmp` files (a crash mid-snapshot) removed.
+    pub removed_tmp: usize,
 }
 
 /// What [`SweepCache::load_dir`] found on disk.
@@ -355,11 +372,37 @@ pub struct LoadStats {
     /// Records rejected (bad checksum, unparseable payload, or digest
     /// mismatch) and skipped.
     pub skipped: usize,
+    /// Orphaned `seg-*.jsonl.tmp` files (a crash between a snapshot's
+    /// temp-file write and its rename) removed from the directory.
+    pub removed_tmp: usize,
 }
 
 /// The on-disk filename of a digest's segment.
 fn segment_path(dir: &Path, digest: u64) -> PathBuf {
     dir.join(format!("seg-{digest:016x}.jsonl"))
+}
+
+/// Is this the temp file of an interrupted [`SweepCache::persist_dir`] /
+/// [`SweepCache::compact_dir`] snapshot? Both write `seg-*.jsonl.tmp` and
+/// rename into place; a crash in between strands the temp file. Stranded
+/// temps are never read (the digest filter ignores them) but they would
+/// accumulate forever, so loaders delete them on sight.
+fn is_orphaned_tmp(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|name| name.to_str())
+        .is_some_and(|name| name.starts_with("seg-") && name.ends_with(".jsonl.tmp"))
+}
+
+/// Removes one orphaned temp file, returning 1 on success (a racing
+/// cleanup or permission error just leaves it for the next loader).
+fn remove_orphaned_tmp(path: &Path) -> usize {
+    match std::fs::remove_file(path) {
+        Ok(()) => {
+            eprintln!("sweep-cache: removed orphaned snapshot temp {}", path.display());
+            1
+        }
+        Err(_) => 0,
+    }
 }
 
 /// Parses a segment filename back into its digest; `None` for anything
@@ -476,7 +519,7 @@ mod tests {
 
         let restored: SweepCache<f64> = SweepCache::new();
         let stats = restored.load_dir(dir.path()).unwrap();
-        assert_eq!(stats, LoadStats { segments: 3, loaded: 12, skipped: 0 });
+        assert_eq!(stats, LoadStats { segments: 3, loaded: 12, skipped: 0, removed_tmp: 0 });
         assert_eq!(restored.len(), original.len());
         assert_eq!((restored.hits(), restored.misses()), (0, 0), "loading is not a lookup");
         for digest in [1u64, 2, u64::MAX - 3] {
@@ -635,7 +678,7 @@ mod tests {
 
         let reloaded: SweepCache<f64> = SweepCache::new();
         let stats = reloaded.load_dir(dir.path()).unwrap();
-        assert_eq!(stats, LoadStats { segments: 1, loaded: 0, skipped: 1 });
+        assert_eq!(stats, LoadStats { segments: 1, loaded: 0, skipped: 1, removed_tmp: 0 });
         assert!(reloaded.is_empty());
     }
 
@@ -650,6 +693,31 @@ mod tests {
             cache.load_dir(dir.path().join("does-not-exist")).unwrap(),
             LoadStats::default()
         );
+    }
+
+    #[test]
+    fn orphaned_snapshot_temps_are_removed_on_load_and_compact() {
+        let dir = TempDir::new("orphan-tmp");
+        let cache: SweepCache<f64> = SweepCache::new();
+        cache.insert(CacheKey { digest: 7, seed: 2, shard: 0 }, 1.0);
+        cache.persist_dir(dir.path()).unwrap();
+        // Plant the leftover of a crash between temp-write and rename.
+        let orphan = dir.path().join("seg-00000000000000ff.jsonl.tmp");
+        std::fs::write(&orphan, "half-written snapshot").unwrap();
+
+        let reloaded: SweepCache<f64> = SweepCache::new();
+        let stats = reloaded.load_dir(dir.path()).unwrap();
+        assert_eq!(stats, LoadStats { segments: 1, loaded: 1, skipped: 0, removed_tmp: 1 });
+        assert!(!orphan.exists(), "the orphan must be deleted, not just ignored");
+        assert_eq!(reloaded.get(&CacheKey { digest: 7, seed: 2, shard: 0 }), Some(1.0));
+
+        // compact_dir performs the same cleanup.
+        std::fs::write(&orphan, "half-written snapshot").unwrap();
+        let stats = SweepCache::<f64>::compact_dir(dir.path()).unwrap();
+        assert_eq!(stats.removed_tmp, 1);
+        assert!(!orphan.exists());
+        // Healthy segments and unrelated files are untouched.
+        assert!(segment_path(dir.path(), 7).exists());
     }
 
     #[test]

@@ -387,6 +387,12 @@ pub enum CampaignError {
     Model(ModelError),
     /// The report sink failed.
     Io(std::io::Error),
+    /// The campaign service made no progress for too long (every worker
+    /// dead with fallback disabled, or a spool transport wedged).
+    Stalled {
+        /// Sim-clock ticks (or transport polls) elapsed without completing.
+        ticks: u64,
+    },
 }
 
 impl std::fmt::Display for CampaignError {
@@ -394,6 +400,9 @@ impl std::fmt::Display for CampaignError {
         match self {
             CampaignError::Model(e) => write!(f, "invalid campaign spec: {e}"),
             CampaignError::Io(e) => write!(f, "report sink failed: {e}"),
+            CampaignError::Stalled { ticks } => {
+                write!(f, "campaign service stalled after {ticks} ticks")
+            }
         }
     }
 }
@@ -454,10 +463,82 @@ impl<S: Scenario> Clone for CampaignDriver<'_, S> {
 
 impl<S: Scenario> Copy for CampaignDriver<'_, S> {}
 
-/// One resolved work unit, ready to execute on any worker.
-enum Unit<'a, S: Scenario> {
-    Point { spec: &'a SweepSpec, index: usize, x: f64, config: SimConfig, key: CacheKey },
-    Shard { name: &'a str, prepared: &'a S::Prepared, shard: u32, key: CacheKey },
+/// One resolved work unit, ready to execute on any worker. Units index
+/// into their campaign (sweep/scenario position) instead of borrowing it,
+/// so the same flattened list drives the in-process pool, the campaign
+/// service's lease table, and remote workers — all of which must agree on
+/// unit order for the streamed report to be byte-identical.
+pub(crate) enum Unit {
+    /// One sweep grid point: `sweep`/`index` locate it in the spec.
+    Point { sweep: usize, index: usize, x: f64, config: SimConfig, key: CacheKey },
+    /// One scenario shard: `scenario` indexes the prepared-scenario list.
+    Shard { scenario: usize, shard: u32, key: CacheKey },
+}
+
+/// Validates and prepares every scenario of a campaign (errors surface
+/// before any simulation starts).
+pub(crate) fn prepare_scenarios<S: Scenario>(
+    campaign: &Campaign<S>,
+) -> Result<Vec<(&str, S::Prepared)>, ModelError> {
+    campaign.scenarios.iter().map(|s| Ok((s.name(), s.prepare()?))).collect()
+}
+
+/// Flattens a campaign into its deterministic unit order: sweeps (spec
+/// order, grid order), then scenarios (spec order, shard order). Every
+/// executor — driver pool, campaign service, remote worker — flattens the
+/// same spec to the same list, so a unit ordinal alone identifies the work.
+pub(crate) fn flatten_units<S: Scenario>(
+    campaign: &Campaign<S>,
+    prepared: &[(&str, S::Prepared)],
+) -> Result<Vec<Unit>, CampaignError> {
+    let mut units: Vec<Unit> = Vec::new();
+    for (sweep, spec) in campaign.sweeps.iter().enumerate() {
+        if spec.trials == 0 {
+            return Err(ModelError::InvalidQuantity { parameter: "trials", value: 0.0 }.into());
+        }
+        for index in 0..spec.axis.len() {
+            let config = spec.axis.config_at(&spec.base, index)?;
+            let request = PointRequest { config, trials: spec.trials, threads: Some(1) };
+            let key = CacheKey {
+                digest: request.config_digest(),
+                seed: spec.seed.wrapping_add(index as u64),
+                shard: 0,
+            };
+            units.push(Unit::Point { sweep, index, x: spec.axis.x(index), config, key });
+        }
+    }
+    for (scenario, (_, prepared)) in prepared.iter().enumerate() {
+        for shard in 0..prepared.shards() {
+            units.push(Unit::Shard { scenario, shard, key: prepared.key(shard) });
+        }
+    }
+    Ok(units)
+}
+
+/// Wraps a unit's payload as its streamed record.
+pub(crate) fn record_for<S: Scenario>(
+    campaign: &Campaign<S>,
+    unit: &Unit,
+    payload: Value,
+) -> StreamRecord {
+    match unit {
+        Unit::Point { sweep, index, key, .. } => StreamRecord {
+            campaign: campaign.name.clone(),
+            task: campaign.sweeps[*sweep].name.clone(),
+            kind: RecordKind::SweepPoint,
+            unit: *index as u64,
+            key: *key,
+            payload,
+        },
+        Unit::Shard { scenario, shard, key } => StreamRecord {
+            campaign: campaign.name.clone(),
+            task: campaign.scenarios[*scenario].name().to_string(),
+            kind: RecordKind::FleetShard,
+            unit: u64::from(*shard),
+            key: *key,
+            payload,
+        },
+    }
 }
 
 impl<'a, S: Scenario> CampaignDriver<'a, S> {
@@ -522,37 +603,8 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
     pub fn run(&self, sink: &mut dyn ReportSink) -> Result<CampaignSummary, CampaignError> {
         // Prepare scenarios first: validation errors surface before any
         // simulation starts.
-        let prepared: Vec<(&str, S::Prepared)> = self
-            .campaign
-            .scenarios
-            .iter()
-            .map(|s| Ok((s.name(), s.prepare()?)))
-            .collect::<Result<_, ModelError>>()?;
-
-        // Flatten the campaign into its deterministic unit order: sweeps
-        // (spec order, grid order), then scenarios (spec order, shard
-        // order).
-        let mut units: Vec<Unit<'_, S>> = Vec::new();
-        for spec in &self.campaign.sweeps {
-            if spec.trials == 0 {
-                return Err(ModelError::InvalidQuantity { parameter: "trials", value: 0.0 }.into());
-            }
-            for index in 0..spec.axis.len() {
-                let config = spec.axis.config_at(&spec.base, index)?;
-                let request = PointRequest { config, trials: spec.trials, threads: Some(1) };
-                let key = CacheKey {
-                    digest: request.config_digest(),
-                    seed: spec.seed.wrapping_add(index as u64),
-                    shard: 0,
-                };
-                units.push(Unit::Point { spec, index, x: spec.axis.x(index), config, key });
-            }
-        }
-        for (name, prepared) in &prepared {
-            for shard in 0..prepared.shards() {
-                units.push(Unit::Shard { name, prepared, shard, key: prepared.key(shard) });
-            }
-        }
+        let prepared = prepare_scenarios(self.campaign)?;
+        let units = flatten_units(self.campaign, &prepared)?;
 
         let limit = self.max_units.map_or(units.len(), |k| k.min(units.len()));
         let threads = self.threads.min(limit).max(1);
@@ -575,13 +627,21 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
                 let work_rx = work_rx.clone();
                 let result_tx = result_tx.clone();
                 let units = &units;
+                let prepared = &prepared;
+                let sweeps = &self.campaign.sweeps;
                 let point_cache = self.point_cache;
                 let shard_cache = self.shard_cache;
                 let telemetry = self.telemetry;
                 scope.spawn(move |_| {
                     while let Ok(ordinal) = work_rx.recv() {
-                        let (payload, hit, trace) =
-                            execute_unit(&units[ordinal], point_cache, shard_cache, telemetry);
+                        let (payload, hit, trace) = execute_unit::<S>(
+                            sweeps,
+                            prepared,
+                            &units[ordinal],
+                            point_cache,
+                            shard_cache,
+                            telemetry,
+                        );
                         if result_tx.send((ordinal, payload, hit, trace)).is_err() {
                             break;
                         }
@@ -608,12 +668,12 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
                     } else {
                         misses += 1;
                     }
-                    deliver(&self.record_for(&units[next], payload))?;
+                    deliver(&record_for(self.campaign, &units[next], payload))?;
                     // The trace rides directly behind its shard's result,
                     // under the same key. Scenarios without an instrumented
                     // kernel report `Null` — nothing worth streaming.
                     if let Some(trace) = trace.filter(|t| !matches!(t, Value::Null)) {
-                        let mut record = self.record_for(&units[next], trace);
+                        let mut record = record_for(self.campaign, &units[next], trace);
                         record.kind = RecordKind::ShardTrace;
                         deliver(&record)?;
                     }
@@ -633,59 +693,41 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
             skipped_records: 0,
         })
     }
-
-    /// Wraps a unit's payload as its streamed record.
-    fn record_for(&self, unit: &Unit<'_, S>, payload: Value) -> StreamRecord {
-        match unit {
-            Unit::Point { spec, index, key, .. } => StreamRecord {
-                campaign: self.campaign.name.clone(),
-                task: spec.name.clone(),
-                kind: RecordKind::SweepPoint,
-                unit: *index as u64,
-                key: *key,
-                payload,
-            },
-            Unit::Shard { name, shard, key, .. } => StreamRecord {
-                campaign: self.campaign.name.clone(),
-                task: name.to_string(),
-                kind: RecordKind::FleetShard,
-                unit: u64::from(*shard),
-                key: *key,
-                payload,
-            },
-        }
-    }
 }
 
 /// Executes one unit on whichever worker pulled it, consulting (and
 /// filling) its cache. Returns the record payload, whether the cache
 /// answered, and — for scenario shards simulated with telemetry on — the
 /// trace payload to stream behind the result.
-fn execute_unit<S: Scenario>(
-    unit: &Unit<'_, S>,
+pub(crate) fn execute_unit<S: Scenario>(
+    sweeps: &[SweepSpec],
+    prepared: &[(&str, S::Prepared)],
+    unit: &Unit,
     point_cache: Option<&SweepCache<MttdlEstimate>>,
     shard_cache: Option<&SweepCache<S::Outcome>>,
     telemetry: Option<TelemetryConfig>,
 ) -> (Value, bool, Option<Value>) {
     match unit {
-        Unit::Point { spec, x, config, key, .. } => {
+        Unit::Point { sweep, x, config, key, .. } => {
             if let Some(cache) = point_cache {
                 if let Some(est) = cache.get(key) {
                     return (SweepPoint::from_estimate(*x, &est).to_value(), true, None);
                 }
             }
-            let est = MonteCarlo::new(*config).trials(spec.trials).seed(key.seed).threads(1).run();
+            let trials = sweeps[*sweep].trials;
+            let est = MonteCarlo::new(*config).trials(trials).seed(key.seed).threads(1).run();
             if let Some(cache) = point_cache {
                 cache.insert(*key, est.clone());
             }
             (SweepPoint::from_estimate(*x, &est).to_value(), false, None)
         }
-        Unit::Shard { prepared, shard, key, .. } => {
+        Unit::Shard { scenario, shard, key } => {
             if let Some(cache) = shard_cache {
                 if let Some(outcome) = cache.get(key) {
                     return (outcome.to_value(), true, None);
                 }
             }
+            let prepared = &prepared[*scenario].1;
             let (outcome, trace) = match telemetry {
                 Some(telemetry) => {
                     let (outcome, trace) = prepared.run_shard_traced(*shard, telemetry);
@@ -698,6 +740,25 @@ fn execute_unit<S: Scenario>(
             }
             (outcome.to_value(), false, trace)
         }
+    }
+}
+
+/// Computes one unit's *raw* result — the cache-value form: an
+/// [`MttdlEstimate`] for a sweep point, the scenario outcome for a shard —
+/// without consulting any cache. This is the worker side of the campaign
+/// service: workers ship raw values and the server derives the streamed
+/// payload (so the report bytes come from exactly one place).
+pub(crate) fn compute_unit_raw<S: Scenario>(
+    sweeps: &[SweepSpec],
+    prepared: &[(&str, S::Prepared)],
+    unit: &Unit,
+) -> Value {
+    match unit {
+        Unit::Point { sweep, config, key, .. } => {
+            let trials = sweeps[*sweep].trials;
+            MonteCarlo::new(*config).trials(trials).seed(key.seed).threads(1).run().to_value()
+        }
+        Unit::Shard { scenario, shard, .. } => prepared[*scenario].1.run_shard(*shard).to_value(),
     }
 }
 

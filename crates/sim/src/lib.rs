@@ -23,6 +23,10 @@
 //! * [`campaign`] — many related sweeps and fleet scenarios as one spec,
 //!   executed by a work-stealing worker pool with in-order incremental
 //!   report streaming;
+//! * [`service`] — the fault-tolerant form of the campaign driver: a
+//!   lease-based state machine dispatching units to crash-prone workers
+//!   (spool-directory transport, deterministic in-process chaos harness)
+//!   while keeping the streamed report byte-identical;
 //! * [`validate`] — side-by-side comparison with the closed-form model.
 //!
 //! # Example
@@ -46,6 +50,7 @@ pub mod config;
 pub mod monte_carlo;
 pub mod rare;
 pub mod replica;
+pub mod service;
 pub mod sweep;
 pub mod trial;
 pub mod validate;
@@ -58,5 +63,9 @@ pub use campaign::{
 pub use config::{RareEventStrategy, SimConfig};
 pub use ltds_stochastic::DrawDiscipline;
 pub use monte_carlo::{MonteCarlo, MttdlEstimate};
+pub use service::{
+    run_spool_worker, serve_spool, CampaignService, ChaosScript, ServerMsg, ServiceConfig,
+    ServiceHarness, ServiceSummary, SpoolConfig, SpoolWorkerConfig, WorkerMsg,
+};
 pub use trial::{TrialOutcome, TrialRunner};
 pub use validate::{validate_against_model, ValidationReport};

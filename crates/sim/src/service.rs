@@ -1,0 +1,1446 @@
+//! Fault-tolerant campaign service: lease-based unit dispatch to workers
+//! that may crash, stall, or lie about being alive.
+//!
+//! [`crate::campaign::CampaignDriver`] executes a campaign on an in-process
+//! thread pool: workers cannot vanish, messages cannot be lost, and the
+//! reorder buffer alone guarantees a deterministic report. This module keeps
+//! that report contract while dropping every one of those assumptions. A
+//! [`CampaignService`] owns the flattened unit list and a worker registry;
+//! workers — separate processes, or simulated peers inside a test — send
+//! [`WorkerMsg`]s and receive [`ServerMsg::Assign`] leases. The service is a
+//! *pure state machine driven by an explicit sim clock* ([`CampaignService::tick`]):
+//! it does no I/O and consumes no randomness, so every recovery decision
+//! (lease expiry, retry backoff, quarantine, degraded fallback) is a
+//! deterministic function of the message sequence.
+//!
+//! Fault model and responses:
+//!
+//! * **Worker death** — a worker that stops heartbeating for
+//!   [`ServiceConfig::lease_ticks`] is marked dead and its leases re-issued;
+//!   a worker that comes back with a higher incarnation forfeits the old
+//!   incarnation's leases immediately.
+//! * **Stragglers** — a lease older than [`ServiceConfig::reissue_ticks`]
+//!   is re-issued even if its holder still heartbeats.
+//! * **Duplicates** — units are pure functions of their keys and payloads
+//!   are canonicalised server-side (raw wire values are round-tripped
+//!   through the typed result before streaming), so completions commit
+//!   first-result-wins and late duplicates are counted and dropped without
+//!   changing a byte of the report.
+//! * **Poison units** — a unit whose lease fails [`ServiceConfig::max_attempts`]
+//!   times is quarantined: the stream skips it (so one bad unit cannot
+//!   wedge the in-order release) and its ordinal is surfaced in the
+//!   [`ServiceSummary`].
+//! * **No workers at all** — after [`ServiceConfig::fallback_ticks`] with
+//!   no live worker the service degrades to in-process execution, so a
+//!   campaign never hangs on an empty fleet.
+//!
+//! Two transports drive the state machine: [`ServiceHarness`] simulates a
+//! worker fleet deterministically in-process (the test suite's chaos rig,
+//! always compiled), and [`serve_spool`]/[`run_spool_worker`] exchange
+//! checksum-framed JSON lines ([`ltds_core::record::encode_framed`]) through
+//! a shared spool directory, one `out.jsonl`/`in.jsonl` pair per worker —
+//! crash-tolerant by construction: torn tails are detected by the framing,
+//! appends are atomic at line granularity, and a respawned worker resumes
+//! from its persisted cursor.
+
+use crate::cache::SweepCache;
+use crate::campaign::{
+    compute_unit_raw, execute_unit, flatten_units, prepare_scenarios, record_for, Campaign,
+    CampaignError, ReportSink, Scenario, Unit,
+};
+use crate::monte_carlo::MttdlEstimate;
+use crate::sweep::SweepPoint;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Process exit code of a worker killed by the `worker.kill` fail point.
+pub const EXIT_KILLED: i32 = 81;
+/// Process exit code of a worker that tore a spool frame (`spool.truncate`).
+pub const EXIT_TORN: i32 = 82;
+
+/// Tuning knobs of the campaign service's fault handling. All durations are
+/// in *ticks* of the service's sim clock — one [`CampaignService::tick`]
+/// call each — so recovery behaviour is independent of wall-clock time.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// A worker silent for more than this many ticks is dead: its leases
+    /// are re-issued and it receives no new work until it speaks again.
+    pub lease_ticks: u64,
+    /// A lease older than this many ticks is re-issued even if its holder
+    /// still heartbeats (straggler insurance).
+    pub reissue_ticks: u64,
+    /// Lease attempts before a unit is quarantined as poison.
+    pub max_attempts: u32,
+    /// Base retry delay; attempt `n` waits `base << (n-1)` ticks (capped).
+    pub backoff_base_ticks: u64,
+    /// Ticks without any live worker before the service degrades to
+    /// in-process execution; `None` never degrades (chaos drills).
+    pub fallback_ticks: Option<u64>,
+    /// Outstanding leases allowed per worker.
+    pub max_inflight_per_worker: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            lease_ticks: 5,
+            reissue_ticks: 50,
+            max_attempts: 3,
+            backoff_base_ticks: 1,
+            fallback_ticks: Some(8),
+            max_inflight_per_worker: 2,
+        }
+    }
+}
+
+/// Messages workers send the service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum WorkerMsg {
+    /// A worker announcing itself (or a respawn: same name, higher
+    /// incarnation — the old incarnation's leases are forfeited).
+    Hello {
+        /// Stable worker name.
+        worker: String,
+        /// Monotonic per-name restart counter.
+        incarnation: u64,
+    },
+    /// Liveness signal; a worker silent past the lease window is dead.
+    Heartbeat {
+        /// Stable worker name.
+        worker: String,
+        /// Monotonic per-name restart counter.
+        incarnation: u64,
+    },
+    /// Announces that the worker is about to execute `unit` — sent durably
+    /// (in the spool transport, appended before execution starts) so that
+    /// if the worker dies, the service can blame the unit that was actually
+    /// running rather than every unit queued on the worker. Only blamed
+    /// failures count toward quarantine.
+    Working {
+        /// Stable worker name.
+        worker: String,
+        /// Monotonic per-name restart counter.
+        incarnation: u64,
+        /// Unit ordinal about to execute.
+        unit: u64,
+    },
+    /// A completed unit, carrying the *raw* result value (an
+    /// [`MttdlEstimate`] or scenario outcome); the service canonicalises it
+    /// before streaming so report bytes come from exactly one place.
+    Done {
+        /// Stable worker name.
+        worker: String,
+        /// Monotonic per-name restart counter.
+        incarnation: u64,
+        /// Unit ordinal in the campaign's flattened order.
+        unit: u64,
+        /// The lease under which the unit was executed.
+        lease: u64,
+        /// The unit's raw result value.
+        result: Value,
+    },
+}
+
+/// Messages the service sends workers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServerMsg {
+    /// A lease on one unit: execute it and report [`WorkerMsg::Done`].
+    Assign {
+        /// Unit ordinal in the campaign's flattened order.
+        unit: u64,
+        /// Lease identifier (unique per issue, including re-issues).
+        lease: u64,
+    },
+    /// The campaign is complete; the worker should exit.
+    Shutdown,
+}
+
+/// Where one unit stands in the lease lifecycle. `attempts` counts *blamed*
+/// failures — leases that died while this unit was the one executing — not
+/// every lost lease, so an innocent unit queued behind a poison unit on the
+/// same worker is never quarantined by association.
+#[derive(Debug, Clone, Copy)]
+enum UnitState {
+    /// Waiting for a lease (eligible from `eligible_at`).
+    Pending { attempts: u32, eligible_at: u64 },
+    /// Leased out since `issued_at` (the holder is tracked by the worker
+    /// registry's inflight lists).
+    Leased { attempts: u32, issued_at: u64 },
+    /// Committed; its payload is (or was) in the reorder buffer.
+    Done,
+    /// Failed `max_attempts` leases; skipped by the stream.
+    Quarantined,
+}
+
+/// One registered worker.
+#[derive(Debug)]
+struct WorkerEntry {
+    name: String,
+    incarnation: u64,
+    last_seen: u64,
+    inflight: Vec<usize>,
+    /// The unit the worker last announced it was executing — the one that
+    /// takes the blame if the worker dies.
+    working: Option<usize>,
+    alive: bool,
+}
+
+/// What a service run did, over and above [`crate::CampaignSummary`]:
+/// every fault the service absorbed, counted.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceSummary {
+    /// Work units the campaign defines.
+    pub units_total: u64,
+    /// Units committed to the stream (excludes quarantined units).
+    pub units_done: u64,
+    /// Units answered from a cache probe at start.
+    pub cache_hits: u64,
+    /// Units computed this run (by workers or the degraded fallback).
+    pub cache_misses: u64,
+    /// Damaged persistent-cache records skipped while loading (folded in
+    /// by callers that load caches from disk; the service itself reports 0).
+    pub skipped_records: u64,
+    /// Distinct worker names that ever registered.
+    pub workers_seen: u64,
+    /// Leases lost to dead or restarted workers.
+    pub expired_leases: u64,
+    /// Leases re-issued from live-but-slow workers.
+    pub reissues: u64,
+    /// Completions for already-committed or quarantined units (dropped).
+    pub duplicate_completions: u64,
+    /// Completions whose result value failed to parse as the unit's type.
+    pub bad_payloads: u64,
+    /// Transport frames that failed checksum or framing checks.
+    pub corrupt_frames: u64,
+    /// Units executed in-process after the service degraded.
+    pub degraded_units: u64,
+    /// Ordinals of quarantined units, in quarantine order.
+    pub quarantined: Vec<u64>,
+}
+
+impl ServiceSummary {
+    fn new(units_total: u64) -> Self {
+        Self {
+            units_total,
+            units_done: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            skipped_records: 0,
+            workers_seen: 0,
+            expired_leases: 0,
+            reissues: 0,
+            duplicate_completions: 0,
+            bad_payloads: 0,
+            corrupt_frames: 0,
+            degraded_units: 0,
+            quarantined: Vec::new(),
+        }
+    }
+}
+
+/// The campaign service state machine. See the module docs for the fault
+/// model; see [`ServiceHarness`] and [`serve_spool`] for the two transports
+/// that drive it.
+pub struct CampaignService<'a, S: Scenario> {
+    campaign: &'a Campaign<S>,
+    prepared: Vec<(&'a str, S::Prepared)>,
+    units: Vec<Unit>,
+    config: ServiceConfig,
+    point_cache: Option<&'a SweepCache<MttdlEstimate>>,
+    shard_cache: Option<&'a SweepCache<S::Outcome>>,
+    clock: u64,
+    states: Vec<UnitState>,
+    workers: Vec<WorkerEntry>,
+    reorder: BTreeMap<usize, Value>,
+    next: usize,
+    started: bool,
+    last_alive: u64,
+    next_lease: u64,
+    summary: ServiceSummary,
+}
+
+impl<'a, S: Scenario> CampaignService<'a, S> {
+    /// Validates the campaign and builds the service over its flattened
+    /// unit list (the same deterministic order every executor derives).
+    pub fn new(campaign: &'a Campaign<S>, config: ServiceConfig) -> Result<Self, CampaignError> {
+        let prepared = prepare_scenarios(campaign)?;
+        let units = flatten_units(campaign, &prepared)?;
+        let states = vec![UnitState::Pending { attempts: 0, eligible_at: 0 }; units.len()];
+        let summary = ServiceSummary::new(units.len() as u64);
+        Ok(Self {
+            campaign,
+            prepared,
+            units,
+            config,
+            point_cache: None,
+            shard_cache: None,
+            clock: 0,
+            states,
+            workers: Vec::new(),
+            reorder: BTreeMap::new(),
+            next: 0,
+            started: false,
+            last_alive: 0,
+            next_lease: 0,
+            summary,
+        })
+    }
+
+    /// Memoises sweep grid points through `cache` (probed at
+    /// [`CampaignService::start`], filled as completions commit).
+    pub fn point_cache(mut self, cache: &'a SweepCache<MttdlEstimate>) -> Self {
+        self.point_cache = Some(cache);
+        self
+    }
+
+    /// Memoises scenario shards through `cache`.
+    pub fn shard_cache(mut self, cache: &'a SweepCache<S::Outcome>) -> Self {
+        self.shard_cache = Some(cache);
+        self
+    }
+
+    /// The campaign this service executes.
+    pub fn campaign(&self) -> &'a Campaign<S> {
+        self.campaign
+    }
+
+    /// Probes the caches and commits every already-answered unit, so a
+    /// resumed campaign streams its warm prefix before any worker runs.
+    pub fn start(&mut self, sink: &mut dyn ReportSink) -> Result<(), CampaignError> {
+        assert!(!self.started, "start() must be called exactly once");
+        self.started = true;
+        for ordinal in 0..self.units.len() {
+            let payload = match &self.units[ordinal] {
+                Unit::Point { x, key, .. } => self
+                    .point_cache
+                    .and_then(|cache| cache.get(key))
+                    .map(|est| SweepPoint::from_estimate(*x, &est).to_value()),
+                Unit::Shard { key, .. } => {
+                    self.shard_cache.and_then(|cache| cache.get(key)).map(|o| o.to_value())
+                }
+            };
+            if let Some(payload) = payload {
+                self.commit(ordinal, payload, true);
+            }
+        }
+        self.release(sink)
+    }
+
+    /// Whether every unit is committed or quarantined and the stream is
+    /// fully released.
+    pub fn is_done(&self) -> bool {
+        self.next == self.units.len()
+    }
+
+    /// Counts transport frames rejected by checksum or framing checks.
+    pub fn note_corrupt_frames(&mut self, count: u64) {
+        self.summary.corrupt_frames += count;
+    }
+
+    /// Flushes the sink and returns the run's summary. Call once
+    /// [`CampaignService::is_done`].
+    pub fn finish(&mut self, sink: &mut dyn ReportSink) -> Result<ServiceSummary, CampaignError> {
+        sink.flush()?;
+        Ok(self.summary.clone())
+    }
+
+    /// Feeds one worker message through the state machine, releasing any
+    /// newly in-order records to `sink`.
+    pub fn handle(
+        &mut self,
+        msg: &WorkerMsg,
+        sink: &mut dyn ReportSink,
+    ) -> Result<(), CampaignError> {
+        match msg {
+            WorkerMsg::Hello { worker, incarnation }
+            | WorkerMsg::Heartbeat { worker, incarnation } => {
+                self.seen(worker, *incarnation);
+                self.release(sink)
+            }
+            WorkerMsg::Working { worker, incarnation, unit } => {
+                self.seen(worker, *incarnation);
+                let ordinal = *unit as usize;
+                if let Some(idx) = self.workers.iter().position(|w| w.name == *worker) {
+                    if self.workers[idx].inflight.contains(&ordinal) {
+                        self.workers[idx].working = Some(ordinal);
+                    }
+                }
+                self.release(sink)
+            }
+            WorkerMsg::Done { worker, incarnation, unit, result, .. } => {
+                self.seen(worker, *incarnation);
+                let ordinal = *unit as usize;
+                if ordinal >= self.units.len() {
+                    self.summary.bad_payloads += 1;
+                    return Ok(());
+                }
+                if matches!(self.states[ordinal], UnitState::Done | UnitState::Quarantined) {
+                    // Late duplicate (an expired lease completed after its
+                    // re-issue, or a quarantined unit finally finished).
+                    // Units are pure and payloads canonical, so dropping it
+                    // cannot change the report.
+                    self.summary.duplicate_completions += 1;
+                    return Ok(());
+                }
+                for worker in &mut self.workers {
+                    worker.inflight.retain(|&o| o != ordinal);
+                    if worker.working == Some(ordinal) {
+                        worker.working = None;
+                    }
+                }
+                match self.payload_from_raw(ordinal, result) {
+                    Some(payload) => {
+                        self.commit(ordinal, payload, false);
+                    }
+                    None => {
+                        self.summary.bad_payloads += 1;
+                        if matches!(self.states[ordinal], UnitState::Leased { .. }) {
+                            self.requeue_failure(ordinal, true);
+                        }
+                    }
+                }
+                self.release(sink)
+            }
+        }
+    }
+
+    /// Advances the sim clock one tick: expires silent workers, re-issues
+    /// stale leases, degrades to in-process execution if the fleet is gone,
+    /// and assigns pending units. Returns the `(worker, message)` pairs the
+    /// transport must deliver.
+    pub fn tick(
+        &mut self,
+        sink: &mut dyn ReportSink,
+    ) -> Result<Vec<(String, ServerMsg)>, CampaignError> {
+        self.clock += 1;
+
+        // Expire workers silent past the lease window.
+        for idx in 0..self.workers.len() {
+            let stale = self.workers[idx].alive
+                && self.clock.saturating_sub(self.workers[idx].last_seen) > self.config.lease_ticks;
+            if stale {
+                self.workers[idx].alive = false;
+                let blamed = self.workers[idx].working.take();
+                let orphans = std::mem::take(&mut self.workers[idx].inflight);
+                for ordinal in orphans {
+                    self.summary.expired_leases += 1;
+                    self.requeue_failure(ordinal, Some(ordinal) == blamed);
+                }
+            }
+        }
+
+        // Re-issue leases held too long even by live workers.
+        for ordinal in 0..self.states.len() {
+            if let UnitState::Leased { issued_at, .. } = self.states[ordinal] {
+                if self.clock.saturating_sub(issued_at) > self.config.reissue_ticks {
+                    self.summary.reissues += 1;
+                    let blame = self.workers.iter().any(|w| w.working == Some(ordinal));
+                    self.requeue_failure(ordinal, blame);
+                }
+            }
+        }
+
+        // Degrade to in-process execution when the fleet has been gone too
+        // long — a campaign must finish even if no worker ever registers.
+        if self.workers.iter().any(|w| w.alive) {
+            self.last_alive = self.clock;
+        } else if let Some(after) = self.config.fallback_ticks {
+            if self.clock.saturating_sub(self.last_alive) >= after {
+                self.run_fallback();
+            }
+        }
+        self.release(sink)?;
+
+        // Assign pending, eligible units to live workers, in unit order.
+        let mut out = Vec::new();
+        for idx in 0..self.workers.len() {
+            if !self.workers[idx].alive {
+                continue;
+            }
+            while self.workers[idx].inflight.len() < self.config.max_inflight_per_worker {
+                let Some(ordinal) = self.next_assignable() else { break };
+                let UnitState::Pending { attempts, .. } = self.states[ordinal] else {
+                    unreachable!("next_assignable returns pending units")
+                };
+                let lease = self.next_lease;
+                self.next_lease += 1;
+                self.states[ordinal] = UnitState::Leased { attempts, issued_at: self.clock };
+                self.workers[idx].inflight.push(ordinal);
+                out.push((
+                    self.workers[idx].name.clone(),
+                    ServerMsg::Assign { unit: ordinal as u64, lease },
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Registers or refreshes a worker; a higher incarnation forfeits the
+    /// previous incarnation's leases.
+    fn seen(&mut self, worker: &str, incarnation: u64) {
+        match self.workers.iter().position(|w| w.name == worker) {
+            Some(idx) => {
+                if incarnation > self.workers[idx].incarnation {
+                    self.workers[idx].incarnation = incarnation;
+                    let blamed = self.workers[idx].working.take();
+                    let orphans = std::mem::take(&mut self.workers[idx].inflight);
+                    for ordinal in orphans {
+                        self.summary.expired_leases += 1;
+                        self.requeue_failure(ordinal, Some(ordinal) == blamed);
+                    }
+                }
+                self.workers[idx].last_seen = self.clock;
+                self.workers[idx].alive = true;
+            }
+            None => {
+                self.summary.workers_seen += 1;
+                self.workers.push(WorkerEntry {
+                    name: worker.to_string(),
+                    incarnation,
+                    last_seen: self.clock,
+                    inflight: Vec::new(),
+                    working: None,
+                    alive: true,
+                });
+            }
+        }
+    }
+
+    /// First pending, eligible unit at or after the stream front.
+    fn next_assignable(&self) -> Option<usize> {
+        (self.next..self.units.len()).find(|&ordinal| {
+            matches!(self.states[ordinal], UnitState::Pending { eligible_at, .. }
+                if eligible_at <= self.clock)
+        })
+    }
+
+    /// Returns a failed lease's unit to the pending queue, or quarantines it
+    /// once its blamed attempts are spent. `blame` marks the unit as the one
+    /// the dead worker was actually executing — only blamed failures count
+    /// toward quarantine (with exponential backoff); a blameless orphan is
+    /// re-queued after the base delay with its attempt count untouched.
+    fn requeue_failure(&mut self, ordinal: usize, blame: bool) {
+        let attempts = match self.states[ordinal] {
+            UnitState::Leased { attempts, .. } | UnitState::Pending { attempts, .. } => attempts,
+            UnitState::Done | UnitState::Quarantined => return,
+        };
+        for worker in &mut self.workers {
+            worker.inflight.retain(|&o| o != ordinal);
+            if worker.working == Some(ordinal) {
+                worker.working = None;
+            }
+        }
+        let attempts = attempts + u32::from(blame);
+        if attempts >= self.config.max_attempts {
+            self.states[ordinal] = UnitState::Quarantined;
+            self.summary.quarantined.push(ordinal as u64);
+        } else {
+            let shift = if blame { attempts.min(6) } else { 0 };
+            let eligible_at = self.clock + (self.config.backoff_base_ticks << shift);
+            self.states[ordinal] = UnitState::Pending { attempts, eligible_at };
+        }
+    }
+
+    /// Canonicalises a raw wire value into the unit's streamed payload,
+    /// filling the caches on the way. `None` means the value did not parse
+    /// as the unit's result type.
+    fn payload_from_raw(&self, ordinal: usize, raw: &Value) -> Option<Value> {
+        match &self.units[ordinal] {
+            Unit::Point { x, key, .. } => {
+                let est = MttdlEstimate::from_value(raw).ok()?;
+                if let Some(cache) = self.point_cache {
+                    cache.insert(*key, est.clone());
+                }
+                Some(SweepPoint::from_estimate(*x, &est).to_value())
+            }
+            Unit::Shard { key, .. } => {
+                let outcome = S::Outcome::from_value(raw).ok()?;
+                if let Some(cache) = self.shard_cache {
+                    cache.insert(*key, outcome.clone());
+                }
+                Some(outcome.to_value())
+            }
+        }
+    }
+
+    /// Executes every pending unit in-process (the no-fleet fallback).
+    fn run_fallback(&mut self) {
+        let campaign = self.campaign;
+        for ordinal in 0..self.units.len() {
+            if !matches!(self.states[ordinal], UnitState::Pending { .. }) {
+                continue;
+            }
+            let (payload, hit, _trace) = execute_unit::<S>(
+                &campaign.sweeps,
+                &self.prepared,
+                &self.units[ordinal],
+                self.point_cache,
+                self.shard_cache,
+                None,
+            );
+            self.summary.degraded_units += 1;
+            self.commit(ordinal, payload, hit);
+        }
+    }
+
+    /// Marks a unit done and stages its payload for in-order release.
+    fn commit(&mut self, ordinal: usize, payload: Value, hit: bool) {
+        self.states[ordinal] = UnitState::Done;
+        self.summary.units_done += 1;
+        if hit {
+            self.summary.cache_hits += 1;
+        } else {
+            self.summary.cache_misses += 1;
+        }
+        self.reorder.insert(ordinal, payload);
+    }
+
+    /// Releases in-order records to the sink, skipping quarantined units
+    /// (one poison unit must not wedge the stream).
+    fn release(&mut self, sink: &mut dyn ReportSink) -> Result<(), CampaignError> {
+        while self.next < self.units.len() {
+            match self.states[self.next] {
+                UnitState::Quarantined => self.next += 1,
+                UnitState::Done => {
+                    let Some(payload) = self.reorder.remove(&self.next) else { break };
+                    let record = record_for(self.campaign, &self.units[self.next], payload);
+                    sink.record(&record)?;
+                    self.next += 1;
+                }
+                UnitState::Pending { .. } | UnitState::Leased { .. } => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic chaos script for one simulated worker of a
+/// [`ServiceHarness`]: which faults it injects, entirely as a function of
+/// unit ordinals and harness ticks (no randomness, no wall clock).
+#[derive(Debug, Clone)]
+pub struct ChaosScript {
+    /// The worker crashes when assigned any of these units (cleared by
+    /// respawn; the service must re-issue the lease).
+    pub kill_on_units: Vec<u64>,
+    /// Crashes the worker performs before the script stops killing it
+    /// (`u64::MAX` = poison forever; quarantine is the only way out).
+    pub kill_budget: u64,
+    /// The first `Done` for each of these units is lost in transit, once
+    /// per incarnation (the unit is computed, the message never arrives).
+    pub drop_done_for: Vec<u64>,
+    /// Ticks `[from, to)` during which the worker is silent: no heartbeats,
+    /// no deliveries — but computed results stay buffered and flush when
+    /// the window closes, creating late duplicates.
+    pub silent_window: Option<(u64, u64)>,
+}
+
+impl Default for ChaosScript {
+    fn default() -> Self {
+        Self {
+            kill_on_units: Vec::new(),
+            kill_budget: u64::MAX,
+            drop_done_for: Vec::new(),
+            silent_window: None,
+        }
+    }
+}
+
+/// One simulated worker inside the harness.
+struct SimWorker {
+    name: String,
+    incarnation: u64,
+    alive: bool,
+    inbox: VecDeque<ServerMsg>,
+    outbox: Vec<WorkerMsg>,
+    kills: u64,
+    dropped: Vec<u64>,
+}
+
+/// Drives a [`CampaignService`] with a simulated worker fleet, single
+/// threaded and fully deterministic: the test suite's stand-in for real
+/// processes dying at the worst possible moment. Faults come from one
+/// [`ChaosScript`] per worker; a clean script runs the fleet fault-free.
+pub struct ServiceHarness<'a, S: Scenario> {
+    campaign: &'a Campaign<S>,
+    workers: usize,
+    config: ServiceConfig,
+    chaos: Vec<ChaosScript>,
+    point_cache: Option<&'a SweepCache<MttdlEstimate>>,
+    shard_cache: Option<&'a SweepCache<S::Outcome>>,
+    respawn: bool,
+    max_ticks: u64,
+}
+
+impl<'a, S: Scenario> ServiceHarness<'a, S> {
+    /// A harness over `workers` fault-free simulated workers.
+    pub fn new(campaign: &'a Campaign<S>, workers: usize) -> Self {
+        Self {
+            campaign,
+            workers,
+            config: ServiceConfig::default(),
+            chaos: Vec::new(),
+            point_cache: None,
+            shard_cache: None,
+            respawn: true,
+            max_ticks: 10_000,
+        }
+    }
+
+    /// Overrides the service configuration.
+    pub fn config(mut self, config: ServiceConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets worker `index`'s chaos script (workers without one run clean).
+    pub fn chaos(mut self, index: usize, script: ChaosScript) -> Self {
+        if self.chaos.len() <= index {
+            self.chaos.resize_with(index + 1, ChaosScript::default);
+        }
+        self.chaos[index] = script;
+        self
+    }
+
+    /// Whether crashed workers respawn (next tick, incarnation + 1).
+    pub fn respawn(mut self, respawn: bool) -> Self {
+        self.respawn = respawn;
+        self
+    }
+
+    /// Tick budget before the run is declared stalled.
+    pub fn max_ticks(mut self, max_ticks: u64) -> Self {
+        self.max_ticks = max_ticks;
+        self
+    }
+
+    /// Memoises sweep grid points through `cache`.
+    pub fn point_cache(mut self, cache: &'a SweepCache<MttdlEstimate>) -> Self {
+        self.point_cache = Some(cache);
+        self
+    }
+
+    /// Memoises scenario shards through `cache`.
+    pub fn shard_cache(mut self, cache: &'a SweepCache<S::Outcome>) -> Self {
+        self.shard_cache = Some(cache);
+        self
+    }
+
+    /// Runs the campaign through the simulated fleet, streaming the report
+    /// to `sink`. Returns [`CampaignError::Stalled`] past the tick budget.
+    pub fn run(&self, sink: &mut dyn ReportSink) -> Result<ServiceSummary, CampaignError> {
+        let mut service = CampaignService::new(self.campaign, self.config)?;
+        if let Some(cache) = self.point_cache {
+            service = service.point_cache(cache);
+        }
+        if let Some(cache) = self.shard_cache {
+            service = service.shard_cache(cache);
+        }
+
+        // The workers' own view of the campaign: the flattening is
+        // deterministic, so ordinals agree with the service by construction.
+        let prepared = prepare_scenarios(self.campaign)?;
+        let units = flatten_units(self.campaign, &prepared)?;
+
+        let mut fleet: Vec<SimWorker> = (0..self.workers)
+            .map(|i| SimWorker {
+                name: format!("w{i}"),
+                incarnation: 0,
+                alive: true,
+                inbox: VecDeque::new(),
+                outbox: Vec::new(),
+                kills: 0,
+                dropped: Vec::new(),
+            })
+            .collect();
+        for worker in &fleet {
+            let hello =
+                WorkerMsg::Hello { worker: worker.name.clone(), incarnation: worker.incarnation };
+            service.handle(&hello, sink)?;
+        }
+        service.start(sink)?;
+
+        let default_chaos = ChaosScript::default();
+        let mut tick: u64 = 0;
+        while !service.is_done() {
+            tick += 1;
+            if tick > self.max_ticks {
+                return Err(CampaignError::Stalled { ticks: tick });
+            }
+            for (index, worker) in fleet.iter_mut().enumerate() {
+                let chaos = self.chaos.get(index).unwrap_or(&default_chaos);
+                if !worker.alive {
+                    if self.respawn {
+                        worker.incarnation += 1;
+                        worker.alive = true;
+                        worker.inbox.clear();
+                        worker.outbox.clear();
+                        worker.dropped.clear();
+                        let hello = WorkerMsg::Hello {
+                            worker: worker.name.clone(),
+                            incarnation: worker.incarnation,
+                        };
+                        service.handle(&hello, sink)?;
+                    }
+                    continue;
+                }
+                if chaos.silent_window.is_some_and(|(from, to)| tick >= from && tick < to) {
+                    continue;
+                }
+                // Results computed last tick (or buffered through a silent
+                // window) deliver before new work — so a lease expired
+                // mid-window surfaces as a duplicate completion here.
+                for msg in worker.outbox.drain(..) {
+                    service.handle(&msg, sink)?;
+                }
+                let heartbeat = WorkerMsg::Heartbeat {
+                    worker: worker.name.clone(),
+                    incarnation: worker.incarnation,
+                };
+                service.handle(&heartbeat, sink)?;
+                while let Some(msg) = worker.inbox.pop_front() {
+                    let ServerMsg::Assign { unit, .. } = msg else { continue };
+                    // The execution announcement lands before any crash —
+                    // modelling the durable spool append — so the service
+                    // can blame the unit actually running when this worker
+                    // dies, not every unit queued on it.
+                    let working = WorkerMsg::Working {
+                        worker: worker.name.clone(),
+                        incarnation: worker.incarnation,
+                        unit,
+                    };
+                    service.handle(&working, sink)?;
+                    if chaos.kill_on_units.contains(&unit) && worker.kills < chaos.kill_budget {
+                        // Crash: in-flight state, buffered results and
+                        // queued assignments all die with the process.
+                        worker.kills += 1;
+                        worker.alive = false;
+                        worker.inbox.clear();
+                        worker.outbox.clear();
+                        break;
+                    }
+                    let ServerMsg::Assign { unit, lease } = msg else { unreachable!() };
+                    let raw = compute_unit_raw::<S>(
+                        &self.campaign.sweeps,
+                        &prepared,
+                        &units[unit as usize],
+                    );
+                    let done = WorkerMsg::Done {
+                        worker: worker.name.clone(),
+                        incarnation: worker.incarnation,
+                        unit,
+                        lease,
+                        result: raw,
+                    };
+                    if chaos.drop_done_for.contains(&unit) && !worker.dropped.contains(&unit) {
+                        worker.dropped.push(unit);
+                    } else {
+                        worker.outbox.push(done);
+                    }
+                }
+            }
+            let assignments = service.tick(sink)?;
+            for (name, msg) in assignments {
+                if let Some(worker) = fleet.iter_mut().find(|w| w.name == name && w.alive) {
+                    worker.inbox.push_back(msg);
+                }
+            }
+        }
+        service.finish(sink)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spool transport: checksum-framed JSON lines through a shared directory.
+// ---------------------------------------------------------------------------
+
+/// Spool-side configuration of [`serve_spool`].
+#[derive(Debug, Clone)]
+pub struct SpoolConfig {
+    /// The spool directory (shared with every worker).
+    pub dir: PathBuf,
+    /// Wall-clock delay between polls (each poll is one service tick).
+    pub poll: Duration,
+    /// Poll budget before the run is declared stalled.
+    pub max_polls: u64,
+}
+
+/// Worker-side configuration of [`run_spool_worker`].
+#[derive(Debug, Clone)]
+pub struct SpoolWorkerConfig {
+    /// The spool directory (shared with the service).
+    pub dir: PathBuf,
+    /// Stable worker name (also the worker's subdirectory name).
+    pub name: String,
+    /// Monotonic restart counter — a respawn wrapper must increment it.
+    pub incarnation: u64,
+    /// Wall-clock delay between polls.
+    pub poll: Duration,
+    /// Poll budget before the worker gives up.
+    pub max_polls: u64,
+}
+
+/// Reads newline-delimited [`ltds_core::record::encode_framed`] frames from
+/// a growing file, consuming only complete lines (a torn tail stays pending
+/// until its writer finishes or a later append closes it — in which case
+/// the glued line fails the frame check and is counted, not trusted).
+struct FrameCursor {
+    path: PathBuf,
+    offset: u64,
+}
+
+impl FrameCursor {
+    fn new(path: PathBuf, offset: u64) -> Self {
+        Self { path, offset }
+    }
+
+    /// Decodes every complete frame appended since the last poll. Returns
+    /// the decoded payloads and the number of rejected lines.
+    fn poll(&mut self) -> (Vec<String>, u64) {
+        let mut frames = Vec::new();
+        let mut corrupt = 0u64;
+        let Ok(mut file) = std::fs::File::open(&self.path) else {
+            return (frames, corrupt);
+        };
+        if file.seek(SeekFrom::Start(self.offset)).is_err() {
+            return (frames, corrupt);
+        }
+        let mut buf = Vec::new();
+        if file.read_to_end(&mut buf).is_err() {
+            return (frames, corrupt);
+        }
+        let Some(last_newline) = buf.iter().rposition(|&b| b == b'\n') else {
+            return (frames, corrupt);
+        };
+        let complete = &buf[..=last_newline];
+        self.offset += complete.len() as u64;
+        for line in complete.split(|&b| b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            match std::str::from_utf8(line)
+                .ok()
+                .and_then(|s| ltds_core::record::decode_framed(s).ok())
+            {
+                Some(payload) => frames.push(payload.to_string()),
+                None => corrupt += 1,
+            }
+        }
+        (frames, corrupt)
+    }
+}
+
+/// Appends one framed message line to a spool file.
+fn append_frame(path: &Path, payload: &str) -> std::io::Result<()> {
+    let frame = ltds_core::record::encode_framed(payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(frame.as_bytes())?;
+    file.write_all(b"\n")
+}
+
+/// Appends a worker's `Done` frame, with chaos instrumentation: the
+/// `spool.corrupt` fail point flips a checksum character (the frame stays
+/// one line but fails verification, so the service discards it and the
+/// lease recovers the loss) and `spool.truncate` writes half the line and
+/// kills the process (a torn tail the framing must absorb).
+fn append_done_frame(path: &Path, payload: &str, unit: u64) -> std::io::Result<()> {
+    let mut frame = ltds_core::record::encode_framed(payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if ltds_core::failpoint::fire("spool.corrupt", unit) {
+        // Byte 9 is the first checksum hex digit: flipping it keeps the
+        // line ASCII and single-line but guarantees rejection.
+        let mut bytes = frame.into_bytes();
+        bytes[9] = if bytes[9] == b'0' { b'1' } else { b'0' };
+        frame = String::from_utf8(bytes).expect("hex digits are ASCII");
+    }
+    frame.push('\n');
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    if ltds_core::failpoint::fire("spool.truncate", unit) {
+        file.write_all(&frame.as_bytes()[..frame.len() / 2])?;
+        let _ = file.flush();
+        eprintln!("spool worker: failpoint spool.truncate fired; aborting mid-frame");
+        std::process::exit(EXIT_TORN);
+    }
+    file.write_all(frame.as_bytes())
+}
+
+/// Runs a [`CampaignService`] over a spool directory: the campaign spec is
+/// published as `campaign.json`, worker messages are polled from each
+/// `workers/<name>/out.jsonl`, assignments are appended to
+/// `workers/<name>/in.jsonl`, and completion is broadcast as `Shutdown`
+/// messages plus a `shutdown` marker file.
+pub fn serve_spool<S: Scenario + Serialize>(
+    service: &mut CampaignService<'_, S>,
+    spool: &SpoolConfig,
+    sink: &mut dyn ReportSink,
+) -> Result<ServiceSummary, CampaignError> {
+    let workers_dir = spool.dir.join("workers");
+    std::fs::create_dir_all(&workers_dir)?;
+    let _ = std::fs::remove_file(spool.dir.join("shutdown"));
+    std::fs::write(
+        spool.dir.join("campaign.json"),
+        serde_json::to_string_pretty(service.campaign()).expect("campaign serializes") + "\n",
+    )?;
+    service.start(sink)?;
+
+    let mut cursors: BTreeMap<String, FrameCursor> = BTreeMap::new();
+    let mut polls: u64 = 0;
+    while !service.is_done() {
+        polls += 1;
+        if polls > spool.max_polls {
+            return Err(CampaignError::Stalled { ticks: polls });
+        }
+        if let Ok(entries) = std::fs::read_dir(&workers_dir) {
+            for entry in entries.flatten() {
+                let Ok(name) = entry.file_name().into_string() else { continue };
+                cursors.entry(name.clone()).or_insert_with(|| {
+                    FrameCursor::new(workers_dir.join(&name).join("out.jsonl"), 0)
+                });
+            }
+        }
+        for cursor in cursors.values_mut() {
+            let (frames, corrupt) = cursor.poll();
+            service.note_corrupt_frames(corrupt);
+            for frame in frames {
+                match serde_json::from_str::<WorkerMsg>(&frame) {
+                    Ok(msg) => service.handle(&msg, sink)?,
+                    Err(_) => service.note_corrupt_frames(1),
+                }
+            }
+        }
+        let assignments = service.tick(sink)?;
+        for (name, msg) in assignments {
+            let message = serde_json::to_string(&msg).expect("message serializes");
+            append_frame(&workers_dir.join(&name).join("in.jsonl"), &message)?;
+        }
+        if !service.is_done() {
+            std::thread::sleep(spool.poll);
+        }
+    }
+    let shutdown = serde_json::to_string(&ServerMsg::Shutdown).expect("message serializes");
+    for name in cursors.keys() {
+        let _ = append_frame(&workers_dir.join(name).join("in.jsonl"), &shutdown);
+    }
+    std::fs::write(spool.dir.join("shutdown"), b"done\n")?;
+    service.finish(sink)
+}
+
+/// Runs one spool worker until the service broadcasts shutdown: polls
+/// `in.jsonl` for assignments, executes each unit, and appends raw results
+/// to `out.jsonl`. Returns the number of units it completed.
+///
+/// The worker persists its `in.jsonl` read offset to a `cursor` file
+/// *before* executing a batch: a worker killed mid-unit (the `worker.kill`
+/// fail point, or a real crash) will not replay the same assignment on
+/// respawn — the service's lease expiry re-issues the unit instead,
+/// which is what quarantines a genuinely poisonous unit rather than
+/// crash-looping one worker forever.
+pub fn run_spool_worker<S: Scenario>(
+    campaign: &Campaign<S>,
+    config: &SpoolWorkerConfig,
+) -> Result<u64, CampaignError> {
+    let prepared = prepare_scenarios(campaign)?;
+    let units = flatten_units(campaign, &prepared)?;
+    let worker_dir = config.dir.join("workers").join(&config.name);
+    std::fs::create_dir_all(&worker_dir)?;
+    let out_path = worker_dir.join("out.jsonl");
+    let cursor_path = worker_dir.join("cursor");
+    let offset =
+        std::fs::read_to_string(&cursor_path).ok().and_then(|s| s.trim().parse().ok()).unwrap_or(0);
+    let mut cursor = FrameCursor::new(worker_dir.join("in.jsonl"), offset);
+
+    let hello = WorkerMsg::Hello { worker: config.name.clone(), incarnation: config.incarnation };
+    append_frame(&out_path, &serde_json::to_string(&hello).expect("message serializes"))?;
+
+    let mut completed = 0u64;
+    for poll_index in 0..config.max_polls {
+        if config.dir.join("shutdown").exists() {
+            return Ok(completed);
+        }
+        if !ltds_core::failpoint::fire("worker.heartbeat.drop", poll_index) {
+            let heartbeat = WorkerMsg::Heartbeat {
+                worker: config.name.clone(),
+                incarnation: config.incarnation,
+            };
+            let line = serde_json::to_string(&heartbeat).expect("message serializes");
+            append_frame(&out_path, &line)?;
+        }
+        let (frames, _corrupt) = cursor.poll();
+        // Persist the cursor before executing: at-most-once delivery per
+        // incarnation, so a unit that kills this worker is not replayed
+        // from the spool on respawn.
+        std::fs::write(&cursor_path, format!("{}\n", cursor.offset))?;
+        let mut shutdown = false;
+        for frame in frames {
+            let Ok(msg) = serde_json::from_str::<ServerMsg>(&frame) else { continue };
+            match msg {
+                ServerMsg::Shutdown => shutdown = true,
+                ServerMsg::Assign { unit, lease } => {
+                    if unit as usize >= units.len() {
+                        continue;
+                    }
+                    // Announce the unit about to execute *before* any crash
+                    // can land: the durable append doubles as a liveness
+                    // signal during a long computation and lets the service
+                    // blame exactly this unit — not every queued lease — if
+                    // the worker dies mid-execution.
+                    let working = WorkerMsg::Working {
+                        worker: config.name.clone(),
+                        incarnation: config.incarnation,
+                        unit,
+                    };
+                    let line = serde_json::to_string(&working).expect("message serializes");
+                    append_frame(&out_path, &line)?;
+                    if ltds_core::failpoint::fire("worker.kill", unit) {
+                        eprintln!(
+                            "spool worker {}: failpoint worker.kill fired on unit {unit}",
+                            config.name
+                        );
+                        std::process::exit(EXIT_KILLED);
+                    }
+                    let raw =
+                        compute_unit_raw::<S>(&campaign.sweeps, &prepared, &units[unit as usize]);
+                    let done = WorkerMsg::Done {
+                        worker: config.name.clone(),
+                        incarnation: config.incarnation,
+                        unit,
+                        lease,
+                        result: raw,
+                    };
+                    let line = serde_json::to_string(&done).expect("message serializes");
+                    append_done_frame(&out_path, &line, unit)?;
+                    completed += 1;
+                }
+            }
+        }
+        if shutdown {
+            return Ok(completed);
+        }
+        std::thread::sleep(config.poll);
+    }
+    Err(CampaignError::Stalled { ticks: config.max_polls })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheKey;
+    use crate::campaign::{CampaignDriver, MemorySink, PreparedScenario, SweepAxis, SweepSpec};
+    use crate::config::SimConfig;
+    use ltds_core::error::ModelError;
+
+    fn base() -> SimConfig {
+        SimConfig::mirrored_disks(2000.0, 2000.0, 5.0, 5.0, Some(100.0), 1.0).unwrap()
+    }
+
+    /// A deterministic toy scenario (outcome = f(seed, shard)) so harness
+    /// tests exercise both unit kinds without fleet-sized runtimes.
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct ToyScenario {
+        name: String,
+        seed: u64,
+        shards: u32,
+    }
+
+    impl Scenario for ToyScenario {
+        type Outcome = u64;
+        type Prepared = ToyScenario;
+
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn prepare(&self) -> Result<Self, ModelError> {
+            Ok(self.clone())
+        }
+    }
+
+    impl PreparedScenario for ToyScenario {
+        type Outcome = u64;
+
+        fn shards(&self) -> u32 {
+            self.shards
+        }
+
+        fn key(&self, shard: u32) -> CacheKey {
+            CacheKey { digest: crate::cache::fnv1a(self.name.as_bytes()), seed: self.seed, shard }
+        }
+
+        fn run_shard(&self, shard: u32) -> u64 {
+            let mut acc = self.seed ^ u64::from(shard);
+            for i in 0..2_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        }
+    }
+
+    fn campaign() -> Campaign<ToyScenario> {
+        Campaign {
+            name: "service-test".to_string(),
+            sweeps: vec![SweepSpec {
+                name: "scrub".to_string(),
+                base: base(),
+                axis: SweepAxis::ScrubPeriod { periods_hours: vec![30.0, 300.0, f64::INFINITY] },
+                trials: 120,
+                seed: 7,
+            }],
+            scenarios: vec![
+                ToyScenario { name: "toy-a".to_string(), seed: 3, shards: 4 },
+                ToyScenario { name: "toy-b".to_string(), seed: 4, shards: 2 },
+            ],
+        }
+    }
+
+    fn driver_reference(campaign: &Campaign<ToyScenario>) -> String {
+        let mut sink = MemorySink::new();
+        CampaignDriver::new(campaign).threads(1).run(&mut sink).unwrap();
+        sink.to_jsonl()
+    }
+
+    #[test]
+    fn fallback_executes_without_workers_and_matches_driver() {
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        let mut sink = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, 0).run(&mut sink).unwrap();
+        assert_eq!(sink.to_jsonl(), reference);
+        assert_eq!(summary.units_done, summary.units_total);
+        assert_eq!(summary.degraded_units, summary.units_total);
+        assert_eq!(summary.workers_seen, 0);
+    }
+
+    #[test]
+    fn harness_streams_match_driver_for_any_worker_count() {
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        for workers in [1usize, 2, 8] {
+            let mut sink = MemorySink::new();
+            let summary = ServiceHarness::new(&campaign, workers).run(&mut sink).unwrap();
+            assert_eq!(sink.to_jsonl(), reference, "{workers} workers diverged");
+            assert_eq!(summary.units_done, summary.units_total);
+            assert_eq!(summary.workers_seen, workers as u64);
+            assert_eq!(summary.degraded_units, 0, "workers were live; no fallback expected");
+            assert!(summary.quarantined.is_empty());
+        }
+    }
+
+    #[test]
+    fn killed_workers_respawn_and_the_stream_survives() {
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        // Worker 0 crashes on two different units (once each); the lease
+        // machinery must re-issue them without changing a byte.
+        let chaos =
+            ChaosScript { kill_on_units: vec![1, 4], kill_budget: 2, ..ChaosScript::default() };
+        let mut sink = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, 2)
+            .chaos(0, chaos)
+            .config(ServiceConfig { fallback_ticks: None, ..ServiceConfig::default() })
+            .run(&mut sink)
+            .unwrap();
+        assert_eq!(sink.to_jsonl(), reference);
+        assert_eq!(summary.units_done, summary.units_total);
+        assert!(summary.expired_leases >= 1, "crashes must surface as expired leases");
+        assert!(summary.quarantined.is_empty());
+    }
+
+    #[test]
+    fn poison_unit_is_quarantined_and_reported() {
+        let campaign = campaign();
+        let poison = 2u64;
+        // Every worker dies on the poison unit, forever; with fallback off
+        // the only way to finish is to quarantine it.
+        let config =
+            ServiceConfig { fallback_ticks: None, max_attempts: 3, ..ServiceConfig::default() };
+        let mut harness = ServiceHarness::new(&campaign, 2).config(config);
+        for index in 0..2 {
+            harness = harness.chaos(
+                index,
+                ChaosScript { kill_on_units: vec![poison], ..ChaosScript::default() },
+            );
+        }
+        let mut sink = MemorySink::new();
+        let summary = harness.run(&mut sink).unwrap();
+        assert_eq!(summary.quarantined, vec![poison]);
+        assert_eq!(summary.units_done, summary.units_total - 1);
+
+        // The stream is the clean report minus exactly the poison record.
+        let mut reference = MemorySink::new();
+        CampaignDriver::new(&campaign).threads(1).run(&mut reference).unwrap();
+        let expected: String = reference
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(ordinal, _)| *ordinal as u64 != poison)
+            .map(|(_, r)| serde_json::to_string(r).unwrap() + "\n")
+            .collect();
+        assert_eq!(sink.to_jsonl(), expected);
+    }
+
+    #[test]
+    fn dropped_completions_are_recovered_by_lease_expiry() {
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        let chaos = ChaosScript { drop_done_for: vec![0, 3], ..ChaosScript::default() };
+        let mut sink = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, 2)
+            .chaos(0, chaos.clone())
+            .chaos(1, chaos)
+            .config(ServiceConfig {
+                fallback_ticks: None,
+                reissue_ticks: 3,
+                ..ServiceConfig::default()
+            })
+            .run(&mut sink)
+            .unwrap();
+        assert_eq!(sink.to_jsonl(), reference);
+        assert_eq!(summary.units_done, summary.units_total);
+        assert!(summary.reissues >= 1, "lost completions must be re-issued");
+    }
+
+    #[test]
+    fn silent_worker_duplicates_are_dropped() {
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        // Worker 0 computes its first assignments at tick 2, then goes dark
+        // with the results still buffered: its leases expire and worker 1
+        // redoes the units, so the flush at tick 8 arrives as duplicates.
+        let chaos = ChaosScript { silent_window: Some((3, 8)), ..ChaosScript::default() };
+        let mut sink = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, 2)
+            .chaos(0, chaos)
+            .config(ServiceConfig {
+                lease_ticks: 2,
+                fallback_ticks: None,
+                ..ServiceConfig::default()
+            })
+            .run(&mut sink)
+            .unwrap();
+        assert_eq!(sink.to_jsonl(), reference);
+        assert_eq!(summary.units_done, summary.units_total);
+        assert!(
+            summary.duplicate_completions >= 1,
+            "buffered results must surface as dropped duplicates, got {summary:?}"
+        );
+    }
+
+    #[test]
+    fn warm_caches_complete_without_any_workers_or_fallback() {
+        let campaign = campaign();
+        let points = SweepCache::new();
+        let shards = SweepCache::new();
+        let mut cold = MemorySink::new();
+        CampaignDriver::new(&campaign)
+            .threads(2)
+            .point_cache(&points)
+            .shard_cache(&shards)
+            .run(&mut cold)
+            .unwrap();
+
+        // Fallback off, zero workers: only the start-time cache probe can
+        // finish this run.
+        let mut warm = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, 0)
+            .point_cache(&points)
+            .shard_cache(&shards)
+            .config(ServiceConfig { fallback_ticks: None, ..ServiceConfig::default() })
+            .run(&mut warm)
+            .unwrap();
+        assert_eq!(warm.to_jsonl(), cold.to_jsonl());
+        assert_eq!(summary.cache_hits, summary.units_total);
+        assert_eq!(summary.cache_misses, 0);
+    }
+
+    #[test]
+    fn workers_fill_the_service_caches() {
+        let campaign = campaign();
+        let points = SweepCache::new();
+        let shards = SweepCache::new();
+        let mut first = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, 2)
+            .point_cache(&points)
+            .shard_cache(&shards)
+            .run(&mut first)
+            .unwrap();
+        assert_eq!(summary.cache_misses, summary.units_total);
+
+        // A rerun over the same caches is answered entirely by the probe.
+        let mut second = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, 2)
+            .point_cache(&points)
+            .shard_cache(&shards)
+            .run(&mut second)
+            .unwrap();
+        assert_eq!(summary.cache_hits, summary.units_total);
+        assert_eq!(second.to_jsonl(), first.to_jsonl());
+    }
+
+    #[test]
+    fn service_summary_roundtrips_through_json() {
+        let summary = ServiceSummary {
+            units_total: 9,
+            units_done: 8,
+            cache_hits: 2,
+            cache_misses: 6,
+            skipped_records: 1,
+            workers_seen: 3,
+            expired_leases: 4,
+            reissues: 1,
+            duplicate_completions: 2,
+            bad_payloads: 1,
+            corrupt_frames: 5,
+            degraded_units: 0,
+            quarantined: vec![2],
+        };
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: ServiceSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
+    }
+
+    #[test]
+    fn spool_roundtrip_matches_driver_and_tolerates_garbage() {
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        let dir = std::env::temp_dir().join(format!("ltds-spool-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("workers").join("w0")).unwrap();
+        // A pre-existing garbage line in a worker's outbox must be counted
+        // and skipped, never trusted.
+        std::fs::write(dir.join("workers").join("w0").join("out.jsonl"), b"not a frame\n").unwrap();
+
+        let worker_campaign = campaign.clone();
+        let worker_dir = dir.clone();
+        let worker = std::thread::spawn(move || {
+            run_spool_worker(
+                &worker_campaign,
+                &SpoolWorkerConfig {
+                    dir: worker_dir,
+                    name: "w0".to_string(),
+                    incarnation: 0,
+                    poll: Duration::from_millis(1),
+                    max_polls: 20_000,
+                },
+            )
+        });
+
+        let mut service = CampaignService::new(&campaign, ServiceConfig::default()).unwrap();
+        let mut sink = MemorySink::new();
+        let summary = serve_spool(
+            &mut service,
+            &SpoolConfig { dir: dir.clone(), poll: Duration::from_millis(1), max_polls: 20_000 },
+            &mut sink,
+        )
+        .unwrap();
+        let completed = worker.join().unwrap().unwrap();
+
+        assert_eq!(sink.to_jsonl(), reference);
+        assert_eq!(summary.units_done, summary.units_total);
+        assert!(summary.corrupt_frames >= 1, "planted garbage must be counted");
+        assert!(completed > 0, "the spool worker should have computed units");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

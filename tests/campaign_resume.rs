@@ -1,7 +1,10 @@
-//! Property-based tests for campaign resume: a campaign killed after K of
-//! N work units and restarted from its persisted caches must stream a
-//! final report byte-identical to an uninterrupted run — across 1, 2 and 8
-//! worker threads, and across the on-disk save/load boundary.
+//! Property-based tests for campaign resume and lease recovery: a campaign
+//! killed after K of N work units and restarted from its persisted caches
+//! must stream a final report byte-identical to an uninterrupted run —
+//! across 1, 2 and 8 worker threads, and across the on-disk save/load
+//! boundary. The same holds for the campaign *service*: a worker crashing
+//! on any unit, at any fleet size, changes nothing but fault counters, and
+//! a poison unit is quarantined without disturbing the rest of the stream.
 
 mod common;
 
@@ -10,6 +13,7 @@ use ltds::fleet::{FleetCampaign, FleetConfig, FleetScenario, FleetTopology, Shar
 use ltds::sim::cache::SweepCache;
 use ltds::sim::campaign::{Campaign, CampaignDriver, MemorySink, SweepAxis, SweepSpec};
 use ltds::sim::config::SimConfig;
+use ltds::sim::service::{ChaosScript, ServiceConfig, ServiceHarness};
 use ltds::sim::MttdlEstimate;
 use proptest::prelude::*;
 
@@ -154,5 +158,77 @@ proptest! {
             .unwrap();
         prop_assert_eq!(summary.cache_misses, 0, "every unit was eventually completed");
         prop_assert_eq!(resumed.to_jsonl(), reference);
+    }
+
+    /// Lease semantics: one worker crashing on *any* unit ordinal, at any
+    /// fleet size, costs only fault counters — the streamed report stays
+    /// byte-identical to the driver's, with nothing quarantined.
+    #[test]
+    fn any_kill_point_at_any_fleet_size_streams_identically(
+        seed in 0u64..200,
+        kill_unit in 0u64..8,
+        workers in 1usize..5,
+    ) {
+        let campaign = small_campaign(seed, 10, 3);
+        let mut reference = MemorySink::new();
+        CampaignDriver::new(&campaign).threads(1).run(&mut reference).unwrap();
+        let reference = reference.to_jsonl();
+
+        let chaos = ChaosScript {
+            kill_on_units: vec![kill_unit],
+            kill_budget: 1,
+            ..ChaosScript::default()
+        };
+        let mut sink = MemorySink::new();
+        let summary = ServiceHarness::new(&campaign, workers)
+            .chaos(0, chaos)
+            .config(ServiceConfig { fallback_ticks: None, ..ServiceConfig::default() })
+            .run(&mut sink)
+            .unwrap();
+        prop_assert_eq!(summary.units_done, summary.units_total);
+        prop_assert!(summary.quarantined.is_empty());
+        prop_assert_eq!(
+            sink.to_jsonl(),
+            reference,
+            "kill on unit {} with {} worker(s) diverged",
+            kill_unit,
+            workers
+        );
+    }
+
+    /// A poison unit — one that kills every worker that leases it, every
+    /// time — is quarantined within `max_attempts` leases; the rest of the
+    /// report streams exactly as if the unit had been deleted.
+    #[test]
+    fn poison_units_quarantine_without_disturbing_the_stream(
+        seed in 0u64..200,
+        poison in 0u64..8,
+        workers in 1usize..4,
+    ) {
+        // 3 + 2 sweep points plus 3 shards: ordinals 0..8 all exist.
+        let campaign = small_campaign(seed, 10, 3);
+        let mut reference = MemorySink::new();
+        CampaignDriver::new(&campaign).threads(1).run(&mut reference).unwrap();
+        let expected: String = reference
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(ordinal, _)| *ordinal as u64 != poison)
+            .map(|(_, r)| serde_json::to_string(r).unwrap() + "\n")
+            .collect();
+
+        let config = ServiceConfig { fallback_ticks: None, ..ServiceConfig::default() };
+        let mut harness = ServiceHarness::new(&campaign, workers).config(config);
+        for index in 0..workers {
+            harness = harness.chaos(
+                index,
+                ChaosScript { kill_on_units: vec![poison], ..ChaosScript::default() },
+            );
+        }
+        let mut sink = MemorySink::new();
+        let summary = harness.run(&mut sink).unwrap();
+        prop_assert_eq!(summary.quarantined, vec![poison]);
+        prop_assert_eq!(summary.units_done, summary.units_total - 1);
+        prop_assert_eq!(sink.to_jsonl(), expected);
     }
 }
