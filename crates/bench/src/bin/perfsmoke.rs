@@ -5,6 +5,15 @@
 //! * `fleet_year_100k` / `fleet_year_10k` — one simulated year of the
 //!   1 000-drive enterprise fleet at 100k / 10k replica groups (the 100k
 //!   variant is setup-dominated, so it tracks the thinned initial draw);
+//! * `fleet_year_ec_100k` — the same 100k-group fleet-year under 2-of-3
+//!   erasure coding: identical slot count and placement, but every group
+//!   runs through the banded kernel path with fragment-fan-in rebuilds.
+//!   `--check` pins it within [`EC_KERNEL_MAX_RATIO`] of `fleet_year_100k`
+//!   so the policy machinery stays a table lookup, not a tax;
+//! * `e16_hybrid` — the E16 mixed-policy disaster fleet (1 000 triplicated
+//!   plus 1 000 erasure-coded 2-of-6 groups, constrained repair bandwidth)
+//!   for one year — the worst case for the banded path: two widths,
+//!   per-band tallies, and EC fan-in through saturated pipes;
 //! * `event_dense_2k` — the event-dense small fleet (raw kernel throughput);
 //! * `dense_5k` — the mid-density sharded fleet whose per-shard queues sit
 //!   at the heap → calendar crossover;
@@ -50,7 +59,7 @@
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin perfsmoke -- \
-//!     [--out BENCH_PR8.json] [--baseline OLD.json] [--repeat 3] [--check]
+//!     [--out BENCH_PR9.json] [--baseline OLD.json] [--repeat 3] [--check]
 //! ```
 //!
 //! The report embeds its own provenance — thread count, `rustc -V`, and an
@@ -97,6 +106,14 @@ const SWEEP_COLD_CEILING_MS: f64 = 20_000.0;
 /// are three orders of magnitude below.
 const EVENT_DENSE_CEILING_MS: f64 = 30_000.0;
 const DENSE_1SHARD_CEILING_MS: f64 = 20_000.0;
+
+/// `--check` requires `fleet_year_ec_100k` (the erasure-coded twin of
+/// `fleet_year_100k`: same topology, group count and slot width, but every
+/// group routed through the banded kernel path) to stay within this factor
+/// of `fleet_year_100k`. The banded path adds three `u16` table lookups per
+/// touched slot; anything past noise means the policy machinery grew a
+/// per-event cost.
+const EC_KERNEL_MAX_RATIO: f64 = 1.3;
 
 /// `--check` requires `dense_1shard_telemetry_off` (the same workload run
 /// through the probe-generic kernel with telemetry disabled — the
@@ -221,7 +238,7 @@ fn rare_ladder(config: &ltds_sim::SimConfig, start: u64) -> (u64, ltds_sim::Mttd
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR8.json");
+    let mut out_path = String::from("BENCH_PR9.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -260,6 +277,17 @@ fn main() {
         }),
         time_workload("fleet_year_10k", repeats, || {
             workloads::run_fleet_year(10_000).totals.events
+        }),
+        time_workload("fleet_year_ec_100k", repeats, || {
+            workloads::run_fleet_year_ec(100_000).totals.events
+        }),
+        time_workload("e16_hybrid", repeats, || {
+            FleetSim::new(workloads::e16_hybrid_fleet())
+                .seed(workloads::E16_SEED)
+                .run()
+                .expect("fleet run succeeds")
+                .totals
+                .events
         }),
         time_workload("event_dense_2k", repeats, || {
             FleetSim::new(workloads::event_dense_fleet())
@@ -549,6 +577,12 @@ fn main() {
             "campaign_cold",
             CAMPAIGN_SERVICE_MAX_RATIO,
             "the campaign service's coordination overhead has outgrown the compute",
+        );
+        warm_ratio(
+            "fleet_year_ec_100k",
+            "fleet_year_100k",
+            EC_KERNEL_MAX_RATIO,
+            "the banded redundancy-policy path grew a per-event kernel cost",
         );
         // Two-sided noise window: `dense_1shard_telemetry_off` is the same
         // workload as `dense_1shard` through the disabled-probe path, so

@@ -15,3 +15,4 @@ pub mod e12_mv_ml_tradeoff;
 pub mod e13_independence_vs_replication;
 pub mod e14_archive_end_to_end;
 pub mod e15_fleet_disaster;
+pub mod e16_policy_tradeoff;

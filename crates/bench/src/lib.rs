@@ -41,6 +41,7 @@ pub fn run_all() -> Vec<ExperimentResult> {
         experiments::e13_independence_vs_replication::run(),
         experiments::e14_archive_end_to_end::run(),
         experiments::e15_fleet_disaster::run(),
+        experiments::e16_policy_tradeoff::run(),
     ]
 }
 
@@ -49,7 +50,7 @@ mod tests {
     #[test]
     fn all_experiments_run_and_pass_their_own_tolerances() {
         let results = super::run_all();
-        assert_eq!(results.len(), 15);
+        assert_eq!(results.len(), 16);
         for r in &results {
             assert!(!r.rows.is_empty(), "{} produced no rows", r.id);
             for row in &r.rows {

@@ -230,7 +230,9 @@ impl PreparedScenario for PreparedFleet {
                 shard,
                 shards: self.config.shards as u32,
                 groups: kernel.groups_in_shard(shard as usize),
-                replicas: self.config.group.replicas,
+                // Same stride the engine's traced path uses: the widest
+                // policy, identical to `group.replicas` for uniform fleets.
+                replicas: self.config.slot_stride(),
                 sites: self.config.topology.sites,
                 horizon_hours: self.config.horizon_hours,
                 scrub: self.config.detection_for_drive(0),

@@ -14,7 +14,11 @@ use ltds_core::error::ModelError;
 use ltds_core::units::HOURS_PER_YEAR;
 use ltds_scrub::ScrubStrategy;
 use ltds_sim::config::{DetectionModel, SimConfig};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
+
+// Re-exported here so fleet users have one canonical path to the policy
+// type the config speaks (`ltds::fleet::RedundancyPolicy` via the facade).
+pub use ltds_sim::config::RedundancyPolicy;
 
 /// How much wide-area bandwidth each site can devote to re-replication.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -86,8 +90,150 @@ impl ScrubTour {
     }
 }
 
+/// Maximum number of policy bands one fleet can carry.
+///
+/// Bands partition the group range into contiguous runs sharing one
+/// [`RedundancyPolicy`]; a fixed capacity keeps [`FleetConfig`] `Copy` (the
+/// whole config is passed by value throughout the engine) and eight runs is
+/// far beyond any tiering scheme the experiments model.
+pub const MAX_POLICY_BANDS: usize = 8;
+
+/// A contiguous run of groups sharing one redundancy policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyBand {
+    /// Number of consecutive groups in the band.
+    pub groups: usize,
+    /// Policy applied to every group of the band.
+    pub policy: RedundancyPolicy,
+}
+
+const EMPTY_BAND: PolicyBand =
+    PolicyBand { groups: 0, policy: RedundancyPolicy::Replicated { n: 1 } };
+
+/// The fleet's per-group-range policy table: up to [`MAX_POLICY_BANDS`]
+/// contiguous bands covering the group index range in order (band `b`
+/// covers the `bands[b].groups` groups after those of bands `0..b`).
+///
+/// An *empty* table is the legacy uniform fleet: every group follows
+/// `FleetConfig::group` (its `replicas`/`min_intact` shape), the kernel
+/// takes the scalar fast path, and the config serializes without a
+/// `group_policies` field — so every pre-policy config digest is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyBands {
+    bands: [PolicyBand; MAX_POLICY_BANDS],
+    len: u8,
+}
+
+impl Default for PolicyBands {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl PolicyBands {
+    /// The empty (legacy uniform) table.
+    pub fn empty() -> Self {
+        Self { bands: [EMPTY_BAND; MAX_POLICY_BANDS], len: 0 }
+    }
+
+    /// One band covering `groups` groups under a single policy.
+    pub fn uniform(groups: usize, policy: RedundancyPolicy) -> Self {
+        let mut table = Self::empty();
+        table.bands[0] = PolicyBand { groups, policy };
+        table.len = 1;
+        table
+    }
+
+    /// Builds a table from `(group count, policy)` runs, in group order.
+    pub fn from_bands(bands: &[(usize, RedundancyPolicy)]) -> Result<Self, ModelError> {
+        if bands.len() > MAX_POLICY_BANDS {
+            return Err(ModelError::InvalidQuantity {
+                parameter: "policy bands",
+                value: bands.len() as f64,
+            });
+        }
+        let mut table = Self::empty();
+        for &(groups, policy) in bands {
+            if groups == 0 {
+                return Err(ModelError::InvalidQuantity {
+                    parameter: "policy band groups",
+                    value: 0.0,
+                });
+            }
+            policy.validate()?;
+            table.bands[table.len as usize] = PolicyBand { groups, policy };
+            table.len += 1;
+        }
+        Ok(table)
+    }
+
+    /// True for the legacy uniform table.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bands, in group order.
+    pub fn as_slice(&self) -> &[PolicyBand] {
+        &self.bands[..self.len as usize]
+    }
+
+    /// Total groups covered by the table.
+    pub fn total_groups(&self) -> usize {
+        self.as_slice().iter().map(|b| b.groups).sum()
+    }
+
+    /// Widest band (fragments per group), or 0 when empty.
+    pub fn max_width(&self) -> usize {
+        self.as_slice().iter().map(|b| b.policy.fragments()).max().unwrap_or(0)
+    }
+
+    /// `(band index, policy)` of a global group index.
+    ///
+    /// # Panics
+    /// When `group` lies beyond the covered range.
+    pub fn band_of(&self, group: usize) -> (usize, RedundancyPolicy) {
+        let mut first = 0;
+        for (i, band) in self.as_slice().iter().enumerate() {
+            if group < first + band.groups {
+                return (i, band.policy);
+            }
+            first += band.groups;
+        }
+        panic!("group {group} beyond the {first} groups covered by the policy table");
+    }
+}
+
+// Manual serde: the table rides on `FleetConfig` as a plain JSON array of
+// bands, and — the backward-compatibility contract — an absent field
+// (`Null` through the derive) is the empty legacy table.
+impl Serialize for PolicyBands {
+    fn to_value(&self) -> Value {
+        Value::Array(self.as_slice().iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Deserialize for PolicyBands {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::Null => Ok(Self::empty()),
+            Value::Array(items) => {
+                if items.len() > MAX_POLICY_BANDS {
+                    return Err(serde::Error::custom("more than MAX_POLICY_BANDS policy bands"));
+                }
+                let mut table = Self::empty();
+                for item in items {
+                    table.bands[table.len as usize] = PolicyBand::from_value(item)?;
+                    table.len += 1;
+                }
+                Ok(table)
+            }
+            _ => Err(serde::Error::custom("expected an array of policy bands")),
+        }
+    }
+}
+
 /// Full description of a simulated fleet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Deserialize)]
 pub struct FleetConfig {
     /// Physical hierarchy.
     pub topology: FleetTopology,
@@ -118,6 +264,39 @@ pub struct FleetConfig {
     /// rate, not the full rate. Comparisons should therefore hold `shards`
     /// fixed; only the worker-thread count is guaranteed invariant.
     pub shards: usize,
+    /// Per-group-range redundancy policies ([`PolicyBands`]). Empty (the
+    /// default, and the only form pre-policy specs can deserialize to) means
+    /// every group follows `group`'s uniform shape; non-empty tables drive
+    /// the kernel's banded path: per-group widths, survivor thresholds and
+    /// erasure-coded repair fan-in. Set via [`Self::with_policy`] /
+    /// [`Self::with_group_policies`].
+    pub group_policies: PolicyBands,
+}
+
+// Manual impl so the field set is digest-stable: `group_policies` is
+// emitted only when non-empty, which keeps every pre-policy config's
+// canonical JSON — and therefore its `ConfigDigest`, its cache entries and
+// the PR 5/PR 7 pinned report digests — byte-identical. The field order
+// must match the struct declaration (what the derive emitted before this
+// field existed).
+impl Serialize for FleetConfig {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("topology".to_string(), self.topology.to_value()),
+            ("groups".to_string(), self.groups.to_value()),
+            ("group".to_string(), self.group.to_value()),
+            ("scrub".to_string(), self.scrub.to_value()),
+            ("repair_bandwidth".to_string(), self.repair_bandwidth.to_value()),
+            ("group_bytes".to_string(), self.group_bytes.to_value()),
+            ("bursts".to_string(), self.bursts.to_value()),
+            ("horizon_hours".to_string(), self.horizon_hours.to_value()),
+            ("shards".to_string(), self.shards.to_value()),
+        ];
+        if !self.group_policies.is_empty() {
+            fields.push(("group_policies".to_string(), self.group_policies.to_value()));
+        }
+        Value::Object(fields)
+    }
 }
 
 impl FleetConfig {
@@ -143,9 +322,78 @@ impl FleetConfig {
             bursts: BurstProfile::none(),
             horizon_hours: HOURS_PER_YEAR,
             shards: Self::DEFAULT_SHARDS,
+            group_policies: PolicyBands::empty(),
         };
         config.validate()?;
         Ok(config)
+    }
+
+    /// Sets one redundancy policy for every group.
+    ///
+    /// `Replicated { n }` is the thin shim over today's construction: it
+    /// writes `group.replicas = n, min_intact = 1` and *clears* the band
+    /// table, so the config serializes, digests and simulates exactly as an
+    /// n-replica fleet always has (bit-identical random stream included).
+    /// `ErasureCoded { k, n }` installs a single uniform band, engaging the
+    /// banded kernel: loss when fewer than `k` fragments survive, and each
+    /// repair reads `k` surviving fragments before writing the restored one.
+    ///
+    /// # Panics
+    /// On an invalid policy shape (`n = 0`, or `k ∉ 1..=n`); fleet-level
+    /// fit (e.g. `n ≤ topology.max_replicas()`) is checked by
+    /// [`Self::validate`].
+    pub fn with_policy(mut self, policy: RedundancyPolicy) -> Self {
+        policy.validate().expect("valid redundancy policy");
+        self.group = self.group.with_policy(policy);
+        self.group_policies = match policy {
+            RedundancyPolicy::Replicated { .. } => PolicyBands::empty(),
+            RedundancyPolicy::ErasureCoded { .. } => PolicyBands::uniform(self.groups, policy),
+        };
+        self
+    }
+
+    /// Assigns policies per contiguous group range: `bands` lists `(group
+    /// count, policy)` runs in group order, and their counts must sum to
+    /// `groups`. `group.replicas` is set to the widest band (the slot
+    /// stride every per-group table is sized by) and `min_intact` to 1 (the
+    /// per-band thresholds take over).
+    pub fn with_group_policies(
+        mut self,
+        bands: &[(usize, RedundancyPolicy)],
+    ) -> Result<Self, ModelError> {
+        let table = PolicyBands::from_bands(bands)?;
+        self.group.replicas = table.max_width();
+        self.group.min_intact = 1;
+        self.group_policies = table;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// The policy governing a global group index: its band's policy, or the
+    /// uniform `group` shape (as a [`RedundancyPolicy`]) when no bands are
+    /// configured.
+    pub fn policy_of_group(&self, group: usize) -> RedundancyPolicy {
+        if self.group_policies.is_empty() {
+            self.group.policy()
+        } else {
+            self.group_policies.band_of(group).1
+        }
+    }
+
+    /// Fragments group `group` stores — its width in drive slots.
+    pub fn width_of_group(&self, group: usize) -> usize {
+        self.policy_of_group(group).fragments()
+    }
+
+    /// The slot stride: the widest group's fragment count, which sizes
+    /// every per-group lane (telemetry slots, placement precomputes). For a
+    /// uniform fleet this is simply `group.replicas`.
+    pub fn slot_stride(&self) -> usize {
+        if self.group_policies.is_empty() {
+            self.group.replicas
+        } else {
+            self.group_policies.max_width()
+        }
     }
 
     /// Sets the scrub tour.
@@ -210,6 +458,29 @@ impl FleetConfig {
         if self.group.replicas == 0 || self.group.min_intact > self.group.replicas {
             return Err(ModelError::InvalidReplication { replicas: self.group.replicas });
         }
+        if !self.group_policies.is_empty() {
+            let covered = self.group_policies.total_groups();
+            if covered != self.groups {
+                return Err(ModelError::InvalidQuantity {
+                    parameter: "policy band coverage",
+                    value: covered as f64,
+                });
+            }
+            for band in self.group_policies.as_slice() {
+                band.policy.validate()?;
+                if band.policy.fragments() > self.topology.max_replicas() {
+                    return Err(ModelError::InvalidReplication {
+                        replicas: band.policy.fragments(),
+                    });
+                }
+            }
+            // The uniform `replicas` doubles as the slot stride everywhere
+            // the widest lane matters, so a banded table must keep it in
+            // sync with its widest band.
+            if self.group.replicas != self.group_policies.max_width() {
+                return Err(ModelError::InvalidReplication { replicas: self.group.replicas });
+            }
+        }
         Ok(())
     }
 
@@ -234,9 +505,14 @@ impl FleetConfig {
         }
     }
 
-    /// Total number of replicas placed on the fleet.
+    /// Total number of fragment slots placed on the fleet (replicas, for a
+    /// uniform replicated fleet).
     pub fn total_replicas(&self) -> usize {
-        self.groups * self.group.replicas
+        if self.group_policies.is_empty() {
+            self.groups * self.group.replicas
+        } else {
+            self.group_policies.as_slice().iter().map(|b| b.groups * b.policy.fragments()).sum()
+        }
     }
 
     /// A shard's share of each site's repair bandwidth, in bytes per hour
@@ -331,5 +607,79 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: FleetConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn replicated_policy_shim_is_serialization_identical() {
+        let topo = FleetTopology::new(3, 2, 2, 4).unwrap();
+        let raw = FleetConfig::new(topo, 100, group()).unwrap();
+        let via = raw.with_policy(RedundancyPolicy::Replicated { n: 2 });
+        assert_eq!(raw, via);
+        let json = serde_json::to_string(&raw).unwrap();
+        assert_eq!(json, serde_json::to_string(&via).unwrap());
+        assert!(
+            !json.contains("group_policies"),
+            "a uniform replicated config must serialize without the policy field"
+        );
+        // The legacy JSON (no `group_policies` anywhere) still loads, with
+        // the empty table.
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.group_policies.is_empty());
+        assert_eq!(back, raw);
+        assert_eq!(raw.policy_of_group(0), RedundancyPolicy::Replicated { n: 2 });
+        assert_eq!(raw.slot_stride(), 2);
+    }
+
+    #[test]
+    fn erasure_policy_changes_the_digest_and_roundtrips() {
+        use ltds_sim::cache::ConfigDigest;
+        let topo = FleetTopology::new(3, 2, 2, 4).unwrap();
+        let raw = FleetConfig::new(topo, 100, group()).unwrap();
+        let ec = raw.with_policy(RedundancyPolicy::ErasureCoded { k: 2, n: 4 });
+        assert_ne!(
+            raw.config_digest(),
+            ec.config_digest(),
+            "a new policy must address new cache entries"
+        );
+        assert_eq!(ec.group.replicas, 4);
+        assert_eq!(ec.group.min_intact, 2);
+        assert!(!ec.group_policies.is_empty());
+        assert!(ec.validate().is_ok());
+        let json = serde_json::to_string(&ec).unwrap();
+        assert!(json.contains("group_policies"));
+        let back: FleetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ec);
+        assert_eq!(back.config_digest(), ec.config_digest());
+    }
+
+    #[test]
+    fn mixed_policy_bands_cover_groups_and_validate() {
+        let topo = FleetTopology::new(3, 2, 2, 4).unwrap();
+        let base = FleetConfig::new(topo, 100, group()).unwrap();
+        let mixed = base
+            .with_group_policies(&[
+                (60, RedundancyPolicy::Replicated { n: 3 }),
+                (40, RedundancyPolicy::ErasureCoded { k: 2, n: 6 }),
+            ])
+            .unwrap();
+        assert_eq!(mixed.slot_stride(), 6);
+        assert_eq!(mixed.group.replicas, 6);
+        assert_eq!(mixed.total_replicas(), 60 * 3 + 40 * 6);
+        assert_eq!(mixed.policy_of_group(0), RedundancyPolicy::Replicated { n: 3 });
+        assert_eq!(mixed.policy_of_group(59), RedundancyPolicy::Replicated { n: 3 });
+        assert_eq!(mixed.policy_of_group(60), RedundancyPolicy::ErasureCoded { k: 2, n: 6 });
+        assert_eq!(mixed.width_of_group(99), 6);
+
+        // Coverage must be exact.
+        assert!(base.with_group_policies(&[(50, RedundancyPolicy::Replicated { n: 2 })]).is_err());
+        // A band must fit the topology.
+        assert!(base
+            .with_group_policies(&[(100, RedundancyPolicy::ErasureCoded { k: 3, n: 1000 })])
+            .is_err());
+        // Empty bands and invalid shapes are rejected.
+        assert!(base.with_group_policies(&[(0, RedundancyPolicy::Replicated { n: 2 })]).is_err());
+        assert!(base
+            .with_group_policies(&[(100, RedundancyPolicy::ErasureCoded { k: 5, n: 4 })])
+            .is_err());
     }
 }

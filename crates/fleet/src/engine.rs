@@ -191,7 +191,10 @@ impl FleetSim {
                                 shard: shard as u32,
                                 shards: shards as u32,
                                 groups: kernel.groups_in_shard(shard),
-                                replicas: self.config.group.replicas,
+                                // The telemetry grid is strided by the widest
+                                // policy; the kernel renumbers variable-width
+                                // slots onto it (identity for uniform fleets).
+                                replicas: self.config.slot_stride(),
                                 sites: self.config.topology.sites,
                                 horizon_hours: self.config.horizon_hours,
                                 scrub,

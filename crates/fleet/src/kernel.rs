@@ -43,8 +43,9 @@ use crate::config::FleetConfig;
 use crate::placement::{PlacementIndex, ShardView};
 use crate::queue::{EventKind, EventQueue};
 use crate::repair::SitePipeline;
-use crate::report::ShardOutcome;
+use crate::report::{PolicyTally, ShardOutcome};
 use ltds_core::fault::FaultClass;
+use ltds_sim::config::RedundancyPolicy;
 use ltds_stochastic::{Binomial, Exponential, FaultRace, SimRng};
 use ltds_telemetry::{NoTelemetry, Probe, ProbeEvent};
 
@@ -86,6 +87,15 @@ pub struct KernelScratch {
     birth: Vec<f64>,
     reserved: Vec<f64>,
     victims: Vec<u32>,
+    /// Per-local-group loss threshold under mixed policies. Filled by
+    /// `run_probed` for banded configs, empty (and never read) otherwise —
+    /// uniform fleets keep the scalar-threshold fast path.
+    group_threshold: Vec<u16>,
+    /// Per-local-group erasure quorum `k`; `0` marks a replicated group
+    /// (whole-object repair), `k > 0` selects the fragment-rebuild path.
+    group_k: Vec<u16>,
+    /// Per-local-group policy-band index into the outcome's policy tallies.
+    group_band: Vec<u16>,
 }
 
 impl KernelScratch {
@@ -174,14 +184,18 @@ impl<'a> ShardKernel<'a> {
         probe: &mut P,
     ) -> ShardOutcome {
         let cfg = self.config;
-        let replicas = cfg.group.replicas;
+        let stride = cfg.slot_stride();
         let threshold = cfg.group.loss_threshold();
+        let banded = !cfg.group_policies.is_empty();
         let n_local = self.groups_in_shard(shard);
         let mut out = ShardOutcome::default();
         if n_local == 0 {
             return out;
         }
-        let n_slots = n_local * replicas;
+        let placement = self.index.shard(shard);
+        // Uniform fleets: `n_local * stride`. Mixed-policy fleets: the sum
+        // of the local groups' policy widths, read off the base table.
+        let n_slots = placement.n_slots();
 
         // Fault races with the normal and `α`-accelerated means resolved up
         // front (the accelerated mean uses the same `mean / (1/α)`
@@ -197,14 +211,57 @@ impl<'a> ShardKernel<'a> {
         .with_draw(cfg.group.draw);
 
         scratch.begin_shard(n_slots, n_local);
-        let KernelScratch { generation, slots, faulty_count, birth, reserved, victims } = scratch;
+        // Mixed-policy configs get per-group threshold / quorum / band
+        // tables (O(groups-per-shard) to build); uniform configs leave them
+        // empty and keep the scalar threshold — arithmetic, RNG stream and
+        // pinned digests are untouched by the banded machinery.
+        if banded {
+            reset(&mut scratch.group_threshold, n_local, 0);
+            reset(&mut scratch.group_k, n_local, 0);
+            reset(&mut scratch.group_band, n_local, 0);
+            out.policy_totals = cfg
+                .group_policies
+                .as_slice()
+                .iter()
+                .map(|band| PolicyTally::new(band.policy))
+                .collect();
+            for local in 0..n_local {
+                let (band, policy) = cfg.group_policies.band_of(shard + local * cfg.shards);
+                scratch.group_threshold[local] = policy.loss_threshold() as u16;
+                scratch.group_k[local] = match policy {
+                    RedundancyPolicy::Replicated { .. } => 0,
+                    RedundancyPolicy::ErasureCoded { k, .. } => k as u16,
+                };
+                scratch.group_band[local] = band as u16;
+                out.policy_totals[band].groups += 1;
+            }
+        } else {
+            scratch.group_threshold.clear();
+            scratch.group_k.clear();
+            scratch.group_band.clear();
+        }
+        let KernelScratch {
+            generation,
+            slots,
+            faulty_count,
+            birth,
+            reserved,
+            victims,
+            group_threshold,
+            group_k,
+            group_band,
+        } = scratch;
         let limited =
             matches!(cfg.repair_bandwidth, crate::config::RepairBandwidth::PerSiteBytesPerHour(_));
         let mut sim = Sim {
             cfg,
-            placement: self.index.shard(shard),
-            replicas,
+            placement,
+            stride,
             threshold,
+            banded,
+            group_threshold: group_threshold.as_slice(),
+            group_k: group_k.as_slice(),
+            group_band: group_band.as_slice(),
             horizon: cfg.horizon_hours,
             race_normal,
             race_accel,
@@ -260,7 +317,7 @@ impl<'a> ShardKernel<'a> {
                     if entry.token != event.token {
                         continue; // stale: the group was lost and renewed meanwhile
                     }
-                    sim.commit_repair(slot, event.time, entry.pending_class);
+                    sim.commit_repair(slot, event.time, entry.pending_class, &mut out);
                 }
                 EventKind::RepairDone { slot } => {
                     if sim.slots[slot as usize].token != event.token {
@@ -268,6 +325,10 @@ impl<'a> ShardKernel<'a> {
                     }
                     sim.handle_repair_done(slot, event.time, &mut rng);
                     out.repairs += 1;
+                    if sim.banded {
+                        let band = sim.group_band[sim.group_of(slot)] as usize;
+                        out.policy_totals[band].repairs += 1;
+                    }
                 }
                 EventKind::Burst { index } => {
                     let burst = &self.bursts[index as usize];
@@ -290,10 +351,23 @@ const FAULTY: u8 = 1;
 struct Sim<'a, P: Probe> {
     cfg: &'a FleetConfig,
     /// This shard's placement view (slot → drive/group, drive → site /
-    /// detection, burst residents).
+    /// detection, burst residents, per-group slot base/width).
     placement: ShardView<'a>,
-    replicas: usize,
+    /// The fleet's slot stride (uniform replica count, or the widest
+    /// policy's fragment count under mixed policies). Only used to map
+    /// variable-width slots onto the telemetry grid.
+    stride: usize,
+    /// Uniform loss threshold; consulted only when `banded` is false.
     threshold: usize,
+    /// Whether per-group policy tables are in force.
+    banded: bool,
+    /// Per-local-group loss threshold (empty unless `banded`).
+    group_threshold: &'a [u16],
+    /// Per-local-group erasure quorum `k`, `0` = replicated (empty unless
+    /// `banded`).
+    group_k: &'a [u16],
+    /// Per-local-group policy-band index (empty unless `banded`).
+    group_band: &'a [u16],
     horizon: f64,
     /// Pre-resolved visible-vs-latent race at the baseline rates.
     race_normal: FaultRace,
@@ -388,6 +462,43 @@ impl<P: Probe> Sim<'_, P> {
         self.placement.group_of_slot(slot as usize)
     }
 
+    /// First slot of a local group (a base-table load; for uniform fleets
+    /// this equals `group * stride`).
+    #[inline]
+    fn base_of(&self, group: usize) -> usize {
+        self.placement.base_of_group(group)
+    }
+
+    /// Fragment count of a local group (its policy's width).
+    #[inline]
+    fn width_of(&self, group: usize) -> usize {
+        self.placement.width_of_group(group)
+    }
+
+    /// Loss threshold of a local group: the scalar config threshold for
+    /// uniform fleets, the group's policy threshold under mixed policies.
+    #[inline]
+    fn threshold_of(&self, group: usize) -> usize {
+        if self.banded {
+            self.group_threshold[group] as usize
+        } else {
+            self.threshold
+        }
+    }
+
+    /// Telemetry slot id. Mixed-policy fleets renumber variable-width slots
+    /// onto the uniform `group * stride + fragment` grid the trace decoder
+    /// assumes; for uniform fleets the base table *is* that grid, so this
+    /// is the identity and traces stay byte-identical.
+    #[inline]
+    fn tslot(&self, slot: u32) -> u32 {
+        if !self.banded {
+            return slot;
+        }
+        let group = self.group_of(slot);
+        (group * self.stride + (slot as usize - self.base_of(group))) as u32
+    }
+
     /// Samples a slot's next fault at the given acceleration level and
     /// schedules it. Mirrors `TrialRunner::sample_next_fault` (both draw
     /// through the shared [`FaultRace`]); the winner's identity is drawn
@@ -453,16 +564,22 @@ impl<P: Probe> Sim<'_, P> {
         if from_burst {
             out.burst_faults += 1;
         }
+        if self.banded {
+            out.policy_totals[self.group_band[group] as usize].faults += 1;
+        }
         if P::ENABLED {
             self.probe.record(
                 now,
-                slot,
+                self.tslot(slot),
                 ProbeEvent::Fault { class, from_burst, faulty: faulty_before + 1 },
             );
         }
 
-        if self.faulty_count[group] as usize >= self.threshold {
+        if self.faulty_count[group] as usize >= self.threshold_of(group) {
             out.record_loss(now - self.birth[group], class);
+            if self.banded {
+                out.policy_totals[self.group_band[group] as usize].losses += 1;
+            }
             if P::ENABLED {
                 self.probe.loss(now, group as u32, now - self.birth[group], class);
             }
@@ -479,7 +596,7 @@ impl<P: Probe> Sim<'_, P> {
         // detection time), so an undetected fault never reserves bandwidth
         // ahead of repairs that are actually ready.
         match class {
-            FaultClass::Visible => self.commit_repair(slot, now, class),
+            FaultClass::Visible => self.commit_repair(slot, now, class, out),
             FaultClass::Latent => {
                 let detect_at = self.detection_time(slot, now);
                 if detect_at <= self.horizon {
@@ -501,31 +618,101 @@ impl<P: Probe> Sim<'_, P> {
     /// Commits a ready repair to the slot's site pipeline and schedules its
     /// completion. Pipelines therefore serve repairs in ready order (fault
     /// time for visible faults, detection time for latent ones).
-    fn commit_repair(&mut self, slot: u32, now: f64, class: FaultClass) {
+    ///
+    /// Replicated groups copy the whole object onto the failed slot's site
+    /// (one write transfer). Erasure-coded groups rebuild one *fragment*:
+    /// the first `k` intact siblings in slot order each stream their
+    /// fragment through their own site pipeline (deterministic source
+    /// selection — no RNG, so the replicated stream is untouched), the
+    /// rebuilt fragment is written through the failed slot's site, and the
+    /// repair completes when the slowest leg does. Only the write leg is
+    /// tracked in `reserved` (refunded on group renewal); read legs are
+    /// sunk bandwidth either way.
+    fn commit_repair(&mut self, slot: u32, now: f64, class: FaultClass, out: &mut ShardOutcome) {
         let s = slot as usize;
         let base = match class {
             FaultClass::Visible => self.cfg.group.repair_visible_hours,
             FaultClass::Latent => self.cfg.group.repair_latent_hours,
         };
+        let group = self.group_of(slot);
+        let k = if self.banded { self.group_k[group] as usize } else { 0 };
         let site = self.placement.site_of_drive(self.drive_of(slot));
+        if k == 0 {
+            // Replicated: bit-identical to the pre-policy kernel.
+            if P::ENABLED {
+                // Probed before `schedule` mutates the pipeline: the backlog
+                // at commit time *is* the queueing wait the FIFO imposes.
+                self.probe.record(
+                    now,
+                    self.tslot(slot),
+                    ProbeEvent::RepairStart {
+                        class,
+                        site: site as u32,
+                        wait_hours: self.pipelines[site].backlog_hours(now),
+                        transfer_hours: self.pipelines[site].transfer_hours(self.cfg.group_bytes),
+                    },
+                );
+            }
+            let done = self.pipelines[site].schedule(now, base, self.cfg.group_bytes);
+            if self.limited {
+                self.reserved[s] = self.pipelines[site].transfer_hours(self.cfg.group_bytes);
+            }
+            if self.banded {
+                out.policy_totals[self.group_band[group] as usize].write_bytes +=
+                    self.cfg.group_bytes;
+            }
+            if done <= self.horizon {
+                self.queue.push(done, self.slots[s].token, EventKind::RepairDone { slot });
+            }
+            return;
+        }
+
+        // Erasure-coded fragment rebuild.
+        let frag = self.cfg.group_bytes / k as f64;
         if P::ENABLED {
-            // Probed before `schedule` mutates the pipeline: the backlog at
-            // commit time *is* the queueing wait the FIFO imposes.
             self.probe.record(
                 now,
-                slot,
+                self.tslot(slot),
                 ProbeEvent::RepairStart {
                     class,
                     site: site as u32,
                     wait_hours: self.pipelines[site].backlog_hours(now),
-                    transfer_hours: self.pipelines[site].transfer_hours(self.cfg.group_bytes),
+                    transfer_hours: self.pipelines[site].transfer_hours(frag),
                 },
             );
         }
-        let done = self.pipelines[site].schedule(now, base, self.cfg.group_bytes);
+        let mut done = self.pipelines[site].schedule(now, base, frag);
         if self.limited {
-            self.reserved[s] = self.pipelines[site].transfer_hours(self.cfg.group_bytes);
+            self.reserved[s] = self.pipelines[site].transfer_hours(frag);
         }
+        let group_base = self.base_of(group);
+        let width = self.width_of(group);
+        let mut read_bytes = 0.0;
+        let mut remaining = k;
+        for r in 0..width {
+            if remaining == 0 {
+                break;
+            }
+            let sib = group_base + r;
+            if sib == s {
+                continue;
+            }
+            self.touch(sib);
+            if self.slots[sib].state != INTACT {
+                continue;
+            }
+            let src_site = self.placement.site_of_drive(self.drive_of(sib as u32));
+            done = done.max(self.pipelines[src_site].schedule(now, 0.0, frag));
+            read_bytes += frag;
+            remaining -= 1;
+        }
+        // The group is not lost at commit time (loss renews and bumps the
+        // staleness token), so at most `threshold - 1 = n - k` fragments are
+        // faulty — at least `k` intact sources besides the target exist.
+        debug_assert_eq!(remaining, 0, "an unlost EC group keeps at least k intact fragments");
+        let tally = &mut out.policy_totals[self.group_band[group] as usize];
+        tally.read_bytes += read_bytes;
+        tally.write_bytes += frag;
         if done <= self.horizon {
             self.queue.push(done, self.slots[s].token, EventKind::RepairDone { slot });
         }
@@ -546,7 +733,7 @@ impl<P: Probe> Sim<'_, P> {
             let site = self.placement.site_of_drive(self.drive_of(slot)) as u32;
             self.probe.record(
                 now,
-                slot,
+                self.tslot(slot),
                 ProbeEvent::RepairDone {
                     class: self.slots[s].pending_class,
                     site,
@@ -570,8 +757,8 @@ impl<P: Probe> Sim<'_, P> {
         accel: bool,
         rng: &mut SimRng,
     ) {
-        let base = group * self.replicas;
-        for r in 0..self.replicas {
+        let base = self.base_of(group);
+        for r in 0..self.width_of(group) {
             let sibling = (base + r) as u32;
             if sibling != slot {
                 self.touch(base + r);
@@ -586,8 +773,9 @@ impl<P: Probe> Sim<'_, P> {
     fn renew_group(&mut self, group: usize, now: f64, rng: &mut SimRng) {
         self.faulty_count[group] = 0;
         self.birth[group] = now;
-        let base = group * self.replicas;
-        for r in 0..self.replicas {
+        let base = self.base_of(group);
+        let width = self.width_of(group);
+        for r in 0..width {
             let s = base + r;
             self.touch(s);
             // Repairs of the dead group are cancelled: hand any pipeline
@@ -600,7 +788,7 @@ impl<P: Probe> Sim<'_, P> {
             }
             self.slots[s].state = INTACT;
         }
-        for r in 0..self.replicas {
+        for r in 0..width {
             self.resample((base + r) as u32, now, false, rng);
         }
     }
@@ -878,6 +1066,125 @@ mod tests {
         let out = kernel_run(&config, &[], 0, SimRng::seed_from(11).fork(0));
         assert!(out.repair_wait.count() > 0);
         assert!(out.repair_wait.max() > 0.0, "some repair must have queued");
+    }
+
+    #[test]
+    fn uniform_ec_band_matches_raw_min_intact_shape_with_unlimited_bandwidth() {
+        // An erasure-coded band's loss rule is `live fragments < k`, i.e.
+        // threshold `n - k + 1` — exactly what a raw `(replicas, min_intact)`
+        // group already encodes. With unlimited bandwidth (zero transfer
+        // time) the EC fan-in adds no delay and consumes no RNG, so the
+        // banded kernel must reproduce the raw config event-for-event.
+        let topo = FleetTopology::new(2, 2, 2, 4).unwrap();
+        let group = SimConfig::new(
+            4,
+            2,
+            1000.0,
+            5000.0,
+            10.0,
+            10.0,
+            ltds_sim::config::DetectionModel::PeriodicScrub { period_hours: 100.0 },
+            1.0,
+        )
+        .unwrap();
+        let raw = FleetConfig::new(topo, 40, group)
+            .unwrap()
+            .with_horizon_hours(50_000.0)
+            .with_shards(4)
+            // Unlimited bandwidth, but a real object size so the byte
+            // tallies have something to count.
+            .with_repair_bandwidth(RepairBandwidth::Unlimited, 1e9);
+        let banded = raw.with_policy(ltds_sim::RedundancyPolicy::ErasureCoded { k: 2, n: 4 });
+        assert!(!banded.group_policies.is_empty());
+        for shard in 0..4 {
+            let rng = SimRng::seed_from(21).fork(shard as u64);
+            let a = kernel_run(&raw, &[], shard, rng.clone());
+            let b = kernel_run(&banded, &[], shard, rng);
+            assert_eq!(a.losses, b.losses, "shard {shard}");
+            assert_eq!(a.faults, b.faults, "shard {shard}");
+            assert_eq!(a.events, b.events, "shard {shard}");
+            assert_eq!(a.repairs, b.repairs, "shard {shard}");
+            assert_eq!(
+                a.loss_intervals.mean().to_bits(),
+                b.loss_intervals.mean().to_bits(),
+                "shard {shard}"
+            );
+            assert!(a.policy_totals.is_empty(), "raw config carries no tallies");
+            if b.faults > 0 {
+                let tally = &b.policy_totals[0];
+                assert_eq!(tally.faults, b.faults);
+                assert_eq!(tally.losses, b.losses);
+                assert!(tally.read_bytes > 0.0, "EC repairs read surviving fragments");
+            }
+        }
+    }
+
+    #[test]
+    fn ec_repair_reads_k_fragments_and_writes_one() {
+        // One EC{3,4} group spread over four sites, otherwise
+        // indestructible; a site burst faults exactly the fragment resident
+        // in site 0. Its rebuild must read the 3 surviving fragments
+        // (k · B/k = B bytes) and write one fragment (B/k bytes).
+        let topo = FleetTopology::new(4, 1, 1, 2).unwrap();
+        let sturdy = SimConfig::new(
+            4,
+            3,
+            1e12,
+            1e12,
+            1.0,
+            1.0,
+            ltds_sim::config::DetectionModel::PeriodicScrub { period_hours: 100.0 },
+            1.0,
+        )
+        .unwrap();
+        let config = FleetConfig::new(topo, 1, sturdy)
+            .unwrap()
+            .with_horizon_hours(1000.0)
+            .with_shards(1)
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 6e9)
+            .with_policy(ltds_sim::RedundancyPolicy::ErasureCoded { k: 3, n: 4 });
+        let bursts = vec![Burst { time_hours: 10.0, domain: FaultDomain::Site, victim: 0 }];
+        let out = kernel_run(&config, &bursts, 0, SimRng::seed_from(5).fork(0));
+        assert_eq!(out.burst_faults, 1, "only fragment 0 lives in site 0");
+        assert_eq!(out.losses, 0);
+        assert_eq!(out.repairs, 1);
+        let tally = &out.policy_totals[0];
+        assert_eq!(tally.groups, 1);
+        assert_eq!(tally.repairs, 1);
+        let frag = config.group_bytes / 3.0;
+        assert!((tally.read_bytes - 3.0 * frag).abs() < 1e-3, "read k fragments");
+        assert!((tally.write_bytes - frag).abs() < 1e-3, "write one fragment");
+    }
+
+    #[test]
+    fn mixed_policy_shard_is_deterministic_and_tallies_split_by_band() {
+        let topo = FleetTopology::new(3, 2, 2, 6).unwrap();
+        let fragile =
+            SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap();
+        let config = FleetConfig::new(topo, 30, fragile)
+            .unwrap()
+            .with_horizon_hours(50_000.0)
+            .with_shards(2)
+            .with_repair_bandwidth(RepairBandwidth::Unlimited, 2e9)
+            .with_group_policies(&[
+                (18, ltds_sim::RedundancyPolicy::Replicated { n: 3 }),
+                (12, ltds_sim::RedundancyPolicy::ErasureCoded { k: 2, n: 6 }),
+            ])
+            .unwrap();
+        let a = kernel_run(&config, &[], 0, SimRng::seed_from(17).fork(0));
+        let b = kernel_run(&config, &[], 0, SimRng::seed_from(17).fork(0));
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.policy_totals, b.policy_totals);
+        assert_eq!(a.policy_totals.len(), 2);
+        // Shard 0 of a 2-shard deal over 30 groups holds the even groups:
+        // 9 replicated (0..18) and 6 erasure-coded (18..30).
+        assert_eq!(a.policy_totals[0].groups, 9);
+        assert_eq!(a.policy_totals[1].groups, 6);
+        assert_eq!(a.policy_totals[0].faults + a.policy_totals[1].faults, a.faults);
+        assert_eq!(a.policy_totals[0].losses + a.policy_totals[1].losses, a.losses);
+        assert_eq!(a.policy_totals[0].read_bytes, 0.0, "replicated repair reads nothing");
+        assert!(a.policy_totals[1].read_bytes > 0.0, "EC repair reads fragments");
     }
 
     #[test]

@@ -73,7 +73,10 @@ pub mod topology;
 
 pub use bursts::{Burst, BurstProfile, FaultDomain};
 pub use campaign::{FleetCampaign, FleetReportCollector, FleetScenario, PreparedFleet};
-pub use config::{FleetConfig, RepairBandwidth, ScrubTour};
+pub use config::{
+    FleetConfig, PolicyBand, PolicyBands, RedundancyPolicy, RepairBandwidth, ScrubTour,
+    MAX_POLICY_BANDS,
+};
 pub use engine::{FleetSim, ShardCache};
 pub use ltds_sim::cache::{CacheKey, ConfigDigest, SweepCache};
 pub use ltds_telemetry::{
@@ -81,5 +84,5 @@ pub use ltds_telemetry::{
     ShardTelemetry, ShardTrace, TelemetryConfig, TraceMeta, TRACE_SCHEMA,
 };
 pub use placement::PlacementIndex;
-pub use report::{FleetReport, ShardOutcome};
+pub use report::{FleetReport, PolicyTally, ShardOutcome};
 pub use topology::FleetTopology;

@@ -26,7 +26,7 @@
 //!
 //! [`FleetTopology::place`]: crate::topology::FleetTopology::place
 
-use crate::config::FleetConfig;
+use crate::config::{FleetConfig, PolicyBands};
 use crate::topology::FleetTopology;
 use std::sync::OnceLock;
 
@@ -37,8 +37,13 @@ use std::sync::OnceLock;
 pub struct PlacementIndex {
     /// Logical shard count the lazy tables are bucketed by.
     shards: usize,
-    /// Replicas per group.
+    /// Slot stride: fragments per group for a uniform fleet, the widest
+    /// band for a mixed-policy one (per-replica precomputes are sized by
+    /// it; actual per-group widths come from `bands`).
     replicas: usize,
+    /// Per-group-range policy table (empty = uniform `replicas`-wide
+    /// groups).
+    bands: PolicyBands,
     /// Total replica groups on the fleet.
     groups: usize,
     /// Whether burst CSRs may be materialized (a timeline is active).
@@ -65,7 +70,10 @@ pub struct PlacementIndex {
 
 /// One shard's resolved slot tables, bump-built into one flat arena:
 /// `arena[..n_slots]` is the drive of each shard-local slot,
-/// `arena[n_slots..]` the slot's local group.
+/// `arena[n_slots..2·n_slots]` the slot's local group, and the tail the
+/// per-local-group slot base (`n_local + 1` entries, so `base[ℓ+1] −
+/// base[ℓ]` is group `ℓ`'s width — `replicas` everywhere on a uniform
+/// fleet, the band's fragment count on a mixed-policy one).
 #[derive(Debug)]
 struct ShardTables {
     n_slots: usize,
@@ -80,7 +88,12 @@ impl ShardTables {
 
     #[inline]
     fn group_of(&self) -> &[u32] {
-        &self.arena[self.n_slots..]
+        &self.arena[self.n_slots..2 * self.n_slots]
+    }
+
+    #[inline]
+    fn base_of(&self) -> &[u32] {
+        &self.arena[2 * self.n_slots..]
     }
 }
 
@@ -108,9 +121,9 @@ impl PlacementIndex {
     /// controls whether shards may materialize their drive → slots CSR.
     pub fn build(config: &FleetConfig, with_bursts: bool) -> Self {
         let topology = config.topology;
-        let replicas = config.group.replicas;
+        let replicas = config.slot_stride();
         let drives = topology.total_drives();
-        let slots = config.groups * replicas;
+        let slots = config.total_replicas();
         assert!(slots <= u32::MAX as usize, "fleet exceeds u32 slot space");
         assert!(drives <= u32::MAX as usize, "fleet exceeds u32 drive space");
 
@@ -146,6 +159,7 @@ impl PlacementIndex {
         Self {
             shards,
             replicas,
+            bands: config.group_policies,
             groups: config.groups,
             with_bursts,
             topology,
@@ -175,6 +189,17 @@ impl PlacementIndex {
             shard,
             drive_of_slot: tables.drive_of(),
             group_of_slot: tables.group_of(),
+            base_of_group: tables.base_of(),
+        }
+    }
+
+    /// Width (fragments) of a global group under the fleet's policies.
+    #[inline]
+    fn width_of_group(&self, group: usize) -> usize {
+        if self.bands.is_empty() {
+            self.replicas
+        } else {
+            self.bands.band_of(group).1.fragments()
         }
     }
 
@@ -186,24 +211,37 @@ impl PlacementIndex {
     fn materialize_tables(&self, shard: usize) -> ShardTables {
         let sites = self.topology.sites;
         let dps = self.topology.drives_per_site();
-        let replicas = self.replicas;
+        let stride = self.replicas;
         let n_local = self.groups_in_shard(shard);
-        let n_slots = n_local * replicas;
-        let mut arena = vec![0u32; 2 * n_slots];
-        let (drive_of, group_of) = arena.split_at_mut(n_slots);
+        let uniform = self.bands.is_empty();
+        let n_slots = if uniform {
+            n_local * stride
+        } else {
+            (0..n_local).map(|l| self.width_of_group(shard + l * self.shards)).sum()
+        };
+        let mut arena = vec![0u32; 2 * n_slots + n_local + 1];
+        let (slot_tables, base_of) = arena.split_at_mut(2 * n_slots);
+        let (drive_of, group_of) = slot_tables.split_at_mut(n_slots);
 
-        // Per-replica offsets: replica r shifts the site by `r % sites` and
-        // the local index by `(r / sites) % dps` (the site-wrap rule).
-        let r_site: Vec<usize> = (0..replicas).map(|r| r % sites).collect();
-        let r_local: Vec<usize> = (0..replicas).map(|r| (r / sites) % dps).collect();
+        // Per-replica offsets, sized to the widest group: replica r shifts
+        // the site by `r % sites` and the local index by `(r / sites) % dps`
+        // (the site-wrap rule). Narrower groups read a prefix.
+        let r_site: Vec<usize> = (0..stride).map(|r| r % sites).collect();
+        let r_local: Vec<usize> = (0..stride).map(|r| (r / sites) % dps).collect();
 
         let step_rem = self.shards % sites;
         let step_q = (self.shards / sites) % dps;
         let mut rem = shard % sites; // (shard + ℓ·shards) % sites
         let mut local_base = (shard / sites) % dps; // ((shard + ℓ·shards) / sites) % dps
         let mut slot = 0usize;
-        for local_group in 0..n_local {
-            for r in 0..replicas {
+        for (local_group, base) in base_of[..n_local].iter_mut().enumerate() {
+            *base = slot as u32;
+            let width = if uniform {
+                stride
+            } else {
+                self.width_of_group(shard + local_group * self.shards)
+            };
+            for r in 0..width {
                 let mut site = rem + r_site[r];
                 if site >= sites {
                     site -= sites;
@@ -226,6 +264,7 @@ impl PlacementIndex {
                 local_base -= dps;
             }
         }
+        base_of[n_local] = slot as u32;
         ShardTables { n_slots, arena }
     }
 
@@ -253,12 +292,31 @@ impl PlacementIndex {
 
     /// Drive hosting a global slot, straight from the placement
     /// specification — validation and tests; kernels use the per-shard
-    /// tables via [`PlacementIndex::shard`].
+    /// tables via [`PlacementIndex::shard`]. Global slots number the
+    /// fleet's fragments group by group in group order (so a band of
+    /// `c` `w`-wide groups occupies a contiguous `c·w`-slot run).
     #[inline]
     pub fn drive_of_slot(&self, global_slot: usize) -> usize {
-        let group = global_slot / self.replicas;
-        let r = global_slot - group * self.replicas;
-        self.topology.place(group, r)
+        if self.bands.is_empty() {
+            let group = global_slot / self.replicas;
+            let r = global_slot - group * self.replicas;
+            return self.topology.place(group, r);
+        }
+        let mut first_group = 0usize;
+        let mut first_slot = 0usize;
+        for band in self.bands.as_slice() {
+            let width = band.policy.fragments();
+            let band_slots = band.groups * width;
+            if global_slot < first_slot + band_slots {
+                let offset = global_slot - first_slot;
+                let group = first_group + offset / width;
+                let r = offset % width;
+                return self.topology.place(group, r);
+            }
+            first_group += band.groups;
+            first_slot += band_slots;
+        }
+        panic!("global slot {global_slot} beyond the fleet's {first_slot} slots");
     }
 
     /// Site of a drive.
@@ -293,6 +351,7 @@ pub struct ShardView<'a> {
     shard: usize,
     drive_of_slot: &'a [u32],
     group_of_slot: &'a [u32],
+    base_of_group: &'a [u32],
 }
 
 impl ShardView<'_> {
@@ -302,10 +361,28 @@ impl ShardView<'_> {
         self.drive_of_slot[slot] as usize
     }
 
-    /// Local group of a shard-local slot (`slot / replicas`, preresolved).
+    /// Local group of a shard-local slot (`slot / width`, preresolved).
     #[inline]
     pub fn group_of_slot(&self, slot: usize) -> usize {
         self.group_of_slot[slot] as usize
+    }
+
+    /// First shard-local slot of a local group.
+    #[inline]
+    pub fn base_of_group(&self, local_group: usize) -> usize {
+        self.base_of_group[local_group] as usize
+    }
+
+    /// Width (fragments) of a local group.
+    #[inline]
+    pub fn width_of_group(&self, local_group: usize) -> usize {
+        (self.base_of_group[local_group + 1] - self.base_of_group[local_group]) as usize
+    }
+
+    /// Total slots in this shard.
+    #[inline]
+    pub fn n_slots(&self) -> usize {
+        self.drive_of_slot.len()
     }
 
     /// Site of a drive.
@@ -450,6 +527,80 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn mixed_policy_tables_match_the_spec_with_variable_widths() {
+        use ltds_sim::config::RedundancyPolicy;
+        let topology = FleetTopology::new(3, 2, 2, 4).unwrap();
+        let group =
+            SimConfig::mirrored_disks(1000.0, 5000.0, 10.0, 10.0, Some(100.0), 1.0).unwrap();
+        let config = FleetConfig::new(topology, 90, group)
+            .unwrap()
+            .with_group_policies(&[
+                (30, RedundancyPolicy::Replicated { n: 3 }),
+                (40, RedundancyPolicy::ErasureCoded { k: 2, n: 5 }),
+                (20, RedundancyPolicy::Replicated { n: 2 }),
+            ])
+            .unwrap()
+            .with_shards(4);
+        let index = PlacementIndex::build(&config, true);
+
+        // Global slot numbering walks groups in order, each at its width.
+        let mut global = 0usize;
+        for g in 0..config.groups {
+            for r in 0..config.width_of_group(g) {
+                assert_eq!(index.drive_of_slot(global), topology.place(g, r));
+                global += 1;
+            }
+        }
+        assert_eq!(global, config.total_replicas());
+
+        // Per-shard tables: base/width bookkeeping and drive/group lookups
+        // all match the spec, and the burst CSR partitions exactly the
+        // shard's slots.
+        let mut seen = 0usize;
+        for shard in 0..config.shards {
+            let view = index.shard(shard);
+            let n_local = (config.groups + config.shards - 1 - shard) / config.shards;
+            let mut slot = 0usize;
+            for l in 0..n_local {
+                let g = shard + l * config.shards;
+                let width = config.width_of_group(g);
+                assert_eq!(view.base_of_group(l), slot);
+                assert_eq!(view.width_of_group(l), width);
+                for r in 0..width {
+                    assert_eq!(view.drive_of_slot(slot), topology.place(g, r));
+                    assert_eq!(view.group_of_slot(slot), l);
+                    slot += 1;
+                }
+            }
+            assert_eq!(view.n_slots(), slot);
+            for drive in 0..topology.total_drives() {
+                let slots = view.drive_slots(drive);
+                seen += slots.len();
+                assert!(slots.windows(2).all(|w| w[0] < w[1]));
+                for &local in slots {
+                    assert_eq!(view.drive_of_slot(local as usize), drive);
+                }
+            }
+        }
+        assert_eq!(seen, config.total_replicas());
+    }
+
+    #[test]
+    fn uniform_base_table_is_the_replica_stride() {
+        let config = config().with_shards(3);
+        let index = PlacementIndex::build(&config, false);
+        for shard in 0..config.shards {
+            let view = index.shard(shard);
+            let n_local = (config.groups + config.shards - 1 - shard) / config.shards;
+            for l in 0..n_local {
+                assert_eq!(view.base_of_group(l), l * config.group.replicas);
+                assert_eq!(view.width_of_group(l), config.group.replicas);
+            }
+            assert_eq!(view.n_slots(), n_local * config.group.replicas);
         }
     }
 

@@ -60,6 +60,14 @@ pub enum SweepAxis {
         /// The grid of correlation factors.
         alphas: Vec<f64>,
     },
+    /// Redundancy policy at otherwise fixed parameters, as
+    /// [`crate::sweep::SweepDriver::policy`]. The swept `x` value is each
+    /// policy's storage overhead (`fragments / min_fragments`), so
+    /// replication and erasure coding land on a comparable axis.
+    Policy {
+        /// The grid of redundancy policies.
+        policies: Vec<crate::config::RedundancyPolicy>,
+    },
 }
 
 impl SweepAxis {
@@ -69,6 +77,7 @@ impl SweepAxis {
             SweepAxis::ScrubPeriod { periods_hours } => periods_hours.len(),
             SweepAxis::Replication { replica_counts, .. } => replica_counts.len(),
             SweepAxis::Alpha { alphas } => alphas.len(),
+            SweepAxis::Policy { policies } => policies.len(),
         }
     }
 
@@ -83,6 +92,7 @@ impl SweepAxis {
             SweepAxis::ScrubPeriod { periods_hours } => periods_hours[i],
             SweepAxis::Replication { replica_counts, .. } => replica_counts[i] as f64,
             SweepAxis::Alpha { alphas } => alphas[i],
+            SweepAxis::Policy { policies } => policies[i].storage_overhead(),
         }
     }
 
@@ -123,6 +133,10 @@ impl SweepAxis {
                 base.detection,
                 alphas[i],
             )?,
+            SweepAxis::Policy { policies } => {
+                policies[i].validate()?;
+                base.with_policy(policies[i])
+            }
         };
         Ok(config.with_max_hours(base.max_hours).with_draw(base.draw).with_strategy(base.strategy))
     }
@@ -868,6 +882,51 @@ mod tests {
         CampaignDriver::new(&campaign).threads(2).run(&mut a).unwrap();
         CampaignDriver::new(&back).threads(2).run(&mut b).unwrap();
         assert_eq!(a.to_jsonl(), b.to_jsonl());
+    }
+
+    #[test]
+    fn policy_axis_executes_and_matches_the_sweep_driver() {
+        use crate::config::RedundancyPolicy;
+        let policies = vec![
+            RedundancyPolicy::Replicated { n: 2 },
+            RedundancyPolicy::ErasureCoded { k: 2, n: 6 },
+        ];
+        let campaign: SweepCampaign = Campaign {
+            name: "policy".to_string(),
+            sweeps: vec![SweepSpec {
+                name: "policy".to_string(),
+                base: base(),
+                axis: SweepAxis::Policy { policies: policies.clone() },
+                trials: 100,
+                seed: 9,
+            }],
+            scenarios: Vec::new(),
+        };
+        // The axis round-trips through the spec JSON schema.
+        let json = serde_json::to_string(&campaign).unwrap();
+        let back: SweepCampaign = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sweeps[0].axis, campaign.sweeps[0].axis);
+
+        // Campaign points carry the storage-overhead x and agree with the
+        // direct SweepDriver sweep (same configs, same seeds — so the two
+        // paths also share cache entries).
+        let mut sink = MemorySink::new();
+        CampaignDriver::new(&campaign).threads(2).run(&mut sink).unwrap();
+        let spec_base = base();
+        let direct = SweepDriver::new(&spec_base, 100, 9).threads(1).policy(&policies).unwrap();
+        assert_eq!(direct[0].x, 2.0, "Replicated {{ n: 2 }} stores 2x");
+        assert_eq!(direct[1].x, 3.0, "EC {{ k: 2, n: 6 }} stores 3x");
+        let streamed: Vec<crate::sweep::SweepPoint> = sink
+            .records()
+            .iter()
+            .filter(|r| r.kind == RecordKind::SweepPoint)
+            .map(|r| crate::sweep::SweepPoint::from_value(&r.payload).unwrap())
+            .collect();
+        assert_eq!(streamed.len(), 2);
+        for (a, b) in streamed.iter().zip(&direct) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.mttdl_hours.to_bits(), b.mttdl_hours.to_bits());
+        }
     }
 
     #[test]

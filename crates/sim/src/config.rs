@@ -98,6 +98,98 @@ impl Deserialize for RareEventStrategy {
     }
 }
 
+/// How a group's bytes are spread over its drives: whole copies or a
+/// k-of-n erasure code.
+///
+/// The fault model underneath is the same either way — each of the `n`
+/// slots fails and repairs independently (modulated by `alpha`) — only the
+/// *loss rule* and the *repair cost* differ:
+///
+/// * `Replicated { n }`: the group survives while ≥ 1 copy is intact, and
+///   a repair writes one whole copy from any survivor.
+/// * `ErasureCoded { k, n }`: the group survives while ≥ `k` fragments are
+///   intact, and a repair must *read* `k` surviving fragments (fan-in
+///   across the site hierarchy) to reconstruct and write one fragment —
+///   so constrained-bandwidth repair gets `k + 1` transfers per fault
+///   instead of one.
+///
+/// Storage-overhead accounting (the equal-cost axis of experiment E16):
+/// a group of `B` logical bytes occupies `n·B` raw bytes replicated and
+/// `(n/k)·B` raw bytes erasure-coded, so [`Self::storage_overhead`] is `n`
+/// and `n/k` respectively. `ErasureCoded { k: 1, n }` stores whole copies
+/// and degenerates to `Replicated { n }`'s loss sets exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedundancyPolicy {
+    /// `n` whole copies; survives while at least one is intact.
+    Replicated {
+        /// Number of copies.
+        n: usize,
+    },
+    /// `n` fragments, any `k` of which reconstruct the data.
+    ErasureCoded {
+        /// Fragments needed to reconstruct (`1 ≤ k ≤ n`).
+        k: usize,
+        /// Total fragments stored.
+        n: usize,
+    },
+}
+
+impl RedundancyPolicy {
+    /// Validates the shape (`n ≥ 1`, and `1 ≤ k ≤ n` for erasure codes).
+    pub fn validate(&self) -> Result<(), ModelError> {
+        match *self {
+            Self::Replicated { n } => {
+                if n == 0 {
+                    return Err(ModelError::InvalidReplication { replicas: n });
+                }
+            }
+            Self::ErasureCoded { k, n } => {
+                if n == 0 {
+                    return Err(ModelError::InvalidReplication { replicas: n });
+                }
+                if k == 0 || k > n {
+                    return Err(ModelError::InvalidReplication { replicas: k });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total fragments (or copies) stored per group — the group's width in
+    /// drive slots.
+    pub fn fragments(&self) -> usize {
+        match *self {
+            Self::Replicated { n } | Self::ErasureCoded { n, .. } => n,
+        }
+    }
+
+    /// Minimum intact fragments required to avoid data loss: 1 for
+    /// replication, `k` for a k-of-n code.
+    pub fn min_fragments(&self) -> usize {
+        match *self {
+            Self::Replicated { .. } => 1,
+            Self::ErasureCoded { k, .. } => k,
+        }
+    }
+
+    /// Number of simultaneously faulty fragments that constitutes data
+    /// loss: `n − min_fragments + 1`.
+    pub fn loss_threshold(&self) -> usize {
+        self.fragments() - self.min_fragments() + 1
+    }
+
+    /// Raw bytes stored per logical byte: `n` replicated, `n/k` coded.
+    pub fn storage_overhead(&self) -> f64 {
+        self.fragments() as f64 / self.min_fragments() as f64
+    }
+
+    /// Bytes one stored fragment occupies for a group of `object_bytes`
+    /// logical bytes (a whole copy under replication).
+    pub fn fragment_bytes(&self, object_bytes: f64) -> f64 {
+        object_bytes / self.min_fragments() as f64
+    }
+}
+
 /// Full description of the simulated replicated system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -298,6 +390,32 @@ impl SimConfig {
         self
     }
 
+    /// Re-expresses the group's redundancy as a [`RedundancyPolicy`]:
+    /// `Replicated { n }` sets `replicas = n, min_intact = 1` (bit-identical
+    /// to today's n-copy construction — same serialized form, same digest,
+    /// same random stream), `ErasureCoded { k, n }` sets `replicas = n,
+    /// min_intact = k`. The fault-process parameters are untouched.
+    ///
+    /// # Panics
+    /// On an invalid shape (`n = 0`, or `k ∉ 1..=n`).
+    pub fn with_policy(mut self, policy: RedundancyPolicy) -> Self {
+        policy.validate().expect("valid redundancy policy");
+        self.replicas = policy.fragments();
+        self.min_intact = policy.min_fragments();
+        self
+    }
+
+    /// The group's redundancy shape as a [`RedundancyPolicy`]: plain
+    /// replication when one intact fragment suffices, a
+    /// `min_intact`-of-`replicas` erasure code otherwise.
+    pub fn policy(&self) -> RedundancyPolicy {
+        if self.min_intact == 1 {
+            RedundancyPolicy::Replicated { n: self.replicas }
+        } else {
+            RedundancyPolicy::ErasureCoded { k: self.min_intact, n: self.replicas }
+        }
+    }
+
     /// Number of simultaneously faulty replicas that constitutes data loss.
     pub fn loss_threshold(&self) -> usize {
         self.replicas - self.min_intact + 1
@@ -354,6 +472,47 @@ mod tests {
         let never = SimConfig::from_params(&presets::cheetah_mirror_no_scrub(), 2).unwrap();
         assert_eq!(never.detection, DetectionModel::Never);
         assert!(!never.to_params().unwrap().detect_latent().is_finite());
+    }
+
+    #[test]
+    fn policy_shapes_and_overheads() {
+        let rep = RedundancyPolicy::Replicated { n: 3 };
+        assert_eq!(rep.fragments(), 3);
+        assert_eq!(rep.min_fragments(), 1);
+        assert_eq!(rep.loss_threshold(), 3);
+        assert_eq!(rep.storage_overhead(), 3.0);
+        assert_eq!(rep.fragment_bytes(6.0e9), 6.0e9);
+
+        let ec = RedundancyPolicy::ErasureCoded { k: 2, n: 6 };
+        assert_eq!(ec.fragments(), 6);
+        assert_eq!(ec.min_fragments(), 2);
+        assert_eq!(ec.loss_threshold(), 5);
+        assert_eq!(ec.storage_overhead(), 3.0);
+        assert_eq!(ec.fragment_bytes(6.0e9), 3.0e9);
+
+        assert!(RedundancyPolicy::Replicated { n: 0 }.validate().is_err());
+        assert!(RedundancyPolicy::ErasureCoded { k: 0, n: 4 }.validate().is_err());
+        assert!(RedundancyPolicy::ErasureCoded { k: 5, n: 4 }.validate().is_err());
+        assert!(RedundancyPolicy::ErasureCoded { k: 4, n: 4 }.validate().is_ok());
+    }
+
+    #[test]
+    fn with_policy_replicated_is_bit_identical_to_raw_construction() {
+        let raw = SimConfig::mirrored_disks(1.0e3, 5.0e3, 10.0, 10.0, Some(100.0), 1.0).unwrap();
+        let via_policy = raw.with_policy(RedundancyPolicy::Replicated { n: 2 });
+        assert_eq!(raw, via_policy);
+        assert_eq!(
+            serde_json::to_string(&raw).unwrap(),
+            serde_json::to_string(&via_policy).unwrap(),
+            "the replicated shim must not perturb the serialized form (or any digest over it)"
+        );
+        assert_eq!(raw.policy(), RedundancyPolicy::Replicated { n: 2 });
+
+        let ec = raw.with_policy(RedundancyPolicy::ErasureCoded { k: 4, n: 7 });
+        assert_eq!(ec.replicas, 7);
+        assert_eq!(ec.min_intact, 4);
+        assert_eq!(ec.loss_threshold(), 4);
+        assert_eq!(ec.policy(), RedundancyPolicy::ErasureCoded { k: 4, n: 7 });
     }
 
     #[test]

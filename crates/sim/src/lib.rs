@@ -60,7 +60,7 @@ pub use campaign::{
     Campaign, CampaignDriver, CampaignSummary, JsonlSink, MemorySink, ReportSink, Scenario,
     StreamRecord, SweepSpec,
 };
-pub use config::{RareEventStrategy, SimConfig};
+pub use config::{RareEventStrategy, RedundancyPolicy, SimConfig};
 pub use ltds_stochastic::DrawDiscipline;
 pub use monte_carlo::{MonteCarlo, MttdlEstimate};
 pub use service::{

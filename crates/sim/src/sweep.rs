@@ -223,6 +223,23 @@ impl<'a> SweepDriver<'a> {
         }
         Ok(out)
     }
+
+    /// Sweeps the redundancy policy at otherwise fixed fault/repair
+    /// parameters. Each point's `x` is the policy's storage overhead
+    /// (`fragments / min_fragments`), putting `Replicated { n: 3 }` and
+    /// `ErasureCoded { k: 2, n: 6 }` on the same comparable axis.
+    pub fn policy(
+        &self,
+        policies: &[crate::config::RedundancyPolicy],
+    ) -> Result<Vec<SweepPoint>, ModelError> {
+        let mut out = Vec::with_capacity(policies.len());
+        for (i, &p) in policies.iter().enumerate() {
+            p.validate()?;
+            let config = self.base.with_policy(p);
+            out.push(Self::point(p.storage_overhead(), &self.estimate(config, i)));
+        }
+        Ok(out)
+    }
 }
 
 /// Sweeps the scrub period (hours) for a mirrored pair. See

@@ -27,6 +27,17 @@
 //! let years = units::hours_to_years(mttdl::mttdl_latent_dominated(&params));
 //! assert!(years > 6000.0);
 //! ```
+//!
+//! Redundancy policies — replication and erasure coding, per group range —
+//! enter through [`fleet::RedundancyPolicy`], the canonical public path:
+//!
+//! ```
+//! use ltds::fleet::RedundancyPolicy;
+//!
+//! let ec = RedundancyPolicy::ErasureCoded { k: 2, n: 6 };
+//! assert_eq!(ec.storage_overhead(), 3.0);
+//! assert_eq!(RedundancyPolicy::Replicated { n: 3 }.storage_overhead(), 3.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,7 +2,10 @@
 //! schedulers.
 
 use ltds::fleet::queue::{BinaryHeapQueue, EventKind, EventQueue};
-use ltds::fleet::{BurstProfile, FleetConfig, FleetSim, FleetTopology, RepairBandwidth};
+use ltds::fleet::{
+    BurstProfile, ConfigDigest, FleetConfig, FleetSim, FleetTopology, RedundancyPolicy,
+    RepairBandwidth,
+};
 use ltds::sim::config::SimConfig;
 use ltds::stochastic::DrawDiscipline;
 use proptest::prelude::*;
@@ -240,6 +243,107 @@ proptest! {
         );
     }
 
+    /// `ErasureCoded { k: 1, n }` is replication by another name: every
+    /// fragment is a full copy (`min_fragments = 1`), and the group dies
+    /// only when all `n` are gone — exactly `Replicated { n }`. With free
+    /// repair bandwidth the two configs must produce identical aggregates;
+    /// the only observable difference is the repair *fan-in*: the coded
+    /// fleet reads a surviving fragment per rebuild, the replicated fleet
+    /// reads nothing.
+    #[test]
+    fn ec_with_k1_degenerates_to_replication(seed in 0u64..500, n in 2usize..5) {
+        let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
+        let group = SimConfig::mirrored_disks(800.0, 4_000.0, 10.0, 10.0, Some(100.0), 1.0)
+            .unwrap();
+        let base = FleetConfig::new(topology, 60, group)
+            .unwrap()
+            .with_horizon_hours(12_000.0)
+            .with_shards(3)
+            .with_repair_bandwidth(RepairBandwidth::Unlimited, 1e9);
+        let replicated = base.with_policy(RedundancyPolicy::Replicated { n });
+        let coded = base.with_policy(RedundancyPolicy::ErasureCoded { k: 1, n });
+        let a = FleetSim::new(replicated).seed(seed).run().unwrap();
+        let b = FleetSim::new(coded).seed(seed).run().unwrap();
+        prop_assert_eq!(a.totals.losses, b.totals.losses);
+        prop_assert_eq!(a.totals.faults, b.totals.faults);
+        prop_assert_eq!(a.totals.repairs, b.totals.repairs);
+        prop_assert_eq!(a.totals.events, b.totals.events);
+        prop_assert_eq!(
+            a.totals.loss_intervals.mean().to_bits(),
+            b.totals.loss_intervals.mean().to_bits()
+        );
+        // Identical dynamics, different accounting: only the coded fleet
+        // reads fragments to rebuild.
+        prop_assert!(a.policy_breakdown().is_empty());
+        let coded_band = b.policy_breakdown()[0];
+        prop_assert_eq!(coded_band.repairs, b.totals.repairs);
+        if b.totals.repairs > 0 {
+            prop_assert!(coded_band.read_bytes > 0.0);
+        }
+    }
+
+    /// At fixed stripe width `n`, raising `k` stores less redundancy
+    /// (`n - k` tolerable faults instead of `n - 1`), so losses must not
+    /// systematically decrease in `k`. Sample paths diverge after the
+    /// first renewal, so the comparison carries the same small slack the
+    /// bandwidth-monotonicity properties use.
+    #[test]
+    fn losses_are_monotone_in_k_at_fixed_width(seed in 0u64..500) {
+        let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
+        let group = SimConfig::mirrored_disks(1_200.0, 5_000.0, 10.0, 10.0, Some(100.0), 1.0)
+            .unwrap();
+        let base = FleetConfig::new(topology, 60, group)
+            .unwrap()
+            .with_horizon_hours(12_000.0)
+            .with_shards(3)
+            .with_repair_bandwidth(RepairBandwidth::Unlimited, 1e9);
+        let strong = FleetSim::new(base.with_policy(RedundancyPolicy::ErasureCoded { k: 2, n: 5 }))
+            .seed(seed)
+            .run()
+            .unwrap();
+        let weak = FleetSim::new(base.with_policy(RedundancyPolicy::ErasureCoded { k: 4, n: 5 }))
+            .seed(seed)
+            .run()
+            .unwrap();
+        prop_assert!(
+            weak.totals.losses + 2 >= strong.totals.losses,
+            "k=4 lost {} groups, k=2 lost {}",
+            weak.totals.losses,
+            strong.totals.losses
+        );
+    }
+
+    /// Mixed-policy fleets must keep the engine's core guarantee: reports
+    /// are bit-identical for a given seed across 1/2/8 worker threads —
+    /// including the per-band policy tallies, which merge shard-by-shard.
+    #[test]
+    fn mixed_policy_fleets_are_thread_count_invariant(
+        seed in 0u64..500,
+        replicated_groups in 10usize..40,
+        coded_groups in 10usize..40,
+    ) {
+        let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
+        let group = SimConfig::mirrored_disks(900.0, 4_000.0, 10.0, 10.0, Some(100.0), 1.0)
+            .unwrap();
+        let config = FleetConfig::new(topology, replicated_groups + coded_groups, group)
+            .unwrap()
+            .with_horizon_hours(10_000.0)
+            .with_shards(4)
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9)
+            .with_group_policies(&[
+                (replicated_groups, RedundancyPolicy::Replicated { n: 3 }),
+                (coded_groups, RedundancyPolicy::ErasureCoded { k: 2, n: 5 }),
+            ])
+            .unwrap();
+        let reference = FleetSim::new(config).seed(seed).threads(1).run().unwrap();
+        let reference_json = serde_json::to_string(&reference).expect("report serializes");
+        for threads in [2usize, 8] {
+            let report = FleetSim::new(config).seed(seed).threads(threads).run().unwrap();
+            let json = serde_json::to_string(&report).expect("report serializes");
+            prop_assert_eq!(&json, &reference_json, "threads = {} changed the report", threads);
+        }
+    }
+
     #[test]
     fn unlimited_bandwidth_is_the_best_case(seed in 0u64..200) {
         let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
@@ -334,4 +438,106 @@ fn scheduler_determinism_digest_is_pinned() {
             );
         }
     }
+}
+
+/// Cache-compatibility guard for the redundancy-policy refactor: the
+/// [`ConfigDigest`] of every replicated-only `FleetConfig` must be exactly
+/// what it was before policies existed, or every shard cache and campaign
+/// spool on disk silently invalidates. The pins below were captured on the
+/// pre-policy tree for the same two fleets the report-digest test runs;
+/// `with_policy(Replicated { n })` must keep hitting them, and an
+/// erasure-coded policy must *miss* them (a new policy is a new config).
+#[test]
+fn replicated_config_digests_are_pinned_across_the_policy_refactor() {
+    for (draw, pin_sharded, pin_single) in [
+        (DrawDiscipline::Scalar, 0x1315_62ca_3a94_156d_u64, 0xa219_6ec3_ff32_b1ec_u64),
+        (DrawDiscipline::Ziggurat, 0xb31f_7de9_3e38_a5a0, 0x0490_3723_1a6b_e3d1),
+    ] {
+        let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
+        let group = SimConfig::mirrored_disks(1_500.0, 6_000.0, 10.0, 10.0, Some(150.0), 0.5)
+            .unwrap()
+            .with_draw(draw);
+        let sharded = FleetConfig::new(topology, 300, group)
+            .unwrap()
+            .with_horizon_hours(10_000.0)
+            .with_shards(6)
+            .with_bursts(BurstProfile::disaster_scenario())
+            .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+        let topology = FleetTopology::new(2, 2, 2, 8).unwrap();
+        let dense = SimConfig::mirrored_disks(2_000.0, 8_000.0, 5.0, 5.0, Some(400.0), 1.0)
+            .unwrap()
+            .with_draw(draw);
+        let single = FleetConfig::new(topology, 6_000, dense)
+            .unwrap()
+            .with_horizon_hours(8_766.0)
+            .with_shards(1);
+
+        for (config, pinned) in [(sharded, pin_sharded), (single, pin_single)] {
+            assert_eq!(
+                config.config_digest(),
+                pinned,
+                "replicated config digest drifted under {draw:?}: got {:#018x} — on-disk \
+                 caches for pre-policy configs would invalidate",
+                config.config_digest()
+            );
+            // The explicit-policy shim is digest-transparent...
+            let n = config.group.replicas;
+            assert_eq!(
+                config.with_policy(RedundancyPolicy::Replicated { n }).config_digest(),
+                pinned,
+                "with_policy(Replicated) changed the digest under {draw:?}"
+            );
+            // ...and a genuinely different policy is a genuinely new config.
+            assert_ne!(
+                config.with_policy(RedundancyPolicy::ErasureCoded { k: 2, n: 4 }).config_digest(),
+                pinned,
+                "an erasure-coded config must not collide with the replicated pin"
+            );
+        }
+    }
+}
+
+/// Schema-versioning guard: fleet configs written before the policy
+/// refactor carry no `group_policies` field, and must (a) still not emit
+/// one while uniform — byte-identical round-trip — and (b) deserialize
+/// with an empty band table. Mixed-policy configs round-trip through the
+/// new field.
+#[test]
+fn legacy_fleet_config_json_round_trips_without_a_policy_field() {
+    let topology = FleetTopology::new(3, 2, 2, 6).unwrap();
+    let group = SimConfig::mirrored_disks(1_500.0, 6_000.0, 10.0, 10.0, Some(150.0), 0.5).unwrap();
+    let uniform = FleetConfig::new(topology, 120, group)
+        .unwrap()
+        .with_horizon_hours(10_000.0)
+        .with_shards(6)
+        .with_repair_bandwidth(RepairBandwidth::PerSiteBytesPerHour(1e9), 5e9);
+
+    // (a) A uniform config's JSON is exactly the pre-policy schema.
+    let legacy_json = serde_json::to_string(&uniform).expect("config serializes");
+    assert!(
+        !legacy_json.contains("group_policies"),
+        "uniform configs must serialize on the legacy schema: {legacy_json}"
+    );
+
+    // (b) Pre-policy JSON deserializes as replicated-only (empty bands)
+    // and re-serializes byte-identically.
+    let parsed: FleetConfig = serde_json::from_str(&legacy_json).expect("legacy JSON parses");
+    assert!(parsed.group_policies.is_empty());
+    assert_eq!(parsed.policy_of_group(0), RedundancyPolicy::Replicated { n: 2 });
+    assert_eq!(serde_json::to_string(&parsed).expect("config serializes"), legacy_json);
+    assert_eq!(parsed.config_digest(), uniform.config_digest());
+
+    // Mixed-policy configs round-trip through the new field.
+    let hybrid = uniform
+        .with_group_policies(&[
+            (70, RedundancyPolicy::Replicated { n: 3 }),
+            (50, RedundancyPolicy::ErasureCoded { k: 2, n: 5 }),
+        ])
+        .unwrap();
+    let hybrid_json = serde_json::to_string(&hybrid).expect("config serializes");
+    assert!(hybrid_json.contains("group_policies"));
+    let parsed: FleetConfig = serde_json::from_str(&hybrid_json).expect("hybrid JSON parses");
+    assert_eq!(parsed.policy_of_group(0), RedundancyPolicy::Replicated { n: 3 });
+    assert_eq!(parsed.policy_of_group(100), RedundancyPolicy::ErasureCoded { k: 2, n: 5 });
+    assert_eq!(serde_json::to_string(&parsed).expect("config serializes"), hybrid_json);
 }
