@@ -10,6 +10,9 @@
 //!                           # built-in rare-event campaigns (importance
 //!                           # sampled and its vanilla twin).
 //!     [--cache-dir DIR]     # persistent cache (loaded, then written through)
+//!     [--cache-evict-bytes N] # before loading, bound each cache store to N
+//!                           # bytes: compact, then evict whole segments
+//!                           # least-recently-written first
 //!     [--out FILE.jsonl]    # streamed report (default campaign.jsonl)
 //!     [--fleet-reports DIR] # also write merged per-scenario FleetReports
 //!     [--threads N]         # worker threads (default: all cores)
@@ -48,10 +51,40 @@
 //!     [--expect-quarantined N]# exit 1 unless exactly N units were quarantined
 //! ```
 //!
+//! # TCP server mode
+//!
+//! `--serve-tcp ADDR` runs a long-running **multi-tenant** campaign server
+//! over real sockets: any number of `campaign --submit ADDR` clients send
+//! campaign specs and subscribe to their report streams, any number of
+//! `campaign --worker-tcp ADDR` processes execute units, and every tenant
+//! shares the server's persistent caches. Tenants are content-addressed by
+//! their spec bytes, so a client that reconnects (or outlives a server
+//! restart against the same `--cache-dir`) resumes its stream exactly
+//! where it left off — the bytes received are identical to an
+//! uninterrupted in-process run.
+//!
+//! ```text
+//!     --serve-tcp ADDR        # run the multi-tenant TCP campaign server
+//!                             # (use 127.0.0.1:0 with --addr-file in CI)
+//!     --worker-tcp ADDR       # run as a TCP worker (reconnects with
+//!                             # backoff; bumps incarnation per reconnect)
+//!     --submit ADDR           # submit --spec and stream the report to
+//!                             # --out, resuming from the lines already
+//!                             # there; prints the service summary
+//!     [--addr-file FILE]      # server: write the bound address to FILE
+//!     [--tenants N|none]      # server: exit after N tenants (default 1);
+//!                             # `none` serves until the poll budget idles
+//!     [--local-fallback]      # submit: degrade to the in-process driver
+//!                             # if the server cannot be reached
+//! ```
+//!
 //! Deterministic fault injection is armed from `LTDS_FAILPOINTS` (see
 //! `ltds_core::failpoint`) when the binary is built with
 //! `--features failpoints`; setting the variable on a binary built without
 //! the feature is an error, so a chaos drill can never silently run clean.
+//! The TCP paths add the sites `net.conn.drop` (worker drops its socket
+//! mid-unit), `net.frame.truncate` (worker tears a result frame) and
+//! `net.accept.stall` (server skips accept rounds).
 //!
 //! `--fleet-reports DIR` collects the streamed fleet shards as they pass
 //! through the sink and, after the run, folds each fully streamed scenario
@@ -83,14 +116,18 @@
 //! to check when a rare-event config produces a noisy estimate.
 
 use ltds_bench::workloads;
-use ltds_fleet::{FleetCampaign, FleetReportCollector, ShardCache, TelemetryConfig};
+use ltds_fleet::{FleetCampaign, FleetReportCollector, FleetScenario, ShardCache, TelemetryConfig};
 use ltds_sim::cache::SweepCache;
 use ltds_sim::campaign::{CampaignDriver, CampaignSummary, JsonlSink, ReportSink};
+use ltds_sim::net::{
+    run_tcp_worker, serve_tcp, submit_tcp, BackoffPolicy, TcpServerConfig, TcpSubmitConfig,
+    TcpWorkerConfig,
+};
 use ltds_sim::service::{
     run_spool_worker, serve_spool, CampaignService, ServiceConfig, ServiceSummary, SpoolConfig,
     SpoolWorkerConfig,
 };
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -177,9 +214,124 @@ fn run_worker(config: SpoolWorkerConfig) -> ! {
     }
 }
 
+/// Resolves a `--spec` argument: a built-in name, a JSON file, or (absent)
+/// the built-in demo campaign.
+fn load_spec(spec_path: Option<&str>) -> FleetCampaign {
+    match spec_path {
+        // Built-in rare-event specs: the importance-sampled demo and its
+        // vanilla twin (same grids, seeds and trials — only the strategy,
+        // and therefore every cache digest, differs).
+        Some("demo-rare") => {
+            workloads::demo_rare_campaign(ltds_sim::RareEventStrategy::ImportanceSampling {
+                tilt: workloads::RARE_TILT,
+            })
+        }
+        Some("demo-rare-vanilla") => {
+            workloads::demo_rare_campaign(ltds_sim::RareEventStrategy::Vanilla)
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(format!("cannot read spec {path}: {e}")));
+            serde_json::from_str(&text)
+                .unwrap_or_else(|e| fail(format!("cannot parse spec {path}: {e}")))
+        }
+        None => workloads::demo_campaign(),
+    }
+}
+
+/// Submit mode: send the spec to a TCP campaign server and stream the
+/// report into `out_path`, resuming from whatever complete lines a
+/// previous (interrupted) submission already wrote there. With
+/// `local_fallback`, an unreachable server degrades to the in-process
+/// driver over the same caches — same bytes, no fleet.
+#[allow(clippy::too_many_arguments)]
+fn submit_campaign(
+    addr: &str,
+    campaign: &FleetCampaign,
+    points: &SweepCache<ltds_sim::MttdlEstimate>,
+    shards: &ShardCache,
+    out_path: &str,
+    poll_ms: u64,
+    max_polls: u64,
+    threads: Option<usize>,
+    local_fallback: bool,
+) -> RunSummary {
+    // The durable cursor is the report itself: the complete lines already
+    // on disk. A torn tail line (a client killed mid-write) is discarded.
+    let existing = std::fs::read(out_path).unwrap_or_default();
+    let keep = existing.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    let cursor = existing[..keep].iter().filter(|&&b| b == b'\n').count() as u64;
+    // Not .truncate(true): the kept prefix IS the resume state. set_len
+    // below trims only the torn tail.
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .write(true)
+        .truncate(false)
+        .open(out_path)
+        .unwrap_or_else(|e| fail(format!("cannot open {out_path}: {e}")));
+    file.set_len(keep as u64).unwrap_or_else(|e| fail(format!("cannot truncate {out_path}: {e}")));
+    file.seek(SeekFrom::End(0)).unwrap_or_else(|e| fail(format!("cannot seek {out_path}: {e}")));
+    if cursor > 0 {
+        eprintln!("submit: resuming from line {cursor} of {out_path}");
+    }
+    let spec =
+        serde_json::value_from_str(&serde_json::to_string(campaign).expect("campaign serializes"))
+            .expect("campaign round-trips");
+    let config = TcpSubmitConfig {
+        addr: addr.to_string(),
+        cursor,
+        poll: Duration::from_millis(poll_ms),
+        max_polls,
+        reconnect: BackoffPolicy::default(),
+    };
+    let mut writer = std::io::BufWriter::new(&mut file);
+    match submit_tcp(&config, &spec, &mut writer) {
+        Ok(summary) => RunSummary::Service(summary),
+        Err(e) if local_fallback => {
+            eprintln!("submit: server unreachable ({e}); degrading to the in-process driver");
+            drop(writer);
+            drop(file);
+            let file = std::fs::File::create(out_path)
+                .unwrap_or_else(|e| fail(format!("cannot create {out_path}: {e}")));
+            let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+            let mut driver = CampaignDriver::new(campaign).point_cache(points).shard_cache(shards);
+            if let Some(threads) = threads {
+                driver = driver.threads(threads);
+            }
+            let summary = driver
+                .run(&mut sink)
+                .unwrap_or_else(|e| fail(format!("local fallback failed: {e}")));
+            sink.into_inner()
+                .flush()
+                .unwrap_or_else(|e| fail(format!("cannot flush {out_path}: {e}")));
+            RunSummary::Driver(summary)
+        }
+        Err(e) => fail(format!("submission failed: {e}")),
+    }
+}
+
+/// TCP worker mode: connect (with backoff), execute assignments across
+/// every tenant the server announces, reconnect with a bumped incarnation
+/// whenever the socket dies, exit on the server's shutdown broadcast.
+fn run_worker_tcp(config: TcpWorkerConfig) -> ! {
+    let name = config.name.clone();
+    match run_tcp_worker::<FleetScenario>(&config) {
+        Ok(completed) => {
+            eprintln!("worker {name}: completed {completed} unit(s)");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let mut spec_path: Option<String> = None;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut cache_evict_bytes: Option<u64> = None;
     let mut fleet_reports: Option<PathBuf> = None;
     let mut out_path = String::from("campaign.jsonl");
     let mut threads: Option<usize> = None;
@@ -191,6 +343,12 @@ fn main() {
     let mut expect_quarantined: Option<u64> = None;
     let mut serve_dir: Option<PathBuf> = None;
     let mut worker_dir: Option<PathBuf> = None;
+    let mut serve_tcp_addr: Option<String> = None;
+    let mut worker_tcp_addr: Option<String> = None;
+    let mut submit_addr: Option<String> = None;
+    let mut addr_file: Option<PathBuf> = None;
+    let mut tenants: Option<u64> = Some(1);
+    let mut local_fallback = false;
     let mut worker_id = String::from("w0");
     let mut incarnation = 0u64;
     let mut poll_ms = 25u64;
@@ -216,6 +374,13 @@ fn main() {
         match args[i].as_str() {
             "--spec" => spec_path = Some(value(&args, &mut i, "--spec")),
             "--cache-dir" => cache_dir = Some(PathBuf::from(value(&args, &mut i, "--cache-dir"))),
+            "--cache-evict-bytes" => {
+                cache_evict_bytes = Some(
+                    value(&args, &mut i, "--cache-evict-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| fail("--cache-evict-bytes needs a byte count")),
+                )
+            }
             "--fleet-reports" => {
                 fleet_reports = Some(PathBuf::from(value(&args, &mut i, "--fleet-reports")))
             }
@@ -275,6 +440,23 @@ fn main() {
             }
             "--serve" => serve_dir = Some(PathBuf::from(value(&args, &mut i, "--serve"))),
             "--worker" => worker_dir = Some(PathBuf::from(value(&args, &mut i, "--worker"))),
+            "--serve-tcp" => serve_tcp_addr = Some(value(&args, &mut i, "--serve-tcp")),
+            "--worker-tcp" => worker_tcp_addr = Some(value(&args, &mut i, "--worker-tcp")),
+            "--submit" => submit_addr = Some(value(&args, &mut i, "--submit")),
+            "--addr-file" => addr_file = Some(PathBuf::from(value(&args, &mut i, "--addr-file"))),
+            "--tenants" => {
+                let v = value(&args, &mut i, "--tenants");
+                tenants = match v.as_str() {
+                    "none" => None,
+                    n => Some(
+                        n.parse()
+                            .ok()
+                            .filter(|&n: &u64| n > 0)
+                            .unwrap_or_else(|| fail("--tenants needs a number >= 1 or `none`")),
+                    ),
+                }
+            }
+            "--local-fallback" => local_fallback = true,
             "--worker-id" => worker_id = value(&args, &mut i, "--worker-id"),
             "--incarnation" => {
                 incarnation = value(&args, &mut i, "--incarnation")
@@ -341,8 +523,15 @@ fn main() {
         Err(e) => fail(format!("invalid LTDS_FAILPOINTS: {e}")),
     }
 
-    if serve_dir.is_some() && worker_dir.is_some() {
-        fail("--serve and --worker are mutually exclusive");
+    let modes = [
+        ("--serve", serve_dir.is_some()),
+        ("--worker", worker_dir.is_some()),
+        ("--serve-tcp", serve_tcp_addr.is_some()),
+        ("--worker-tcp", worker_tcp_addr.is_some()),
+        ("--submit", submit_addr.is_some()),
+    ];
+    if modes.iter().filter(|(_, set)| *set).count() > 1 {
+        fail("--serve, --worker, --serve-tcp, --worker-tcp and --submit are mutually exclusive");
     }
     if let Some(dir) = worker_dir {
         if spec_path.is_some() {
@@ -356,42 +545,55 @@ fn main() {
             max_polls,
         });
     }
-    if serve_dir.is_some() {
+    if let Some(addr) = worker_tcp_addr {
+        if spec_path.is_some() {
+            fail("--worker-tcp receives specs from the server, not --spec");
+        }
+        run_worker_tcp(TcpWorkerConfig {
+            addr,
+            name: worker_id,
+            incarnation,
+            poll: Duration::from_millis(poll_ms),
+            max_polls,
+            reconnect: BackoffPolicy::default(),
+        });
+    }
+    if serve_dir.is_some() || serve_tcp_addr.is_some() || submit_addr.is_some() {
         if max_units.is_some() {
-            fail("--max-units applies to the in-process driver, not --serve");
+            fail("--max-units applies to the in-process driver only");
         }
         if telemetry_hours.is_some() {
-            fail("--telemetry applies to the in-process driver, not --serve");
+            fail("--telemetry applies to the in-process driver only");
         }
     }
+    if submit_addr.is_some() && fleet_reports.is_some() {
+        fail("--fleet-reports applies to the in-process driver and --serve, not --submit");
+    }
+    if cache_evict_bytes.is_some() && cache_dir.is_none() {
+        fail("--cache-evict-bytes needs --cache-dir");
+    }
 
-    let campaign: FleetCampaign = match spec_path.as_deref() {
-        // Built-in rare-event specs: the importance-sampled demo and its
-        // vanilla twin (same grids, seeds and trials — only the strategy,
-        // and therefore every cache digest, differs).
-        Some("demo-rare") => {
-            workloads::demo_rare_campaign(ltds_sim::RareEventStrategy::ImportanceSampling {
-                tilt: workloads::RARE_TILT,
-            })
+    // The TCP server receives specs from --submit clients over the wire;
+    // every other mode needs one now.
+    let campaign: Option<FleetCampaign> = if serve_tcp_addr.is_some() {
+        if spec_path.is_some() {
+            fail("--serve-tcp receives specs from --submit clients, not --spec");
         }
-        Some("demo-rare-vanilla") => {
-            workloads::demo_rare_campaign(ltds_sim::RareEventStrategy::Vanilla)
-        }
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| fail(format!("cannot read spec {path}: {e}")));
-            serde_json::from_str(&text)
-                .unwrap_or_else(|e| fail(format!("cannot parse spec {path}: {e}")))
-        }
-        None => workloads::demo_campaign(),
+        None
+    } else {
+        Some(load_spec(spec_path.as_deref()))
     };
-    eprintln!(
-        "campaign `{}`: {} sweep(s), {} scenario(s)",
-        campaign.name,
-        campaign.sweeps.len(),
-        campaign.scenarios.len()
-    );
-
+    if let Some(campaign) = &campaign {
+        eprintln!(
+            "campaign `{}`: {} sweep(s), {} scenario(s)",
+            campaign.name,
+            campaign.sweeps.len(),
+            campaign.scenarios.len()
+        );
+    }
+    // Built-in rare-event specs: the importance-sampled demo and its
+    // vanilla twin (same grids, seeds and trials — only the strategy,
+    // and therefore every cache digest, differs).
     // Persistent caches: load whatever a previous run left, then write
     // every fresh result through so a kill loses at most one record.
     let points: SweepCache<ltds_sim::MttdlEstimate> = SweepCache::new();
@@ -413,6 +615,30 @@ fn main() {
             });
             let _ = std::fs::remove_file(&probe);
         }
+        // Bound the stores before loading (and before write-through arms —
+        // eviction must not race appends): the long-running server's disk
+        // footprint stays under budget, at worst costing recomputation of
+        // the least-recently-written configurations.
+        if let Some(budget) = cache_evict_bytes {
+            for (name, stats) in [
+                (
+                    "points",
+                    SweepCache::<ltds_sim::MttdlEstimate>::evict_dir(dir.join("points"), budget),
+                ),
+                ("shards", ShardCache::evict_dir(dir.join("shards"), budget)),
+            ] {
+                let stats =
+                    stats.unwrap_or_else(|e| fail(format!("cannot evict {name} cache: {e}")));
+                eprintln!(
+                    "cache {name}: evicted {} segment(s) ({} bytes), kept {} segment(s) \
+                     ({} bytes) within the {budget}-byte budget",
+                    stats.evicted_segments,
+                    stats.evicted_bytes,
+                    stats.retained_segments,
+                    stats.retained_bytes
+                );
+            }
+        }
         for (name, stats) in [
             ("points", points.load_dir(dir.join("points"))),
             ("shards", shards.load_dir(dir.join("shards"))),
@@ -432,83 +658,133 @@ fn main() {
             .unwrap_or_else(|e| fail(format!("cannot arm shards write-through: {e}")));
     }
 
-    let file = std::fs::File::create(&out_path)
-        .unwrap_or_else(|e| fail(format!("cannot create {out_path}: {e}")));
-    let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+    // TCP server mode: serve submitted campaigns over the shared caches
+    // until the tenant target is met, then publish the server summary.
+    if let Some(addr) = serve_tcp_addr {
+        let config = TcpServerConfig {
+            addr,
+            addr_file,
+            poll: Duration::from_millis(poll_ms),
+            idle_polls: max_polls,
+            tenants,
+            service: service_config,
+            ..TcpServerConfig::default()
+        };
+        match serve_tcp::<FleetScenario>(&config, Some(&points), Some(&shards)) {
+            Ok(summary) => {
+                eprintln!(
+                    "campaign server: {} tenant(s) done over {} connection(s), \
+                     {} corrupt frame(s), {} slow subscriber(s) dropped",
+                    summary.tenants_done,
+                    summary.connections,
+                    summary.corrupt_frames,
+                    summary.slow_subscribers_dropped
+                );
+                println!("{}", serde_json::to_string(&summary).expect("summary serializes"));
+                std::process::exit(0);
+            }
+            Err(e) => fail(format!("server failed: {e}")),
+        }
+    }
+    let campaign = campaign.expect("non-server modes load a spec");
 
-    // One run, two modes: the in-process driver, or the fault-tolerant
-    // service over a spool directory. Both stream the same bytes.
-    let run = |sink: &mut dyn ReportSink| match &serve_dir {
-        Some(dir) => {
-            let mut service = CampaignService::new(&campaign, service_config)?
-                .point_cache(&points)
-                .shard_cache(&shards);
-            let spool =
-                SpoolConfig { dir: dir.clone(), poll: Duration::from_millis(poll_ms), max_polls };
-            serve_spool(&mut service, &spool, sink).map(RunSummary::Service)
-        }
-        None => {
-            let mut driver =
-                CampaignDriver::new(&campaign).point_cache(&points).shard_cache(&shards);
-            if let Some(threads) = threads {
-                driver = driver.threads(threads);
+    let mut summary = if let Some(addr) = &submit_addr {
+        submit_campaign(
+            addr,
+            &campaign,
+            &points,
+            &shards,
+            &out_path,
+            poll_ms,
+            max_polls,
+            threads,
+            local_fallback,
+        )
+    } else {
+        let file = std::fs::File::create(&out_path)
+            .unwrap_or_else(|e| fail(format!("cannot create {out_path}: {e}")));
+        let mut sink = JsonlSink::new(std::io::BufWriter::new(file));
+
+        // One run, two modes: the in-process driver, or the fault-tolerant
+        // service over a spool directory. Both stream the same bytes.
+        let run = |sink: &mut dyn ReportSink| match &serve_dir {
+            Some(dir) => {
+                let mut service = CampaignService::new(campaign.clone(), service_config)?
+                    .point_cache(&points)
+                    .shard_cache(&shards);
+                let spool = SpoolConfig {
+                    dir: dir.clone(),
+                    poll: Duration::from_millis(poll_ms),
+                    max_polls,
+                };
+                serve_spool(&mut service, &spool, sink).map(RunSummary::Service)
             }
-            if let Some(hours) = telemetry_hours {
-                driver = driver.telemetry(TelemetryConfig::default().sample_period_hours(hours));
-            }
-            if let Some(k) = max_units {
-                driver = driver.max_units(k);
-            }
-            driver.run(sink).map(RunSummary::Driver)
-        }
-    };
-    // With --fleet-reports the sink is teed through a collector that
-    // gathers fleet shards for the merged per-scenario reports.
-    let result = match &fleet_reports {
-        Some(dir) => {
-            let mut collector = FleetReportCollector::new(&mut sink);
-            let result = run(&mut collector);
-            if result.is_ok() {
-                std::fs::create_dir_all(dir)
-                    .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
-                let reports = collector
-                    .reports(&campaign)
-                    .unwrap_or_else(|e| fail(format!("cannot merge fleet reports: {e}")));
-                for (name, report) in &reports {
-                    // Scenario names come from specs; keep the filename tame.
-                    let safe: String = name
-                        .chars()
-                        .map(|c| {
-                            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
-                                c
-                            } else {
-                                '_'
-                            }
-                        })
-                        .collect();
-                    let path = dir.join(format!("{safe}.json"));
-                    let json = serde_json::to_string_pretty(report).expect("report serializes");
-                    std::fs::write(&path, json + "\n")
-                        .unwrap_or_else(|e| fail(format!("cannot write {}: {e}", path.display())));
-                    eprintln!("fleet report `{name}` -> {}", path.display());
+            None => {
+                let mut driver =
+                    CampaignDriver::new(&campaign).point_cache(&points).shard_cache(&shards);
+                if let Some(threads) = threads {
+                    driver = driver.threads(threads);
                 }
+                if let Some(hours) = telemetry_hours {
+                    driver =
+                        driver.telemetry(TelemetryConfig::default().sample_period_hours(hours));
+                }
+                if let Some(k) = max_units {
+                    driver = driver.max_units(k);
+                }
+                driver.run(sink).map(RunSummary::Driver)
             }
-            result
-        }
-        None => run(&mut sink as &mut dyn ReportSink),
-    };
-    let mut summary = match result {
-        Ok(summary) => summary,
-        Err(e) => {
-            eprintln!("campaign failed: {e}");
-            std::process::exit(1);
-        }
+        };
+        // With --fleet-reports the sink is teed through a collector that
+        // gathers fleet shards for the merged per-scenario reports.
+        let result = match &fleet_reports {
+            Some(dir) => {
+                let mut collector = FleetReportCollector::new(&mut sink);
+                let result = run(&mut collector);
+                if result.is_ok() {
+                    std::fs::create_dir_all(dir)
+                        .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dir.display())));
+                    let reports = collector
+                        .reports(&campaign)
+                        .unwrap_or_else(|e| fail(format!("cannot merge fleet reports: {e}")));
+                    for (name, report) in &reports {
+                        // Scenario names come from specs; keep the filename tame.
+                        let safe: String = name
+                            .chars()
+                            .map(|c| {
+                                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                                    c
+                                } else {
+                                    '_'
+                                }
+                            })
+                            .collect();
+                        let path = dir.join(format!("{safe}.json"));
+                        let json = serde_json::to_string_pretty(report).expect("report serializes");
+                        std::fs::write(&path, json + "\n").unwrap_or_else(|e| {
+                            fail(format!("cannot write {}: {e}", path.display()))
+                        });
+                        eprintln!("fleet report `{name}` -> {}", path.display());
+                    }
+                }
+                result
+            }
+            None => run(&mut sink as &mut dyn ReportSink),
+        };
+        let summary = match result {
+            Ok(summary) => summary,
+            Err(e) => {
+                eprintln!("campaign failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        sink.into_inner().flush().unwrap_or_else(|e| fail(format!("cannot flush {out_path}: {e}")));
+        summary
     };
     // Damaged records dropped while loading the persistent caches: the
     // driver cannot see them, so the binary folds them into the published
     // summary (CI greps for a nonzero count after corruption drills).
     summary.set_skipped(skipped_records);
-    sink.into_inner().flush().unwrap_or_else(|e| fail(format!("cannot flush {out_path}: {e}")));
 
     match &summary {
         RunSummary::Driver(s) => eprintln!(

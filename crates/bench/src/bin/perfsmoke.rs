@@ -45,6 +45,14 @@
 //!   to the driver's before timing, and `--check` pins the service's
 //!   overhead to a bounded multiple of `campaign_cold` so the coordination
 //!   layer stays plumbing, not compute;
+//! * `campaign_tcp` — the same campaign again, dispatched through the
+//!   multi-tenant TCP server over real loopback sockets (server, two
+//!   workers and the subscriber as in-process threads): every unit crosses
+//!   the wire protocol — framing, checksums, heartbeats, cursored delta
+//!   streaming — on top of the service machinery. The stream is verified
+//!   byte-identical to the driver's before timing, and `--check` pins the
+//!   socket layer to a bounded multiple of `campaign_service` so real
+//!   transport stays cheap relative to coordination;
 //! * `mc_rare_vanilla` / `mc_rare_is` — the pinned rare-loss mirror pair
 //!   (a scrubbed two-way mirror whose one-year loss probability is ~2e-4,
 //!   so vanilla runs censor >99.9 % of trials). Each workload doubles its
@@ -59,7 +67,7 @@
 //!
 //! ```text
 //! cargo run --release -p ltds-bench --bin perfsmoke -- \
-//!     [--out BENCH_PR9.json] [--baseline OLD.json] [--repeat 3] [--check]
+//!     [--out BENCH_PR10.json] [--baseline OLD.json] [--repeat 3] [--check]
 //! ```
 //!
 //! The report embeds its own provenance — thread count, `rustc -V`, and an
@@ -86,6 +94,10 @@ use ltds_fleet::FleetSim;
 use ltds_sim::cache::SweepCache;
 use ltds_sim::campaign::{CampaignDriver, MemorySink};
 use ltds_sim::monte_carlo::MonteCarlo;
+use ltds_sim::net::{
+    run_tcp_worker, serve_tcp, submit_tcp, BackoffPolicy, TcpServerConfig, TcpSubmitConfig,
+    TcpWorkerConfig,
+};
 use ltds_sim::service::ServiceHarness;
 use ltds_sim::sweep::SweepDriver;
 use serde::{Deserialize, Serialize};
@@ -141,6 +153,14 @@ const CAMPAIGN_RESUME_MAX_RATIO: f64 = 0.5;
 /// the full lease/registry/reorder machinery, so anything much above 1.0
 /// means coordination stopped being plumbing and started being compute.
 const CAMPAIGN_SERVICE_MAX_RATIO: f64 = 1.5;
+
+/// `--check` ceiling on `campaign_tcp` as a multiple of
+/// `campaign_service`. The TCP run is the service again plus real loopback
+/// sockets, checksum framing and delta streaming — with two genuinely
+/// parallel workers against the harness's simulated pair, so the expected
+/// ratio is near (or below) 1.0 and anything past this means the wire
+/// protocol grew a per-unit cost.
+const CAMPAIGN_TCP_MAX_RATIO: f64 = 1.5;
 
 /// Target 95 % CI half-width on P[loss by one year] for the rare-event
 /// ladder pair: both estimators double their trial count until the
@@ -238,7 +258,7 @@ fn rare_ladder(config: &ltds_sim::SimConfig, start: u64) -> (u64, ltds_sim::Mttd
 }
 
 fn main() {
-    let mut out_path = String::from("BENCH_PR9.json");
+    let mut out_path = String::from("BENCH_PR10.json");
     let mut baseline_path: Option<String> = None;
     let mut repeats = 3u32;
     let mut check = false;
@@ -447,6 +467,97 @@ fn main() {
         ServiceHarness::new(&campaign, 2).run(&mut sink).expect("service harness runs").units_done
     }));
 
+    // Campaign over TCP: the same campaign once more, with every frame
+    // crossing real loopback sockets — server, two workers and the
+    // subscriber as threads of this process. The cost measured is the wire
+    // protocol (framing, checksums, heartbeats, cursored delta streaming)
+    // on top of the service machinery.
+    let spec: serde::Value =
+        serde_json::value_from_str(&serde_json::to_string(&campaign).expect("campaign serializes"))
+            .expect("campaign spec parses");
+    let tcp_round = std::sync::atomic::AtomicU64::new(0);
+    let run_campaign_tcp = || {
+        let round = tcp_round.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let addr_path = std::env::temp_dir()
+            .join(format!("ltds-perfsmoke-addr-{}-{round}", std::process::id()));
+        let _ = std::fs::remove_file(&addr_path);
+        let result = std::thread::scope(|scope| {
+            // A short (but non-zero) poll pause: a spinning server would
+            // starve the worker threads on a single-core host, and this is
+            // a timed workload. Tick-denominated windows scale to the 50µs
+            // tick so worker compute can never look like silence.
+            let config = TcpServerConfig {
+                addr_file: Some(addr_path.clone()),
+                poll: std::time::Duration::from_micros(50),
+                idle_polls: 4_000_000,
+                service: ltds_sim::service::ServiceConfig {
+                    lease_ticks: 200_000,
+                    reissue_ticks: 4_000_000,
+                    fallback_ticks: None,
+                    ..ltds_sim::service::ServiceConfig::default()
+                },
+                ..TcpServerConfig::default()
+            };
+            let server =
+                scope.spawn(move || serve_tcp::<ltds_fleet::FleetScenario>(&config, None, None));
+            let addr = {
+                let mut found = None;
+                for _ in 0..20_000 {
+                    if let Ok(text) = std::fs::read_to_string(&addr_path) {
+                        let trimmed = text.trim();
+                        if !trimmed.is_empty() {
+                            found = Some(trimmed.to_string());
+                            break;
+                        }
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                found.expect("server published its address")
+            };
+            let workers: Vec<_> = (0..2)
+                .map(|w| {
+                    let config = TcpWorkerConfig {
+                        addr: addr.clone(),
+                        name: format!("w{w}"),
+                        incarnation: 0,
+                        poll: std::time::Duration::from_millis(1),
+                        max_polls: 1_000_000,
+                        reconnect: BackoffPolicy::default(),
+                    };
+                    scope.spawn(move || run_tcp_worker::<ltds_fleet::FleetScenario>(&config))
+                })
+                .collect();
+            let submit = TcpSubmitConfig {
+                addr,
+                cursor: 0,
+                poll: std::time::Duration::from_millis(1),
+                max_polls: 1_000_000,
+                reconnect: BackoffPolicy::default(),
+            };
+            let mut out: Vec<u8> = Vec::new();
+            let summary = submit_tcp(&submit, &spec, &mut out).expect("tcp campaign runs");
+            server.join().unwrap().expect("tcp server exits cleanly");
+            for worker in workers {
+                worker.join().unwrap().expect("tcp worker exits cleanly");
+            }
+            (out, summary)
+        });
+        let _ = std::fs::remove_file(&addr_path);
+        result
+    };
+    // The TCP stream must match the driver's byte-for-byte before it is
+    // worth timing.
+    {
+        let (out, summary) = run_campaign_tcp();
+        assert_eq!(
+            String::from_utf8(out).expect("stream is UTF-8"),
+            cold_stream,
+            "TCP campaign stream diverged from the driver"
+        );
+        assert_eq!(summary.units_done, summary.units_total);
+    }
+    results.push(time_workload("campaign_tcp", repeats, || run_campaign_tcp().1.units_done));
+
     // Rare-event pair: time-to-target-CI-width on the pinned rare mirror
     // workload, vanilla vs importance-sampled. Both ladders start at the
     // same rung so the final trial counts compare like for like.
@@ -577,6 +688,12 @@ fn main() {
             "campaign_cold",
             CAMPAIGN_SERVICE_MAX_RATIO,
             "the campaign service's coordination overhead has outgrown the compute",
+        );
+        warm_ratio(
+            "campaign_tcp",
+            "campaign_service",
+            CAMPAIGN_TCP_MAX_RATIO,
+            "the TCP wire protocol grew a per-unit cost over the service machinery",
         );
         warm_ratio(
             "fleet_year_ec_100k",

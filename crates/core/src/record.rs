@@ -160,6 +160,82 @@ pub fn decode_framed(line: &str) -> Result<&str, RecordError> {
     }
 }
 
+/// Hard ceiling on one framed *line*'s byte length: the `<8 hex length>
+/// <16 hex checksum> ` header (26 bytes with separators) plus the maximum
+/// payload. A stream that runs past this without a newline is not carrying
+/// records this workspace wrote.
+pub const MAX_LINE_BYTES: usize = MAX_PAYLOAD_BYTES + 26;
+
+/// Incremental decoder for a stream of length-prefixed framed record lines
+/// arriving in arbitrary chunks — the shape a non-blocking socket hands
+/// back, where one `read()` may end mid-header, mid-payload, or mid-newline.
+///
+/// [`FrameDecoder::feed`] buffers partial lines across calls and yields
+/// only payloads whose length, framing and checksum all agree. A damaged
+/// line (torn write completed by later garbage, flipped bytes, foreign
+/// data, invalid UTF-8) is counted in [`FrameDecoder::corrupt_frames`] and
+/// *skipped*: the next newline resynchronises the stream, so one bad frame
+/// never poisons the connection. A newline-less run longer than
+/// [`MAX_LINE_BYTES`] is discarded eagerly so hostile or broken peers
+/// cannot grow the buffer without bound.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    corrupt: u64,
+    /// Set while discarding an over-long line: everything up to the next
+    /// newline is damage already counted, not a frame to decode.
+    discarding: bool,
+}
+
+impl FrameDecoder {
+    /// An empty decoder: no buffered bytes, no damage counted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers `bytes` and returns every payload completed by them, in
+    /// stream order. Damaged lines are counted and skipped, not returned.
+    pub fn feed(&mut self, bytes: &[u8]) -> Vec<String> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while let Some(nl) = self.buf[start..].iter().position(|&b| b == b'\n') {
+            let line = &self.buf[start..start + nl];
+            start += nl + 1;
+            if std::mem::take(&mut self.discarding) {
+                continue; // tail of an over-long line, already counted
+            }
+            match std::str::from_utf8(line).map_err(|_| RecordError::Malformed) {
+                Ok(text) => match decode_framed(text) {
+                    Ok(payload) => out.push(payload.to_string()),
+                    Err(_) => self.corrupt += 1,
+                },
+                Err(_) => self.corrupt += 1,
+            }
+        }
+        self.buf.drain(..start);
+        if !self.discarding && self.buf.len() > MAX_LINE_BYTES {
+            self.buf.clear();
+            self.corrupt += 1;
+            self.discarding = true;
+        } else if self.discarding {
+            self.buf.clear();
+        }
+        out
+    }
+
+    /// Lines that arrived complete but failed to decode (plus over-long
+    /// newline-less runs, counted once each).
+    pub fn corrupt_frames(&self) -> u64 {
+        self.corrupt
+    }
+
+    /// Bytes buffered awaiting a newline — a partial frame in flight.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +326,66 @@ mod tests {
         let a = encode_framed("first").unwrap();
         let b = encode_framed("second").unwrap();
         assert_eq!(decode_framed(&format!("{a}{b}")), Err(RecordError::LengthMismatch));
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_split_at_every_boundary() {
+        let payloads = [r#"{"unit":0}"#, "", r#"{"unit":1,"lease":4}"#];
+        let mut stream = String::new();
+        for p in payloads {
+            stream.push_str(&encode_framed(p).unwrap());
+            stream.push('\n');
+        }
+        let bytes = stream.as_bytes();
+        for cut in 0..=bytes.len() {
+            let mut dec = FrameDecoder::new();
+            let mut got = dec.feed(&bytes[..cut]);
+            got.extend(dec.feed(&bytes[cut..]));
+            assert_eq!(got, payloads, "split at byte {cut} changed the stream");
+            assert_eq!(dec.corrupt_frames(), 0);
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn decoder_skips_damage_and_resynchronises() {
+        let good = encode_framed("survivor").unwrap();
+        let mut dec = FrameDecoder::new();
+        // Foreign line, torn frame completed by garbage, then a good frame.
+        let torn_line = encode_framed("torn away").unwrap();
+        let torn = &torn_line[..9];
+        let stream = format!("not a frame\n{torn}\n{good}\n");
+        let got = dec.feed(stream.as_bytes());
+        assert_eq!(got, vec!["survivor".to_string()]);
+        assert_eq!(dec.corrupt_frames(), 2);
+    }
+
+    #[test]
+    fn decoder_drops_invalid_utf8_lines() {
+        let good = encode_framed("after").unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut bytes = vec![0xffu8, 0xfe, b'\n'];
+        bytes.extend_from_slice(good.as_bytes());
+        bytes.push(b'\n');
+        assert_eq!(dec.feed(&bytes), vec!["after".to_string()]);
+        assert_eq!(dec.corrupt_frames(), 1);
+    }
+
+    #[test]
+    fn decoder_bounds_newline_less_garbage() {
+        let mut dec = FrameDecoder::new();
+        let chunk = vec![b'x'; 1 << 20];
+        let mut fed = 0usize;
+        while fed <= MAX_LINE_BYTES {
+            assert!(dec.feed(&chunk).is_empty());
+            fed += chunk.len();
+            assert!(dec.buffered() <= MAX_LINE_BYTES, "buffer grew unbounded");
+        }
+        assert_eq!(dec.corrupt_frames(), 1, "over-long run counted once");
+        // The eventual newline ends the discard; the stream resynchronises.
+        let good = encode_framed("back").unwrap();
+        let tail = format!("yyy\n{good}\n");
+        assert_eq!(dec.feed(tail.as_bytes()), vec!["back".to_string()]);
+        assert_eq!(dec.corrupt_frames(), 1);
     }
 }

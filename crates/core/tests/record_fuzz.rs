@@ -5,7 +5,7 @@
 //! random byte flips and truncations at both the plain and the
 //! length-prefixed framings and hold them to it.
 
-use ltds_core::record::{decode, decode_framed, encode, encode_framed};
+use ltds_core::record::{decode, decode_framed, encode, encode_framed, FrameDecoder};
 use proptest::prelude::*;
 
 /// Payload strategy: printable ASCII without `\n` (JSON-lines payloads are
@@ -87,5 +87,78 @@ proptest! {
     fn framed_glue_is_rejected(a in payload(), b in payload()) {
         let glued = format!("{}{}", encode_framed(&a).unwrap(), encode_framed(&b).unwrap());
         prop_assert!(decode_framed(&glued).is_err());
+    }
+
+    /// The streaming decoder is invariant to how the byte stream is split
+    /// into `read()` chunks: any partition of the stream yields exactly the
+    /// encoded payloads, in order, with nothing counted corrupt.
+    #[test]
+    fn decoder_is_split_invariant(
+        payloads in proptest::collection::vec(payload(), 0..8),
+        cuts in proptest::collection::vec(0usize..4096, 0..12),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(encode_framed(p).unwrap().as_bytes());
+            stream.push(b'\n');
+        }
+        let mut cuts: Vec<usize> = cuts.into_iter()
+            .map(|c| if stream.is_empty() { 0 } else { c % (stream.len() + 1) })
+            .collect();
+        cuts.push(0);
+        cuts.push(stream.len());
+        cuts.sort_unstable();
+
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for pair in cuts.windows(2) {
+            got.extend(dec.feed(&stream[pair[0]..pair[1]]));
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(dec.corrupt_frames(), 0);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// A flipped byte in the middle frame of a split stream never surfaces
+    /// wrong payload bytes and never disturbs the frames around it: the
+    /// decoder yields a subsequence of the originals (the damaged frame may
+    /// drop; a lucky flip may leave it intact) and counts at most the
+    /// damage actually done. A flipped newline glues two frames — both
+    /// drop as one corrupt line.
+    #[test]
+    fn decoder_survives_injected_corruption(
+        payloads in proptest::collection::vec(payload(), 1..6),
+        pos in 0usize..65536,
+        mask in 1u8..=255,
+        cut in 0usize..65536,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(encode_framed(p).unwrap().as_bytes());
+            stream.push(b'\n');
+        }
+        let pos = pos % stream.len();
+        stream[pos] ^= mask;
+        let cut = cut % (stream.len() + 1);
+
+        let mut dec = FrameDecoder::new();
+        let mut got = dec.feed(&stream[..cut]);
+        got.extend(dec.feed(&stream[cut..]));
+
+        // Every surfaced payload must be one of the originals, in order
+        // (a subsequence): corruption may only *remove* frames.
+        let mut remaining: &[String] = &payloads;
+        for g in &got {
+            let idx = remaining.iter().position(|p| p == g);
+            prop_assert!(idx.is_some(), "decoder surfaced bytes never encoded: {g:?}");
+            remaining = &remaining[idx.unwrap() + 1..];
+        }
+        let dropped = payloads.len() - got.len();
+        prop_assert!(
+            dec.corrupt_frames() as usize >= dropped.saturating_sub(1),
+            "dropped {dropped} frames but counted only {}",
+            dec.corrupt_frames()
+        );
+        prop_assert!(dec.corrupt_frames() <= 2, "one flip counted {} times", dec.corrupt_frames());
     }
 }

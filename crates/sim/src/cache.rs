@@ -39,6 +39,12 @@
 //! writing. Values round-trip bit-identically (floats are serialised in
 //! shortest-round-trip form), so a warm restart is indistinguishable from
 //! the run that filled the cache.
+//!
+//! Long-lived directories (a campaign server's shared cache) are bounded
+//! by [`SweepCache::evict_dir`]: compact first, then drop whole segments —
+//! least-recently-written first — until the directory fits a byte budget.
+//! Eviction only ever costs recomputation: surviving segments are
+//! untouched and reload bit-identically.
 
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -244,7 +250,10 @@ impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
     /// [`SweepCache::persist_dir`] of the loaded cache would produce — and
     /// drops damaged records (they would be skipped on load anyway) with
     /// the same stderr warning as the loader. Reloading a compacted
-    /// directory is bit-identical to reloading the original.
+    /// directory is bit-identical to reloading the original. Each rewritten
+    /// segment keeps its original mtime: compaction changes no content, so
+    /// it must not refresh the write-recency order that
+    /// [`SweepCache::evict_dir`] evicts by.
     ///
     /// Like [`SweepCache::persist_dir`], do not run concurrently with an
     /// armed write-through on the same directory.
@@ -267,6 +276,7 @@ impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
         paths.sort();
         for path in paths {
             let digest = segment_digest(&path).expect("paths were filtered on the pattern");
+            let mtime = std::fs::metadata(&path).and_then(|meta| meta.modified()).ok();
             let text = std::fs::read_to_string(&path)?;
             stats.segments += 1;
             // Last record wins, exactly as load_dir resolves duplicates.
@@ -293,8 +303,68 @@ impl<V: Clone + Serialize + Deserialize> SweepCache<V> {
             let tmp = path.with_extension("jsonl.tmp");
             std::fs::write(&tmp, lines)?;
             std::fs::rename(&tmp, &path)?;
+            if let Some(mtime) = mtime {
+                let _ = std::fs::File::options()
+                    .write(true)
+                    .open(&path)
+                    .and_then(|file| file.set_modified(mtime));
+            }
             stats.kept += survivors.len();
         }
+        Ok(stats)
+    }
+
+    /// Bounds a cache directory to `max_bytes`: compacts every segment
+    /// first (superseded and damaged records are reclaimed before any live
+    /// data is sacrificed), then — while the directory is still over
+    /// budget — removes whole segments in least-recently-*written* order
+    /// (oldest mtime first; equal mtimes, as coarse filesystem clocks
+    /// produce, break on the filename so the order is deterministic).
+    /// Write-through appends touch a segment's mtime, so the segments that
+    /// go first are the configurations no recent run has computed into.
+    ///
+    /// Eviction drops a digest's *entire* segment, never part of one: a
+    /// surviving segment is byte-identical to its compacted form and
+    /// reloads bit-identically, while an evicted configuration simply
+    /// recomputes on next use. A `max_bytes` of 0 clears every segment.
+    ///
+    /// Like [`SweepCache::compact_dir`], do not run concurrently with an
+    /// armed write-through on the same directory (evict before arming).
+    pub fn evict_dir(dir: impl AsRef<Path>, max_bytes: u64) -> std::io::Result<EvictStats> {
+        let dir = dir.as_ref();
+        let compacted = Self::compact_dir(dir)?;
+        let mut stats = EvictStats { compacted, ..EvictStats::default() };
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(stats),
+            Err(e) => return Err(e),
+        };
+        let mut segments: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for path in entries.filter_map(|entry| entry.ok().map(|e| e.path())) {
+            if segment_digest(&path).is_none() {
+                continue;
+            }
+            let meta = std::fs::metadata(&path)?;
+            segments.push((meta.modified()?, path, meta.len()));
+        }
+        // Tuple order is the eviction order: mtime, then path for ties.
+        segments.sort();
+        let mut total: u64 = segments.iter().map(|(_, _, len)| len).sum();
+        for (_, path, len) in &segments {
+            if total <= max_bytes {
+                break;
+            }
+            std::fs::remove_file(path)?;
+            eprintln!(
+                "sweep-cache: evicted {} ({len} bytes) to fit the {max_bytes}-byte budget",
+                path.display()
+            );
+            total -= len;
+            stats.evicted_segments += 1;
+            stats.evicted_bytes += len;
+        }
+        stats.retained_segments = segments.len() - stats.evicted_segments;
+        stats.retained_bytes = total;
         Ok(stats)
     }
 
@@ -360,6 +430,23 @@ pub struct CompactStats {
     pub dropped: usize,
     /// Orphaned `seg-*.jsonl.tmp` files (a crash mid-snapshot) removed.
     pub removed_tmp: usize,
+}
+
+/// What [`SweepCache::evict_dir`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictStats {
+    /// The compaction pass that ran first: superseded and damaged records
+    /// are reclaimed before any whole segment is sacrificed.
+    pub compacted: CompactStats,
+    /// Whole segments removed, least-recently-written first.
+    pub evicted_segments: usize,
+    /// Bytes those evicted segments held.
+    pub evicted_bytes: u64,
+    /// Segments left on disk, byte-identical to their compacted form.
+    pub retained_segments: usize,
+    /// Bytes the directory holds after eviction (within the budget unless
+    /// nothing needed evicting).
+    pub retained_bytes: u64,
 }
 
 /// What [`SweepCache::load_dir`] found on disk.
@@ -617,6 +704,131 @@ mod tests {
         let again = SweepCache::<f64>::compact_dir(dir.path()).unwrap();
         assert_eq!(again.superseded, 0);
         assert_eq!(again.kept, 8);
+    }
+
+    /// Plants a deterministic mtime on a segment (coarse, well in the
+    /// past) so eviction-order tests do not depend on write timing.
+    fn set_mtime(path: &Path, secs: u64) {
+        std::fs::File::options()
+            .write(true)
+            .open(path)
+            .expect("open segment")
+            .set_modified(std::time::UNIX_EPOCH + std::time::Duration::from_secs(secs))
+            .expect("set segment mtime");
+    }
+
+    #[test]
+    fn evict_dir_drops_oldest_segments_and_survivors_reload_bit_identically() {
+        let dir = TempDir::new("evict");
+        let original = filled_cache();
+        original.persist_dir(dir.path()).unwrap();
+        // Digest 1 is the stalest segment, u64::MAX - 3 the freshest.
+        for (age, digest) in [(100u64, 1u64), (200, 2), (300, u64::MAX - 3)] {
+            set_mtime(&segment_path(dir.path(), digest), age);
+        }
+        let sizes: Vec<u64> = [1u64, 2, u64::MAX - 3]
+            .iter()
+            .map(|&d| std::fs::metadata(segment_path(dir.path(), d)).unwrap().len())
+            .collect();
+
+        // A budget that fits exactly the two freshest: the stalest goes.
+        let budget = sizes[1] + sizes[2];
+        let stats = SweepCache::<f64>::evict_dir(dir.path(), budget).unwrap();
+        assert_eq!(stats.evicted_segments, 1);
+        assert_eq!(stats.evicted_bytes, sizes[0]);
+        assert_eq!(stats.retained_segments, 2);
+        assert_eq!(stats.retained_bytes, budget);
+        assert!(!segment_path(dir.path(), 1).exists(), "the oldest segment must go first");
+
+        let reloaded: SweepCache<f64> = SweepCache::new();
+        let load = reloaded.load_dir(dir.path()).unwrap();
+        assert_eq!((load.segments, load.loaded, load.skipped), (2, 8, 0));
+        for digest in [2u64, u64::MAX - 3] {
+            for shard in 0..4u32 {
+                let key = CacheKey { digest, seed: 9, shard };
+                assert_eq!(
+                    reloaded.get(&key).unwrap().to_bits(),
+                    original.get(&key).unwrap().to_bits(),
+                    "eviction disturbed a surviving entry {key:?}"
+                );
+            }
+        }
+        assert_eq!(reloaded.get(&CacheKey { digest: 1, seed: 9, shard: 0 }), None);
+
+        // A zero budget clears every segment; nothing is left to reload.
+        let stats = SweepCache::<f64>::evict_dir(dir.path(), 0).unwrap();
+        assert_eq!(stats.evicted_segments, 2);
+        assert_eq!(stats.retained_segments, 0);
+        assert_eq!(stats.retained_bytes, 0);
+        let empty: SweepCache<f64> = SweepCache::new();
+        assert_eq!(empty.load_dir(dir.path()).unwrap().loaded, 0);
+    }
+
+    #[test]
+    fn evict_dir_compacts_first_so_reclaim_can_satisfy_the_budget() {
+        let dir = TempDir::new("evict-compact");
+        let cache: SweepCache<f64> = SweepCache::new();
+        cache.write_through(dir.path()).unwrap();
+        // Ten superseding rounds bloat the segment to ~10x its live content.
+        for round in 0..10u32 {
+            for shard in 0..4u32 {
+                let key = CacheKey { digest: 6, seed: 3, shard };
+                cache.insert(key, shard as f64 + 0.001 * round as f64);
+            }
+        }
+        let bloated = std::fs::metadata(segment_path(dir.path(), 6)).unwrap().len();
+
+        // The raw file busts this budget; its compacted form fits, so the
+        // segment must be reclaimed in place rather than evicted.
+        let stats = SweepCache::<f64>::evict_dir(dir.path(), bloated / 2).unwrap();
+        assert!(stats.compacted.superseded > 0, "compaction found nothing to reclaim");
+        assert_eq!(stats.evicted_segments, 0);
+        assert_eq!(stats.retained_segments, 1);
+        assert!(stats.retained_bytes <= bloated / 2);
+
+        let reloaded: SweepCache<f64> = SweepCache::new();
+        assert_eq!(reloaded.load_dir(dir.path()).unwrap().loaded, 4);
+        for shard in 0..4u32 {
+            let key = CacheKey { digest: 6, seed: 3, shard };
+            assert_eq!(
+                reloaded.get(&key).unwrap().to_bits(),
+                cache.get(&key).unwrap().to_bits(),
+                "reclaim changed the surviving value for {key:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn evict_dir_breaks_mtime_ties_on_the_filename() {
+        let dir = TempDir::new("evict-ties");
+        filled_cache().persist_dir(dir.path()).unwrap();
+        for digest in [1u64, 2, u64::MAX - 3] {
+            set_mtime(&segment_path(dir.path(), digest), 1_000);
+        }
+        // Every mtime equal: eviction must proceed in filename order, so
+        // the lexicographically-last segment is the lone survivor.
+        let survivor = segment_path(dir.path(), u64::MAX - 3);
+        let budget = std::fs::metadata(&survivor).unwrap().len();
+        let stats = SweepCache::<f64>::evict_dir(dir.path(), budget).unwrap();
+        assert_eq!(stats.evicted_segments, 2);
+        assert!(survivor.exists());
+        assert!(!segment_path(dir.path(), 1).exists());
+        assert!(!segment_path(dir.path(), 2).exists());
+    }
+
+    #[test]
+    fn compact_dir_preserves_segment_mtimes() {
+        let dir = TempDir::new("compact-mtime");
+        let cache: SweepCache<f64> = SweepCache::new();
+        cache.insert(CacheKey { digest: 4, seed: 1, shard: 0 }, 1.0);
+        cache.persist_dir(dir.path()).unwrap();
+        let path = segment_path(dir.path(), 4);
+        set_mtime(&path, 5_000);
+        let want = std::fs::metadata(&path).unwrap().modified().unwrap();
+
+        SweepCache::<f64>::compact_dir(dir.path()).unwrap();
+        let got = std::fs::metadata(&path).unwrap().modified().unwrap();
+        assert_eq!(got, want, "compaction must not refresh the eviction-recency clock");
     }
 
     #[test]

@@ -490,11 +490,13 @@ pub(crate) enum Unit {
 }
 
 /// Validates and prepares every scenario of a campaign (errors surface
-/// before any simulation starts).
+/// before any simulation starts). Names are owned so a prepared list can
+/// live alongside its campaign inside one struct (the campaign service owns
+/// both; a borrowed name would tie the list to an external borrow).
 pub(crate) fn prepare_scenarios<S: Scenario>(
     campaign: &Campaign<S>,
-) -> Result<Vec<(&str, S::Prepared)>, ModelError> {
-    campaign.scenarios.iter().map(|s| Ok((s.name(), s.prepare()?))).collect()
+) -> Result<Vec<(String, S::Prepared)>, ModelError> {
+    campaign.scenarios.iter().map(|s| Ok((s.name().to_string(), s.prepare()?))).collect()
 }
 
 /// Flattens a campaign into its deterministic unit order: sweeps (spec
@@ -503,7 +505,7 @@ pub(crate) fn prepare_scenarios<S: Scenario>(
 /// same spec to the same list, so a unit ordinal alone identifies the work.
 pub(crate) fn flatten_units<S: Scenario>(
     campaign: &Campaign<S>,
-    prepared: &[(&str, S::Prepared)],
+    prepared: &[(String, S::Prepared)],
 ) -> Result<Vec<Unit>, CampaignError> {
     let mut units: Vec<Unit> = Vec::new();
     for (sweep, spec) in campaign.sweeps.iter().enumerate() {
@@ -715,7 +717,7 @@ impl<'a, S: Scenario> CampaignDriver<'a, S> {
 /// trace payload to stream behind the result.
 pub(crate) fn execute_unit<S: Scenario>(
     sweeps: &[SweepSpec],
-    prepared: &[(&str, S::Prepared)],
+    prepared: &[(String, S::Prepared)],
     unit: &Unit,
     point_cache: Option<&SweepCache<MttdlEstimate>>,
     shard_cache: Option<&SweepCache<S::Outcome>>,
@@ -764,7 +766,7 @@ pub(crate) fn execute_unit<S: Scenario>(
 /// payload (so the report bytes come from exactly one place).
 pub(crate) fn compute_unit_raw<S: Scenario>(
     sweeps: &[SweepSpec],
-    prepared: &[(&str, S::Prepared)],
+    prepared: &[(String, S::Prepared)],
     unit: &Unit,
 ) -> Value {
     match unit {

@@ -27,6 +27,9 @@
 //!   lease-based state machine dispatching units to crash-prone workers
 //!   (spool-directory transport, deterministic in-process chaos harness)
 //!   while keeping the streamed report byte-identical;
+//! * [`net`] — the same service behind real sockets: a long-running
+//!   multi-tenant TCP campaign server with reconnect-safe workers and
+//!   cursor-resumable report subscribers;
 //! * [`validate`] — side-by-side comparison with the closed-form model.
 //!
 //! # Example
@@ -48,6 +51,7 @@ pub mod cache;
 pub mod campaign;
 pub mod config;
 pub mod monte_carlo;
+pub mod net;
 pub mod rare;
 pub mod replica;
 pub mod service;
@@ -55,7 +59,7 @@ pub mod sweep;
 pub mod trial;
 pub mod validate;
 
-pub use cache::{CacheKey, CompactStats, ConfigDigest, LoadStats, SweepCache};
+pub use cache::{CacheKey, CompactStats, ConfigDigest, EvictStats, LoadStats, SweepCache};
 pub use campaign::{
     Campaign, CampaignDriver, CampaignSummary, JsonlSink, MemorySink, ReportSink, Scenario,
     StreamRecord, SweepSpec,
@@ -63,9 +67,14 @@ pub use campaign::{
 pub use config::{RareEventStrategy, RedundancyPolicy, SimConfig};
 pub use ltds_stochastic::DrawDiscipline;
 pub use monte_carlo::{MonteCarlo, MttdlEstimate};
+pub use net::{
+    run_tcp_worker, serve_tcp, submit_tcp, BackoffPolicy, TcpServerConfig, TcpServerSummary,
+    TcpSubmitConfig, TcpWorkerConfig,
+};
 pub use service::{
-    run_spool_worker, serve_spool, CampaignService, ChaosScript, ServerMsg, ServiceConfig,
-    ServiceHarness, ServiceSummary, SpoolConfig, SpoolWorkerConfig, WorkerMsg,
+    run_spool_worker, serve_spool, serve_transport, CampaignService, ChaosScript, ServerMsg,
+    ServiceConfig, ServiceHarness, ServiceSummary, SpoolConfig, SpoolTransport, SpoolWorkerConfig,
+    Transport, WorkerMsg,
 };
 pub use trial::{TrialOutcome, TrialRunner};
 pub use validate::{validate_against_model, ValidationReport};

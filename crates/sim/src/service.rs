@@ -245,8 +245,8 @@ impl ServiceSummary {
 /// model; see [`ServiceHarness`] and [`serve_spool`] for the two transports
 /// that drive it.
 pub struct CampaignService<'a, S: Scenario> {
-    campaign: &'a Campaign<S>,
-    prepared: Vec<(&'a str, S::Prepared)>,
+    campaign: Campaign<S>,
+    prepared: Vec<(String, S::Prepared)>,
     units: Vec<Unit>,
     config: ServiceConfig,
     point_cache: Option<&'a SweepCache<MttdlEstimate>>,
@@ -265,9 +265,13 @@ pub struct CampaignService<'a, S: Scenario> {
 impl<'a, S: Scenario> CampaignService<'a, S> {
     /// Validates the campaign and builds the service over its flattened
     /// unit list (the same deterministic order every executor derives).
-    pub fn new(campaign: &'a Campaign<S>, config: ServiceConfig) -> Result<Self, CampaignError> {
-        let prepared = prepare_scenarios(campaign)?;
-        let units = flatten_units(campaign, &prepared)?;
+    ///
+    /// The service *owns* its campaign: a long-running multi-tenant server
+    /// constructs services from specs that arrive over the wire, long after
+    /// any caller-side borrow could be arranged.
+    pub fn new(campaign: Campaign<S>, config: ServiceConfig) -> Result<Self, CampaignError> {
+        let prepared = prepare_scenarios(&campaign)?;
+        let units = flatten_units(&campaign, &prepared)?;
         let states = vec![UnitState::Pending { attempts: 0, eligible_at: 0 }; units.len()];
         let summary = ServiceSummary::new(units.len() as u64);
         Ok(Self {
@@ -303,8 +307,8 @@ impl<'a, S: Scenario> CampaignService<'a, S> {
     }
 
     /// The campaign this service executes.
-    pub fn campaign(&self) -> &'a Campaign<S> {
-        self.campaign
+    pub fn campaign(&self) -> &Campaign<S> {
+        &self.campaign
     }
 
     /// Probes the caches and commits every already-answered unit, so a
@@ -568,13 +572,12 @@ impl<'a, S: Scenario> CampaignService<'a, S> {
 
     /// Executes every pending unit in-process (the no-fleet fallback).
     fn run_fallback(&mut self) {
-        let campaign = self.campaign;
         for ordinal in 0..self.units.len() {
             if !matches!(self.states[ordinal], UnitState::Pending { .. }) {
                 continue;
             }
             let (payload, hit, _trace) = execute_unit::<S>(
-                &campaign.sweeps,
+                &self.campaign.sweeps,
                 &self.prepared,
                 &self.units[ordinal],
                 self.point_cache,
@@ -606,7 +609,7 @@ impl<'a, S: Scenario> CampaignService<'a, S> {
                 UnitState::Quarantined => self.next += 1,
                 UnitState::Done => {
                     let Some(payload) = self.reorder.remove(&self.next) else { break };
-                    let record = record_for(self.campaign, &self.units[self.next], payload);
+                    let record = record_for(&self.campaign, &self.units[self.next], payload);
                     sink.record(&record)?;
                     self.next += 1;
                 }
@@ -730,8 +733,11 @@ impl<'a, S: Scenario> ServiceHarness<'a, S> {
 
     /// Runs the campaign through the simulated fleet, streaming the report
     /// to `sink`. Returns [`CampaignError::Stalled`] past the tick budget.
-    pub fn run(&self, sink: &mut dyn ReportSink) -> Result<ServiceSummary, CampaignError> {
-        let mut service = CampaignService::new(self.campaign, self.config)?;
+    pub fn run(&self, sink: &mut dyn ReportSink) -> Result<ServiceSummary, CampaignError>
+    where
+        S: Clone,
+    {
+        let mut service = CampaignService::new(self.campaign.clone(), self.config)?;
         if let Some(cache) = self.point_cache {
             service = service.point_cache(cache);
         }
@@ -967,65 +973,141 @@ fn append_done_frame(path: &Path, payload: &str, unit: u64) -> std::io::Result<(
     file.write_all(frame.as_bytes())
 }
 
-/// Runs a [`CampaignService`] over a spool directory: the campaign spec is
-/// published as `campaign.json`, worker messages are polled from each
-/// `workers/<name>/out.jsonl`, assignments are appended to
-/// `workers/<name>/in.jsonl`, and completion is broadcast as `Shutdown`
-/// messages plus a `shutdown` marker file.
-pub fn serve_spool<S: Scenario + Serialize>(
+/// How a [`CampaignService`] reaches its worker fleet. One implementation
+/// polls a shared spool directory ([`SpoolTransport`]); the TCP transport in
+/// [`crate::net`] carries the same checksum-framed JSON lines over sockets.
+/// The service itself stays a pure state machine: everything wall-clock or
+/// I/O shaped lives behind this trait, and one [`serve_transport`] poll is
+/// one service tick, whatever the medium.
+pub trait Transport {
+    /// Publishes the campaign spec where (late-joining) workers can load it.
+    /// Transports whose workers carry their own spec may no-op.
+    fn publish(&mut self, campaign_json: &str) -> std::io::Result<()>;
+    /// Collects every worker message payload that arrived since the last
+    /// poll, plus the number of frames rejected by checksum/framing checks.
+    fn poll(&mut self) -> (Vec<String>, u64);
+    /// Sends one message payload to the named worker.
+    fn send(&mut self, worker: &str, message: &str) -> std::io::Result<()>;
+    /// Broadcasts the shutdown message to every worker ever seen and marks
+    /// the campaign complete for workers that poll in later.
+    fn shutdown(&mut self, message: &str) -> std::io::Result<()>;
+    /// Waits between polls (a wall-clock sleep for real transports; no-op
+    /// for in-memory ones).
+    fn pause(&mut self);
+}
+
+/// Runs a [`CampaignService`] over any [`Transport`]: publish the spec,
+/// stream the warm prefix, then poll/handle/tick until done — each poll
+/// advancing the sim clock exactly one tick — and broadcast shutdown.
+/// Returns [`CampaignError::Stalled`] past the `max_polls` budget.
+pub fn serve_transport<S: Scenario + Serialize>(
     service: &mut CampaignService<'_, S>,
-    spool: &SpoolConfig,
+    transport: &mut dyn Transport,
+    max_polls: u64,
     sink: &mut dyn ReportSink,
 ) -> Result<ServiceSummary, CampaignError> {
-    let workers_dir = spool.dir.join("workers");
-    std::fs::create_dir_all(&workers_dir)?;
-    let _ = std::fs::remove_file(spool.dir.join("shutdown"));
-    std::fs::write(
-        spool.dir.join("campaign.json"),
-        serde_json::to_string_pretty(service.campaign()).expect("campaign serializes") + "\n",
-    )?;
+    let spec = serde_json::to_string_pretty(service.campaign()).expect("campaign serializes");
+    transport.publish(&spec)?;
     service.start(sink)?;
 
-    let mut cursors: BTreeMap<String, FrameCursor> = BTreeMap::new();
     let mut polls: u64 = 0;
     while !service.is_done() {
         polls += 1;
-        if polls > spool.max_polls {
+        if polls > max_polls {
             return Err(CampaignError::Stalled { ticks: polls });
         }
-        if let Ok(entries) = std::fs::read_dir(&workers_dir) {
-            for entry in entries.flatten() {
-                let Ok(name) = entry.file_name().into_string() else { continue };
-                cursors.entry(name.clone()).or_insert_with(|| {
-                    FrameCursor::new(workers_dir.join(&name).join("out.jsonl"), 0)
-                });
-            }
-        }
-        for cursor in cursors.values_mut() {
-            let (frames, corrupt) = cursor.poll();
-            service.note_corrupt_frames(corrupt);
-            for frame in frames {
-                match serde_json::from_str::<WorkerMsg>(&frame) {
-                    Ok(msg) => service.handle(&msg, sink)?,
-                    Err(_) => service.note_corrupt_frames(1),
-                }
+        let (frames, corrupt) = transport.poll();
+        service.note_corrupt_frames(corrupt);
+        for frame in frames {
+            match serde_json::from_str::<WorkerMsg>(&frame) {
+                Ok(msg) => service.handle(&msg, sink)?,
+                Err(_) => service.note_corrupt_frames(1),
             }
         }
         let assignments = service.tick(sink)?;
         for (name, msg) in assignments {
             let message = serde_json::to_string(&msg).expect("message serializes");
-            append_frame(&workers_dir.join(&name).join("in.jsonl"), &message)?;
+            transport.send(&name, &message)?;
         }
         if !service.is_done() {
-            std::thread::sleep(spool.poll);
+            transport.pause();
         }
     }
     let shutdown = serde_json::to_string(&ServerMsg::Shutdown).expect("message serializes");
-    for name in cursors.keys() {
-        let _ = append_frame(&workers_dir.join(name).join("in.jsonl"), &shutdown);
-    }
-    std::fs::write(spool.dir.join("shutdown"), b"done\n")?;
+    transport.shutdown(&shutdown)?;
     service.finish(sink)
+}
+
+/// The spool-directory [`Transport`]: the campaign spec is published as
+/// `campaign.json`, worker messages are polled from each
+/// `workers/<name>/out.jsonl`, assignments are appended to
+/// `workers/<name>/in.jsonl`, and completion is broadcast as `Shutdown`
+/// messages plus a `shutdown` marker file.
+pub struct SpoolTransport {
+    config: SpoolConfig,
+    workers_dir: PathBuf,
+    cursors: BTreeMap<String, FrameCursor>,
+}
+
+impl SpoolTransport {
+    /// Prepares the spool directory (clearing any stale shutdown marker).
+    pub fn new(config: SpoolConfig) -> std::io::Result<Self> {
+        let workers_dir = config.dir.join("workers");
+        std::fs::create_dir_all(&workers_dir)?;
+        let _ = std::fs::remove_file(config.dir.join("shutdown"));
+        Ok(Self { config, workers_dir, cursors: BTreeMap::new() })
+    }
+}
+
+impl Transport for SpoolTransport {
+    fn publish(&mut self, campaign_json: &str) -> std::io::Result<()> {
+        std::fs::write(self.config.dir.join("campaign.json"), format!("{campaign_json}\n"))
+    }
+
+    fn poll(&mut self) -> (Vec<String>, u64) {
+        if let Ok(entries) = std::fs::read_dir(&self.workers_dir) {
+            for entry in entries.flatten() {
+                let Ok(name) = entry.file_name().into_string() else { continue };
+                self.cursors.entry(name.clone()).or_insert_with(|| {
+                    FrameCursor::new(self.workers_dir.join(&name).join("out.jsonl"), 0)
+                });
+            }
+        }
+        let mut frames = Vec::new();
+        let mut corrupt = 0u64;
+        for cursor in self.cursors.values_mut() {
+            let (polled, bad) = cursor.poll();
+            frames.extend(polled);
+            corrupt += bad;
+        }
+        (frames, corrupt)
+    }
+
+    fn send(&mut self, worker: &str, message: &str) -> std::io::Result<()> {
+        append_frame(&self.workers_dir.join(worker).join("in.jsonl"), message)
+    }
+
+    fn shutdown(&mut self, message: &str) -> std::io::Result<()> {
+        for name in self.cursors.keys() {
+            let _ = append_frame(&self.workers_dir.join(name).join("in.jsonl"), message);
+        }
+        std::fs::write(self.config.dir.join("shutdown"), b"done\n")
+    }
+
+    fn pause(&mut self) {
+        std::thread::sleep(self.config.poll);
+    }
+}
+
+/// Runs a [`CampaignService`] over a spool directory — a thin wrapper
+/// composing [`SpoolTransport`] with the generic [`serve_transport`] loop.
+pub fn serve_spool<S: Scenario + Serialize>(
+    service: &mut CampaignService<'_, S>,
+    spool: &SpoolConfig,
+    sink: &mut dyn ReportSink,
+) -> Result<ServiceSummary, CampaignError> {
+    let mut transport = SpoolTransport::new(spool.clone())?;
+    serve_transport(service, &mut transport, spool.max_polls, sink)
 }
 
 /// Runs one spool worker until the service broadcasts shutdown: polls
@@ -1427,7 +1509,7 @@ mod tests {
             )
         });
 
-        let mut service = CampaignService::new(&campaign, ServiceConfig::default()).unwrap();
+        let mut service = CampaignService::new(campaign.clone(), ServiceConfig::default()).unwrap();
         let mut sink = MemorySink::new();
         let summary = serve_spool(
             &mut service,
@@ -1442,5 +1524,228 @@ mod tests {
         assert!(summary.corrupt_frames >= 1, "planted garbage must be counted");
         assert!(completed > 0, "the spool worker should have computed units");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Drives a service to completion by honestly executing every assignment
+    /// as worker `name` at `incarnation`, announcing each unit first.
+    fn drain_honestly(
+        service: &mut CampaignService<'_, ToyScenario>,
+        sink: &mut MemorySink,
+        campaign: &Campaign<ToyScenario>,
+        name: &str,
+        incarnation: u64,
+    ) {
+        let prepared = prepare_scenarios(campaign).unwrap();
+        let units = flatten_units(campaign, &prepared).unwrap();
+        for _ in 0..10_000 {
+            if service.is_done() {
+                return;
+            }
+            let assignments = service.tick(sink).unwrap();
+            for (worker, msg) in assignments {
+                assert_eq!(worker, name);
+                let ServerMsg::Assign { unit, lease } = msg else { continue };
+                let worker = name.to_string();
+                service
+                    .handle(&WorkerMsg::Working { worker: worker.clone(), incarnation, unit }, sink)
+                    .unwrap();
+                let result = compute_unit_raw::<ToyScenario>(
+                    &campaign.sweeps,
+                    &prepared,
+                    &units[unit as usize],
+                );
+                service
+                    .handle(&WorkerMsg::Done { worker, incarnation, unit, lease, result }, sink)
+                    .unwrap();
+            }
+        }
+        panic!("service did not finish under an honest worker");
+    }
+
+    #[test]
+    fn reconnect_blames_only_the_announced_unit_and_spares_the_orphan() {
+        // A worker holding leases on units A (announced `Working`) and B
+        // (queued, never announced) reconnects with a bumped incarnation —
+        // twice, each time mid-A. With max_attempts = 2, A's two blamed
+        // failures quarantine it; B must keep zero attempts and complete,
+        // or blame is leaking onto innocent orphans.
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        let config = ServiceConfig {
+            // Only incarnation bumps may forfeit leases in this test.
+            lease_ticks: 100_000,
+            reissue_ticks: 100_000,
+            max_attempts: 2,
+            backoff_base_ticks: 0,
+            fallback_ticks: None,
+            max_inflight_per_worker: 2,
+        };
+        let mut service = CampaignService::new(campaign.clone(), config).unwrap();
+        let mut sink = MemorySink::new();
+        service.start(&mut sink).unwrap();
+
+        let hello = |inc: u64| WorkerMsg::Hello { worker: "w0".to_string(), incarnation: inc };
+        service.handle(&hello(0), &mut sink).unwrap();
+        let assigns = service.tick(&mut sink).unwrap();
+        let leases: Vec<(u64, u64)> = assigns
+            .iter()
+            .filter_map(|(_, msg)| match msg {
+                ServerMsg::Assign { unit, lease } => Some((*unit, *lease)),
+                ServerMsg::Shutdown => None,
+            })
+            .collect();
+        assert_eq!(leases.len(), 2, "expected two leases inflight, got {leases:?}");
+        let (unit_a, lease_a) = leases[0];
+        let unit_b = leases[1].0;
+
+        // First mid-unit reconnect: A blamed once, B forfeited blameless.
+        service
+            .handle(
+                &WorkerMsg::Working { worker: "w0".to_string(), incarnation: 0, unit: unit_a },
+                &mut sink,
+            )
+            .unwrap();
+        service.handle(&hello(1), &mut sink).unwrap();
+
+        // The units come straight back (zero backoff); reconnect mid-A
+        // again. That is A's second blamed failure: quarantine.
+        let assigns = service.tick(&mut sink).unwrap();
+        assert!(
+            assigns
+                .iter()
+                .any(|(_, m)| matches!(m, ServerMsg::Assign { unit, .. } if *unit == unit_a)),
+            "unit A must be re-issued after the first reconnect"
+        );
+        service
+            .handle(
+                &WorkerMsg::Working { worker: "w0".to_string(), incarnation: 1, unit: unit_a },
+                &mut sink,
+            )
+            .unwrap();
+        service.handle(&hello(2), &mut sink).unwrap();
+
+        drain_honestly(&mut service, &mut sink, &campaign, "w0", 2);
+
+        // A late `Done` for the quarantined unit from the first (long-dead)
+        // incarnation must be dropped as a duplicate, not committed.
+        let prepared = prepare_scenarios(&campaign).unwrap();
+        let units = flatten_units(&campaign, &prepared).unwrap();
+        let stale =
+            compute_unit_raw::<ToyScenario>(&campaign.sweeps, &prepared, &units[unit_a as usize]);
+        service
+            .handle(
+                &WorkerMsg::Done {
+                    worker: "w0".to_string(),
+                    incarnation: 0,
+                    unit: unit_a,
+                    lease: lease_a,
+                    result: stale,
+                },
+                &mut sink,
+            )
+            .unwrap();
+
+        let summary = service.finish(&mut sink).unwrap();
+        assert_eq!(summary.quarantined, vec![unit_a], "exactly the announced unit is poisoned");
+        assert_eq!(summary.units_done, summary.units_total - 1);
+        assert_eq!(summary.expired_leases, 4, "two leases forfeited per reconnect");
+        assert_eq!(summary.duplicate_completions, 1, "the stale Done must be dropped");
+        assert!(
+            !summary.quarantined.contains(&unit_b),
+            "the innocent orphan must not advance toward quarantine"
+        );
+
+        // The stream is the clean report minus exactly A's record.
+        let expected: String = reference
+            .lines()
+            .enumerate()
+            .filter(|(ordinal, _)| *ordinal as u64 != unit_a)
+            .map(|(_, line)| format!("{line}\n"))
+            .collect();
+        assert_eq!(sink.to_jsonl(), expected);
+    }
+
+    #[test]
+    fn stale_done_after_reconnect_commits_once_and_duplicates_are_dropped() {
+        // A worker reconnects mid-unit, but its old incarnation's result
+        // still arrives (spool flush, kernel socket buffer). Units are pure
+        // and payloads canonical, so first-committed-wins: the stale result
+        // commits, the re-executed one is dropped, and the stream is
+        // byte-identical to the clean driver's.
+        let campaign = campaign();
+        let reference = driver_reference(&campaign);
+        let config = ServiceConfig {
+            lease_ticks: 100_000,
+            reissue_ticks: 100_000,
+            max_attempts: 3,
+            backoff_base_ticks: 0,
+            fallback_ticks: None,
+            max_inflight_per_worker: 2,
+        };
+        let mut service = CampaignService::new(campaign.clone(), config).unwrap();
+        let mut sink = MemorySink::new();
+        service.start(&mut sink).unwrap();
+
+        service
+            .handle(&WorkerMsg::Hello { worker: "w0".to_string(), incarnation: 0 }, &mut sink)
+            .unwrap();
+        let assigns = service.tick(&mut sink).unwrap();
+        let (unit_a, lease_a) = assigns
+            .iter()
+            .find_map(|(_, msg)| match msg {
+                ServerMsg::Assign { unit, lease } => Some((*unit, *lease)),
+                ServerMsg::Shutdown => None,
+            })
+            .expect("one lease issued");
+        service
+            .handle(
+                &WorkerMsg::Working { worker: "w0".to_string(), incarnation: 0, unit: unit_a },
+                &mut sink,
+            )
+            .unwrap();
+        service
+            .handle(&WorkerMsg::Hello { worker: "w0".to_string(), incarnation: 1 }, &mut sink)
+            .unwrap();
+
+        // The stale result of the forfeited lease lands while A is pending
+        // again: it commits (first writer wins).
+        let prepared = prepare_scenarios(&campaign).unwrap();
+        let units = flatten_units(&campaign, &prepared).unwrap();
+        let result =
+            compute_unit_raw::<ToyScenario>(&campaign.sweeps, &prepared, &units[unit_a as usize]);
+        service
+            .handle(
+                &WorkerMsg::Done {
+                    worker: "w0".to_string(),
+                    incarnation: 0,
+                    unit: unit_a,
+                    lease: lease_a,
+                    result: result.clone(),
+                },
+                &mut sink,
+            )
+            .unwrap();
+
+        // The re-executed copy arrives second: dropped, not double-committed.
+        service
+            .handle(
+                &WorkerMsg::Done {
+                    worker: "w0".to_string(),
+                    incarnation: 1,
+                    unit: unit_a,
+                    lease: lease_a + 1,
+                    result,
+                },
+                &mut sink,
+            )
+            .unwrap();
+
+        drain_honestly(&mut service, &mut sink, &campaign, "w0", 1);
+        let summary = service.finish(&mut sink).unwrap();
+        assert_eq!(sink.to_jsonl(), reference, "double-commit or reorder detected");
+        assert_eq!(summary.units_done, summary.units_total);
+        assert_eq!(summary.duplicate_completions, 1);
+        assert!(summary.quarantined.is_empty());
+        assert_eq!(summary.expired_leases, 2, "the reconnect forfeits both inflight leases");
     }
 }

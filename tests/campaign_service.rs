@@ -65,7 +65,7 @@ fn spool_transport_streams_byte_identically_for_any_fleet_size() {
             })
             .collect();
 
-        let mut service = CampaignService::new(&campaign, ServiceConfig::default()).unwrap();
+        let mut service = CampaignService::new(campaign.clone(), ServiceConfig::default()).unwrap();
         let mut sink = MemorySink::new();
         let spool = SpoolConfig {
             dir: dir.path().to_path_buf(),
@@ -104,7 +104,7 @@ fn spool_service_tolerates_planted_garbage_frames() {
     };
     let worker = std::thread::spawn(move || run_spool_worker(&worker_campaign, &config));
 
-    let mut service = CampaignService::new(&campaign, ServiceConfig::default()).unwrap();
+    let mut service = CampaignService::new(campaign.clone(), ServiceConfig::default()).unwrap();
     let mut sink = MemorySink::new();
     let spool = SpoolConfig {
         dir: dir.path().to_path_buf(),
